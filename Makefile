@@ -1,0 +1,27 @@
+# Convenience targets for the PHAST reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-long figures clean loc
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-long:
+	REPRO_BENCH_OPS=100000 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures: bench
+	@echo "figure tables written to benchmarks/results/"
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +
+
+loc:
+	@find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1

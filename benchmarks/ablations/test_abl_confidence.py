@@ -1,0 +1,77 @@
+"""Ablation — PHAST's confidence policy (Sec. IV-A2).
+
+The paper resets the 4-bit counter to maximum on a correct wait and
+decrements otherwise. The ablation compares against an increment-on-correct
+policy (slower to rehabilitate entries that alias occasionally) and against
+no confidence at all (aliased or data-dependent entries then stall loads
+forever).
+"""
+
+from benchmarks.conftest import SUBSET, run_once
+from repro.analysis.report import format_table
+from repro.mdp.base import LoadCommitInfo
+from repro.mdp.phast import PHASTPredictor
+
+
+class PhastIncrementConfidence(PHASTPredictor):
+    """+1 on correct instead of reset-to-max."""
+
+    name = "phast-increment-confidence"
+
+    def on_load_commit(self, commit: LoadCommitInfo) -> None:
+        pending = self._pending.pop(commit.seq, None)
+        if pending is None or not commit.prediction.is_dependence:
+            return
+        _, entry = pending
+        if commit.waited_correct:
+            entry.confidence = min(self._confidence_max, entry.confidence + 1)
+        else:
+            entry.confidence = max(0, entry.confidence - 1)
+
+
+class PhastNoConfidence(PHASTPredictor):
+    """Confidence pinned at maximum: entries never expire."""
+
+    name = "phast-no-confidence"
+
+    def on_load_commit(self, commit: LoadCommitInfo) -> None:
+        self._pending.pop(commit.seq, None)
+
+
+def test_confidence_policy_ablation(grid, emit, benchmark):
+    def compute():
+        results = {
+            "reset-to-max (paper)": grid.mean_normalized_ipc(SUBSET, "phast"),
+            "increment-on-correct": grid.mean_normalized_ipc(
+                SUBSET, "phast-inc-conf", predictor_factory=PhastIncrementConfidence
+            ),
+            "no confidence": grid.mean_normalized_ipc(
+                SUBSET, "phast-no-conf", predictor_factory=PhastNoConfidence
+            ),
+        }
+        fp = {
+            "reset-to-max (paper)": grid.mean_mpki(SUBSET, "phast")[1],
+            "no confidence": grid.mean_mpki(
+                SUBSET, "phast-no-conf", predictor_factory=PhastNoConfidence
+            )[1],
+        }
+        return results, fp
+
+    results, fp = run_once(benchmark, compute)
+    emit(
+        "abl_confidence",
+        format_table(
+            ["variant", "normalized IPC"],
+            [[name, value] for name, value in results.items()],
+            title="Ablation: PHAST confidence policy",
+            precision=4,
+        ),
+    )
+
+    # The paper's policy is competitive with the alternatives...
+    best = max(results.values())
+    assert results["reset-to-max (paper)"] >= best - 0.01
+    # ...and confidence gating specifically caps false-dependence pressure:
+    # without it, entries trained by occasional data-dependent conflicts
+    # keep stalling loads (541.leela behaviour, Sec. VI-A).
+    assert fp["no confidence"] >= fp["reset-to-max (paper)"] * 0.9

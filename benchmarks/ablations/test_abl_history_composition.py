@@ -1,0 +1,77 @@
+"""Ablation — what goes into PHAST's history (Sec. III-B).
+
+Two design choices are ablated:
+
+* **N vs N+1**: training with only the branches *between* the store and the
+  load (length N) drops the divergent branch previous to the store — the
+  Fig. 5 disambiguator. The paper's N+1 must not be worse.
+* **Target bits**: 0 target bits reduce each history entry to its
+  taken/not-taken bit, which merges indirect-branch paths (and Fig. 5-style
+  conditional destinations). The paper uses 5 bits.
+"""
+
+from benchmarks.conftest import SUBSET, run_once
+from repro.analysis.report import format_table
+from repro.mdp.base import ViolationInfo
+from repro.mdp.phast import PHASTPredictor
+
+
+class PhastLengthN(PHASTPredictor):
+    """Trains with length N instead of N+1 (no pre-store branch)."""
+
+    name = "phast-length-n"
+
+    def on_violation(self, violation: ViolationInfo) -> None:
+        shrunk = _with_required(violation, max(0, violation.divergent_distance))
+        super().on_violation(shrunk)
+
+
+class _ShrunkViolation:
+    """ViolationInfo proxy with an overridden required history length."""
+
+    def __init__(self, inner: ViolationInfo, required: int) -> None:
+        self._inner = inner
+        self._required = required
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    @property
+    def required_history_length(self) -> int:
+        return self._required
+
+
+def _with_required(violation: ViolationInfo, required: int):
+    return _ShrunkViolation(violation, required)
+
+
+def test_history_composition_ablation(grid, emit, benchmark):
+    def compute():
+        return {
+            "N+1, 5 target bits (paper)": grid.mean_normalized_ipc(SUBSET, "phast"),
+            "N (no pre-store branch)": grid.mean_normalized_ipc(
+                SUBSET, "phast-length-n", predictor_factory=PhastLengthN
+            ),
+            "N+1, 0 target bits": grid.mean_normalized_ipc(
+                SUBSET,
+                "phast-t0",
+                predictor_factory=lambda: PHASTPredictor(target_bits=0),
+            ),
+        }
+
+    results = run_once(benchmark, compute)
+    emit(
+        "abl_history_composition",
+        format_table(
+            ["variant", "normalized IPC"],
+            [[name, value] for name, value in results.items()],
+            title="Ablation: PHAST history composition",
+            precision=4,
+        ),
+    )
+
+    paper = results["N+1, 5 target bits (paper)"]
+    # Dropping the pre-store branch cannot help (Fig. 5's argument).
+    assert paper >= results["N (no pre-store branch)"] - 0.005
+    # Dropping the destination bits cannot help (indirect paths merge).
+    assert paper >= results["N+1, 0 target bits"] - 0.005

@@ -1,0 +1,67 @@
+"""Shared fixtures for the reproduction benchmark harness.
+
+Each ``benchmarks/test_*.py`` regenerates one table or figure of the paper:
+it runs the required simulations (memoised across the whole session through
+one shared :class:`~repro.sim.experiment.ExperimentGrid`), prints the
+rows/series the paper reports, writes them under ``benchmarks/results/``, and
+asserts the *shape* of the result — who wins, in which direction, by roughly
+what kind of factor — not the absolute numbers (see DESIGN.md §1).
+
+Trace length defaults to 25k micro-ops per simulation; raise it with
+``REPRO_BENCH_OPS=100000`` for higher-fidelity runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.sim.experiment import ExperimentGrid
+from repro.workloads.spec2017 import spec_suite
+
+#: Simulated micro-ops per (workload, predictor) cell.
+BENCH_OPS = int(os.environ.get("REPRO_BENCH_OPS", "25000"))
+
+#: The full suite, used by the per-application figures (7-9, 14-16).
+SUITE = spec_suite()
+
+#: A representative subset for the many-configuration sweeps (Figs. 1, 2, 6,
+#: 11-13): covers path-dependent, data-dependent, store-set-hostile,
+#: call-heavy, FP-light and conflict-free behaviour.
+SUBSET = [
+    "500.perlbench_1",
+    "500.perlbench_3",
+    "502.gcc_1",
+    "510.parest",
+    "511.povray",
+    "531.deepsjeng",
+    "541.leela",
+    "520.omnetpp",
+]
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def grid() -> ExperimentGrid:
+    return ExperimentGrid(num_ops=BENCH_OPS)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a figure's table and persist it under benchmarks/results/."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Benchmark a figure computation exactly once (simulations memoise)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

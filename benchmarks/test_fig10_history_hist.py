@@ -1,0 +1,39 @@
+"""Fig. 10 — percentage of unique conflicts detected at each history length.
+
+Paper shape: most unique conflicts need short histories (73.6% within
+[0, 19] branches; 85.4% within 32), with a long, thin tail — which is what
+justifies capping PHAST's ladder at 32.
+"""
+
+from benchmarks.conftest import BENCH_OPS, SUITE, run_once
+from repro.analysis import figures
+from repro.analysis.report import format_table
+
+
+def test_fig10_conflict_length_histogram(emit, benchmark):
+    histogram = run_once(
+        benchmark,
+        lambda: figures.fig10_conflict_length_histogram(SUITE, num_ops=BENCH_OPS),
+    )
+
+    total = histogram.total()
+    assert total > 0
+    emit(
+        "fig10_history_hist",
+        format_table(
+            ["history length (N+1)", "unique conflicts", "% of total"],
+            [
+                [length, count, 100.0 * count / total]
+                for length, count in histogram.sorted_items()
+            ],
+            title="Fig. 10: unique conflicts per required history length",
+        ),
+    )
+
+    # The mass concentrates at short lengths (paper: 73.6% within 20).
+    assert histogram.cumulative_fraction_up_to(19) > 0.6
+    # A maximum tracked length of 32 covers the overwhelming majority
+    # (paper: 85.4%).
+    assert histogram.cumulative_fraction_up_to(32) > 0.8
+    # Every requirement is at least N+1 = 1 by construction.
+    assert min(histogram.counts) >= 1

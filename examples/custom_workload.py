@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Build a custom workload profile and study how predictors handle it.
+
+Demonstrates the workload API: a profile is a weighted mix of dependence
+motifs. This one pits the two extremes against each other —
+
+* a *path-dependent* conflict (an indirect branch selects which of four
+  stores the load depends on): PHAST's home turf;
+* a *data-dependent* conflict (addresses collide at random with identical
+  history): nobody's home turf, and the paper's main source of PHAST false
+  positives (541.leela).
+
+Tweak the weights or motif parameters and watch the predictor ranking move.
+
+Usage:
+    python examples/custom_workload.py
+"""
+
+from repro import simulate
+from repro.analysis.report import format_table
+from repro.workloads.generator import MotifSpec, WorkloadProfile
+
+PROFILE = WorkloadProfile(
+    name="custom-demo",
+    seed=2024,
+    description="path-dependent vs data-dependent conflicts, half and half",
+    run_length_mean=10.0,
+    motifs=(
+        MotifSpec("filler", 18.0, {"random_branch_prob": 0.25}, replicas=4),
+        MotifSpec(
+            "path",
+            0.5,
+            {
+                "distances": (0, 1, 2, 3),
+                "inter_branches": 3,
+                "indirect": True,
+                "herald_bits": 2,
+            },
+            replicas=4,
+        ),
+        MotifSpec("data_dependent", 0.5, {"address_slots": 4}, replicas=4),
+    ),
+)
+
+PREDICTORS = ["ideal", "phast", "nosq", "store-sets", "mdp-tage"]
+
+
+def main() -> None:
+    results = {name: simulate(PROFILE, name, num_ops=40_000) for name in PREDICTORS}
+    ideal_ipc = results["ideal"].ipc
+    print(
+        format_table(
+            ["predictor", "IPC vs ideal", "violations", "false deps", "correct waits"],
+            [
+                [
+                    name,
+                    r.ipc / ideal_ipc,
+                    r.pipeline.violations,
+                    r.pipeline.false_positives,
+                    r.pipeline.correct_waits,
+                ]
+                for name, r in results.items()
+            ],
+            title=f"custom workload: {PROFILE.description}",
+        )
+    )
+    print(
+        "\nTry: raise the data_dependent weight and watch every predictor's\n"
+        "false dependences climb — no path information can capture those\n"
+        "conflicts (Sec. VI-A); raise the path weight instead and PHAST\n"
+        "pulls away from the fixed-history baselines."
+    )
+
+
+if __name__ == "__main__":
+    main()

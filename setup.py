@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets `pip install -e .` / `setup.py develop` work in
+offline environments that lack the `wheel` package (PEP 660 editable builds
+need it). All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — reproduction of "Effective Context-Sensitive Memory Dependence
+Prediction" (PHAST, Kim & Ros, HPCA 2024).
+
+Public API tour:
+
+>>> from repro import simulate
+>>> result = simulate("511.povray", "phast")
+>>> result.ipc > 0
+True
+
+* :func:`repro.simulate` — run one (workload, predictor) simulation.
+* :mod:`repro.mdp` — PHAST, Store Sets, Store Vectors, CHT, NoSQ, MDP-TAGE,
+  the unlimited study predictors and the ideal/blind oracles.
+* :mod:`repro.workloads` — the synthetic SPEC CPU 2017-like suite.
+* :mod:`repro.core` — the out-of-order pipeline timing model (Table I).
+* :mod:`repro.sim` — experiment grids for regenerating the paper's figures.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for paper-versus-
+measured results on every table and figure.
+"""
+
+from repro.core.config import GENERATIONS, CoreConfig
+from repro.mdp import (
+    CHTPredictor,
+    IdealPredictor,
+    MDPredictor,
+    MDPTagePredictor,
+    NoSQPredictor,
+    PHASTPredictor,
+    StoreSetsPredictor,
+    StoreVectorPredictor,
+    UnlimitedMDPTagePredictor,
+    UnlimitedNoSQPredictor,
+    UnlimitedPHASTPredictor,
+)
+from repro.sim.experiment import ExperimentGrid, normalize_to_ideal
+from repro.sim.metrics import SimResult
+from repro.sim.simulator import PREDICTOR_FACTORIES, make_predictor, simulate
+from repro.workloads.spec2017 import SPEC_PROFILES, spec_suite, workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "simulate",
+    "make_predictor",
+    "PREDICTOR_FACTORIES",
+    "SimResult",
+    "ExperimentGrid",
+    "normalize_to_ideal",
+    "CoreConfig",
+    "GENERATIONS",
+    "MDPredictor",
+    "PHASTPredictor",
+    "StoreSetsPredictor",
+    "StoreVectorPredictor",
+    "CHTPredictor",
+    "NoSQPredictor",
+    "MDPTagePredictor",
+    "IdealPredictor",
+    "UnlimitedPHASTPredictor",
+    "UnlimitedNoSQPredictor",
+    "UnlimitedMDPTagePredictor",
+    "SPEC_PROFILES",
+    "spec_suite",
+    "workload",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Result analysis: figure/table computation and plain-text rendering.
+
+Each ``figNN_*`` function in :mod:`repro.analysis.figures` computes the data
+behind one figure of the paper from an :class:`~repro.sim.experiment.ExperimentGrid`,
+and :mod:`repro.analysis.report` renders aligned text tables — the benchmark
+harness prints exactly these.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis import figures
+
+__all__ = ["format_table", "figures"]

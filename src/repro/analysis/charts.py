@@ -1,0 +1,81 @@
+"""ASCII charts: dependency-free bar charts and sparklines for the figures.
+
+The benchmark harness prints tables; these helpers add a visual layer for
+the examples and for quick terminal inspection — a horizontal bar chart for
+per-application figures (Figs. 7, 9, 14-16) and a sparkline for sweeps
+(Figs. 6, 11, 13).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 50,
+    title: str = "",
+    max_value: Optional[float] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; bars scale to the largest value (or max_value)."""
+    if not items:
+        raise ValueError("bar_chart needs at least one item")
+    values = [value for _, value in items]
+    if any(value < 0 for value in values):
+        raise ValueError("bar_chart values must be non-negative")
+    top = max_value if max_value is not None else max(values)
+    if top <= 0:
+        top = 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines: List[str] = [title] if title else []
+    for label, value in items:
+        filled = int(round(width * min(value, top) / top))
+        bar = "█" * filled + "·" * (width - filled)
+        lines.append(f"{label.ljust(label_width)} |{bar}| {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a numeric series."""
+    if not values:
+        raise ValueError("sparkline needs at least one value")
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span == 0:
+        return _SPARK_LEVELS[0] * len(values)
+    chars = []
+    for value in values:
+        level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def grouped_bar_chart(
+    groups: Dict[str, Dict[str, float]],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Several labelled series per group (e.g. predictors per workload)."""
+    if not groups:
+        raise ValueError("grouped_bar_chart needs at least one group")
+    top = max(
+        (value for series in groups.values() for value in series.values()),
+        default=1.0,
+    )
+    if top <= 0:
+        top = 1.0
+    series_width = max(
+        len(name) for series in groups.values() for name in series
+    )
+    lines: List[str] = [title] if title else []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            filled = int(round(width * min(value, top) / top))
+            bar = "█" * filled + "·" * (width - filled)
+            lines.append(f"  {name.ljust(series_width)} |{bar}| {value:.3f}")
+    return "\n".join(lines)

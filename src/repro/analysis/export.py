@@ -1,0 +1,88 @@
+"""Result export: SimResult / grid sweeps to plain dicts and JSON.
+
+Lets downstream tooling (plotting scripts, CI dashboards, the paper-diffing
+workflow in EXPERIMENTS.md) consume reproduction results without importing
+the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, IO, Iterable, List, Optional, Union
+
+from repro.sim.metrics import SimResult
+
+
+def result_to_dict(result: SimResult) -> Dict[str, object]:
+    """Flatten one simulation result into a JSON-safe dict."""
+    pipeline = asdict(result.pipeline)
+    mdp = asdict(result.mdp)
+    return {
+        "workload": result.workload,
+        "predictor": result.predictor,
+        "core": result.core,
+        "ipc": result.ipc,
+        "violation_mpki": result.violation_mpki,
+        "false_positive_mpki": result.false_positive_mpki,
+        "branch_mpki": result.branch_mpki,
+        "paths_tracked": result.paths_tracked,
+        "pipeline": pipeline,
+        "mdp": mdp,
+    }
+
+
+def results_to_records(results: Iterable[SimResult]) -> List[Dict[str, object]]:
+    """Many results -> list of flat records (one per simulation)."""
+    return [result_to_dict(result) for result in results]
+
+
+def dump_results(
+    results: Iterable[SimResult],
+    destination: Union[str, Path, IO[str]],
+    indent: Optional[int] = 2,
+) -> None:
+    """Write results as a JSON array to a path or stream."""
+    records = results_to_records(results)
+    own = isinstance(destination, (str, Path))
+    stream: IO[str] = open(destination, "w") if own else destination
+    try:
+        json.dump(records, stream, indent=indent)
+        stream.write("\n")
+    finally:
+        if own:
+            stream.close()
+
+
+def load_records(source: Union[str, Path, IO[str]]) -> List[Dict[str, object]]:
+    """Read back a JSON array written by :func:`dump_results`."""
+    own = isinstance(source, (str, Path))
+    stream: IO[str] = open(source) if own else source
+    try:
+        records = json.load(stream)
+    finally:
+        if own:
+            stream.close()
+    if not isinstance(records, list):
+        raise ValueError("expected a JSON array of result records")
+    return records
+
+
+def records_to_csv(records: List[Dict[str, object]]) -> str:
+    """Flat-field CSV rendering (top-level scalar fields only)."""
+    if not records:
+        raise ValueError("no records to render")
+    scalar_fields = [
+        key
+        for key, value in records[0].items()
+        if not isinstance(value, dict)
+    ]
+    lines = [",".join(scalar_fields)]
+    for record in records:
+        cells = []
+        for field in scalar_fields:
+            value = record.get(field)
+            cells.append("" if value is None else str(value))
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,548 @@
+"""Computation behind every figure and table of the paper.
+
+Each function takes an :class:`~repro.sim.experiment.ExperimentGrid` (which
+memoises simulations, so figures sharing cells — e.g. the ideal baseline —
+are cheap after the first) plus the workload list, and returns plain data
+structures the benchmark harness formats and asserts on.
+
+Figure index (paper -> function):
+
+* Fig. 1  -> :func:`fig01_mpki_history`
+* Fig. 2  -> :func:`fig02_generations`
+* Fig. 4  -> :func:`fig04_multi_store`
+* Fig. 6  -> :func:`fig06_unlimited_sweep`
+* Fig. 7/8/9 -> :func:`fig07_09_unlimited_phast`
+* Fig. 10 -> :func:`fig10_conflict_length_histogram`
+* Fig. 11 -> :func:`fig11_max_history`
+* Fig. 12 -> :func:`fig12_forwarding_filter`
+* Fig. 13 -> :func:`fig13_storage_tradeoff`
+* Fig. 14/15 -> :func:`fig14_15_per_application`
+* Fig. 16 -> :func:`fig16_energy`
+* Table II -> :mod:`repro.mdp.storage`
+* headline numbers (Sec. VI-C) -> :func:`headline_summary`
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.stats import Histogram, geometric_mean
+from repro.core.config import GENERATIONS, CoreConfig
+from repro.frontend.branch_predictors import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    BranchPredictor,
+    CombiningPredictor,
+    GSharePredictor,
+    PerceptronPredictor,
+    TwoLevelLocalPredictor,
+)
+from repro.frontend.tage import TAGEPredictor
+from repro.isa.trace import Trace
+from repro.mdp.base import MDPredictor
+from repro.mdp.energy import EnergyModel
+from repro.mdp.mdp_tage import MDPTagePredictor
+from repro.mdp.nosq import NoSQPredictor
+from repro.mdp.phast import PHASTPredictor
+from repro.mdp.store_sets import StoreSetsPredictor
+from repro.mdp.unlimited import (
+    UnlimitedMDPTagePredictor,
+    UnlimitedNoSQPredictor,
+    UnlimitedPHASTPredictor,
+)
+from repro.sim.experiment import ExperimentGrid
+from repro.sim.simulator import get_trace
+
+#: The five limited predictors of the main evaluation (Figs. 13-16).
+MAIN_PREDICTORS: Tuple[str, ...] = (
+    "store-sets",
+    "nosq",
+    "mdp-tage",
+    "mdp-tage-s",
+    "phast",
+)
+
+#: The historical roster of branch predictors for Fig. 1's gray circles.
+BRANCH_PREDICTOR_ROSTER: Tuple[Callable[[], BranchPredictor], ...] = (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    TwoLevelLocalPredictor,
+    GSharePredictor,
+    CombiningPredictor,
+    PerceptronPredictor,
+    TAGEPredictor,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 1 — 30 years of MPKI
+# --------------------------------------------------------------------------- #
+
+
+def standalone_branch_mpki(predictor: BranchPredictor, trace: Trace) -> float:
+    """Branch MPKI of a predictor replayed over a trace's branch stream."""
+    mispredicts = 0
+    for op in trace:
+        if op.is_branch:
+            branch = op.branch
+            if predictor.observe(op.pc, branch.kind, branch.taken, branch.target):
+                mispredicts += 1
+    return mispredicts * 1000.0 / len(trace)
+
+
+@dataclass(frozen=True)
+class Fig01Point:
+    name: str
+    year: int
+    kind: str  # "branch" or "mdp"
+    mpki: float  # direction/violation MPKI
+    false_dep_mpki: float = 0.0  # MDP only (the dotted green extension)
+
+
+def fig01_mpki_history(
+    grid: ExperimentGrid, workloads: Sequence[str]
+) -> List[Fig01Point]:
+    """Fig. 1: branch- and memory-dependence-predictor MPKI over the years.
+
+    Branch predictors replay the suite's branch streams standalone; memory
+    dependence predictors run in the Nehalem-like pipeline (the paper reports
+    MDP MPKI on a Nehalem-like core for this figure).
+    """
+    points: List[Fig01Point] = []
+    for factory in BRANCH_PREDICTOR_ROSTER:
+        mpkis = []
+        for name in workloads:
+            trace = get_trace(name, grid.num_ops)
+            mpkis.append(standalone_branch_mpki(factory(), trace))
+        sample = factory()
+        points.append(
+            Fig01Point(
+                name=sample.name,
+                year=sample.year,
+                kind="branch",
+                mpki=sum(mpkis) / len(mpkis),
+            )
+        )
+    mdp_years = {
+        "store-sets": 1998,
+        "cht": 1999,
+        "store-vector": 2006,
+        "nosq": 2006,
+        "mdp-tage": 2018,
+        "phast": 2024,
+    }
+    nehalem = GENERATIONS["nehalem"]
+    for predictor, year in mdp_years.items():
+        violations, false_deps = grid.mean_mpki(list(workloads), predictor, nehalem)
+        points.append(
+            Fig01Point(
+                name=predictor,
+                year=year,
+                kind="mdp",
+                mpki=violations,
+                false_dep_mpki=false_deps,
+            )
+        )
+    return points
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 2 — processor generations
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Fig02Row:
+    generation: str
+    year: int
+    predictor: str
+    violation_mpki: float
+    false_dep_mpki: float
+    gap_vs_ideal_percent: float
+
+
+def fig02_generations(
+    grid: ExperimentGrid,
+    workloads: Sequence[str],
+    predictors: Sequence[str] = ("store-sets", "nosq", "mdp-tage", "phast"),
+) -> List[Fig02Row]:
+    """Fig. 2: MDP MPKI (a) and gap to ideal (b) across core generations."""
+    rows: List[Fig02Row] = []
+    for gen_name, config in GENERATIONS.items():
+        for predictor in predictors:
+            violations, false_deps = grid.mean_mpki(list(workloads), predictor, config)
+            normalized = grid.mean_normalized_ipc(list(workloads), predictor, config)
+            rows.append(
+                Fig02Row(
+                    generation=gen_name,
+                    year=config.year,
+                    predictor=predictor,
+                    violation_mpki=violations,
+                    false_dep_mpki=false_deps,
+                    gap_vs_ideal_percent=(1.0 - normalized) * 100.0,
+                )
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 4 — loads depending on multiple stores
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Fig04Row:
+    workload: str
+    multi_store_percent: float  # of executed loads
+    in_order_percent: float  # of multi-store loads whose writers ran in order
+
+
+def fig04_multi_store(
+    grid: ExperimentGrid, workloads: Sequence[str]
+) -> List[Fig04Row]:
+    """Fig. 4: percentage of loads that depend on multiple stores."""
+    rows: List[Fig04Row] = []
+    for name in workloads:
+        result = grid.run(name, "ideal")
+        stats = result.pipeline
+        multi = stats.multi_store_loads
+        rows.append(
+            Fig04Row(
+                workload=name,
+                multi_store_percent=100.0 * multi / max(1, stats.loads),
+                in_order_percent=100.0 * stats.multi_store_inorder / max(1, multi),
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 6 — unlimited predictor study
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Fig06Point:
+    label: str
+    normalized_ipc: float
+    mean_paths: float
+
+
+def fig06_unlimited_sweep(
+    grid: ExperimentGrid,
+    workloads: Sequence[str],
+    nosq_lengths: Sequence[int] = (1, 2, 4, 6, 8, 12, 16),
+) -> List[Fig06Point]:
+    """Fig. 6: UnlimitedNoSQ history sweep vs UnlimitedMDPTAGE vs UnlimitedPHAST."""
+    points: List[Fig06Point] = []
+
+    def run_variant(label: str, factory: Callable[[], MDPredictor]) -> None:
+        results = grid.run_suite(workloads, label, predictor_factory=factory)
+        ideal = grid.run_suite(workloads, "ideal")
+        normalized = geometric_mean(
+            [results[w].ipc / ideal[w].ipc for w in workloads]
+        )
+        paths = [results[w].paths_tracked or 0 for w in workloads]
+        points.append(Fig06Point(label, normalized, sum(paths) / len(paths)))
+
+    for length in nosq_lengths:
+        run_variant(
+            f"unlimited-nosq-h{length}",
+            lambda length=length: UnlimitedNoSQPredictor(history_branches=length),
+        )
+    run_variant("unlimited-mdp-tage", UnlimitedMDPTagePredictor)
+    run_variant("unlimited-phast", UnlimitedPHASTPredictor)
+    return points
+
+
+# --------------------------------------------------------------------------- #
+# Figs. 7, 8, 9 — UnlimitedPHAST per application
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class UnlimitedPhastRow:
+    workload: str
+    normalized_ipc: float  # Fig. 7
+    violation_mpki: float  # Fig. 8 (red)
+    false_dep_mpki: float  # Fig. 8 (green)
+    paths: int  # Fig. 9
+
+
+def fig07_09_unlimited_phast(
+    grid: ExperimentGrid, workloads: Sequence[str]
+) -> List[UnlimitedPhastRow]:
+    """Figs. 7-9: UnlimitedPHAST IPC, MPKI and path count per application."""
+    rows: List[UnlimitedPhastRow] = []
+    for name in workloads:
+        result = grid.run(name, "unlimited-phast")
+        ideal = grid.run(name, "ideal")
+        rows.append(
+            UnlimitedPhastRow(
+                workload=name,
+                normalized_ipc=result.ipc / ideal.ipc,
+                violation_mpki=result.violation_mpki,
+                false_dep_mpki=result.false_positive_mpki,
+                paths=result.paths_tracked or 0,
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 10 — conflicts per history length
+# --------------------------------------------------------------------------- #
+
+
+def fig10_conflict_length_histogram(
+    workloads: Sequence[str], num_ops: int
+) -> Histogram:
+    """Fig. 10: unique conflicts per required history length (suite-wide).
+
+    Runs UnlimitedPHAST (which records the exact N+1 of every unique conflict
+    before clamping) and merges the per-application histograms.
+    """
+    from repro.sim.simulator import simulate
+
+    merged = Histogram()
+    for name in workloads:
+        predictor = UnlimitedPHASTPredictor()
+        simulate(name, predictor, num_ops=num_ops)
+        merged.merge(predictor.conflict_length_histogram)
+    return merged
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 11 — max history length clamp
+# --------------------------------------------------------------------------- #
+
+
+def fig11_max_history(
+    grid: ExperimentGrid,
+    workloads: Sequence[str],
+    clamps: Sequence[Optional[int]] = (4, 8, 16, 32, 64, None),
+) -> Dict[str, float]:
+    """Fig. 11: UnlimitedPHAST IPC at several maximum history lengths."""
+    ideal = grid.run_suite(workloads, "ideal")
+    series: Dict[str, float] = {}
+    for clamp in clamps:
+        label = f"unlimited-phast-max{clamp if clamp is not None else 'inf'}"
+        results = grid.run_suite(
+            workloads,
+            label,
+            predictor_factory=lambda clamp=clamp: UnlimitedPHASTPredictor(
+                max_history=clamp
+            ),
+        )
+        series[label] = geometric_mean(
+            [results[w].ipc / ideal[w].ipc for w in workloads]
+        )
+    return series
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 12 — forwarding filter
+# --------------------------------------------------------------------------- #
+
+
+def fig12_forwarding_filter(
+    grid: ExperimentGrid,
+    workloads: Sequence[str],
+    predictors: Sequence[str] = ("store-sets", "nosq", "mdp-tage", "phast"),
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 12: normalised IPC with and without the Sec. IV-A1 FWD filter.
+
+    Both modes are normalised to the FWD-on ideal predictor, as in the paper.
+    """
+    from repro.mdp.ideal import IdealPredictor
+
+    base_config = CoreConfig()
+    nofwd_config = base_config.with_forwarding_filter(False)
+    ideal = grid.run_suite(workloads, "ideal", base_config)
+    series: Dict[str, Dict[str, float]] = {}
+    for predictor in predictors:
+        fwd = grid.run_suite(workloads, predictor, base_config)
+        nofwd = grid.run_suite(workloads, predictor, nofwd_config)
+        series[predictor] = {
+            "fwd": geometric_mean([fwd[w].ipc / ideal[w].ipc for w in workloads]),
+            "nofwd": geometric_mean([nofwd[w].ipc / ideal[w].ipc for w in workloads]),
+        }
+    # The ideal predictor itself, without the filter (strictness relaxed).
+    nofwd_ideal = grid.run_suite(
+        workloads,
+        "ideal-nofwd",
+        nofwd_config,
+        predictor_factory=lambda: IdealPredictor(strict=False),
+    )
+    series["ideal"] = {
+        "fwd": 1.0,
+        "nofwd": geometric_mean(
+            [nofwd_ideal[w].ipc / ideal[w].ipc for w in workloads]
+        ),
+    }
+    return series
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 13 — performance versus storage
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Fig13Point:
+    predictor: str
+    storage_kb: float
+    normalized_ipc: float
+
+
+def fig13_storage_tradeoff(
+    grid: ExperimentGrid,
+    workloads: Sequence[str],
+    factors: Sequence[float] = (0.5, 1.0, 2.0),
+) -> List[Fig13Point]:
+    """Fig. 13: geometric-mean IPC vs storage for size-scaled predictors."""
+    scaled_factories: Dict[str, Callable[[float], MDPredictor]] = {
+        "store-sets": StoreSetsPredictor.scaled,
+        "nosq": NoSQPredictor.scaled,
+        "mdp-tage": MDPTagePredictor.scaled,
+        "mdp-tage-s": lambda f: MDPTagePredictor.tage_s(
+            total_entries=max(64, int(4096 * f))
+        ),
+        "phast": PHASTPredictor.scaled,
+    }
+    points: List[Fig13Point] = []
+    for name, scaled in scaled_factories.items():
+        for factor in factors:
+            sample = scaled(factor)
+            label = f"{name}-x{factor:g}"
+            normalized = grid.mean_normalized_ipc(
+                list(workloads),
+                label,
+                predictor_factory=lambda scaled=scaled, factor=factor: scaled(factor),
+            )
+            points.append(Fig13Point(name, sample.storage_kb(), normalized))
+    return points
+
+
+# --------------------------------------------------------------------------- #
+# Figs. 14 & 15 — per-application MPKI and IPC
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PerAppRow:
+    workload: str
+    predictor: str
+    violation_mpki: float
+    false_dep_mpki: float
+    normalized_ipc: float
+
+
+def fig14_15_per_application(
+    grid: ExperimentGrid,
+    workloads: Sequence[str],
+    predictors: Sequence[str] = MAIN_PREDICTORS,
+) -> List[PerAppRow]:
+    """Figs. 14/15: per-application MPKI and ideal-normalised IPC."""
+    rows: List[PerAppRow] = []
+    ideal = grid.run_suite(workloads, "ideal")
+    for predictor in predictors:
+        results = grid.run_suite(workloads, predictor)
+        for name in workloads:
+            result = results[name]
+            rows.append(
+                PerAppRow(
+                    workload=name,
+                    predictor=predictor,
+                    violation_mpki=result.violation_mpki,
+                    false_dep_mpki=result.false_positive_mpki,
+                    normalized_ipc=result.ipc / ideal[name].ipc,
+                )
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 16 — energy
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Fig16Row:
+    predictor: str
+    read_nj: float
+    write_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return self.read_nj + self.write_nj
+
+
+def fig16_energy(
+    grid: ExperimentGrid,
+    workloads: Sequence[str],
+    predictors: Sequence[str] = MAIN_PREDICTORS,
+) -> List[Fig16Row]:
+    """Fig. 16: predictor energy (reads/writes) over the suite."""
+    model = EnergyModel.calibrated()
+    rows: List[Fig16Row] = []
+    for predictor in predictors:
+        reads = writes = 0
+        for name in workloads:
+            result = grid.run(name, predictor)
+            reads += result.mdp.table_reads
+            writes += result.mdp.table_writes
+        read_nj, write_nj = model.total_energy_nj(predictor, reads, writes)
+        rows.append(Fig16Row(predictor, read_nj, write_nj))
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Headline numbers (abstract / Sec. VI-C)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class HeadlineSummary:
+    phast_gap_percent: float  # paper: 1.50
+    unlimited_phast_gap_percent: float  # paper: 0.47
+    speedup_vs_store_sets: float  # paper: 5.05
+    speedup_vs_nosq: float  # paper: 1.29
+    speedup_vs_mdp_tage: float  # paper: 3.04
+    speedup_vs_mdp_tage_s: float  # paper: 2.10
+    phast_total_mpki: float  # paper: 0.766
+    mpki_reduction_vs_nosq_percent: float  # paper: 62.0
+
+
+def headline_summary(
+    grid: ExperimentGrid, workloads: Sequence[str]
+) -> HeadlineSummary:
+    """The abstract's quantitative claims, measured on this reproduction."""
+    names = list(workloads)
+    normalized = {
+        predictor: grid.mean_normalized_ipc(names, predictor)
+        for predictor in MAIN_PREDICTORS
+    }
+    normalized["unlimited-phast"] = grid.mean_normalized_ipc(names, "unlimited-phast")
+    phast = normalized["phast"]
+
+    def speedup(baseline: str) -> float:
+        return (phast / normalized[baseline] - 1.0) * 100.0
+
+    phast_viol, phast_fp = grid.mean_mpki(names, "phast")
+    nosq_viol, nosq_fp = grid.mean_mpki(names, "nosq")
+    phast_total = phast_viol + phast_fp
+    nosq_total = nosq_viol + nosq_fp
+    return HeadlineSummary(
+        phast_gap_percent=(1.0 - phast) * 100.0,
+        unlimited_phast_gap_percent=(1.0 - normalized["unlimited-phast"]) * 100.0,
+        speedup_vs_store_sets=speedup("store-sets"),
+        speedup_vs_nosq=speedup("nosq"),
+        speedup_vs_mdp_tage=speedup("mdp-tage"),
+        speedup_vs_mdp_tage_s=speedup("mdp-tage-s"),
+        phast_total_mpki=phast_total,
+        mpki_reduction_vs_nosq_percent=(1.0 - phast_total / nosq_total) * 100.0
+        if nosq_total > 0
+        else 0.0,
+    )

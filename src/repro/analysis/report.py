@@ -1,0 +1,42 @@
+"""Plain-text table rendering for figure/table reproductions."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell, precision: int) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render an aligned text table (first column left, rest right aligned)."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        rendered.append([_render(cell, precision) for cell in row])
+    widths = [
+        max(len(line[column]) for line in rendered) for column in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, line in enumerate(rendered):
+        parts = [line[0].ljust(widths[0])]
+        parts.extend(cell.rjust(width) for cell, width in zip(line[1:], widths[1:]))
+        lines.append("  ".join(parts))
+        if index == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)

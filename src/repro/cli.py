@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — simulate one (workload, predictor) pair and print the result.
+* ``suite`` — run a predictor roster over workloads, print Fig. 15-style
+  normalised IPC and the mean-speedup summary.
+* ``workloads`` — list the synthetic SPEC CPU 2017-like profiles.
+* ``predictors`` — list the predictor registry with storage budgets.
+* ``table2`` — print the reproduced Table II (configurations/storage/energy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.export import dump_results
+from repro.analysis.report import format_table
+from repro.common.stats import geometric_mean
+from repro.core.config import GENERATIONS, CoreConfig
+from repro.mdp.storage import format_table2
+from repro.sim.experiment import ExperimentGrid
+from repro.sim.simulator import DEFAULT_NUM_OPS, PREDICTOR_FACTORIES, simulate
+from repro.workloads.spec2017 import SPEC_PROFILES, spec_suite
+
+
+def _core_config(name: str) -> CoreConfig:
+    try:
+        return GENERATIONS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown core {name!r}; available: {', '.join(sorted(GENERATIONS))}"
+        )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = simulate(
+        args.workload,
+        args.predictor,
+        config=_core_config(args.core),
+        num_ops=args.num_ops,
+    )
+    print(result.summary())
+    stats = result.pipeline
+    print(
+        f"cycles={stats.cycles}  committed={stats.committed_uops}  "
+        f"loads={stats.loads}  stores={stats.stores}  "
+        f"branches={stats.branches} (mispredicted {stats.branch_mispredicts})"
+    )
+    print(
+        f"violations={stats.violations}  false_positives={stats.false_positives}  "
+        f"correct_waits={stats.correct_waits}  forwarded={stats.forwarded_loads}  "
+        f"partial={stats.partial_loads}"
+    )
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    workloads = spec_suite(subset=args.subset)
+    predictors: List[str] = args.predictors.split(",")
+    for name in predictors:
+        if name not in PREDICTOR_FACTORIES:
+            raise SystemExit(f"unknown predictor {name!r}")
+    grid = ExperimentGrid(num_ops=args.num_ops)
+    config = _core_config(args.core)
+    ideal = grid.run_suite(workloads, "ideal", config)
+
+    rows = []
+    normalized = {name: [] for name in predictors}
+    for workload in workloads:
+        row: List[object] = [workload]
+        for name in predictors:
+            ratio = grid.run(workload, name, config).ipc / ideal[workload].ipc
+            normalized[name].append(ratio)
+            row.append(ratio)
+        rows.append(row)
+    rows.append(["GEOMEAN"] + [geometric_mean(normalized[n]) for n in predictors])
+    print(
+        format_table(
+            ["workload"] + predictors,
+            rows,
+            title=f"IPC normalised to ideal ({config.name}, {args.num_ops} ops)",
+        )
+    )
+    return 0
+
+
+def _cmd_workloads(_: argparse.Namespace) -> int:
+    rows = [
+        [name, profile.seed, profile.description]
+        for name, profile in sorted(SPEC_PROFILES.items())
+    ]
+    print(format_table(["workload", "seed", "character"], rows))
+    return 0
+
+
+def _cmd_predictors(_: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(PREDICTOR_FACTORIES):
+        predictor = PREDICTOR_FACTORIES[name]()
+        kb = predictor.storage_kb()
+        rows.append([name, f"{kb:.2f}" if kb else "-", type(predictor).__name__])
+    print(format_table(["predictor", "KB", "class"], rows))
+    return 0
+
+
+def _cmd_table2(_: argparse.Namespace) -> int:
+    print(format_table2())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    workloads = spec_suite(subset=args.subset)
+    predictors = args.predictors.split(",")
+    for name in predictors:
+        if name not in PREDICTOR_FACTORIES:
+            raise SystemExit(f"unknown predictor {name!r}")
+    grid = ExperimentGrid(num_ops=args.num_ops)
+    config = _core_config(args.core)
+    results = [
+        grid.run(workload, predictor, config)
+        for workload in workloads
+        for predictor in predictors
+    ]
+    dump_results(results, args.output)
+    print(f"wrote {len(results)} records to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PHAST (HPCA 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one workload/predictor pair")
+    run.add_argument("workload")
+    run.add_argument("predictor", choices=sorted(PREDICTOR_FACTORIES))
+    run.add_argument("--num-ops", type=int, default=DEFAULT_NUM_OPS)
+    run.add_argument("--core", default="alderlake", choices=sorted(GENERATIONS))
+    run.set_defaults(func=_cmd_run)
+
+    suite = sub.add_parser("suite", help="predictor roster over the suite")
+    suite.add_argument(
+        "--predictors", default="store-sets,nosq,mdp-tage,mdp-tage-s,phast"
+    )
+    suite.add_argument("--num-ops", type=int, default=DEFAULT_NUM_OPS)
+    suite.add_argument("--subset", type=int, default=None)
+    suite.add_argument("--core", default="alderlake", choices=sorted(GENERATIONS))
+    suite.set_defaults(func=_cmd_suite)
+
+    workloads = sub.add_parser("workloads", help="list workload profiles")
+    workloads.set_defaults(func=_cmd_workloads)
+
+    predictors = sub.add_parser("predictors", help="list predictors")
+    predictors.set_defaults(func=_cmd_predictors)
+
+    table2 = sub.add_parser("table2", help="print the reproduced Table II")
+    table2.set_defaults(func=_cmd_table2)
+
+    export = sub.add_parser("export", help="run a sweep and write JSON records")
+    export.add_argument("output", help="destination .json path")
+    export.add_argument(
+        "--predictors", default="store-sets,nosq,mdp-tage,mdp-tage-s,phast,ideal"
+    )
+    export.add_argument("--num-ops", type=int, default=DEFAULT_NUM_OPS)
+    export.add_argument("--subset", type=int, default=None)
+    export.add_argument("--core", default="alderlake", choices=sorted(GENERATIONS))
+    export.set_defaults(func=_cmd_export)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

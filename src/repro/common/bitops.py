@@ -1,0 +1,102 @@
+"""Bit-level helpers used by predictor tables and history hashing.
+
+The paper (Sec. IV-B) accesses prediction tables with a *folded* form of the
+divergent-branch history XOR-combined with hashed load PCs:
+
+* index hash: ``PC ^ (PC >> 2) ^ (PC >> 5)``
+* tag hash:   the same construction with the PC offset by 3 and 7
+* the history is folded down until ``S + T`` bits remain (S index bits,
+  T tag bits)
+
+All functions here operate on plain non-negative ints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def mask(num_bits: int) -> int:
+    """Return a bit mask with ``num_bits`` low bits set.
+
+    >>> mask(4)
+    15
+    """
+    if num_bits < 0:
+        raise ValueError(f"num_bits must be >= 0, got {num_bits}")
+    return (1 << num_bits) - 1
+
+
+def bit_select(value: int, low: int, num_bits: int) -> int:
+    """Extract ``num_bits`` bits of ``value`` starting at bit ``low``."""
+    return (value >> low) & mask(num_bits)
+
+
+def to_signed(value: int, num_bits: int) -> int:
+    """Interpret the low ``num_bits`` of ``value`` as a two's-complement int."""
+    value &= mask(num_bits)
+    sign_bit = 1 << (num_bits - 1)
+    return value - (value & sign_bit) * 2
+
+
+def fold_bits(value: int, width: int) -> int:
+    """Fold an arbitrarily long bit string down to ``width`` bits by XOR.
+
+    This mirrors the history-folding hardware of TAGE-style predictors:
+    the value is chopped into ``width``-bit chunks which are XORed together,
+    so every input bit influences the result.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    folded = 0
+    chunk_mask = mask(width)
+    while value:
+        folded ^= value & chunk_mask
+        value >>= width
+    return folded
+
+
+def fold_chunks(chunks: Sequence[int], chunk_bits: int, width: int) -> int:
+    """Concatenate fixed-width ``chunks`` (oldest first) and fold to ``width`` bits."""
+    value = 0
+    chunk_mask = mask(chunk_bits)
+    for chunk in chunks:
+        value = (value << chunk_bits) | (chunk & chunk_mask)
+    return fold_bits(value, width)
+
+
+def pc_hash_index(pc: int, num_bits: int) -> int:
+    """Hash a PC for table indexing: ``PC ^ (PC >> 2) ^ (PC >> 5)`` (Sec. IV-B)."""
+    return (pc ^ (pc >> 2) ^ (pc >> 5)) & mask(num_bits)
+
+
+def pc_hash_tag(pc: int, num_bits: int) -> int:
+    """Hash a PC for tags using the paper's 3/7 offsets: ``PC ^ (PC>>3) ^ (PC>>7)``."""
+    return (pc ^ (pc >> 3) ^ (pc >> 7)) & mask(num_bits)
+
+
+def xor_reduce(values: Iterable[int]) -> int:
+    """XOR together an iterable of ints."""
+    result = 0
+    for value in values:
+        result ^= value
+    return result
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in ``value``."""
+    if value < 0:
+        raise ValueError("popcount expects a non-negative value")
+    return bin(value).count("1")
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ceil_log2(value: int) -> int:
+    """Smallest ``n`` with ``2**n >= value`` (``value`` must be positive)."""
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    return (value - 1).bit_length()

@@ -1,0 +1,107 @@
+"""Saturating counters, the bread and butter of hardware predictors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SaturatingCounter:
+    """An n-bit saturating counter.
+
+    The counter holds values in ``[0, 2**bits - 1]``. ``increment`` and
+    ``decrement`` saturate at the bounds. PHAST (Sec. IV-A2) uses a 4-bit
+    confidence counter that is *reset to maximum* on a correct prediction and
+    decremented otherwise; both policies are provided.
+    """
+
+    bits: int
+    value: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError(f"bits must be positive, got {self.bits}")
+        if not 0 <= self.value <= self.maximum:
+            raise ValueError(
+                f"value {self.value} out of range for {self.bits}-bit counter"
+            )
+
+    @property
+    def maximum(self) -> int:
+        """Largest representable value."""
+        return (1 << self.bits) - 1
+
+    @property
+    def is_saturated_high(self) -> bool:
+        return self.value == self.maximum
+
+    @property
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    def increment(self, amount: int = 1) -> int:
+        """Add ``amount``, saturating at the maximum. Returns the new value."""
+        self.value = min(self.maximum, self.value + amount)
+        return self.value
+
+    def decrement(self, amount: int = 1) -> int:
+        """Subtract ``amount``, saturating at zero. Returns the new value."""
+        self.value = max(0, self.value - amount)
+        return self.value
+
+    def reset_to_max(self) -> None:
+        """Set the counter to its maximum (PHAST's correct-prediction policy)."""
+        self.value = self.maximum
+
+    def reset(self) -> None:
+        """Set the counter to zero."""
+        self.value = 0
+
+    def set(self, value: int) -> None:
+        """Set an explicit value, clamping into range."""
+        self.value = max(0, min(self.maximum, value))
+
+
+@dataclass
+class SignedSaturatingCounter:
+    """A two's-complement style counter in ``[-2**(bits-1), 2**(bits-1) - 1]``.
+
+    Used by the perceptron memory dependence predictor's weights and by
+    bimodal/TAGE branch-prediction counters (taken when ``value >= 0``).
+    """
+
+    bits: int
+    value: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.bits <= 1:
+            raise ValueError(f"bits must be > 1, got {self.bits}")
+        if not self.minimum <= self.value <= self.maximum:
+            raise ValueError(
+                f"value {self.value} out of range for signed {self.bits}-bit counter"
+            )
+
+    @property
+    def maximum(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    @property
+    def minimum(self) -> int:
+        return -(1 << (self.bits - 1))
+
+    @property
+    def is_positive(self) -> bool:
+        """Predict-taken / predict-dependent polarity."""
+        return self.value >= 0
+
+    def increment(self, amount: int = 1) -> int:
+        self.value = min(self.maximum, self.value + amount)
+        return self.value
+
+    def decrement(self, amount: int = 1) -> int:
+        self.value = max(self.minimum, self.value - amount)
+        return self.value
+
+    def update_towards(self, taken: bool) -> int:
+        """Strengthen towards ``taken`` (True: +1, False: -1)."""
+        return self.increment() if taken else self.decrement()

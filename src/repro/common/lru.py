@@ -1,0 +1,51 @@
+"""Least-recently-used replacement state for set-associative structures.
+
+Every limited predictor in the paper (PHAST, NoSQ, MDP-TAGE-S) and the cache
+models are set-associative with LRU replacement; this class centralises that
+logic so the tables stay focused on prediction semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class LRUState:
+    """Tracks recency among ``ways`` slots of one set.
+
+    The implementation keeps an ordered list of way indices, most recently
+    used first. ``touch`` promotes a way; ``victim`` returns the least
+    recently used way. This models a true-LRU policy; the 2-bit LRU field in
+    Table II is the hardware encoding of the same ordering for 4 ways.
+    """
+
+    __slots__ = ("_order",)
+
+    def __init__(self, ways: int) -> None:
+        if ways <= 0:
+            raise ValueError(f"ways must be positive, got {ways}")
+        # Way 0 starts as LRU so that cold allocation fills ways in order.
+        self._order: List[int] = list(range(ways - 1, -1, -1))
+
+    @property
+    def ways(self) -> int:
+        return len(self._order)
+
+    def touch(self, way: int) -> None:
+        """Mark ``way`` as most recently used."""
+        self._order.remove(way)
+        self._order.insert(0, way)
+
+    def victim(self) -> int:
+        """Return the least recently used way (does not modify recency)."""
+        return self._order[-1]
+
+    def most_recent(self) -> int:
+        return self._order[0]
+
+    def recency_order(self) -> List[int]:
+        """Ways ordered most-recent first (a copy)."""
+        return list(self._order)
+
+    def __repr__(self) -> str:
+        return f"LRUState(order={self._order})"

@@ -1,0 +1,87 @@
+"""Deterministic pseudo-random number generation.
+
+Simulation components that need randomness (the MDP-TAGE 1/256 reset
+probability, workload generation, cache-warmup address jitter) must be
+reproducible run-to-run, so they draw from this explicit-state generator
+rather than the global :mod:`random` module.
+
+The core is a 64-bit SplitMix64 step, which has excellent statistical
+behaviour for its cost and is trivially portable.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+class DeterministicRNG:
+    """A seeded SplitMix64 generator with the handful of draws the models need."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        """Advance the state and return a 64-bit unsigned value."""
+        self._state = (self._state + 0x9E3779B97F4A7C15) & _MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range ``[low, high]``."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        return low + self.next_u64() % span
+
+    def random(self) -> float:
+        """Uniform float in ``[0, 1)``."""
+        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+
+    def chance(self, probability: float) -> bool:
+        """Bernoulli draw; True with the given probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of range: {probability}")
+        return self.random() < probability
+
+    def one_in(self, n: int) -> bool:
+        """True with probability 1/n (e.g. MDP-TAGE's 1/256 reset)."""
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        return self.next_u64() % n == 0
+
+    def choice(self, items):
+        """Pick one element of a non-empty sequence."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.randint(0, len(items) - 1)]
+
+    def weighted_choice(self, items, weights):
+        """Pick an element with probability proportional to its weight."""
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have equal length")
+        total = float(sum(weights))
+        if total <= 0.0:
+            raise ValueError("weights must sum to a positive value")
+        draw = self.random() * total
+        cumulative = 0.0
+        for item, weight in zip(items, weights):
+            if weight < 0:
+                raise ValueError("weights must be non-negative")
+            cumulative += weight
+            if draw < cumulative:
+                return item
+        return items[-1]
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint(0, i)
+            items[i], items[j] = items[j], items[i]
+
+    def fork(self, salt: int) -> "DeterministicRNG":
+        """Derive an independent child generator (for per-component streams)."""
+        return DeterministicRNG(self.next_u64() ^ (salt * 0x9E3779B97F4A7C15))

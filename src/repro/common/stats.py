@@ -1,0 +1,109 @@
+"""Small statistics helpers shared by the metrics and analysis layers."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the paper's aggregate for normalised IPC.
+
+    Raises ``ValueError`` on empty input or non-positive entries, which would
+    silently corrupt a speedup aggregate otherwise.
+    """
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    log_sum = 0.0
+    for value in values:
+        if value <= 0.0:
+            raise ValueError(f"geometric_mean requires positive values, got {value}")
+        log_sum += math.log(value)
+    return math.exp(log_sum / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("arithmetic_mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def speedup_percent(ipc_new: float, ipc_base: float) -> float:
+    """Relative speedup of ``ipc_new`` over ``ipc_base`` in percent."""
+    if ipc_base <= 0:
+        raise ValueError(f"baseline IPC must be positive, got {ipc_base}")
+    return (ipc_new / ipc_base - 1.0) * 100.0
+
+
+@dataclass
+class RunningStat:
+    """Streaming count/mean/min/max accumulator."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("mean of empty RunningStat")
+        return self.total / self.count
+
+
+@dataclass
+class Histogram:
+    """Integer-keyed histogram (e.g. conflicts per history length, Fig. 10)."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def add(self, key: int, amount: int = 1) -> None:
+        self.counts[key] += amount
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, key: int) -> float:
+        total = self.total()
+        return self.counts[key] / total if total else 0.0
+
+    def cumulative_fraction_up_to(self, key: int) -> float:
+        """Fraction of mass at keys <= ``key``."""
+        total = self.total()
+        if total == 0:
+            return 0.0
+        return sum(count for k, count in self.counts.items() if k <= key) / total
+
+    def sorted_items(self) -> List[Tuple[int, int]]:
+        return sorted(self.counts.items())
+
+    def merge(self, other: "Histogram") -> None:
+        self.counts.update(other.counts)
+
+
+def normalise(values: Dict[str, float], baseline: Dict[str, float]) -> Dict[str, float]:
+    """Per-key ratio ``values[k] / baseline[k]`` (e.g. IPC normalised to ideal)."""
+    missing = set(values) - set(baseline)
+    if missing:
+        raise KeyError(f"baseline missing keys: {sorted(missing)}")
+    return {key: values[key] / baseline[key] for key in values}
+
+
+def mpki(events: int, committed_instructions: int) -> float:
+    """Mispredictions per kilo committed instructions."""
+    if committed_instructions <= 0:
+        raise ValueError("committed_instructions must be positive")
+    return events * 1000.0 / committed_instructions
+
+
+def percent(numerator: float, denominator: float) -> float:
+    """Safe percentage; 0.0 when the denominator is zero."""
+    return numerator * 100.0 / denominator if denominator else 0.0

@@ -1,0 +1,24 @@
+"""Out-of-order core timing model.
+
+The engine is a trace-driven *dependency-timeline* model (see DESIGN.md §3):
+micro-ops are processed in program order and assigned dispatch / issue /
+execute / complete / commit cycles under register dependences, structural
+limits (ROB/IQ/LQ/SQ+SB occupancy, dispatch and commit width, execution
+ports), memory latencies, MDP-imposed wait edges, branch redirect stalls, and
+lazy memory-order-violation squashes with replay.
+"""
+
+from repro.core.config import CoreConfig, GENERATIONS
+from repro.core.lsq import ForwardKind, LoadResolution, StoreRecord, resolve_load
+from repro.core.pipeline import Pipeline, PipelineStats
+
+__all__ = [
+    "CoreConfig",
+    "GENERATIONS",
+    "ForwardKind",
+    "LoadResolution",
+    "StoreRecord",
+    "resolve_load",
+    "Pipeline",
+    "PipelineStats",
+]

@@ -1,0 +1,171 @@
+"""Core configuration, including Table I and the Fig. 2 generation presets.
+
+The paper's headline machine resembles an Intel Alder Lake P-core (Table I):
+6-wide front end, 12 execution ports and commit width, 512/204/192/114
+ROB/IQ/LQ/SB entries, 3 load + 2 store ports. Figure 2 additionally sweeps
+"processor generations" from a Nehalem-like 2008 core up to Alder Lake to show
+the growing MDP gap; :data:`GENERATIONS` provides that ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping
+
+from repro.isa.microop import OpKind
+from repro.memory.hierarchy import HierarchyConfig
+
+
+_DEFAULT_LATENCIES: Mapping[OpKind, int] = {
+    OpKind.ALU: 1,
+    OpKind.MUL: 4,
+    OpKind.DIV: 20,
+    OpKind.FP: 4,
+    OpKind.BRANCH: 1,
+    OpKind.NOP: 1,
+    # LOAD/STORE latency comes from the memory hierarchy / LSQ.
+}
+
+_DEFAULT_PORTS: Mapping[OpKind, int] = {
+    # Alder Lake-like distribution over 12 execution ports:
+    # 4 scalar ALU (branches share them), 1 mul, 1 div, 2 FP/vector,
+    # 3 load AGU+data, 2 store (address) — totalling 12 issue slots, with
+    # ALU/branch sharing modelled by a merged pool.
+    OpKind.ALU: 4,
+    OpKind.MUL: 1,
+    OpKind.DIV: 1,
+    OpKind.FP: 2,
+    OpKind.BRANCH: 2,
+    OpKind.LOAD: 3,
+    OpKind.STORE: 2,
+    OpKind.NOP: 4,
+}
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """All knobs of the timing model. Defaults reproduce Table I."""
+
+    name: str = "alderlake"
+    year: int = 2021
+    dispatch_width: int = 6
+    commit_width: int = 12
+    rob_entries: int = 512
+    iq_entries: int = 204
+    lq_entries: int = 192
+    sq_entries: int = 114  # unified SQ + store buffer window (Table I "SB")
+    dispatch_to_issue_latency: int = 6  # decode/rename/alloc depth
+    branch_redirect_penalty: int = 14  # eager squash + front-end refill
+    violation_penalty: int = 14  # lazy squash at commit + refill
+    store_drain_per_cycle: int = 2  # SB -> L1D write ports
+    latencies: Mapping[OpKind, int] = field(default_factory=lambda: dict(_DEFAULT_LATENCIES))
+    ports: Mapping[OpKind, int] = field(default_factory=lambda: dict(_DEFAULT_PORTS))
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    forwarding_filter: bool = True  # Sec. IV-A1 FWD optimisation
+    #: "lazy" squashes memory-order violations at the load's commit (the
+    #: paper's configuration, Sec. V); "eager" squashes as soon as the
+    #: conflicting store resolves its address and detects the violation.
+    violation_squash: str = "lazy"
+    #: Wrong-path modelling depth: after a branch misprediction, up to this
+    #: many micro-ops from the branch's *other* outcome are replayed as
+    #: phantoms — they touch the caches and query (and, for predictors that
+    #: train at detection, can mis-train) the memory dependence predictor,
+    #: Scarab-style (Sec. V). 0 disables wrong-path modelling (the default:
+    #: the headline reproduction accounts for wrong-path cost via penalties).
+    wrong_path_depth: int = 0
+    num_arch_regs: int = 512
+
+    def __post_init__(self) -> None:
+        if self.dispatch_width <= 0 or self.commit_width <= 0:
+            raise ValueError("widths must be positive")
+        if min(self.rob_entries, self.iq_entries, self.lq_entries, self.sq_entries) <= 0:
+            raise ValueError("queue sizes must be positive")
+        if self.violation_squash not in ("lazy", "eager"):
+            raise ValueError(
+                f"violation_squash must be 'lazy' or 'eager', got {self.violation_squash!r}"
+            )
+        if self.wrong_path_depth < 0:
+            raise ValueError(
+                f"wrong_path_depth must be >= 0, got {self.wrong_path_depth}"
+            )
+        for kind in OpKind:
+            if kind not in self.ports and kind not in (OpKind.LOAD, OpKind.STORE):
+                raise ValueError(f"missing port count for {kind}")
+
+    def latency_of(self, kind: OpKind) -> int:
+        return self.latencies[kind]
+
+    def with_forwarding_filter(self, enabled: bool) -> "CoreConfig":
+        return replace(self, forwarding_filter=enabled)
+
+    def with_violation_squash(self, mode: str) -> "CoreConfig":
+        return replace(self, violation_squash=mode)
+
+    def with_wrong_path(self, depth: int) -> "CoreConfig":
+        return replace(self, wrong_path_depth=depth)
+
+
+def _generation(
+    name: str,
+    year: int,
+    dispatch: int,
+    commit: int,
+    rob: int,
+    iq: int,
+    lq: int,
+    sq: int,
+    load_ports: int,
+    store_ports: int,
+    alu_ports: int,
+    hierarchy: HierarchyConfig,
+) -> CoreConfig:
+    ports = dict(_DEFAULT_PORTS)
+    ports[OpKind.LOAD] = load_ports
+    ports[OpKind.STORE] = store_ports
+    ports[OpKind.ALU] = alu_ports
+    ports[OpKind.NOP] = alu_ports
+    ports[OpKind.BRANCH] = max(1, alu_ports // 2)
+    return CoreConfig(
+        name=name,
+        year=year,
+        dispatch_width=dispatch,
+        commit_width=commit,
+        rob_entries=rob,
+        iq_entries=iq,
+        lq_entries=lq,
+        sq_entries=sq,
+        ports=ports,
+        hierarchy=hierarchy,
+    )
+
+
+def _make_generations() -> Dict[str, CoreConfig]:
+    """Fig. 2's ladder of successively larger out-of-order machines.
+
+    Parameters follow the public microarchitecture record for each family:
+    the point is the monotone growth of width and of the speculation window
+    (ROB/LQ/SQ), which is what drives MDP MPKI up over generations.
+    """
+    nehalem_caches = HierarchyConfig.nehalem_like()
+    generations = {
+        "nehalem": _generation(
+            "nehalem", 2008, 4, 4, 128, 36, 48, 32, 1, 1, 3, nehalem_caches
+        ),
+        "sandybridge": _generation(
+            "sandybridge", 2011, 4, 4, 168, 54, 64, 36, 2, 1, 3, nehalem_caches
+        ),
+        "haswell": _generation(
+            "haswell", 2013, 4, 4, 192, 60, 72, 42, 2, 1, 4, nehalem_caches
+        ),
+        "skylake": _generation(
+            "skylake", 2015, 5, 4, 224, 97, 72, 56, 2, 1, 4, HierarchyConfig()
+        ),
+        "sunnycove": _generation(
+            "sunnycove", 2019, 5, 8, 352, 160, 128, 72, 2, 2, 4, HierarchyConfig()
+        ),
+        "alderlake": CoreConfig(),
+    }
+    return generations
+
+
+GENERATIONS: Dict[str, CoreConfig] = _make_generations()

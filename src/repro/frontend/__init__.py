@@ -1,0 +1,38 @@
+"""Front-end models: global branch history and branch predictors.
+
+The history machinery is central to the paper: PHAST trains with the global
+history of *divergent* branches (conditional and indirect) between a
+conflicting store and its dependent load, plus one extra entry — the branch
+preceding the store (Sec. III-B). The NoSQ predictor instead hashes a fixed
+8-entry history of conditional-branch outcomes and call-site PC bits.
+
+The branch predictors implemented here serve two purposes: TAGE drives the
+pipeline's front end (the paper uses TAGE-SC-L), and the historical roster
+(always-taken through perceptron) regenerates Figure 1's 30-year MPKI sweep.
+"""
+
+from repro.frontend.history import BranchRecord, GlobalHistory, HistoryView
+from repro.frontend.branch_predictors import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    BranchPredictor,
+    CombiningPredictor,
+    GSharePredictor,
+    PerceptronPredictor,
+    TwoLevelLocalPredictor,
+)
+from repro.frontend.tage import TAGEPredictor
+
+__all__ = [
+    "BranchRecord",
+    "GlobalHistory",
+    "HistoryView",
+    "BranchPredictor",
+    "AlwaysTakenPredictor",
+    "BimodalPredictor",
+    "TwoLevelLocalPredictor",
+    "GSharePredictor",
+    "CombiningPredictor",
+    "PerceptronPredictor",
+    "TAGEPredictor",
+]

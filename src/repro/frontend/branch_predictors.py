@@ -1,0 +1,311 @@
+"""Branch direction predictors spanning 30 years of designs.
+
+These regenerate Figure 1's gray-circle sweep (branch-prediction MPKI over
+time) and give the pipeline a realistic front end. Each predictor answers a
+direction for conditional branches and a target for indirect branches; the
+pipeline charges a redirect penalty on either kind of mistake.
+
+The roster, in rough chronological order of the ideas:
+
+* :class:`AlwaysTakenPredictor` — static (pre-history baseline).
+* :class:`BimodalPredictor` — per-PC 2-bit counters (Smith).
+* :class:`TwoLevelLocalPredictor` — per-branch local history (Yeh & Patt).
+* :class:`GSharePredictor` — global history XOR PC (McFarling).
+* :class:`CombiningPredictor` — bimodal + gshare with a chooser (McFarling).
+* :class:`PerceptronPredictor` — linear threshold over history (Jiménez & Lin).
+* :class:`TAGEPredictor` (in :mod:`repro.frontend.tage`) — tagged geometric
+  history lengths (Seznec), the family the paper's TAGE-SC-L belongs to.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+from repro.common.bitops import ceil_log2, mask
+from repro.common.counters import SignedSaturatingCounter
+from repro.isa.microop import BranchKind
+
+
+class IndirectTargetTable:
+    """A small last-target cache for indirect branches.
+
+    Indexed by PC hashed with a few bits of global path history, so
+    alternating indirect targets that correlate with the path are captured.
+    Older predictors share this component; the interesting differences between
+    them are in conditional direction prediction.
+    """
+
+    def __init__(self, entries: int = 512, path_bits: int = 4) -> None:
+        self._entries = entries
+        self._path_bits = path_bits
+        self._index_bits = ceil_log2(entries)
+        self._table: Dict[int, int] = {}
+        self._path = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ (self._path << 1)) & mask(self._index_bits)
+
+    def predict(self, pc: int) -> Optional[int]:
+        return self._table.get(self._index(pc))
+
+    def update(self, pc: int, target: int) -> None:
+        self._table[self._index(pc)] = target
+        self._path = ((self._path << 1) ^ target) & mask(self._path_bits)
+
+    def storage_bits(self) -> int:
+        # 32-bit target per entry plus the path register.
+        return self._entries * 32 + self._path_bits
+
+
+class BranchPredictor(abc.ABC):
+    """Interface shared by all direction predictors."""
+
+    name: str = "abstract"
+    year: int = 0  # publication year, for Figure 1's x axis
+
+    def __init__(self) -> None:
+        self._indirect = IndirectTargetTable()
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for a conditional branch at ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved direction of a conditional branch."""
+
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """Total predictor state in bits (excluding the indirect table)."""
+
+    def predict_target(self, pc: int) -> Optional[int]:
+        """Predicted target for an indirect branch (None = no information)."""
+        return self._indirect.predict(pc)
+
+    def update_target(self, pc: int, target: int) -> None:
+        self._indirect.update(pc, target)
+
+    def observe(self, pc: int, kind: BranchKind, taken: bool, target: int) -> bool:
+        """Predict-then-train convenience used by the pipeline and Figure 1.
+
+        Returns True when the branch was *mispredicted*. Unconditional direct
+        branches, calls and returns are assumed correctly predicted (BTB +
+        return address stack are not the bottleneck studied here).
+        """
+        if kind is BranchKind.CONDITIONAL:
+            mispredicted = self.predict(pc) != taken
+            self.update(pc, taken)
+            return mispredicted
+        if kind is BranchKind.INDIRECT:
+            mispredicted = self.predict_target(pc) != target
+            self.update_target(pc, target)
+            return mispredicted
+        return False
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Static predict-taken; the pre-dynamic-prediction baseline."""
+
+    name = "always-taken"
+    year = 1981
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        return None
+
+    def storage_bits(self) -> int:
+        return 0
+
+
+class BimodalPredictor(BranchPredictor):
+    """Per-PC table of 2-bit saturating counters."""
+
+    name = "bimodal"
+    year = 1985
+
+    def __init__(self, entries: int = 4096, counter_bits: int = 2) -> None:
+        super().__init__()
+        self._entries = entries
+        self._counter_bits = counter_bits
+        self._index_bits = ceil_log2(entries)
+        self._counters: List[SignedSaturatingCounter] = [
+            SignedSaturatingCounter(bits=counter_bits) for _ in range(entries)
+        ]
+
+    def _index(self, pc: int) -> int:
+        return pc & mask(self._index_bits)
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)].is_positive
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._counters[self._index(pc)].update_towards(taken)
+
+    def storage_bits(self) -> int:
+        return self._entries * self._counter_bits
+
+
+class TwoLevelLocalPredictor(BranchPredictor):
+    """PAg two-level predictor: per-branch local history indexes a PHT."""
+
+    name = "two-level-local"
+    year = 1991
+
+    def __init__(self, history_bits: int = 10, bht_entries: int = 1024) -> None:
+        super().__init__()
+        self._history_bits = history_bits
+        self._bht_entries = bht_entries
+        self._bht_index_bits = ceil_log2(bht_entries)
+        self._local_history: List[int] = [0] * bht_entries
+        self._pht: List[SignedSaturatingCounter] = [
+            SignedSaturatingCounter(bits=2) for _ in range(1 << history_bits)
+        ]
+
+    def _bht_index(self, pc: int) -> int:
+        return pc & mask(self._bht_index_bits)
+
+    def predict(self, pc: int) -> bool:
+        history = self._local_history[self._bht_index(pc)]
+        return self._pht[history].is_positive
+
+    def update(self, pc: int, taken: bool) -> None:
+        bht_index = self._bht_index(pc)
+        history = self._local_history[bht_index]
+        self._pht[history].update_towards(taken)
+        self._local_history[bht_index] = (
+            (history << 1) | int(taken)
+        ) & mask(self._history_bits)
+
+    def storage_bits(self) -> int:
+        return self._bht_entries * self._history_bits + len(self._pht) * 2
+
+
+class GSharePredictor(BranchPredictor):
+    """Global history XOR PC indexing a table of 2-bit counters."""
+
+    name = "gshare"
+    year = 1993
+
+    def __init__(self, history_bits: int = 14) -> None:
+        super().__init__()
+        self._history_bits = history_bits
+        self._history = 0
+        self._counters: List[SignedSaturatingCounter] = [
+            SignedSaturatingCounter(bits=2) for _ in range(1 << history_bits)
+        ]
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & mask(self._history_bits)
+
+    def predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)].is_positive
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._counters[self._index(pc)].update_towards(taken)
+        self._history = ((self._history << 1) | int(taken)) & mask(self._history_bits)
+
+    def storage_bits(self) -> int:
+        return len(self._counters) * 2 + self._history_bits
+
+
+class CombiningPredictor(BranchPredictor):
+    """McFarling's tournament: bimodal and gshare arbitrated by a chooser."""
+
+    name = "combining"
+    year = 1993
+
+    def __init__(self, history_bits: int = 13, bimodal_entries: int = 4096) -> None:
+        super().__init__()
+        self._bimodal = BimodalPredictor(entries=bimodal_entries)
+        self._gshare = GSharePredictor(history_bits=history_bits)
+        self._chooser: List[SignedSaturatingCounter] = [
+            SignedSaturatingCounter(bits=2) for _ in range(bimodal_entries)
+        ]
+        self._chooser_index_bits = ceil_log2(bimodal_entries)
+
+    def _chooser_index(self, pc: int) -> int:
+        return pc & mask(self._chooser_index_bits)
+
+    def predict(self, pc: int) -> bool:
+        use_gshare = self._chooser[self._chooser_index(pc)].is_positive
+        if use_gshare:
+            return self._gshare.predict(pc)
+        return self._bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        bimodal_correct = self._bimodal.predict(pc) == taken
+        gshare_correct = self._gshare.predict(pc) == taken
+        if bimodal_correct != gshare_correct:
+            self._chooser[self._chooser_index(pc)].update_towards(gshare_correct)
+        self._bimodal.update(pc, taken)
+        self._gshare.update(pc, taken)
+
+    def storage_bits(self) -> int:
+        return (
+            self._bimodal.storage_bits()
+            + self._gshare.storage_bits()
+            + len(self._chooser) * 2
+        )
+
+
+class PerceptronPredictor(BranchPredictor):
+    """Jiménez & Lin's perceptron predictor over global history."""
+
+    name = "perceptron"
+    year = 2001
+
+    def __init__(
+        self,
+        history_bits: int = 24,
+        table_entries: int = 512,
+        weight_bits: int = 8,
+    ) -> None:
+        super().__init__()
+        self._history_bits = history_bits
+        self._table_entries = table_entries
+        self._weight_bits = weight_bits
+        self._index_bits = ceil_log2(table_entries)
+        # Threshold from the original paper: 1.93*h + 14.
+        self._threshold = int(1.93 * history_bits + 14)
+        self._weights: List[List[SignedSaturatingCounter]] = [
+            [SignedSaturatingCounter(bits=weight_bits) for _ in range(history_bits + 1)]
+            for _ in range(table_entries)
+        ]
+        self._history: List[int] = [1] * history_bits  # +1 / -1 encoding
+
+    def _index(self, pc: int) -> int:
+        return pc & mask(self._index_bits)
+
+    def _output(self, pc: int) -> int:
+        weights = self._weights[self._index(pc)]
+        output = weights[0].value  # bias
+        for weight, direction in zip(weights[1:], self._history):
+            output += weight.value * direction
+        return output
+
+    def predict(self, pc: int) -> bool:
+        return self._output(pc) >= 0
+
+    def update(self, pc: int, taken: bool) -> None:
+        output = self._output(pc)
+        predicted = output >= 0
+        direction = 1 if taken else -1
+        if predicted != taken or abs(output) <= self._threshold:
+            weights = self._weights[self._index(pc)]
+            weights[0].increment() if taken else weights[0].decrement()
+            for weight, hist_dir in zip(weights[1:], self._history):
+                if hist_dir == direction:
+                    weight.increment()
+                else:
+                    weight.decrement()
+        self._history.pop(0)
+        self._history.append(direction)
+
+    def storage_bits(self) -> int:
+        return (
+            self._table_entries * (self._history_bits + 1) * self._weight_bits
+            + self._history_bits
+        )

@@ -1,0 +1,256 @@
+"""TAGE branch predictor (Seznec), used as the pipeline front end.
+
+The paper's core uses TAGE-SC-L; this is a faithful plain TAGE — a bimodal
+base predictor plus tagged components indexed with geometrically increasing
+folded global history. The statistical corrector and loop predictor of
+TAGE-SC-L buy a few percent of accuracy that does not change any MDP
+conclusion, so they are omitted (documented fidelity note in DESIGN.md).
+
+The implementation also doubles as the structural template the paper reuses
+for prediction tables searched in parallel at several history lengths
+(Sec. IV-B: "Tables are searched in parallel on each prediction, similar to
+the structure of a TAGE branch prediction").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.bitops import mask
+from repro.common.counters import SignedSaturatingCounter
+from repro.common.rng import DeterministicRNG
+from repro.frontend.branch_predictors import BranchPredictor
+
+
+def geometric_history_lengths(minimum: int, maximum: int, count: int) -> List[int]:
+    """The classic TAGE geometric series of history lengths.
+
+    ``L(i) = round(minimum * (maximum/minimum)^(i/(count-1)))``, deduplicated
+    and strictly increasing.
+    """
+    if count < 2:
+        raise ValueError("need at least two components")
+    if minimum <= 0 or maximum <= minimum:
+        raise ValueError("require 0 < minimum < maximum")
+    lengths: List[int] = []
+    ratio = (maximum / minimum) ** (1.0 / (count - 1))
+    value = float(minimum)
+    for _ in range(count):
+        length = int(round(value))
+        if lengths and length <= lengths[-1]:
+            length = lengths[-1] + 1
+        lengths.append(length)
+        value *= ratio
+    return lengths
+
+
+class FoldedHistory:
+    """Circularly folded global history, as in hardware TAGE.
+
+    Maintains ``fold(history[0:length], width)`` incrementally as outcomes are
+    shifted in, in O(1) per update.
+    """
+
+    __slots__ = ("length", "width", "value", "_out_pos")
+
+    def __init__(self, length: int, width: int) -> None:
+        if length <= 0 or width <= 0:
+            raise ValueError("length and width must be positive")
+        self.length = length
+        self.width = width
+        self.value = 0
+        self._out_pos = length % width
+
+    def update(self, new_bit: int, outgoing_bit: int) -> None:
+        """Shift ``new_bit`` in and ``outgoing_bit`` (history[length-1]) out."""
+        self.value = ((self.value << 1) | (new_bit & 1)) & mask(self.width)
+        self.value ^= (self.value >> self.width) & 1  # carry wraparound
+        self.value ^= (outgoing_bit & 1) << self._out_pos
+        self.value ^= self.value >> self.width << self.width  # re-mask
+        self.value &= mask(self.width)
+
+
+@dataclass
+class TageEntry:
+    tag: int = 0
+    counter: SignedSaturatingCounter = field(
+        default_factory=lambda: SignedSaturatingCounter(bits=3)
+    )
+    useful: int = 0
+    valid: bool = False
+
+
+class TAGEPredictor(BranchPredictor):
+    """Plain TAGE with ``num_tables`` tagged components."""
+
+    name = "tage"
+    year = 2006
+
+    def __init__(
+        self,
+        num_tables: int = 8,
+        min_history: int = 4,
+        max_history: int = 640,
+        table_index_bits: int = 10,
+        tag_bits: int = 11,
+        useful_bits: int = 2,
+        reset_period: int = 256 * 1024,
+        seed: int = 0x7A6E,
+    ) -> None:
+        super().__init__()
+        self._lengths = geometric_history_lengths(min_history, max_history, num_tables)
+        self._index_bits = table_index_bits
+        self._tag_bits = tag_bits
+        self._useful_max = (1 << useful_bits) - 1
+        self._useful_bits = useful_bits
+        self._reset_period = reset_period
+        self._rng = DeterministicRNG(seed)
+
+        self._bimodal: List[SignedSaturatingCounter] = [
+            SignedSaturatingCounter(bits=2) for _ in range(1 << 12)
+        ]
+        self._tables: List[List[TageEntry]] = [
+            [TageEntry() for _ in range(1 << table_index_bits)]
+            for _ in self._lengths
+        ]
+        self._history: List[int] = [0] * (max(self._lengths) + 1)
+        self._folded_index = [
+            FoldedHistory(length, table_index_bits) for length in self._lengths
+        ]
+        self._folded_tag0 = [FoldedHistory(length, tag_bits) for length in self._lengths]
+        self._folded_tag1 = [
+            FoldedHistory(length, tag_bits - 1) for length in self._lengths
+        ]
+        self._branch_count = 0
+        # Alternate-prediction preference counter (USE_ALT_ON_NA).
+        self._use_alt = SignedSaturatingCounter(bits=4)
+
+    # -- indexing -----------------------------------------------------------
+
+    def _bimodal_index(self, pc: int) -> int:
+        return pc & mask(12)
+
+    def _table_index(self, pc: int, table: int) -> int:
+        return (
+            pc ^ (pc >> (self._index_bits - table)) ^ self._folded_index[table].value
+        ) & mask(self._index_bits)
+
+    def _table_tag(self, pc: int, table: int) -> int:
+        return (
+            pc ^ self._folded_tag0[table].value ^ (self._folded_tag1[table].value << 1)
+        ) & mask(self._tag_bits)
+
+    def _lookup(self, pc: int) -> Tuple[Optional[int], Optional[int]]:
+        """Return (provider_table, alternate_table), longest-history match first."""
+        provider = alternate = None
+        for table in range(len(self._lengths) - 1, -1, -1):
+            entry = self._tables[table][self._table_index(pc, table)]
+            if entry.valid and entry.tag == self._table_tag(pc, table):
+                if provider is None:
+                    provider = table
+                else:
+                    alternate = table
+                    break
+        return provider, alternate
+
+    def _table_prediction(self, pc: int, table: int) -> bool:
+        return self._tables[table][self._table_index(pc, table)].counter.is_positive
+
+    def _bimodal_prediction(self, pc: int) -> bool:
+        return self._bimodal[self._bimodal_index(pc)].is_positive
+
+    # -- BranchPredictor interface -------------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        provider, alternate = self._lookup(pc)
+        if provider is None:
+            return self._bimodal_prediction(pc)
+        entry = self._tables[provider][self._table_index(pc, provider)]
+        newly_allocated = abs(entry.counter.value * 2 + 1) == 1 and entry.useful == 0
+        if newly_allocated and self._use_alt.is_positive:
+            if alternate is not None:
+                return self._table_prediction(pc, alternate)
+            return self._bimodal_prediction(pc)
+        return entry.counter.is_positive
+
+    def update(self, pc: int, taken: bool) -> None:
+        provider, alternate = self._lookup(pc)
+        final_prediction = self.predict(pc)
+
+        if provider is not None:
+            entry = self._tables[provider][self._table_index(pc, provider)]
+            provider_prediction = entry.counter.is_positive
+            if alternate is not None:
+                alt_prediction = self._table_prediction(pc, alternate)
+            else:
+                alt_prediction = self._bimodal_prediction(pc)
+            # Track whether alternate would have been better for weak entries.
+            newly_allocated = abs(entry.counter.value * 2 + 1) == 1 and entry.useful == 0
+            if newly_allocated and provider_prediction != alt_prediction:
+                self._use_alt.update_towards(alt_prediction == taken)
+            # Usefulness: provider correct where the alternate was wrong.
+            if provider_prediction != alt_prediction:
+                if provider_prediction == taken:
+                    entry.useful = min(self._useful_max, entry.useful + 1)
+                else:
+                    entry.useful = max(0, entry.useful - 1)
+            entry.counter.update_towards(taken)
+        else:
+            self._bimodal[self._bimodal_index(pc)].update_towards(taken)
+
+        # Allocate on misprediction in a longer-history table.
+        if final_prediction != taken:
+            start = (provider + 1) if provider is not None else 0
+            self._allocate(pc, taken, start)
+
+        self._shift_history(pc, taken)
+        self._branch_count += 1
+        if self._branch_count % self._reset_period == 0:
+            self._reset_useful()
+
+    # -- internals -----------------------------------------------------------
+
+    def _allocate(self, pc: int, taken: bool, start_table: int) -> None:
+        candidates = [
+            table
+            for table in range(start_table, len(self._lengths))
+            if self._tables[table][self._table_index(pc, table)].useful == 0
+        ]
+        if not candidates:
+            # Decay usefulness so future allocations can succeed.
+            for table in range(start_table, len(self._lengths)):
+                entry = self._tables[table][self._table_index(pc, table)]
+                entry.useful = max(0, entry.useful - 1)
+            return
+        # Prefer the shortest candidate, with a 1/2 chance of skipping to the
+        # next (Seznec's anti-ping-pong allocation randomisation).
+        chosen = candidates[0]
+        if len(candidates) > 1 and self._rng.one_in(2):
+            chosen = candidates[1]
+        entry = self._tables[chosen][self._table_index(pc, chosen)]
+        entry.valid = True
+        entry.tag = self._table_tag(pc, chosen)
+        entry.counter = SignedSaturatingCounter(bits=3, value=0 if taken else -1)
+        entry.useful = 0
+
+    def _shift_history(self, pc: int, taken: bool) -> None:
+        new_bit = int(taken) ^ (pc & 1)
+        for table, length in enumerate(self._lengths):
+            outgoing = self._history[length - 1]
+            self._folded_index[table].update(new_bit, outgoing)
+            self._folded_tag0[table].update(new_bit, outgoing)
+            self._folded_tag1[table].update(new_bit, outgoing)
+        self._history.insert(0, new_bit)
+        self._history.pop()
+
+    def _reset_useful(self) -> None:
+        for table_entries in self._tables:
+            for entry in table_entries:
+                entry.useful = 0
+
+    def storage_bits(self) -> int:
+        tagged = len(self._lengths) * (1 << self._index_bits) * (
+            self._tag_bits + 3 + self._useful_bits
+        )
+        return tagged + len(self._bimodal) * 2 + max(self._lengths)

@@ -1,0 +1,26 @@
+"""Micro-op instruction model and dynamic trace containers.
+
+The simulator is trace driven: the workload generator produces a sequence of
+:class:`~repro.isa.microop.MicroOp` records that carry everything the timing
+model needs — register dependences, memory addresses/sizes, branch outcomes —
+mirroring the paper's Sniper-fed instruction flow (Sec. V).
+"""
+
+from repro.isa.microop import (
+    BranchInfo,
+    BranchKind,
+    MemInfo,
+    MicroOp,
+    OpKind,
+)
+from repro.isa.trace import Trace, TraceStats
+
+__all__ = [
+    "BranchInfo",
+    "BranchKind",
+    "MemInfo",
+    "MicroOp",
+    "OpKind",
+    "Trace",
+    "TraceStats",
+]

@@ -1,0 +1,166 @@
+"""The micro-operation model.
+
+The paper's simulator splits x86 instructions into micro-operations at decode
+(Sec. V); our generator emits micro-ops directly. A :class:`MicroOp` is a
+*static-plus-dynamic* record: the PC and register fields describe the static
+instruction, while the memory address and branch outcome describe this
+particular dynamic execution of it.
+
+Stores carry their address-generation sources separately from their data
+sources because memory dependence prediction hinges on *when a store's address
+resolves* relative to younger loads — a store whose address operands arrive
+late is exactly the situation that forces a prediction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class OpKind(enum.Enum):
+    """Execution class of a micro-op; selects ports and latency."""
+
+    ALU = "alu"  # single-cycle integer op
+    MUL = "mul"  # pipelined multi-cycle integer multiply
+    DIV = "div"  # unpipelined long-latency divide
+    FP = "fp"  # pipelined floating point op
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    NOP = "nop"
+
+
+class BranchKind(enum.Enum):
+    """Control-flow subtype.
+
+    PHAST's history records only *divergent* branches: conditionals and
+    indirects (Sec. III-B). Unconditional direct jumps, calls and returns with
+    a single possible target are non-divergent.
+    """
+
+    CONDITIONAL = "conditional"
+    INDIRECT = "indirect"
+    UNCONDITIONAL = "unconditional"
+    CALL = "call"
+    RETURN = "return"
+
+    @property
+    def is_divergent(self) -> bool:
+        return self in (BranchKind.CONDITIONAL, BranchKind.INDIRECT)
+
+
+@dataclass(frozen=True)
+class MemInfo:
+    """Dynamic memory access attributes of a load or store."""
+
+    address: int
+    size: int  # bytes: 1, 2, 4 or 8
+
+    def __post_init__(self) -> None:
+        if self.size not in (1, 2, 4, 8, 16, 32, 64):
+            raise ValueError(f"unsupported access size {self.size}")
+        if self.address < 0:
+            raise ValueError(f"negative address {self.address:#x}")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte touched."""
+        return self.address + self.size
+
+    def overlaps(self, other: "MemInfo") -> bool:
+        """True when the two accesses touch at least one common byte."""
+        return self.address < other.end and other.address < self.end
+
+    def covers(self, other: "MemInfo") -> bool:
+        """True when this access contains every byte of ``other``."""
+        return self.address <= other.address and other.end <= self.end
+
+
+@dataclass(frozen=True)
+class BranchInfo:
+    """Dynamic control-flow attributes of a branch micro-op."""
+
+    kind: BranchKind
+    taken: bool
+    target: int  # the destination actually taken (fall-through PC if not taken)
+
+    @property
+    def is_divergent(self) -> bool:
+        return self.kind.is_divergent
+
+
+@dataclass
+class MicroOp:
+    """One dynamic micro-operation in a trace.
+
+    Attributes:
+        pc: static instruction address.
+        kind: execution class.
+        dst_reg: destination architectural register, or ``None``.
+        src_regs: source registers consumed to execute the op. For loads these
+            are the address sources; for stores see ``store_data_regs``.
+        mem: memory attributes when ``kind`` is LOAD or STORE.
+        branch: control attributes when ``kind`` is BRANCH.
+        store_data_regs: for stores, the registers producing the *data* being
+            stored. Address availability (``src_regs``) and data availability
+            are tracked independently, as in the modelled core where stores
+            issue once both are ready (Sec. V).
+    """
+
+    pc: int
+    kind: OpKind
+    dst_reg: Optional[int] = None
+    src_regs: Tuple[int, ...] = field(default_factory=tuple)
+    mem: Optional[MemInfo] = None
+    branch: Optional[BranchInfo] = None
+    store_data_regs: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind in (OpKind.LOAD, OpKind.STORE):
+            if self.mem is None:
+                raise ValueError(f"{self.kind.value} micro-op requires mem info")
+        elif self.mem is not None:
+            raise ValueError(f"{self.kind.value} micro-op must not carry mem info")
+        if self.kind is OpKind.BRANCH:
+            if self.branch is None:
+                raise ValueError("branch micro-op requires branch info")
+        elif self.branch is not None:
+            raise ValueError(f"{self.kind.value} micro-op must not carry branch info")
+        if self.kind is not OpKind.STORE and self.store_data_regs:
+            raise ValueError("store_data_regs only valid on stores")
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind is OpKind.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind is OpKind.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.kind is OpKind.BRANCH
+
+    @property
+    def is_mem(self) -> bool:
+        return self.mem is not None
+
+    @property
+    def is_divergent_branch(self) -> bool:
+        return self.branch is not None and self.branch.is_divergent
+
+    def describe(self) -> str:
+        """Short human-readable rendering for debugging."""
+        parts = [f"{self.kind.value}@{self.pc:#x}"]
+        if self.mem is not None:
+            parts.append(f"[{self.mem.address:#x}+{self.mem.size}]")
+        if self.branch is not None:
+            outcome = "T" if self.branch.taken else "N"
+            parts.append(f"{self.branch.kind.value}/{outcome}->{self.branch.target:#x}")
+        if self.dst_reg is not None:
+            parts.append(f"r{self.dst_reg}<-")
+        if self.src_regs:
+            parts.append(",".join(f"r{r}" for r in self.src_regs))
+        return " ".join(parts)

@@ -1,0 +1,171 @@
+"""Trace serialization: a compact, line-oriented text format.
+
+Lets generated traces be saved, inspected, diffed and reloaded — useful for
+sharing exact reproduction inputs and for regression-pinning a workload
+(``repro.workloads`` is deterministic, but a serialized trace survives
+generator changes).
+
+Format: one micro-op per line, pipe-separated fields::
+
+    A|<pc>|<dst>|<srcs>          ALU (M=mul, D=div, F=fp, N=nop)
+    L|<pc>|<dst>|<srcs>|<addr>|<size>
+    S|<pc>|<addr_srcs>|<data_srcs>|<addr>|<size>
+    B|<pc>|<kind>|<taken>|<target>
+
+Registers are comma-separated; numbers are lowercase hex without prefixes.
+Lines beginning with ``#`` are comments; the header records the trace name.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import IO, Iterable, List, Union
+
+from repro.isa.microop import BranchInfo, BranchKind, MemInfo, MicroOp, OpKind
+from repro.isa.trace import Trace
+
+_KIND_CODES = {
+    OpKind.ALU: "A",
+    OpKind.MUL: "M",
+    OpKind.DIV: "D",
+    OpKind.FP: "F",
+    OpKind.NOP: "N",
+}
+_CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
+_BRANCH_CODES = {
+    BranchKind.CONDITIONAL: "c",
+    BranchKind.INDIRECT: "i",
+    BranchKind.UNCONDITIONAL: "u",
+    BranchKind.CALL: "k",
+    BranchKind.RETURN: "r",
+}
+_CODE_BRANCHES = {code: kind for kind, code in _BRANCH_CODES.items()}
+
+
+def _regs_to_str(regs: Iterable[int]) -> str:
+    return ",".join(str(reg) for reg in regs)
+
+
+def _regs_from_str(text: str) -> tuple:
+    if not text:
+        return ()
+    return tuple(int(reg) for reg in text.split(","))
+
+
+def _encode_op(op: MicroOp) -> str:
+    if op.kind in _KIND_CODES:
+        dst = "" if op.dst_reg is None else str(op.dst_reg)
+        return f"{_KIND_CODES[op.kind]}|{op.pc:x}|{dst}|{_regs_to_str(op.src_regs)}"
+    if op.kind is OpKind.LOAD:
+        dst = "" if op.dst_reg is None else str(op.dst_reg)
+        return (
+            f"L|{op.pc:x}|{dst}|{_regs_to_str(op.src_regs)}"
+            f"|{op.mem.address:x}|{op.mem.size}"
+        )
+    if op.kind is OpKind.STORE:
+        return (
+            f"S|{op.pc:x}|{_regs_to_str(op.src_regs)}"
+            f"|{_regs_to_str(op.store_data_regs)}|{op.mem.address:x}|{op.mem.size}"
+        )
+    branch = op.branch
+    return (
+        f"B|{op.pc:x}|{_BRANCH_CODES[branch.kind]}"
+        f"|{int(branch.taken)}|{branch.target:x}"
+    )
+
+
+def _decode_op(line: str, line_number: int) -> MicroOp:
+    fields = line.split("|")
+    code = fields[0]
+    try:
+        if code in _CODE_KINDS:
+            _, pc, dst, srcs = fields
+            return MicroOp(
+                pc=int(pc, 16),
+                kind=_CODE_KINDS[code],
+                dst_reg=int(dst) if dst else None,
+                src_regs=_regs_from_str(srcs),
+            )
+        if code == "L":
+            _, pc, dst, srcs, addr, size = fields
+            return MicroOp(
+                pc=int(pc, 16),
+                kind=OpKind.LOAD,
+                dst_reg=int(dst) if dst else None,
+                src_regs=_regs_from_str(srcs),
+                mem=MemInfo(address=int(addr, 16), size=int(size)),
+            )
+        if code == "S":
+            _, pc, addr_srcs, data_srcs, addr, size = fields
+            return MicroOp(
+                pc=int(pc, 16),
+                kind=OpKind.STORE,
+                src_regs=_regs_from_str(addr_srcs),
+                store_data_regs=_regs_from_str(data_srcs),
+                mem=MemInfo(address=int(addr, 16), size=int(size)),
+            )
+        if code == "B":
+            _, pc, kind, taken, target = fields
+            return MicroOp(
+                pc=int(pc, 16),
+                kind=OpKind.BRANCH,
+                branch=BranchInfo(
+                    kind=_CODE_BRANCHES[kind],
+                    taken=taken == "1",
+                    target=int(target, 16),
+                ),
+            )
+    except (ValueError, KeyError) as error:
+        raise ValueError(f"line {line_number}: malformed record {line!r}") from error
+    raise ValueError(f"line {line_number}: unknown op code {code!r}")
+
+
+def dump_trace(trace: Trace, destination: Union[str, Path, IO[str]]) -> None:
+    """Write ``trace`` to a path or text stream."""
+    own = isinstance(destination, (str, Path))
+    stream: IO[str] = open(destination, "w") if own else destination
+    try:
+        stream.write(f"# repro-trace v1 name={trace.name} ops={len(trace)}\n")
+        for op in trace:
+            stream.write(_encode_op(op))
+            stream.write("\n")
+    finally:
+        if own:
+            stream.close()
+
+
+def load_trace(source: Union[str, Path, IO[str]]) -> Trace:
+    """Read a trace written by :func:`dump_trace`."""
+    own = isinstance(source, (str, Path))
+    stream: IO[str] = open(source) if own else source
+    try:
+        name = "loaded"
+        ops: List[MicroOp] = []
+        for line_number, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for token in line.split():
+                    if token.startswith("name="):
+                        name = token[len("name="):]
+                continue
+            ops.append(_decode_op(line, line_number))
+        return Trace(ops, name=name)
+    finally:
+        if own:
+            stream.close()
+
+
+def dumps_trace(trace: Trace) -> str:
+    """Serialize to a string."""
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    return buffer.getvalue()
+
+
+def loads_trace(text: str) -> Trace:
+    """Deserialize from a string."""
+    return load_trace(io.StringIO(text))

@@ -1,0 +1,62 @@
+"""Memory dependence predictors: the paper's contribution and every baseline.
+
+Exports:
+
+* :class:`~repro.mdp.base.MDPredictor` — the interface the pipeline drives.
+* Oracles: :class:`~repro.mdp.ideal.IdealPredictor` (perfect MDP upper bound),
+  :class:`~repro.mdp.ideal.AlwaysSpeculatePredictor` (never waits) and
+  :class:`~repro.mdp.ideal.AlwaysWaitPredictor` (total in-order lower bound).
+* Baselines: Store Sets, Store Vectors, CHT, the NoSQ predictor, MDP-TAGE
+  (plus the MDP-TAGE-S configuration).
+* The contribution: :class:`~repro.mdp.phast.PHASTPredictor` and the
+  unlimited-budget study predictors in :mod:`repro.mdp.unlimited`.
+* :mod:`repro.mdp.storage` / :mod:`repro.mdp.energy` — Table II accounting.
+"""
+
+from repro.mdp.base import (
+    LoadCommitInfo,
+    LoadDispatchInfo,
+    MDPredictor,
+    MDPStats,
+    Prediction,
+    StoreDispatchInfo,
+    ViolationInfo,
+)
+from repro.mdp.ideal import AlwaysSpeculatePredictor, AlwaysWaitPredictor, IdealPredictor
+from repro.mdp.store_sets import StoreSetsPredictor
+from repro.mdp.store_vector import StoreVectorPredictor
+from repro.mdp.cht import CHTPredictor
+from repro.mdp.nosq import NoSQPredictor
+from repro.mdp.omnipredictor import OmniPredictor
+from repro.mdp.mdp_tage import MDPTagePredictor
+from repro.mdp.phast import PHASTPredictor
+from repro.mdp.perceptron import PerceptronMDPredictor
+from repro.mdp.unlimited import (
+    UnlimitedMDPTagePredictor,
+    UnlimitedNoSQPredictor,
+    UnlimitedPHASTPredictor,
+)
+
+__all__ = [
+    "MDPredictor",
+    "MDPStats",
+    "Prediction",
+    "LoadDispatchInfo",
+    "StoreDispatchInfo",
+    "ViolationInfo",
+    "LoadCommitInfo",
+    "IdealPredictor",
+    "AlwaysSpeculatePredictor",
+    "AlwaysWaitPredictor",
+    "StoreSetsPredictor",
+    "StoreVectorPredictor",
+    "CHTPredictor",
+    "NoSQPredictor",
+    "OmniPredictor",
+    "MDPTagePredictor",
+    "PHASTPredictor",
+    "PerceptronMDPredictor",
+    "UnlimitedPHASTPredictor",
+    "UnlimitedNoSQPredictor",
+    "UnlimitedMDPTagePredictor",
+]

@@ -1,0 +1,92 @@
+"""Collision History Table predictor (Yoaz et al., ISCA 1999).
+
+The CHT introduced *store distance* prediction: a PC-indexed table holding,
+per load, a saturating collision-confidence counter and the distance of the
+last conflicting store. A load with a confident entry waits for the store at
+that distance. Context-insensitive: a load whose conflicting distance depends
+on the path thrashes its single entry — the limitation that motivates the
+paper's whole line of work (Sec. I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.counters import SaturatingCounter
+from repro.mdp.base import (
+    NO_DEPENDENCE,
+    LoadCommitInfo,
+    LoadDispatchInfo,
+    MDPredictor,
+    Prediction,
+    ViolationInfo,
+)
+
+
+@dataclass
+class _CHTEntry:
+    distance: int
+    confidence: SaturatingCounter
+
+
+class CHTPredictor(MDPredictor):
+    """PC-indexed collision history table with distance + confidence."""
+
+    name = "cht"
+    trains_at_commit = False
+
+    def __init__(
+        self,
+        entries: int = 4096,
+        confidence_bits: int = 2,
+        threshold: int = 2,
+        distance_bits: int = 7,
+    ) -> None:
+        super().__init__()
+        self._entries = entries
+        self._confidence_bits = confidence_bits
+        self._threshold = threshold
+        self._distance_bits = distance_bits
+        self._max_distance = (1 << distance_bits) - 1
+        self._table: List[Optional[_CHTEntry]] = [None] * entries
+
+    def _index(self, pc: int) -> int:
+        return pc % self._entries
+
+    def on_load_dispatch(self, load: LoadDispatchInfo) -> Prediction:
+        self.stats.load_predictions += 1
+        self.stats.table_reads += 1
+        entry = self._table[self._index(load.pc)]
+        if entry is None or entry.confidence.value < self._threshold:
+            return NO_DEPENDENCE
+        self.stats.dependences_predicted += 1
+        return Prediction(distances=(entry.distance,))
+
+    def on_violation(self, violation: ViolationInfo) -> None:
+        self.stats.trainings += 1
+        self.stats.table_writes += 1
+        index = self._index(violation.load_pc)
+        distance = min(violation.store_distance, self._max_distance)
+        entry = self._table[index]
+        if entry is None or entry.distance != distance:
+            confidence = SaturatingCounter(bits=self._confidence_bits)
+            confidence.set(self._threshold)
+            self._table[index] = _CHTEntry(distance=distance, confidence=confidence)
+        else:
+            entry.confidence.increment()
+
+    def on_load_commit(self, commit: LoadCommitInfo) -> None:
+        if not commit.prediction.is_dependence:
+            return
+        entry = self._table[self._index(commit.pc)]
+        if entry is None:
+            return
+        self.stats.table_writes += 1
+        if commit.waited_correct:
+            entry.confidence.increment()
+        elif commit.false_positive:
+            entry.confidence.decrement()
+
+    def storage_bits(self) -> int:
+        return self._entries * (self._distance_bits + self._confidence_bits)

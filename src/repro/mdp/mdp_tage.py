@@ -1,0 +1,236 @@
+"""MDP-TAGE: TAGE repurposed for store-distance prediction (Perais & Seznec).
+
+Standalone configuration per the paper's evaluation (Sec. II-C, Table II):
+12 tagged components over the (6, 2000) geometric history-length series,
+16K entries total, 7-15 bit partial tags, a 7-bit store distance (value 127
+encodes "depend on all older stores") and a useful bit gating predictions.
+
+Training is the brute-force exploration PHAST criticises: a violating load
+with no prediction allocates at the *shortest* history length; a violating
+load whose prediction was wrong allocates at a *longer* length than its
+provider — so one dependence can scatter entries across many tables, and a
+shorter-than-needed entry keeps firing false dependences until its useful
+bit is cleared (probabilistically on false dependences, 1/256, or by the
+periodic useful-bit reset).
+
+``MDPTagePredictor.tage_s()`` builds MDP-TAGE-S: the same training policy on
+PHAST's table organisation and history lengths (0, 2, 4, 6, 8, 12, 16, 32),
+isolating the contribution of PHAST's exact-length training (Sec. V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.bitops import ceil_log2, mask, pc_hash_index, pc_hash_tag
+from repro.common.rng import DeterministicRNG
+from repro.frontend.history import GlobalHistory
+from repro.frontend.tage import geometric_history_lengths
+from repro.mdp.base import (
+    NO_DEPENDENCE,
+    LoadCommitInfo,
+    LoadDispatchInfo,
+    MDPredictor,
+    Prediction,
+    ViolationInfo,
+)
+from repro.mdp.tables import ChunkedFoldedHistory, PredictionEntry, SetAssocTable
+
+#: History entries carry type bit + taken bit + 5 target bits (Sec. IV-A2).
+HISTORY_CHUNK_BITS = 7
+TARGET_BITS = 5
+
+#: Distance value reserved for "depend on all older stores" (Sec. II-C).
+ALL_OLDER = 127
+
+
+@dataclass
+class _TableConfig:
+    history_length: int
+    tag_bits: int
+    table: SetAssocTable
+
+
+class MDPTagePredictor(MDPredictor):
+    """MDP-TAGE (and, via :meth:`tage_s`, MDP-TAGE-S)."""
+
+    name = "mdp-tage"
+    trains_at_commit = False
+
+    def __init__(
+        self,
+        history_lengths: Optional[Sequence[int]] = None,
+        total_entries: int = 16384,
+        ways: int = 1,
+        tag_bits_range: Tuple[int, int] = (7, 15),
+        distance_bits: int = 7,
+        reset_period: int = 524_288,
+        false_dep_reset_one_in: int = 256,
+        seed: int = 0x7D9E,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        if name:
+            self.name = name
+        lengths = (
+            list(history_lengths)
+            if history_lengths is not None
+            else geometric_history_lengths(6, 2000, 12)
+        )
+        self._lengths = lengths
+        self._distance_bits = distance_bits
+        self._max_distance = (1 << distance_bits) - 1
+        self._reset_period = reset_period
+        self._fp_one_in = false_dep_reset_one_in
+        self._rng = DeterministicRNG(seed)
+
+        entries_per_table = max(ways, total_entries // len(lengths))
+        num_sets = max(1, entries_per_table // ways)
+        self._index_bits = ceil_log2(num_sets)
+        low_tag, high_tag = tag_bits_range
+        self._tables: List[_TableConfig] = []
+        for position, length in enumerate(lengths):
+            if len(lengths) > 1:
+                tag_bits = low_tag + (high_tag - low_tag) * position // (len(lengths) - 1)
+            else:
+                tag_bits = high_tag
+            self._tables.append(
+                _TableConfig(
+                    history_length=length,
+                    tag_bits=tag_bits,
+                    table=SetAssocTable(num_sets, ways),
+                )
+            )
+
+        # Rolling folded histories (index and tag widths) per non-zero length.
+        self._folds: List[Optional[Tuple[ChunkedFoldedHistory, ChunkedFoldedHistory]]] = [
+            (
+                None
+                if config.history_length == 0
+                else (
+                    ChunkedFoldedHistory(
+                        config.history_length, HISTORY_CHUNK_BITS, self._index_bits
+                    ),
+                    ChunkedFoldedHistory(
+                        config.history_length, HISTORY_CHUNK_BITS, config.tag_bits
+                    ),
+                )
+            )
+            for config in self._tables
+        ]
+        self._synced = 0
+        self._accesses = 0
+        # load seq -> provider table position (or None when no prediction)
+        self._pending: Dict[int, Optional[int]] = {}
+
+    @classmethod
+    def tage_s(cls, total_entries: int = 4096) -> "MDPTagePredictor":
+        """MDP-TAGE-S: PHAST's organisation, MDP-TAGE's training (Table II)."""
+        return cls(
+            history_lengths=(0, 2, 4, 6, 8, 12, 16, 32),
+            total_entries=total_entries,
+            ways=4,
+            tag_bits_range=(16, 16),
+            name="mdp-tage-s",
+        )
+
+    @staticmethod
+    def scaled(factor: float) -> "MDPTagePredictor":
+        """A Fig. 13 size variant of the standard configuration."""
+        return MDPTagePredictor(total_entries=max(96, int(16384 * factor)))
+
+    # -- history sync ------------------------------------------------------------
+
+    def _sync(self, history: GlobalHistory, snapshot: int) -> None:
+        if snapshot < self._synced:
+            raise ValueError(
+                f"history queries must be monotone (got {snapshot} < {self._synced})"
+            )
+        if snapshot == self._synced:
+            return
+        for record in history.divergent.records_in_master_range(self._synced, snapshot):
+            chunk = record.encode(TARGET_BITS)
+            for folds in self._folds:
+                if folds is not None:
+                    folds[0].push(chunk)
+                    folds[1].push(chunk)
+        self._synced = snapshot
+
+    def _keys(self, pc: int, position: int) -> Tuple[int, int]:
+        config = self._tables[position]
+        folds = self._folds[position]
+        index = pc_hash_index(pc, self._index_bits)
+        tag = pc_hash_tag(pc, config.tag_bits)
+        if folds is not None:
+            index ^= folds[0].value
+            tag ^= folds[1].value
+        return index & mask(self._index_bits), tag & mask(config.tag_bits)
+
+    # -- predictor interface --------------------------------------------------------
+
+    def on_load_dispatch(self, load: LoadDispatchInfo) -> Prediction:
+        self.stats.load_predictions += 1
+        self.stats.table_reads += len(self._tables)
+        self._sync(load.history, load.hist_snapshot)
+        self._tick_reset()
+
+        provider: Optional[int] = None
+        provider_entry: Optional[PredictionEntry] = None
+        for position in range(len(self._tables) - 1, -1, -1):
+            index, tag = self._keys(load.pc, position)
+            entry = self._tables[position].table.lookup(index, tag)
+            if entry is not None and entry.useful:
+                provider = position
+                provider_entry = entry
+                break
+        self._pending[load.seq] = provider
+        if provider_entry is None:
+            return NO_DEPENDENCE
+        self.stats.dependences_predicted += 1
+        if provider_entry.distance >= ALL_OLDER:
+            return Prediction(wait_all_older=True)
+        return Prediction(distances=(provider_entry.distance,))
+
+    def on_violation(self, violation: ViolationInfo) -> None:
+        self.stats.trainings += 1
+        self._sync(violation.history, violation.load_snapshot)
+        provider = self._pending.get(violation.load_seq)
+        if provider is None:
+            target = 0  # no prediction: start at the shortest history
+        else:
+            target = min(provider + 1, len(self._tables) - 1)
+        index, tag = self._keys(violation.load_pc, target)
+        entry = self._tables[target].table.allocate(index, tag)
+        entry.valid = True
+        entry.tag = tag
+        entry.distance = min(violation.store_distance, self._max_distance)
+        entry.useful = 1
+        self.stats.table_writes += 1
+
+    def on_load_commit(self, commit: LoadCommitInfo) -> None:
+        provider = self._pending.pop(commit.seq, None)
+        if provider is None or not commit.false_positive:
+            return
+        # Forget a false dependence with probability 1/256 (Sec. II-C).
+        if self._rng.one_in(self._fp_one_in):
+            index, tag = self._keys(commit.pc, provider)
+            entry = self._tables[provider].table.lookup(index, tag, touch=False)
+            if entry is not None:
+                entry.useful = 0
+                self.stats.table_writes += 1
+
+    def _tick_reset(self) -> None:
+        self._accesses += 1
+        if self._accesses % self._reset_period == 0:
+            for config in self._tables:
+                for entry in config.table.entries():
+                    entry.useful = 0
+
+    def storage_bits(self) -> int:
+        total = 0
+        lru_bits = 2 if self._tables[0].table.ways > 1 else 0
+        for config in self._tables:
+            entry_bits = config.tag_bits + self._distance_bits + 1 + lru_bits
+            total += config.table.total_entries * entry_bits
+        return total

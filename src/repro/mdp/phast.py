@@ -1,0 +1,166 @@
+"""PHAST: PatH-Aware STore-distance memory dependence predictor (Sec. IV).
+
+The two observations that define PHAST:
+
+1. Each executed load depends on at most one store — the *youngest* older
+   conflicting store (Sec. III-A) — so a single store distance suffices.
+2. The minimum context that disambiguates a dependence is the execution path
+   from the conflicting store to the load: the N divergent branches between
+   them plus one — the divergent branch preceding the store, whose *target*
+   separates paths that converge before the store (Sec. III-B, Fig. 5).
+
+On a true dependence (delivered at commit, Sec. IV-A1), PHAST computes the
+required length N+1 from per-micro-op divergent-branch counters, truncates it
+onto its table-length ladder (0, 2, 4, 6, 8, 12, 16, 32 — keeping the
+branches *closest to the load*), and trains exactly one entry in exactly one
+table. Predictions search all tables in parallel with their folded histories
+and take the longest confident match.
+
+The cost-effective organisation (Sec. IV-B, Table II): eight 4-way tables of
+128 sets; entries hold a 16-bit tag, 7-bit store distance, 4-bit confidence
+and 2-bit LRU — 14.5 KB total. History entries carry a type bit, a taken bit
+and the 5 low bits of the destination actually taken; the PC hashes are
+``PC ^ PC>>2 ^ PC>>5`` (index) and the 3/7-offset variant (tag).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.bitops import ceil_log2, mask, pc_hash_index, pc_hash_tag
+from repro.frontend.history import GlobalHistory, encode_window
+from repro.mdp.base import (
+    NO_DEPENDENCE,
+    LoadCommitInfo,
+    LoadDispatchInfo,
+    MDPredictor,
+    Prediction,
+    ViolationInfo,
+)
+from repro.mdp.tables import PredictionEntry, SetAssocTable, fold_window
+
+#: The paper's geometric-like ladder of history lengths (Sec. IV-B).
+DEFAULT_HISTORY_LENGTHS: Tuple[int, ...] = (0, 2, 4, 6, 8, 12, 16, 32)
+
+#: Per-entry history payload: type bit + taken bit + 5 destination bits.
+HISTORY_CHUNK_BITS = 7
+TARGET_BITS = 5
+
+
+class PHASTPredictor(MDPredictor):
+    """The paper's contribution, in its Table II configuration by default."""
+
+    name = "phast"
+    trains_at_commit = True  # Sec. IV-A1: update at commit avoids false paths
+
+    def __init__(
+        self,
+        history_lengths: Sequence[int] = DEFAULT_HISTORY_LENGTHS,
+        sets_per_table: int = 128,
+        ways: int = 4,
+        tag_bits: int = 16,
+        confidence_bits: int = 4,
+        distance_bits: int = 7,
+        target_bits: int = TARGET_BITS,
+    ) -> None:
+        super().__init__()
+        if not history_lengths or list(history_lengths) != sorted(set(history_lengths)):
+            raise ValueError("history_lengths must be strictly increasing and non-empty")
+        self._lengths: Tuple[int, ...] = tuple(history_lengths)
+        self._tag_bits = tag_bits
+        self._confidence_max = (1 << confidence_bits) - 1
+        self._confidence_bits = confidence_bits
+        self._distance_bits = distance_bits
+        self._max_distance = (1 << distance_bits) - 1
+        self._target_bits = target_bits
+        self._index_bits = ceil_log2(sets_per_table)
+        self._tables: List[SetAssocTable] = [
+            SetAssocTable(sets_per_table, ways) for _ in self._lengths
+        ]
+        # load seq -> (table position, entry) that provided the prediction
+        self._pending: Dict[int, Tuple[int, PredictionEntry]] = {}
+
+    # -- hashing (Sec. IV-B) -----------------------------------------------------
+
+    def _keys(
+        self, pc: int, history: GlobalHistory, snapshot: int, length: int
+    ) -> Tuple[int, int]:
+        """Index and tag for a lookup of history length ``length``."""
+        index = pc_hash_index(pc, self._index_bits)
+        tag = pc_hash_tag(pc, self._tag_bits)
+        if length > 0:
+            window = history.divergent.window(snapshot, length)
+            chunks = encode_window(window, self._target_bits)
+            folded = fold_window(chunks, HISTORY_CHUNK_BITS, self._index_bits + self._tag_bits)
+            index ^= folded & mask(self._index_bits)
+            tag ^= folded >> self._index_bits
+        return index & mask(self._index_bits), tag & mask(self._tag_bits)
+
+    def training_length(self, required: int) -> int:
+        """Truncate the required N+1 onto the ladder (largest length <= it)."""
+        chosen = self._lengths[0]
+        for length in self._lengths:
+            if length <= required:
+                chosen = length
+            else:
+                break
+        return chosen
+
+    # -- predictor interface -------------------------------------------------------
+
+    def on_load_dispatch(self, load: LoadDispatchInfo) -> Prediction:
+        """Search every table; take the longest confident match (Sec. IV-A3)."""
+        self.stats.load_predictions += 1
+        self.stats.table_reads += len(self._tables)
+        best: Optional[Tuple[int, PredictionEntry]] = None
+        for position in range(len(self._lengths) - 1, -1, -1):
+            index, tag = self._keys(
+                load.pc, load.history, load.hist_snapshot, self._lengths[position]
+            )
+            entry = self._tables[position].lookup(index, tag)
+            if entry is not None and entry.confidence > 0:
+                best = (position, entry)
+                break
+        if best is None:
+            self._pending.pop(load.seq, None)
+            return NO_DEPENDENCE
+        self._pending[load.seq] = best
+        self.stats.dependences_predicted += 1
+        return Prediction(distances=(best[1].distance,))
+
+    def on_violation(self, violation: ViolationInfo) -> None:
+        """Train one entry at the exact (truncated) store-to-load path length."""
+        self.stats.trainings += 1
+        self.stats.table_writes += 1
+        length = self.training_length(violation.required_history_length)
+        position = self._lengths.index(length)
+        index, tag = self._keys(
+            violation.load_pc, violation.history, violation.load_snapshot, length
+        )
+        entry = self._tables[position].allocate(index, tag)
+        entry.valid = True
+        entry.tag = tag
+        entry.distance = min(violation.store_distance, self._max_distance)
+        entry.confidence = self._confidence_max
+
+    def on_load_commit(self, commit: LoadCommitInfo) -> None:
+        """Confidence policy (Sec. IV-A2): reset-to-max on correct, else decay."""
+        pending = self._pending.pop(commit.seq, None)
+        if pending is None or not commit.prediction.is_dependence:
+            return
+        _, entry = pending
+        self.stats.table_writes += 1
+        if commit.waited_correct:
+            entry.confidence = self._confidence_max
+        else:
+            entry.confidence = max(0, entry.confidence - 1)
+
+    def storage_bits(self) -> int:
+        entry_bits = self._tag_bits + self._distance_bits + self._confidence_bits + 2
+        total_entries = sum(table.total_entries for table in self._tables)
+        return total_entries * entry_bits
+
+    @staticmethod
+    def scaled(factor: float) -> "PHASTPredictor":
+        """A Fig. 13 size variant (sets per table scaled)."""
+        return PHASTPredictor(sets_per_table=max(8, int(128 * factor)))

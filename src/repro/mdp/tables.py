@@ -1,0 +1,150 @@
+"""Shared structures for tagged prediction tables.
+
+* :class:`SetAssocTable` — an n-way set-associative table with LRU
+  replacement and zero-confidence-first victim selection, the organisation
+  shared by PHAST, the NoSQ predictor, and MDP-TAGE-S (Table II).
+* :class:`ChunkedFoldedHistory` — incrementally maintained circular fold of
+  the last L fixed-width history entries into a w-bit word, the hardware
+  history-folding of TAGE-style predictors generalised to multi-bit history
+  symbols (PHAST entries carry type + outcome + 5 target bits = 7 bits).
+  The fold is content-determined: two occurrences of the same window value
+  fold to the same word, which is what makes incremental maintenance
+  equivalent to refolding from scratch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.common.bitops import mask
+from repro.common.lru import LRUState
+
+
+@dataclass
+class PredictionEntry:
+    """A generic tagged prediction entry (distance + confidence + u bit)."""
+
+    tag: int = 0
+    distance: int = 0
+    confidence: int = 0
+    useful: int = 0
+    valid: bool = False
+
+
+class SetAssocTable:
+    """N-way set-associative table of :class:`PredictionEntry`."""
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        if num_sets <= 0 or ways <= 0:
+            raise ValueError("num_sets and ways must be positive")
+        self.num_sets = num_sets
+        self.ways = ways
+        self._entries: List[List[PredictionEntry]] = [
+            [PredictionEntry() for _ in range(ways)] for _ in range(num_sets)
+        ]
+        self._lru: List[LRUState] = [LRUState(ways) for _ in range(num_sets)]
+
+    @property
+    def total_entries(self) -> int:
+        return self.num_sets * self.ways
+
+    def lookup(self, index: int, tag: int, touch: bool = True) -> Optional[PredictionEntry]:
+        """Find a valid entry with ``tag`` in set ``index``; promote on hit."""
+        set_index = index % self.num_sets
+        for way, entry in enumerate(self._entries[set_index]):
+            if entry.valid and entry.tag == tag:
+                if touch:
+                    self._lru[set_index].touch(way)
+                return entry
+        return None
+
+    def allocate(self, index: int, tag: int) -> PredictionEntry:
+        """Return the entry to (re)write for ``tag``.
+
+        Order of preference: an existing same-tag entry, an invalid way, a
+        zero-confidence way (aliased dead entries first, per PHAST's
+        confidence-gated replacement), else the LRU victim.
+        """
+        set_index = index % self.num_sets
+        ways = self._entries[set_index]
+        lru = self._lru[set_index]
+        for way, entry in enumerate(ways):
+            if entry.valid and entry.tag == tag:
+                lru.touch(way)
+                return entry
+        for way, entry in enumerate(ways):
+            if not entry.valid:
+                lru.touch(way)
+                return entry
+        for way in lru.recency_order()[::-1]:  # least recent first
+            if ways[way].confidence == 0:
+                lru.touch(way)
+                return ways[way]
+        victim = lru.victim()
+        lru.touch(victim)
+        return ways[victim]
+
+    def entries(self) -> List[PredictionEntry]:
+        """Flat view over all entries (for reset sweeps and introspection)."""
+        return [entry for ways in self._entries for entry in ways]
+
+    def clear(self) -> None:
+        for entry in self.entries():
+            entry.valid = False
+            entry.confidence = 0
+            entry.useful = 0
+
+
+def _rotate(value: int, amount: int, width: int) -> int:
+    """Circular left rotation of a ``width``-bit word."""
+    amount %= width
+    if amount == 0:
+        return value & mask(width)
+    value &= mask(width)
+    return ((value << amount) | (value >> (width - amount))) & mask(width)
+
+
+def fold_window(chunks: Sequence[int], chunk_bits: int, width: int) -> int:
+    """Reference (non-incremental) circular fold, oldest chunk first.
+
+    ``fold = XOR_i rotate(chunk_i, chunk_bits * (L - 1 - i))`` — each chunk is
+    rotated by its distance from the youngest end, so position matters and
+    any window content change changes the fold.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    folded = 0
+    length = len(chunks)
+    for position, chunk in enumerate(chunks):
+        folded ^= _rotate(chunk & mask(chunk_bits), chunk_bits * (length - 1 - position), width)
+    return folded
+
+
+class ChunkedFoldedHistory:
+    """Incrementally maintained :func:`fold_window` over a sliding window."""
+
+    __slots__ = ("length", "chunk_bits", "width", "value", "_window")
+
+    def __init__(self, length: int, chunk_bits: int, width: int) -> None:
+        if length <= 0 or chunk_bits <= 0 or width <= 0:
+            raise ValueError("length, chunk_bits and width must be positive")
+        self.length = length
+        self.chunk_bits = chunk_bits
+        self.width = width
+        self.value = 0
+        self._window: Deque[int] = deque([0] * length, maxlen=length)
+
+    def push(self, chunk: int) -> None:
+        """Slide the window by one entry."""
+        chunk &= mask(self.chunk_bits)
+        outgoing = self._window[0]
+        self._window.append(chunk)
+        rotated = _rotate(self.value, self.chunk_bits, self.width)
+        rotated ^= chunk
+        rotated ^= _rotate(outgoing, self.chunk_bits * self.length, self.width)
+        self.value = rotated & mask(self.width)
+
+    def window(self) -> Tuple[int, ...]:
+        return tuple(self._window)

@@ -1,0 +1,322 @@
+"""Unlimited-budget predictors for the Sec. III-C / VI-A limit studies.
+
+These predictors store exact (PC, history-window) keys in hash maps — no
+partial tags, no folding, no capacity — so "no aliasing is possible" as in
+the paper's study. They expose the metrics those figures plot:
+
+* ``paths_tracked`` — unique histories allocated (Fig. 6b, Fig. 9);
+* ``conflict_length_histogram`` — unique conflicts per required history
+  length (Fig. 10), recorded before clamping;
+* the ``max_history`` clamp reproduces Fig. 11's sweep.
+
+``UnlimitedPHASTPredictor`` trains each conflict at its exact N+1 length;
+``UnlimitedNoSQPredictor`` uses one fixed branch-count history (swept 1-16 in
+Fig. 6); ``UnlimitedMDPTagePredictor`` keeps MDP-TAGE's escalating
+allocation over the (6, 2000) geometric series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.rng import DeterministicRNG
+from repro.common.stats import Histogram
+from repro.frontend.history import GlobalHistory, encode_window
+from repro.frontend.tage import geometric_history_lengths
+from repro.isa.microop import BranchKind
+from repro.mdp.base import (
+    NO_DEPENDENCE,
+    LoadCommitInfo,
+    LoadDispatchInfo,
+    MDPredictor,
+    Prediction,
+    ViolationInfo,
+)
+from repro.mdp.mdp_tage import ALL_OLDER
+
+TARGET_BITS = 5
+
+
+class _UnlimitedEntry:
+    __slots__ = ("distance", "confidence", "useful")
+
+    def __init__(self, distance: int, confidence: int) -> None:
+        self.distance = distance
+        self.confidence = confidence
+        self.useful = True
+
+
+class UnlimitedPHASTPredictor(MDPredictor):
+    """UnlimitedPHAST: exact store-to-load-path training, no capacity limits."""
+
+    name = "unlimited-phast"
+    trains_at_commit = True
+
+    def __init__(
+        self,
+        max_history: Optional[int] = None,
+        confidence_max: int = 15,
+        target_bits: int = TARGET_BITS,
+    ) -> None:
+        super().__init__()
+        if max_history is not None and max_history < 1:
+            raise ValueError("max_history must be >= 1 when set")
+        self._max_history = max_history
+        self._confidence_max = confidence_max
+        self._target_bits = target_bits
+        self._entries: Dict[Tuple[int, Tuple[int, ...]], _UnlimitedEntry] = {}
+        self._lengths_by_pc: Dict[int, List[int]] = {}  # descending
+        self._pending: Dict[int, _UnlimitedEntry] = {}
+        self.conflict_length_histogram = Histogram()
+
+    @property
+    def paths_tracked(self) -> int:
+        return len(self._entries)
+
+    def _window_key(
+        self, pc: int, history: GlobalHistory, snapshot: int, length: int
+    ) -> Tuple[int, Tuple[int, ...]]:
+        window = history.divergent.window(snapshot, length)
+        return pc, encode_window(window, self._target_bits)
+
+    def on_load_dispatch(self, load: LoadDispatchInfo) -> Prediction:
+        self.stats.load_predictions += 1
+        lengths = self._lengths_by_pc.get(load.pc)
+        if not lengths:
+            self._pending.pop(load.seq, None)
+            return NO_DEPENDENCE
+        self.stats.table_reads += len(lengths)
+        for length in lengths:  # descending: longest match wins
+            entry = self._entries.get(
+                self._window_key(load.pc, load.history, load.hist_snapshot, length)
+            )
+            if entry is not None and entry.confidence > 0:
+                self._pending[load.seq] = entry
+                self.stats.dependences_predicted += 1
+                return Prediction(distances=(entry.distance,))
+        self._pending.pop(load.seq, None)
+        return NO_DEPENDENCE
+
+    def on_violation(self, violation: ViolationInfo) -> None:
+        self.stats.trainings += 1
+        self.stats.table_writes += 1
+        required = violation.required_history_length
+        length = required
+        if self._max_history is not None:
+            length = min(length, self._max_history)
+        key = self._window_key(
+            violation.load_pc, violation.history, violation.load_snapshot, length
+        )
+        if key not in self._entries:
+            self.conflict_length_histogram.add(required)
+            lengths = self._lengths_by_pc.setdefault(violation.load_pc, [])
+            if length not in lengths:
+                lengths.append(length)
+                lengths.sort(reverse=True)
+            self._entries[key] = _UnlimitedEntry(
+                violation.store_distance, self._confidence_max
+            )
+        else:
+            entry = self._entries[key]
+            entry.distance = violation.store_distance
+            entry.confidence = self._confidence_max
+
+    def on_load_commit(self, commit: LoadCommitInfo) -> None:
+        entry = self._pending.pop(commit.seq, None)
+        if entry is None or not commit.prediction.is_dependence:
+            return
+        if commit.waited_correct:
+            entry.confidence = self._confidence_max
+        else:
+            entry.confidence = max(0, entry.confidence - 1)
+
+    def storage_bits(self) -> int:
+        # Unlimited by definition; report the information actually held.
+        return sum(
+            len(key[1]) * 7 + 32 + 7 + 4 for key in self._entries
+        )
+
+
+def _nosq_window_key(
+    history: GlobalHistory, snapshot: int, branches: int
+) -> Tuple[int, ...]:
+    """Exact NoSQ-view window: taken bits for conditionals, 2 PC bits for calls."""
+    window = history.nosq.window(snapshot, branches)
+    encoded = []
+    for record in window:
+        if record.kind is BranchKind.CONDITIONAL:
+            encoded.append(int(record.taken))
+        else:
+            encoded.append(2 | ((record.pc >> 2) & 0b11) << 2)
+    return tuple(encoded)
+
+
+class UnlimitedNoSQPredictor(MDPredictor):
+    """Unlimited NoSQ predictor with a fixed ``history_branches`` window."""
+
+    name = "unlimited-nosq"
+    trains_at_commit = False
+
+    def __init__(self, history_branches: int = 8, confidence_max: int = 15) -> None:
+        super().__init__()
+        if history_branches < 0:
+            raise ValueError("history_branches must be >= 0")
+        self._branches = history_branches
+        self._confidence_max = confidence_max
+        self._sensitive: Dict[Tuple[int, Tuple[int, ...]], _UnlimitedEntry] = {}
+        self._insensitive: Dict[int, _UnlimitedEntry] = {}
+        self._pending: Dict[int, _UnlimitedEntry] = {}
+
+    @property
+    def paths_tracked(self) -> int:
+        return len(self._sensitive)
+
+    def on_load_dispatch(self, load: LoadDispatchInfo) -> Prediction:
+        self.stats.load_predictions += 1
+        self.stats.table_reads += 2
+        key = (
+            load.pc,
+            _nosq_window_key(load.history, load.hist_snapshot, self._branches),
+        )
+        entry = self._sensitive.get(key)
+        if entry is None or entry.confidence == 0:
+            fallback = self._insensitive.get(load.pc)
+            entry = fallback if fallback is not None and fallback.confidence > 0 else None
+        if entry is None:
+            self._pending.pop(load.seq, None)
+            return NO_DEPENDENCE
+        self._pending[load.seq] = entry
+        self.stats.dependences_predicted += 1
+        return Prediction(distances=(entry.distance,))
+
+    def on_violation(self, violation: ViolationInfo) -> None:
+        self.stats.trainings += 1
+        self.stats.table_writes += 2
+        key = (
+            violation.load_pc,
+            _nosq_window_key(violation.history, violation.load_snapshot, self._branches),
+        )
+        distance = violation.store_distance
+        sensitive = self._sensitive.get(key)
+        if sensitive is None:
+            self._sensitive[key] = _UnlimitedEntry(distance, self._confidence_max)
+        else:
+            sensitive.distance = distance
+            sensitive.confidence = self._confidence_max
+        insensitive = self._insensitive.get(violation.load_pc)
+        if insensitive is None:
+            self._insensitive[violation.load_pc] = _UnlimitedEntry(
+                distance, self._confidence_max
+            )
+        else:
+            insensitive.distance = distance
+            insensitive.confidence = self._confidence_max
+
+    def on_load_commit(self, commit: LoadCommitInfo) -> None:
+        entry = self._pending.pop(commit.seq, None)
+        if entry is None or not commit.prediction.is_dependence:
+            return
+        if commit.waited_correct:
+            entry.confidence = self._confidence_max
+        else:
+            entry.confidence = max(0, entry.confidence - 1)
+
+    def storage_bits(self) -> int:
+        return (len(self._sensitive) + len(self._insensitive)) * (32 + 7 + 4)
+
+
+class UnlimitedMDPTagePredictor(MDPredictor):
+    """Unlimited MDP-TAGE: escalating allocation over geometric lengths."""
+
+    name = "unlimited-mdp-tage"
+    trains_at_commit = False
+
+    def __init__(
+        self,
+        history_lengths: Optional[Sequence[int]] = None,
+        false_dep_reset_one_in: int = 256,
+        seed: int = 0x07AE,
+    ) -> None:
+        super().__init__()
+        self._lengths = (
+            list(history_lengths)
+            if history_lengths is not None
+            else geometric_history_lengths(6, 2000, 12)
+        )
+        self._tables: List[Dict[Tuple[int, Tuple[int, ...]], _UnlimitedEntry]] = [
+            {} for _ in self._lengths
+        ]
+        self._rng = DeterministicRNG(seed)
+        self._fp_one_in = false_dep_reset_one_in
+        self._pending: Dict[int, Optional[int]] = {}
+        self._pending_entry: Dict[int, _UnlimitedEntry] = {}
+
+    @property
+    def paths_tracked(self) -> int:
+        return sum(len(table) for table in self._tables)
+
+    def _window(
+        self, history: GlobalHistory, snapshot: int
+    ) -> Tuple[Tuple[int, ...], int]:
+        """One fetch of the longest populated window; shorter keys slice it."""
+        longest = 0
+        for position, table in enumerate(self._tables):
+            if table:
+                longest = self._lengths[position]
+        window = history.divergent.window(snapshot, longest) if longest else ()
+        return encode_window(window, TARGET_BITS), longest
+
+    def on_load_dispatch(self, load: LoadDispatchInfo) -> Prediction:
+        self.stats.load_predictions += 1
+        encoded, _ = self._window(load.history, load.hist_snapshot)
+        provider: Optional[int] = None
+        provider_entry: Optional[_UnlimitedEntry] = None
+        for position in range(len(self._lengths) - 1, -1, -1):
+            table = self._tables[position]
+            if not table:
+                continue
+            self.stats.table_reads += 1
+            length = self._lengths[position]
+            key = (load.pc, encoded[len(encoded) - length :] if length else ())
+            entry = table.get(key)
+            if entry is not None and entry.useful:
+                provider = position
+                provider_entry = entry
+                break
+        self._pending[load.seq] = provider
+        if provider_entry is None:
+            return NO_DEPENDENCE
+        self._pending_entry[load.seq] = provider_entry
+        self.stats.dependences_predicted += 1
+        if provider_entry.distance >= ALL_OLDER:
+            return Prediction(wait_all_older=True)
+        return Prediction(distances=(provider_entry.distance,))
+
+    def on_violation(self, violation: ViolationInfo) -> None:
+        self.stats.trainings += 1
+        self.stats.table_writes += 1
+        provider = self._pending.get(violation.load_seq)
+        target = 0 if provider is None else min(provider + 1, len(self._lengths) - 1)
+        length = self._lengths[target]
+        window = violation.history.divergent.window(violation.load_snapshot, length)
+        key = (violation.load_pc, encode_window(window, TARGET_BITS))
+        entry = self._tables[target].get(key)
+        if entry is None:
+            self._tables[target][key] = _UnlimitedEntry(violation.store_distance, 1)
+        else:
+            entry.distance = violation.store_distance
+            entry.useful = True
+
+    def on_load_commit(self, commit: LoadCommitInfo) -> None:
+        self._pending.pop(commit.seq, None)
+        entry = self._pending_entry.pop(commit.seq, None)
+        if entry is None or not commit.false_positive:
+            return
+        if self._rng.one_in(self._fp_one_in):
+            entry.useful = False
+
+    def storage_bits(self) -> int:
+        total = 0
+        for position, table in enumerate(self._tables):
+            total += len(table) * (32 + self._lengths[position] * 7 + 7 + 1)
+        return total

@@ -1,0 +1,20 @@
+"""Memory hierarchy latency model.
+
+The paper models its hierarchy with GEMS/GARNET (Sec. V, Table I); the MDP
+study only consumes *load/store completion latencies*, so this package
+provides set-associative caches with LRU replacement, MSHR-limited miss
+handling, an IP-stride L1D prefetcher with degree 3, and a fixed-latency
+DRAM — the Table I configuration.
+"""
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memory.prefetcher import IPStridePrefetcher
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "IPStridePrefetcher",
+]

@@ -1,0 +1,168 @@
+"""Set-associative cache with LRU replacement and MSHR-limited misses.
+
+This is a *timing filter*: ``access`` maps (address, start_cycle) to the cycle
+at which the data is available, updating tag state. Misses are forwarded to
+the next level by the :class:`~repro.memory.hierarchy.MemoryHierarchy`; this
+class only models its own array and miss-status-holding registers (MSHRs):
+
+* a miss to a line that is already outstanding merges into the existing MSHR
+  and completes when that fill returns;
+* when all MSHRs are busy the request waits for the earliest MSHR to free,
+  modelling the Table I 64-MSHR limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.bitops import ceil_log2, is_power_of_two
+from repro.common.lru import LRUState
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+    hit_latency: int = 4
+    mshrs: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"ways*line ({self.ways}*{self.line_bytes})"
+            )
+        if not is_power_of_two(self.line_bytes):
+            raise ValueError(f"{self.name}: line size must be a power of two")
+        if self.hit_latency <= 0 or self.mshrs <= 0 or self.ways <= 0:
+            raise ValueError(f"{self.name}: latency/mshrs/ways must be positive")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def offset_bits(self) -> int:
+        return ceil_log2(self.line_bytes)
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    mshr_merges: int = 0
+    mshr_stalls: int = 0
+    prefetch_fills: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class _Set:
+    tags: List[Optional[int]]
+    lru: LRUState
+
+
+class Cache:
+    """One cache level. See module docstring for the timing contract."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        self._sets: List[_Set] = [
+            _Set(tags=[None] * config.ways, lru=LRUState(config.ways))
+            for _ in range(config.num_sets)
+        ]
+        # line address -> cycle at which the outstanding fill completes
+        self._mshrs: Dict[int, int] = {}
+
+    # -- address decomposition ------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        return address >> self.config.offset_bits
+
+    def _set_index(self, line: int) -> int:
+        return line % self.config.num_sets
+
+    # -- tag array -------------------------------------------------------------
+
+    def probe(self, address: int) -> bool:
+        """Tag check without any state change."""
+        line = self.line_address(address)
+        cache_set = self._sets[self._set_index(line)]
+        return line in cache_set.tags
+
+    def _touch(self, line: int) -> bool:
+        """Look up ``line``; on hit promote LRU and return True."""
+        cache_set = self._sets[self._set_index(line)]
+        try:
+            way = cache_set.tags.index(line)
+        except ValueError:
+            return False
+        cache_set.lru.touch(way)
+        return True
+
+    def fill(self, address: int) -> None:
+        """Install the line holding ``address``, evicting the LRU way."""
+        line = self.line_address(address)
+        cache_set = self._sets[self._set_index(line)]
+        if line in cache_set.tags:
+            cache_set.lru.touch(cache_set.tags.index(line))
+            return
+        victim_way = cache_set.lru.victim()
+        cache_set.tags[victim_way] = line
+        cache_set.lru.touch(victim_way)
+
+    # -- MSHR handling ----------------------------------------------------------
+
+    def _prune_mshrs(self, cycle: int) -> None:
+        done = [line for line, ready in self._mshrs.items() if ready <= cycle]
+        for line in done:
+            del self._mshrs[line]
+
+    def miss_start_cycle(self, line: int, cycle: int) -> Tuple[int, Optional[int]]:
+        """Resolve MSHR constraints for a miss beginning at ``cycle``.
+
+        Returns ``(start_cycle, merged_ready)``: if the line already has an
+        outstanding fill, ``merged_ready`` is its completion cycle and no new
+        request is needed. Otherwise ``start_cycle`` is when a free MSHR can
+        accept the request.
+        """
+        self._prune_mshrs(cycle)
+        if line in self._mshrs:
+            self.stats.mshr_merges += 1
+            return cycle, self._mshrs[line]
+        if len(self._mshrs) >= self.config.mshrs:
+            self.stats.mshr_stalls += 1
+            earliest = min(self._mshrs.values())
+            return max(cycle, earliest), None
+        return cycle, None
+
+    def register_fill(self, line: int, ready_cycle: int) -> None:
+        """Record an in-flight fill for MSHR merging."""
+        self._mshrs[line] = ready_cycle
+
+    # -- the main timing entry point ---------------------------------------------
+
+    def lookup(self, address: int, cycle: int) -> Tuple[bool, int]:
+        """Tag-check ``address`` at ``cycle``.
+
+        Returns ``(hit, data_ready_cycle_if_hit)``. Misses are orchestrated by
+        the hierarchy, which calls :meth:`miss_start_cycle`,
+        :meth:`register_fill` and :meth:`fill`.
+        """
+        self.stats.accesses += 1
+        line = self.line_address(address)
+        if self._touch(line):
+            self.stats.hits += 1
+            return True, cycle + self.config.hit_latency
+        self.stats.misses += 1
+        return False, cycle

@@ -1,0 +1,157 @@
+"""Three-level cache hierarchy plus DRAM, per Table I.
+
+``load_access`` / ``store_access`` return the cycle at which the access
+completes, walking L1D -> L2 -> L3 -> memory with MSHR constraints at each
+level and filling lines on the way back. The IP-stride prefetcher trains on
+demand loads and installs prefetched lines into L1D with the latency of the
+level that provided them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.prefetcher import IPStridePrefetcher
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Cache/DRAM parameters. Defaults reproduce Table I (Alder Lake-like)."""
+
+    l1i: CacheConfig = CacheConfig(
+        name="L1I", size_bytes=32 * 1024, ways=8, hit_latency=4, mshrs=64
+    )
+    l1d: CacheConfig = CacheConfig(
+        name="L1D", size_bytes=48 * 1024, ways=12, hit_latency=5, mshrs=64
+    )
+    l2: CacheConfig = CacheConfig(
+        name="L2", size_bytes=1280 * 1024, ways=10, hit_latency=14, mshrs=64
+    )
+    l3: CacheConfig = CacheConfig(
+        name="L3", size_bytes=12 * 1024 * 1024, ways=12, hit_latency=36, mshrs=64
+    )
+    memory_latency: int = 100
+    prefetch_degree: int = 3
+
+    @staticmethod
+    def nehalem_like() -> "HierarchyConfig":
+        """Circa-2008 hierarchy for the generation study (Fig. 2)."""
+        return HierarchyConfig(
+            l1i=CacheConfig(
+                name="L1I", size_bytes=32 * 1024, ways=4, hit_latency=3, mshrs=16
+            ),
+            l1d=CacheConfig(
+                name="L1D", size_bytes=32 * 1024, ways=8, hit_latency=4, mshrs=16
+            ),
+            l2=CacheConfig(
+                name="L2", size_bytes=256 * 1024, ways=8, hit_latency=10, mshrs=32
+            ),
+            l3=CacheConfig(
+                name="L3", size_bytes=8 * 1024 * 1024, ways=16, hit_latency=35, mshrs=32
+            ),
+            memory_latency=120,
+            prefetch_degree=2,
+        )
+
+
+@dataclass
+class HierarchyStats:
+    loads: int = 0
+    stores: int = 0
+    prefetches: int = 0
+
+
+class MemoryHierarchy:
+    """L1D + L2 + L3 + fixed-latency DRAM with write-allocate stores."""
+
+    def __init__(self, config: Optional[HierarchyConfig] = None) -> None:
+        self.config = config or HierarchyConfig()
+        self.l1i = Cache(self.config.l1i)
+        self.l1d = Cache(self.config.l1d)
+        self.l2 = Cache(self.config.l2)
+        self.l3 = Cache(self.config.l3)
+        self.prefetcher = IPStridePrefetcher(degree=self.config.prefetch_degree)
+        self.stats = HierarchyStats()
+
+    @property
+    def levels(self) -> List[Cache]:
+        return [self.l1d, self.l2, self.l3]
+
+    def fetch_access(self, pc: int, cycle: int) -> int:
+        """Instruction fetch: L1I backed by the shared L2/L3.
+
+        Returns the cycle at which the fetch line is available. L1I hits are
+        free in the model (the hit latency is part of the front-end depth);
+        only misses delay dispatch.
+        """
+        hit, _ = self.l1i.lookup(pc, cycle)
+        if hit:
+            return cycle
+        line = self.l1i.line_address(pc)
+        start, merged = self.l1i.miss_start_cycle(line, cycle)
+        if merged is not None:
+            return merged
+        # Instruction misses refill from the shared L2/L3 (not the L1D).
+        ready = start + self.config.l1i.hit_latency
+        for cache in (self.l2, self.l3):
+            level_hit, level_ready = cache.lookup(pc, ready)
+            if level_hit:
+                ready = level_ready
+                break
+            ready += cache.config.hit_latency
+            cache.fill(pc)
+        else:
+            ready += self.config.memory_latency
+        self.l1i.register_fill(line, ready)
+        self.l1i.fill(pc)
+        return ready
+
+    def _access(self, address: int, cycle: int) -> int:
+        """Walk the hierarchy; return data-ready cycle, filling on the way back."""
+        levels = self.levels
+        missed: List[Cache] = []
+        ready = cycle
+        for depth, cache in enumerate(levels):
+            hit, hit_ready = cache.lookup(address, ready)
+            if hit:
+                ready = hit_ready
+                break
+            line = cache.line_address(address)
+            start, merged_ready = cache.miss_start_cycle(line, ready)
+            if merged_ready is not None:
+                # Another request already fetching this line: ride along.
+                ready = max(merged_ready, ready + cache.config.hit_latency)
+                break
+            missed.append(cache)
+            ready = start + cache.config.hit_latency  # tag-check before descending
+        else:
+            ready += self.config.memory_latency
+
+        # Fill missed levels top-down and register the in-flight window.
+        for cache in missed:
+            cache.register_fill(cache.line_address(address), ready)
+            cache.fill(address)
+        return ready
+
+    def load_access(self, pc: int, address: int, cycle: int) -> int:
+        """Demand load; trains the prefetcher. Returns data-ready cycle."""
+        self.stats.loads += 1
+        ready = self._access(address, cycle)
+        for prefetch_address in self.prefetcher.train(pc, address):
+            self.prefetch(prefetch_address, cycle)
+        return ready
+
+    def store_access(self, address: int, cycle: int) -> int:
+        """Store drain from the store buffer (write-allocate, write-back)."""
+        self.stats.stores += 1
+        return self._access(address, cycle)
+
+    def prefetch(self, address: int, cycle: int) -> None:
+        """Install a prefetched line into L1D (and lower levels) if absent."""
+        self.stats.prefetches += 1
+        if self.l1d.probe(address):
+            return
+        self.l1d.stats.prefetch_fills += 1
+        self._access(address, cycle)

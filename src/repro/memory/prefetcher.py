@@ -1,0 +1,78 @@
+"""IP-stride prefetcher with configurable degree (Table I: degree 3).
+
+Classic per-PC stride detection: each load PC trains an entry holding its last
+address and last stride; when the same stride is observed twice in a row, the
+entry becomes confident and issues ``degree`` prefetches ahead of the demand
+stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.bitops import mask
+
+
+@dataclass
+class _StrideEntry:
+    last_address: int
+    stride: int = 0
+    confidence: int = 0
+
+
+@dataclass
+class PrefetchStats:
+    trainings: int = 0
+    issued: int = 0
+
+
+class IPStridePrefetcher:
+    """Per-instruction-pointer stride prefetcher."""
+
+    def __init__(
+        self,
+        degree: int = 3,
+        table_entries: int = 256,
+        confidence_threshold: int = 2,
+        max_confidence: int = 3,
+    ) -> None:
+        if degree < 0:
+            raise ValueError(f"degree must be >= 0, got {degree}")
+        self.degree = degree
+        self._table_entries = table_entries
+        self._index_mask = mask((table_entries - 1).bit_length())
+        self._threshold = confidence_threshold
+        self._max_confidence = max_confidence
+        self._table: Dict[int, _StrideEntry] = {}
+        self.stats = PrefetchStats()
+
+    def _index(self, pc: int) -> int:
+        return pc & self._index_mask
+
+    def train(self, pc: int, address: int) -> List[int]:
+        """Observe a demand load; return addresses to prefetch (maybe empty)."""
+        self.stats.trainings += 1
+        index = self._index(pc)
+        entry = self._table.get(index)
+        if entry is None:
+            self._table[index] = _StrideEntry(last_address=address)
+            return []
+
+        stride = address - entry.last_address
+        if stride == entry.stride and stride != 0:
+            entry.confidence = min(self._max_confidence, entry.confidence + 1)
+        else:
+            entry.confidence = max(0, entry.confidence - 1)
+            entry.stride = stride
+        entry.last_address = address
+
+        if entry.confidence < self._threshold or entry.stride == 0:
+            return []
+        prefetches = [
+            address + entry.stride * distance
+            for distance in range(1, self.degree + 1)
+            if address + entry.stride * distance >= 0
+        ]
+        self.stats.issued += len(prefetches)
+        return prefetches

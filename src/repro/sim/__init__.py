@@ -1,0 +1,20 @@
+"""Simulation orchestration: one-call runs, metrics, and experiment grids."""
+
+from repro.sim.metrics import SimResult
+from repro.sim.simulator import (
+    DEFAULT_NUM_OPS,
+    PREDICTOR_FACTORIES,
+    make_predictor,
+    simulate,
+)
+from repro.sim.experiment import ExperimentGrid, normalize_to_ideal
+
+__all__ = [
+    "SimResult",
+    "simulate",
+    "make_predictor",
+    "PREDICTOR_FACTORIES",
+    "DEFAULT_NUM_OPS",
+    "ExperimentGrid",
+    "normalize_to_ideal",
+]

@@ -1,0 +1,105 @@
+"""Experiment grids with in-process memoisation.
+
+Every figure in the paper is a (workload x predictor x configuration) sweep;
+:class:`ExperimentGrid` runs those cells once and caches the results, so a
+benchmark session that regenerates several figures does not re-simulate
+shared cells (e.g. the ideal baseline appears in Figs. 2, 6, 7, 11-15).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.stats import geometric_mean
+from repro.core.config import CoreConfig
+from repro.mdp.base import MDPredictor
+from repro.sim.metrics import SimResult
+from repro.sim.simulator import DEFAULT_NUM_OPS, make_predictor, simulate
+
+
+def normalize_to_ideal(
+    results: Dict[str, SimResult], ideal: Dict[str, SimResult]
+) -> Dict[str, float]:
+    """Per-workload IPC normalised to the ideal predictor's IPC."""
+    normalised = {}
+    for name, result in results.items():
+        baseline = ideal[name]
+        normalised[name] = result.ipc / baseline.ipc
+    return normalised
+
+
+class ExperimentGrid:
+    """Memoised (workload, predictor, core, length) simulation runner."""
+
+    def __init__(self, num_ops: Optional[int] = None) -> None:
+        self.num_ops = num_ops or DEFAULT_NUM_OPS
+        self._cache: Dict[Tuple[str, str, str, int], SimResult] = {}
+
+    def run(
+        self,
+        workload_name: str,
+        predictor: str,
+        config: Optional[CoreConfig] = None,
+        predictor_factory: Optional[Callable[[], MDPredictor]] = None,
+        num_ops: Optional[int] = None,
+    ) -> SimResult:
+        """Run one cell, or return its cached result.
+
+        ``predictor`` is the cache label; ``predictor_factory`` overrides how
+        the instance is built (for parameter sweeps where the label encodes
+        the variant, e.g. ``"unlimited-nosq-h12"``).
+        """
+        core = config or CoreConfig()
+        length = num_ops or self.num_ops
+        key = (workload_name, predictor, core.name + (
+            "" if core.forwarding_filter else "-nofwd"
+        ), length)
+        if key not in self._cache:
+            instance = (
+                predictor_factory() if predictor_factory else make_predictor(predictor)
+            )
+            self._cache[key] = simulate(
+                workload_name, instance, config=core, num_ops=length
+            )
+        return self._cache[key]
+
+    def run_suite(
+        self,
+        workloads: Iterable[str],
+        predictor: str,
+        config: Optional[CoreConfig] = None,
+        predictor_factory: Optional[Callable[[], MDPredictor]] = None,
+    ) -> Dict[str, SimResult]:
+        """Run a predictor over many workloads; returns workload -> result."""
+        return {
+            name: self.run(name, predictor, config, predictor_factory)
+            for name in workloads
+        }
+
+    def mean_normalized_ipc(
+        self,
+        workloads: List[str],
+        predictor: str,
+        config: Optional[CoreConfig] = None,
+        predictor_factory: Optional[Callable[[], MDPredictor]] = None,
+    ) -> float:
+        """Geometric-mean IPC normalised to the ideal predictor (paper metric)."""
+        results = self.run_suite(workloads, predictor, config, predictor_factory)
+        ideal = self.run_suite(workloads, "ideal", config)
+        return geometric_mean(list(normalize_to_ideal(results, ideal).values()))
+
+    def mean_mpki(
+        self,
+        workloads: List[str],
+        predictor: str,
+        config: Optional[CoreConfig] = None,
+        predictor_factory: Optional[Callable[[], MDPredictor]] = None,
+    ) -> Tuple[float, float]:
+        """(mean violation MPKI, mean false-positive MPKI) over workloads."""
+        results = self.run_suite(workloads, predictor, config, predictor_factory)
+        violations = [result.violation_mpki for result in results.values()]
+        false_positives = [result.false_positive_mpki for result in results.values()]
+        return (
+            sum(violations) / len(violations),
+            sum(false_positives) / len(false_positives),
+        )

@@ -1,0 +1,52 @@
+"""Result records produced by a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.pipeline import PipelineStats
+from repro.mdp.base import MDPStats
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Everything measured from one (workload, predictor, core) run."""
+
+    workload: str
+    predictor: str
+    core: str
+    pipeline: PipelineStats
+    mdp: MDPStats
+    paths_tracked: Optional[int] = None  # unlimited predictors only
+
+    @property
+    def ipc(self) -> float:
+        return self.pipeline.ipc
+
+    @property
+    def violation_mpki(self) -> float:
+        """False negatives: memory-order violations per kilo-instruction."""
+        return self.pipeline.violation_mpki
+
+    @property
+    def false_positive_mpki(self) -> float:
+        """False dependences (unnecessary stalls) per kilo-instruction."""
+        return self.pipeline.false_positive_mpki
+
+    @property
+    def total_mdp_mpki(self) -> float:
+        return self.pipeline.total_mdp_mpki
+
+    @property
+    def branch_mpki(self) -> float:
+        return self.pipeline.branch_mpki
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        paths = f" paths={self.paths_tracked}" if self.paths_tracked is not None else ""
+        return (
+            f"{self.workload:<18} {self.predictor:<16} IPC={self.ipc:5.2f} "
+            f"violMPKI={self.violation_mpki:6.3f} fpMPKI={self.false_positive_mpki:6.3f}"
+            f"{paths}"
+        )

@@ -1,0 +1,130 @@
+"""One-call simulation entry point.
+
+``simulate("511.povray", "phast")`` builds the workload trace (cached), the
+Alder Lake-like core, the TAGE front end and the named predictor, runs the
+pipeline and returns a :class:`~repro.sim.metrics.SimResult`.
+
+Trace length defaults to :data:`DEFAULT_NUM_OPS` and can be raised globally
+with the ``REPRO_TRACE_OPS`` environment variable for higher-fidelity runs
+(the paper simulates 100M-instruction intervals; these profiles are
+stationary, so tens of thousands of micro-ops reach steady state).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.core.config import CoreConfig
+from repro.core.pipeline import Pipeline
+from repro.frontend.branch_predictors import BranchPredictor
+from repro.frontend.tage import TAGEPredictor
+from repro.isa.trace import Trace
+from repro.mdp.base import MDPredictor
+from repro.mdp.cht import CHTPredictor
+from repro.mdp.ideal import AlwaysSpeculatePredictor, AlwaysWaitPredictor, IdealPredictor
+from repro.mdp.mdp_tage import MDPTagePredictor
+from repro.mdp.nosq import NoSQPredictor
+from repro.mdp.omnipredictor import OmniPredictor
+from repro.mdp.perceptron import PerceptronMDPredictor
+from repro.mdp.phast import PHASTPredictor
+from repro.mdp.store_sets import StoreSetsPredictor
+from repro.mdp.store_vector import StoreVectorPredictor
+from repro.mdp.unlimited import (
+    UnlimitedMDPTagePredictor,
+    UnlimitedNoSQPredictor,
+    UnlimitedPHASTPredictor,
+)
+from repro.sim.metrics import SimResult
+from repro.workloads.generator import WorkloadProfile, build_trace
+from repro.workloads.spec2017 import workload
+
+#: Default dynamic trace length; override with REPRO_TRACE_OPS.
+DEFAULT_NUM_OPS: int = int(os.environ.get("REPRO_TRACE_OPS", "30000"))
+
+#: Default warm-up exclusion (ops whose statistics are discarded);
+#: override with REPRO_WARMUP_OPS for steady-state measurements.
+DEFAULT_WARMUP_OPS: int = int(os.environ.get("REPRO_WARMUP_OPS", "0"))
+
+#: Named predictor factories (fresh instance per call).
+PREDICTOR_FACTORIES: Dict[str, Callable[[], MDPredictor]] = {
+    "ideal": IdealPredictor,
+    "always-speculate": AlwaysSpeculatePredictor,
+    "always-wait": AlwaysWaitPredictor,
+    "store-sets": StoreSetsPredictor,
+    "store-vector": StoreVectorPredictor,
+    "cht": CHTPredictor,
+    "nosq": NoSQPredictor,
+    "mdp-tage": MDPTagePredictor,
+    "mdp-tage-s": MDPTagePredictor.tage_s,
+    "phast": PHASTPredictor,
+    "perceptron-mdp": PerceptronMDPredictor,
+    "omnipredictor": OmniPredictor,
+    "unlimited-phast": UnlimitedPHASTPredictor,
+    "unlimited-nosq": UnlimitedNoSQPredictor,
+    "unlimited-mdp-tage": UnlimitedMDPTagePredictor,
+}
+
+_TRACE_CACHE: Dict[Tuple[str, int], Trace] = {}
+
+
+def make_predictor(name: str) -> MDPredictor:
+    """Instantiate a predictor by registry name."""
+    try:
+        factory = PREDICTOR_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown predictor {name!r}; available: {', '.join(sorted(PREDICTOR_FACTORIES))}"
+        ) from None
+    return factory()
+
+
+def get_trace(profile: Union[str, WorkloadProfile], num_ops: int) -> Trace:
+    """Build (or fetch from cache) the deterministic trace for a profile."""
+    if isinstance(profile, str):
+        profile = workload(profile)
+    key = (profile.name, num_ops)
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = build_trace(profile, num_ops)
+    return _TRACE_CACHE[key]
+
+
+def clear_trace_cache() -> None:
+    _TRACE_CACHE.clear()
+
+
+def simulate(
+    profile: Union[str, WorkloadProfile],
+    predictor: Union[str, MDPredictor],
+    config: Optional[CoreConfig] = None,
+    num_ops: Optional[int] = None,
+    branch_predictor: Optional[BranchPredictor] = None,
+    warmup_ops: Optional[int] = None,
+) -> SimResult:
+    """Run one (workload, predictor, core) simulation and return its result.
+
+    ``warmup_ops`` micro-ops execute (training predictors and warming caches)
+    but are excluded from every statistic — the steady-state methodology.
+    """
+    core_config = config or CoreConfig()
+    if isinstance(predictor, str):
+        predictor = make_predictor(predictor)
+    trace = get_trace(profile, num_ops or DEFAULT_NUM_OPS)
+    pipeline = Pipeline(
+        config=core_config,
+        predictor=predictor,
+        branch_predictor=branch_predictor or TAGEPredictor(),
+    )
+    stats = pipeline.run(
+        trace,
+        warmup_ops=DEFAULT_WARMUP_OPS if warmup_ops is None else warmup_ops,
+    )
+    paths = getattr(predictor, "paths_tracked", None)
+    return SimResult(
+        workload=trace.name,
+        predictor=predictor.name,
+        core=core_config.name,
+        pipeline=stats,
+        mdp=predictor.stats,
+        paths_tracked=paths,
+    )

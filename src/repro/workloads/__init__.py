@@ -1,0 +1,27 @@
+"""Synthetic workload generation.
+
+SPEC CPU 2017 traces are not redistributable, so this package rebuilds the
+*memory-dependence character* of the suite from parameterised "motifs" — code
+fragments that produce specific predictor-relevant patterns (path-dependent
+conflicts, stable conflicts, data-dependent occasional conflicts, multi-store
+writes, late-resolving store addresses, branchy filler). Each of the paper's
+applications is approximated by a :class:`~repro.workloads.generator.WorkloadProfile`
+mixing those motifs with parameters chosen from the paper's per-application
+observations (Sec. VI). DESIGN.md §1 documents this substitution.
+"""
+
+from repro.workloads.layout import AddressRegion, LayoutContext, PCAllocator, RegisterAllocator
+from repro.workloads.generator import WorkloadProfile, build_trace
+from repro.workloads.spec2017 import SPEC_PROFILES, spec_suite, workload
+
+__all__ = [
+    "AddressRegion",
+    "LayoutContext",
+    "PCAllocator",
+    "RegisterAllocator",
+    "WorkloadProfile",
+    "build_trace",
+    "SPEC_PROFILES",
+    "spec_suite",
+    "workload",
+]

@@ -1,0 +1,125 @@
+"""Static layout allocation for synthetic programs.
+
+Motifs allocate their *static* resources once — instruction addresses (PCs),
+private architectural registers, and data regions — and then replay dynamic
+activations over that fixed layout. Fixed PCs are what make the workload
+learnable: every memory dependence predictor in the paper is trained per
+static load/store (and per path), so a motif's dynamic instances must share
+static identity exactly like iterations of a real loop body do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.rng import DeterministicRNG
+
+#: Registers 0..3 are never written: operands in them are ready immediately
+#: (architectural zero / constants / stack pointer stand-ins).
+NUM_READY_REGS = 4
+
+
+class PCAllocator:
+    """Hands out unique static instruction addresses, 4 bytes apart."""
+
+    def __init__(self, base: int = 0x40_0000) -> None:
+        self._next = base
+
+    def fresh(self) -> int:
+        pc = self._next
+        self._next += 4
+        return pc
+
+    def fresh_block(self, count: int) -> List[int]:
+        return [self.fresh() for _ in range(count)]
+
+
+class RegisterAllocator:
+    """Hands out architectural registers from the writable pool.
+
+    When the pool is exhausted, allocation wraps around. Re-used registers
+    create occasional cross-motif read-after-write timing edges — harmless
+    realistic register-pressure noise (values are not simulated, only
+    readiness cycles are).
+    """
+
+    def __init__(self, num_regs: int) -> None:
+        if num_regs <= NUM_READY_REGS + 1:
+            raise ValueError(f"need more than {NUM_READY_REGS + 1} registers")
+        self._num_regs = num_regs
+        self._next = NUM_READY_REGS
+
+    @property
+    def ready_reg(self) -> int:
+        """A register that is always ready (never written)."""
+        return 0
+
+    def fresh(self) -> int:
+        reg = self._next
+        self._next += 1
+        if self._next >= self._num_regs:
+            self._next = NUM_READY_REGS
+        return reg
+
+    def fresh_block(self, count: int) -> List[int]:
+        return [self.fresh() for _ in range(count)]
+
+
+@dataclass(frozen=True)
+class AddressRegion:
+    """A contiguous chunk of the synthetic address space."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size <= 0:
+            raise ValueError(f"bad region base={self.base:#x} size={self.size}")
+
+    def slot(self, index: int, access_size: int) -> int:
+        """Deterministic aligned address for logical slot ``index``."""
+        offset = (index * access_size) % self.size
+        return self.base + (offset // access_size) * access_size
+
+    def random_aligned(self, rng: DeterministicRNG, access_size: int) -> int:
+        """Uniform aligned address inside the region."""
+        slots = self.size // access_size
+        if slots <= 0:
+            raise ValueError(f"region too small for {access_size}-byte access")
+        return self.base + rng.randint(0, slots - 1) * access_size
+
+
+class AddressSpaceAllocator:
+    """Carves disjoint regions out of a flat data address space.
+
+    Regions are 4 KiB aligned so distinct motifs never share cache lines by
+    accident, which would add (realistic but confounding) accidental
+    conflicts.
+    """
+
+    def __init__(self, base: int = 0x10_0000_0000) -> None:
+        self._next = base
+
+    def region(self, size: int) -> AddressRegion:
+        aligned = (size + 0xFFF) & ~0xFFF
+        region = AddressRegion(base=self._next, size=aligned)
+        self._next += aligned + 0x1000  # guard page between regions
+        return region
+
+
+@dataclass
+class LayoutContext:
+    """Everything a motif needs to allocate its static layout."""
+
+    pcs: PCAllocator
+    regs: RegisterAllocator
+    memory: AddressSpaceAllocator
+
+    @staticmethod
+    def fresh(num_regs: int = 512) -> "LayoutContext":
+        return LayoutContext(
+            pcs=PCAllocator(),
+            regs=RegisterAllocator(num_regs),
+            memory=AddressSpaceAllocator(),
+        )

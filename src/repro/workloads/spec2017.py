@@ -1,0 +1,472 @@
+"""SPEC CPU 2017-like workload profiles.
+
+Each profile approximates one application/input pair from the paper's
+evaluation. Parameters encode the per-application observations reported in
+Sec. VI:
+
+* 502.gcc inputs: the highest path counts of the suite, plus occasional
+  dependences that are not path dependent (cold-miss-dominated violations).
+* 541.leela / 510.parest / 544.nab: data-dependent occasional conflicts —
+  the main false-positive source for PHAST.
+* 511.povray: dependences tightly tied to branch history through an indirect
+  branch with a handful of targets (the Sec. III-C example: PHAST resolves it
+  with a 2-branch history).
+* 500.perlbench_3: multiple in-flight instances of the same static store —
+  the Store Sets serialisation weakness.
+* 503.bwaves (0.25% of loads) and 525.x264_3: loads whose bytes come from
+  several narrow stores (Fig. 4).
+* 531.deepsjeng / 527.cam4 / 526.blender: deep path-sensitive dependences.
+* FP/streaming codes (lbm, wrf, fotonik3d, roms, imagick, namd, cactuBSSN):
+  few conflicts, predictable branches.
+
+Trace-length note: where the paper simulates 100M-instruction SimPoint
+intervals, these profiles are stationary by construction, so much shorter
+traces reach steady state; cold-start effects shrink with length exactly as
+the paper's cold misses do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.workloads.generator import MotifSpec, WorkloadProfile
+
+
+def _filler(
+    weight: float,
+    noise: float,
+    load_fraction: float = 0.25,
+    footprint: int = 64 * 1024,
+    fp_fraction: float = 0.1,
+    biased_taken_prob: float = 0.92,
+    replicas: int = 4,
+    access_pattern: str = "stride",
+) -> MotifSpec:
+    return MotifSpec(
+        "filler",
+        weight,
+        {
+            "random_branch_prob": noise,
+            "load_fraction": load_fraction,
+            "footprint": footprint,
+            "fp_fraction": fp_fraction,
+            "biased_taken_prob": biased_taken_prob,
+            "access_pattern": access_pattern,
+        },
+        replicas=replicas,
+    )
+
+
+def _fp_filler(weight: float, noise: float = 0.05, footprint: int = 8 * 1024 * 1024) -> MotifSpec:
+    return _filler(
+        weight,
+        noise,
+        load_fraction=0.35,
+        footprint=footprint,
+        fp_fraction=0.45,
+        biased_taken_prob=0.97,
+    )
+
+
+def _stable(
+    weight: float,
+    distance: int = 0,
+    footprint: int = 2 * 1024 * 1024,
+    replicas: int = 4,
+) -> MotifSpec:
+    return MotifSpec(
+        "stable",
+        weight,
+        {"distance": distance, "setup_footprint": footprint},
+        replicas=replicas,
+    )
+
+
+def _path(
+    weight: float,
+    distances,
+    inter: int,
+    indirect: bool = False,
+    conflict_prob: float = 1.0,
+    footprint: int = 2 * 1024 * 1024,
+    herald_bits: int = 0,
+    persistence: float = 0.6,
+    replicas: int = 4,
+) -> MotifSpec:
+    if indirect and herald_bits == 0:
+        # Real indirect dispatches are preceded by correlated type/range
+        # checks (a switch's bounds tests); give conditional-history
+        # predictors full visibility of the path through them — NoSQ's
+        # handicap should be its fixed 8-bit window, not blindness.
+        herald_bits = max(1, (len(tuple(distances)) - 1).bit_length())
+    return MotifSpec(
+        "path",
+        weight,
+        {
+            "distances": tuple(distances),
+            "inter_branches": inter,
+            "indirect": indirect,
+            "conflict_prob": conflict_prob,
+            "setup_footprint": footprint,
+            "herald_bits": herald_bits,
+            "persistence": persistence,
+        },
+        replicas=replicas,
+    )
+
+
+def _data_dep(
+    weight: float,
+    slots: int = 4,
+    distance: int = 0,
+    footprint: int = 128 * 1024,
+    replicas: int = 4,
+) -> MotifSpec:
+    return MotifSpec(
+        "data_dependent",
+        weight,
+        {"address_slots": slots, "distance": distance, "setup_footprint": footprint},
+        replicas=replicas,
+    )
+
+
+def _spill(weight: float, swap_prob: float = 0.25, replicas: int = 4) -> MotifSpec:
+    return MotifSpec("spill_churn", weight, {"swap_prob": swap_prob}, replicas=replicas)
+
+
+def _overwrite(weight: float, replicas: int = 4) -> MotifSpec:
+    """The Fig. 3c initialise-then-update pattern driving the FWD filter."""
+    return MotifSpec("overwrite", weight, {}, replicas=replicas)
+
+
+def _multi_store(weight: float, num_stores: int = 8, replicas: int = 2) -> MotifSpec:
+    return MotifSpec(
+        "multi_store", weight, {"num_stores": num_stores}, replicas=replicas
+    )
+
+
+def _store_set_stress(weight: float, iterations: int = 4, replicas: int = 4) -> MotifSpec:
+    return MotifSpec(
+        "store_set_stress", weight, {"iterations": iterations}, replicas=replicas
+    )
+
+
+def _call_heavy(
+    weight: float, sites: int = 2, distance: int = 0, replicas: int = 4
+) -> MotifSpec:
+    return MotifSpec(
+        "call_heavy",
+        weight,
+        {"num_call_sites": sites, "distance": distance},
+        replicas=replicas,
+    )
+
+
+def _profile(name: str, seed: int, description: str, *motifs: MotifSpec) -> WorkloadProfile:
+    return WorkloadProfile(name=name, seed=seed, description=description, motifs=motifs)
+
+
+def _make_profiles() -> Dict[str, WorkloadProfile]:
+    profiles = [
+        _profile(
+            "500.perlbench_1",
+            101,
+            "interpreter loop: mixed stable and shallow path-dependent conflicts",
+            _filler(28, 0.25),
+            _path(0.6, (0, 2), inter=1),
+            _stable(0.4, distance=1),
+            _call_heavy(0.3, sites=2),
+            _spill(0.3),
+            _store_set_stress(0.3, iterations=5),
+            _overwrite(0.35),
+        ),
+        _profile(
+            "500.perlbench_2",
+            102,
+            "regex engine: many paths through indirect dispatch",
+            _filler(28, 0.3),
+            _path(0.5, (0, 1, 2, 3, 4, 5, 6, 7), inter=3, indirect=True, replicas=12),
+            _path(0.4, (1, 3), inter=3, replicas=8),
+            _call_heavy(0.3, sites=3),
+            _store_set_stress(0.25, iterations=4),
+        ),
+        _profile(
+            "500.perlbench_3",
+            103,
+            "tight interpreter loop: several in-flight instances of one store",
+            _filler(22.4, 0.3),
+            _store_set_stress(0.9, iterations=6),
+            _stable(0.3, distance=0),
+        ),
+        _profile(
+            "502.gcc_1",
+            111,
+            "compiler: extreme path counts plus occasional data-dependent conflicts",
+            _filler(25.2, 0.35, load_fraction=0.3),
+            _path(0.5, (0, 1, 2, 3, 4, 5, 6, 7), inter=5, indirect=True, replicas=16),
+            _path(0.4, (0, 2), inter=5, replicas=12),
+            _data_dep(0.2, slots=8, replicas=8),
+            _store_set_stress(0.25, iterations=4),
+        ),
+        _profile(
+            "502.gcc_2",
+            112,
+            "compiler: deep path-dependent conflicts, heavy branch noise",
+            _filler(25.2, 0.35, load_fraction=0.3),
+            _path(0.5, (0, 1, 2, 3), inter=7, indirect=True, replicas=16),
+            _path(0.4, (1, 4), inter=7, replicas=12),
+            _path(0.2, (0, 3), inter=11, replicas=6),
+            _data_dep(0.15, slots=8, replicas=8),
+            _spill(0.3, replicas=6),
+        ),
+        _profile(
+            "502.gcc_3",
+            113,
+            "compiler: mixed depth paths and data-dependent conflicts",
+            _filler(25.2, 0.32, load_fraction=0.3),
+            _path(0.5, (0, 1, 2, 3, 4, 5), inter=3, indirect=True, replicas=16),
+            _data_dep(0.25, slots=6, replicas=8),
+            _stable(0.2, distance=2, replicas=8),
+            _store_set_stress(0.2, iterations=4),
+            _overwrite(0.25, replicas=6),
+        ),
+        _profile(
+            "502.gcc_4",
+            114,
+            "compiler: moderate path behaviour",
+            _filler(28, 0.3, load_fraction=0.3),
+            _path(0.5, (0, 3), inter=3),
+            _data_dep(0.15, slots=6),
+            _spill(0.3, swap_prob=0.3),
+        ),
+        _profile(
+            "502.gcc_5",
+            115,
+            "compiler: very many shallow paths",
+            _filler(25.2, 0.35, load_fraction=0.3),
+            _path(0.6, (0, 1, 2, 3, 4, 5, 6, 7), inter=1, indirect=True, replicas=20),
+            _path(0.3, (0, 1), inter=5, replicas=8),
+            _data_dep(0.15, slots=8, replicas=8),
+            _store_set_stress(0.2, iterations=4),
+        ),
+        _profile(
+            "503.bwaves",
+            121,
+            "FP stencil: rare multi-store wide loads, in-order writers",
+            _fp_filler(33.6),
+            _multi_store(0.22, num_stores=8),
+            _stable(0.1, distance=0),
+        ),
+        _profile(
+            "505.mcf",
+            131,
+            "pointer chasing: memory bound, few stable conflicts",
+            _filler(28, 0.22, load_fraction=0.45, footprint=32 * 1024 * 1024, access_pattern="random"),
+            _stable(0.25, distance=0, footprint=16 * 1024 * 1024),
+            _store_set_stress(0.2, iterations=4),
+            _overwrite(0.2),
+        ),
+        _profile(
+            "507.cactuBSSN",
+            141,
+            "FP PDE solver: predictable, almost conflict-free",
+            _fp_filler(39.2),
+            _stable(0.08, distance=1),
+        ),
+        _profile(
+            "508.namd",
+            151,
+            "FP molecular dynamics: conflict-light",
+            _fp_filler(39.2, noise=0.1),
+            _stable(0.1, distance=0),
+        ),
+        _profile(
+            "510.parest",
+            161,
+            "FE solver: data-dependent occasional conflicts (false-positive heavy)",
+            _filler(25.2, 0.25, fp_fraction=0.3),
+            _data_dep(0.35, slots=4),
+            _data_dep(0.2, slots=3, distance=1),
+            _stable(0.2, distance=0),
+        ),
+        _profile(
+            "511.povray",
+            171,
+            "ray tracer: dependences tied to an indirect branch (Sec. III-C example)",
+            _filler(28, 0.3, fp_fraction=0.25),
+            _path(0.8, (0, 1, 2), inter=1, indirect=True),
+            _stable(0.25, distance=0),
+        ),
+        _profile(
+            "519.lbm",
+            181,
+            "FP streaming: essentially no memory dependences",
+            _fp_filler(44.8, footprint=32 * 1024 * 1024),
+            _stable(0.04, distance=0),
+        ),
+        _profile(
+            "520.omnetpp",
+            191,
+            "discrete event simulator: pointer-heavy, shallow path conflicts",
+            _filler(25.2, 0.25, load_fraction=0.4, footprint=16 * 1024 * 1024, access_pattern="random"),
+            _path(0.5, (0, 1), inter=1, replicas=8),
+            _data_dep(0.15, slots=5, replicas=6),
+            _call_heavy(0.3, sites=3, replicas=6),
+            _spill(0.35, replicas=6),
+            _store_set_stress(0.3, iterations=4),
+            _overwrite(0.3),
+        ),
+        _profile(
+            "521.wrf",
+            201,
+            "FP weather model: conflict-light",
+            _fp_filler(39.2),
+            _stable(0.1, distance=1),
+        ),
+        _profile(
+            "523.xalancbmk",
+            211,
+            "XSLT processor: call-heavy with path-dependent conflicts",
+            _filler(25.2, 0.25),
+            _call_heavy(0.5, sites=4, distance=1, replicas=8),
+            _path(0.5, (0, 2), inter=3, replicas=8),
+            _stable(0.2, distance=0),
+            _spill(0.4, swap_prob=0.2, replicas=6),
+            _store_set_stress(0.25, iterations=4),
+            _overwrite(0.3),
+        ),
+        _profile(
+            "525.x264_1",
+            221,
+            "video encoder: stable plus shallow path conflicts",
+            _filler(28, 0.3, fp_fraction=0.2),
+            _stable(0.4, distance=0),
+            _path(0.3, (0, 1), inter=1),
+            _store_set_stress(0.25, iterations=5),
+            _overwrite(0.35),
+        ),
+        _profile(
+            "525.x264_2",
+            222,
+            "video encoder: stable conflicts at moderate distance",
+            _filler(28, 0.3, fp_fraction=0.2),
+            _stable(0.4, distance=2),
+            _path(0.3, (1, 2), inter=1),
+            _store_set_stress(0.25, iterations=5),
+        ),
+        _profile(
+            "525.x264_3",
+            223,
+            "video encoder: 8x1-byte stores feeding 8-byte loads (Sec. III-A)",
+            _filler(28, 0.3, fp_fraction=0.2),
+            _multi_store(0.35, num_stores=8),
+            _stable(0.3, distance=0),
+            _overwrite(0.3),
+        ),
+        _profile(
+            "526.blender",
+            231,
+            "renderer: many deep paths",
+            _filler(25.2, 0.3, fp_fraction=0.3),
+            _path(0.5, (0, 1, 2, 3), inter=5, indirect=True, replicas=12),
+            _path(0.3, (0, 2), inter=5, replicas=8),
+            _path(0.15, (1, 2), inter=11, replicas=4),
+            _data_dep(0.1, slots=6, replicas=6),
+            _store_set_stress(0.2, iterations=4),
+        ),
+        _profile(
+            "527.cam4",
+            241,
+            "FP climate model: many deep paths despite FP character",
+            _fp_filler(28, noise=0.25),
+            _path(0.4, (0, 1), inter=7, replicas=10),
+            _path(0.3, (0, 1, 2, 3), inter=7, indirect=True, replicas=10),
+            _path(0.15, (0, 2), inter=15, replicas=4),
+        ),
+        _profile(
+            "531.deepsjeng",
+            251,
+            "chess search: deeply path-sensitive dependences",
+            _filler(25.2, 0.32),
+            _path(0.5, (0, 2), inter=5, replicas=8),
+            _path(0.4, (1, 3), inter=7, replicas=8),
+            _data_dep(0.1, slots=5, replicas=4),
+            _spill(0.2),
+        ),
+        _profile(
+            "538.imagick",
+            261,
+            "image processing: regular FP, conflict-light",
+            _fp_filler(42),
+            _stable(0.06, distance=0),
+        ),
+        _profile(
+            "541.leela",
+            271,
+            "go engine: data-dependent conflicts with few paths",
+            _filler(25.2, 0.28),
+            _data_dep(0.4, slots=6),
+            _data_dep(0.2, slots=5, distance=2),
+            _path(0.15, (0, 1), inter=2),
+        ),
+        _profile(
+            "544.nab",
+            281,
+            "FP molecular modelling: occasional data-dependent conflicts",
+            _fp_filler(30.8, noise=0.2),
+            _data_dep(0.225, slots=3),
+        ),
+        _profile(
+            "548.exchange2",
+            291,
+            "branch-dense integer puzzle: no memory conflicts",
+            _filler(33.6, 0.2, load_fraction=0.12, footprint=16 * 1024),
+            _filler(16.8, 0.3, load_fraction=0.1, footprint=16 * 1024),
+        ),
+        _profile(
+            "549.fotonik3d",
+            301,
+            "FP electromagnetics: streaming, conflict-light",
+            _fp_filler(42, footprint=16 * 1024 * 1024),
+            _stable(0.05, distance=0),
+        ),
+        _profile(
+            "554.roms",
+            311,
+            "FP ocean model: streaming, conflict-light",
+            _fp_filler(42, footprint=16 * 1024 * 1024),
+            _stable(0.06, distance=1),
+        ),
+        _profile(
+            "557.xz",
+            321,
+            "compressor: stable and data-dependent conflicts",
+            _filler(28, 0.22, load_fraction=0.35),
+            _stable(0.4, distance=2, replicas=6),
+            _data_dep(0.15, slots=5, replicas=6),
+            _path(0.2, (0, 1), inter=1, replicas=6),
+            _spill(0.25),
+            _store_set_stress(0.2, iterations=5),
+            _overwrite(0.25),
+        ),
+    ]
+    return {profile.name: profile for profile in profiles}
+
+
+SPEC_PROFILES: Dict[str, WorkloadProfile] = _make_profiles()
+
+
+def spec_suite(subset: Optional[int] = None) -> List[str]:
+    """Workload names in suite order; ``subset`` truncates for quick runs."""
+    names = sorted(SPEC_PROFILES)
+    return names[:subset] if subset else names
+
+
+def workload(name: str) -> WorkloadProfile:
+    """Look up a profile by name, with a helpful error."""
+    try:
+        return SPEC_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(SPEC_PROFILES))}"
+        ) from None

@@ -1,0 +1,82 @@
+"""Tests for ASCII charts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, sparkline
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        chart = bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("█") == 10  # b is the max -> full bar
+        assert lines[0].count("█") == 5
+
+    def test_title(self):
+        chart = bar_chart([("a", 1.0)], title="Fig. 9")
+        assert chart.splitlines()[0] == "Fig. 9"
+
+    def test_explicit_max(self):
+        chart = bar_chart([("a", 1.0)], width=10, max_value=2.0)
+        assert chart.count("█") == 5
+
+    def test_unit_suffix(self):
+        assert "KB" in bar_chart([("a", 1.0)], unit="KB")
+
+    def test_zero_values(self):
+        chart = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "█" not in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([("a", -1.0)])
+
+    @given(
+        st.lists(
+            st.tuples(st.text("ab", min_size=1, max_size=5),
+                      st.floats(0, 1000)),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(5, 60),
+    )
+    def test_bars_never_exceed_width(self, items, width):
+        chart = bar_chart(items, width=width)
+        for line in chart.splitlines():
+            assert line.count("█") <= width
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestGroupedBarChart:
+    def test_structure(self):
+        chart = grouped_bar_chart(
+            {"povray": {"phast": 0.99, "nosq": 0.95}},
+            title="Fig. 15",
+        )
+        assert "povray:" in chart
+        assert "phast" in chart and "nosq" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart({})

@@ -1,0 +1,76 @@
+"""Tests for JSON result export."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    dump_results,
+    load_records,
+    records_to_csv,
+    result_to_dict,
+    results_to_records,
+)
+from repro.sim.simulator import simulate
+
+
+@pytest.fixture(scope="module")
+def results():
+    return [
+        simulate("511.povray", "phast", num_ops=2000),
+        simulate("511.povray", "unlimited-phast", num_ops=2000),
+    ]
+
+
+class TestResultToDict:
+    def test_top_level_fields(self, results):
+        record = result_to_dict(results[0])
+        assert record["workload"] == "511.povray"
+        assert record["predictor"] == "phast"
+        assert record["ipc"] > 0
+        assert record["pipeline"]["committed_uops"] == 2000
+        assert "table_reads" in record["mdp"]
+
+    def test_paths_only_for_unlimited(self, results):
+        assert result_to_dict(results[0])["paths_tracked"] is None
+        assert result_to_dict(results[1])["paths_tracked"] is not None
+
+    def test_json_safe(self, results):
+        json.dumps(result_to_dict(results[0]))  # must not raise
+
+
+class TestDumpLoad:
+    def test_roundtrip_stream(self, results):
+        buffer = io.StringIO()
+        dump_results(results, buffer)
+        buffer.seek(0)
+        records = load_records(buffer)
+        assert len(records) == 2
+        assert records[0]["predictor"] == "phast"
+
+    def test_roundtrip_file(self, results, tmp_path):
+        path = tmp_path / "results.json"
+        dump_results(results, path)
+        assert len(load_records(path)) == 2
+
+    def test_non_array_rejected(self):
+        with pytest.raises(ValueError):
+            load_records(io.StringIO('{"not": "an array"}'))
+
+
+class TestCSV:
+    def test_header_and_rows(self, results):
+        csv = records_to_csv(results_to_records(results))
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("workload,predictor")
+        assert len(lines) == 3
+        assert "511.povray" in lines[1]
+
+    def test_nested_dicts_excluded(self, results):
+        csv = records_to_csv(results_to_records(results))
+        assert "pipeline" not in csv.splitlines()[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            records_to_csv([])

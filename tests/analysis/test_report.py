@@ -1,0 +1,37 @@
+"""Tests for the text table renderer."""
+
+import pytest
+
+from repro.analysis.report import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(
+            ["name", "value"],
+            [["phast", 1.2345], ["nosq", 10.5]],
+            precision=2,
+        )
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert set(lines[1]) == {"-"}
+        assert "1.23" in text
+        assert "10.50" in text
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Figure 15")
+        assert text.splitlines()[0] == "Figure 15"
+
+    def test_int_not_decorated(self):
+        text = format_table(["a"], [[42]])
+        assert "42" in text and "42.0" not in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_columns_aligned(self):
+        text = format_table(["w", "x"], [["aaa", 1], ["b", 22]])
+        lines = text.splitlines()
+        data = lines[2:]
+        assert len(data[0]) == len(data[1])

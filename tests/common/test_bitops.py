@@ -1,0 +1,147 @@
+"""Unit and property tests for repro.common.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitops import (
+    bit_select,
+    ceil_log2,
+    fold_bits,
+    fold_chunks,
+    is_power_of_two,
+    mask,
+    pc_hash_index,
+    pc_hash_tag,
+    popcount,
+    to_signed,
+    xor_reduce,
+)
+
+
+class TestMask:
+    def test_small_masks(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(4) == 0xF
+        assert mask(16) == 0xFFFF
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    @given(st.integers(min_value=0, max_value=128))
+    def test_mask_is_all_ones(self, bits):
+        assert popcount(mask(bits)) == bits
+
+
+class TestBitSelect:
+    def test_extracts_field(self):
+        value = 0b1011_0110
+        assert bit_select(value, 0, 4) == 0b0110
+        assert bit_select(value, 4, 4) == 0b1011
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(0, 32), st.integers(1, 16))
+    def test_matches_shift_and_mask(self, value, low, width):
+        assert bit_select(value, low, width) == (value >> low) & mask(width)
+
+
+class TestToSigned:
+    def test_positive(self):
+        assert to_signed(3, 4) == 3
+
+    def test_negative(self):
+        assert to_signed(0xF, 4) == -1
+        assert to_signed(0x8, 4) == -8
+
+    @given(st.integers(min_value=-128, max_value=127))
+    def test_roundtrip_8bit(self, value):
+        assert to_signed(value & 0xFF, 8) == value
+
+
+class TestFoldBits:
+    def test_short_value_unchanged(self):
+        assert fold_bits(0b101, 4) == 0b101
+
+    def test_folds_chunks_by_xor(self):
+        # 0xAB folded to 4 bits: 0xA ^ 0xB
+        assert fold_bits(0xAB, 4) == 0xA ^ 0xB
+
+    def test_zero(self):
+        assert fold_bits(0, 8) == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            fold_bits(1, 0)
+
+    @given(st.integers(min_value=0, max_value=2**200), st.integers(1, 24))
+    def test_result_fits_width(self, value, width):
+        assert 0 <= fold_bits(value, width) < (1 << width)
+
+    @given(st.integers(min_value=0, max_value=2**64), st.integers(1, 16))
+    def test_every_bit_influences(self, value, width):
+        # Flipping any input bit flips the output (XOR folding is linear).
+        for bit in range(0, 64, 7):
+            flipped = fold_bits(value ^ (1 << bit), width)
+            assert flipped != fold_bits(value, width) or (1 << bit) > value.bit_length()
+            break  # one representative bit keeps the test fast
+
+
+class TestFoldChunks:
+    def test_concatenates_oldest_first(self):
+        # chunks (0b01, 0b10) with 2-bit chunks = 0b0110; folded to 4 = itself
+        assert fold_chunks([0b01, 0b10], 2, 4) == 0b0110
+
+    def test_empty(self):
+        assert fold_chunks([], 7, 8) == 0
+
+
+class TestPCHashes:
+    def test_index_hash_formula(self):
+        pc = 0x401234
+        assert pc_hash_index(pc, 10) == (pc ^ (pc >> 2) ^ (pc >> 5)) & mask(10)
+
+    def test_tag_hash_formula(self):
+        pc = 0x401234
+        assert pc_hash_tag(pc, 16) == (pc ^ (pc >> 3) ^ (pc >> 7)) & mask(16)
+
+    @given(st.integers(min_value=0, max_value=2**48), st.integers(1, 20))
+    def test_hashes_in_range(self, pc, bits):
+        assert 0 <= pc_hash_index(pc, bits) < (1 << bits)
+        assert 0 <= pc_hash_tag(pc, bits) < (1 << bits)
+
+    def test_nearby_pcs_differ(self):
+        # 4-byte-apart PCs must map to different indices most of the time.
+        indices = {pc_hash_index(0x400000 + 4 * i, 10) for i in range(64)}
+        assert len(indices) > 48
+
+
+class TestMisc:
+    @given(st.integers(min_value=0, max_value=2**64))
+    def test_popcount(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+    def test_popcount_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+
+    def test_ceil_log2(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        assert ceil_log2(1024) == 10
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**32)))
+    def test_xor_reduce(self, values):
+        expected = 0
+        for value in values:
+            expected ^= value
+        assert xor_reduce(values) == expected

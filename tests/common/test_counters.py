@@ -1,0 +1,109 @@
+"""Tests for saturating counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.counters import SaturatingCounter, SignedSaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_bounds(self):
+        counter = SaturatingCounter(bits=4)
+        assert counter.maximum == 15
+        assert counter.value == 0
+
+    def test_saturates_high(self):
+        counter = SaturatingCounter(bits=2, value=3)
+        counter.increment()
+        assert counter.value == 3
+        assert counter.is_saturated_high
+
+    def test_saturates_low(self):
+        counter = SaturatingCounter(bits=2)
+        counter.decrement()
+        assert counter.value == 0
+        assert counter.is_zero
+
+    def test_reset_to_max(self):
+        counter = SaturatingCounter(bits=4, value=3)
+        counter.reset_to_max()
+        assert counter.value == 15
+
+    def test_set_clamps(self):
+        counter = SaturatingCounter(bits=3)
+        counter.set(100)
+        assert counter.value == 7
+        counter.set(-5)
+        assert counter.value == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, value=4)
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.lists(st.sampled_from(["inc", "dec", "max", "zero"]), max_size=60),
+    )
+    def test_always_in_range(self, bits, operations):
+        counter = SaturatingCounter(bits=bits)
+        for operation in operations:
+            if operation == "inc":
+                counter.increment()
+            elif operation == "dec":
+                counter.decrement()
+            elif operation == "max":
+                counter.reset_to_max()
+            else:
+                counter.reset()
+            assert 0 <= counter.value <= counter.maximum
+
+    def test_increment_by_amount(self):
+        counter = SaturatingCounter(bits=4)
+        counter.increment(10)
+        assert counter.value == 10
+        counter.decrement(3)
+        assert counter.value == 7
+
+
+class TestSignedSaturatingCounter:
+    def test_bounds(self):
+        counter = SignedSaturatingCounter(bits=3)
+        assert counter.minimum == -4
+        assert counter.maximum == 3
+
+    def test_polarity(self):
+        assert SignedSaturatingCounter(bits=2, value=0).is_positive
+        assert not SignedSaturatingCounter(bits=2, value=-1).is_positive
+
+    def test_update_towards(self):
+        counter = SignedSaturatingCounter(bits=3)
+        counter.update_towards(True)
+        assert counter.value == 1
+        counter.update_towards(False)
+        counter.update_towards(False)
+        assert counter.value == -1
+
+    def test_saturation_both_ends(self):
+        counter = SignedSaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.increment()
+        assert counter.value == 1
+        for _ in range(10):
+            counter.decrement()
+        assert counter.value == -2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SignedSaturatingCounter(bits=1)
+        with pytest.raises(ValueError):
+            SignedSaturatingCounter(bits=3, value=4)
+
+    @given(st.integers(2, 8), st.lists(st.booleans(), max_size=80))
+    def test_always_in_range(self, bits, updates):
+        counter = SignedSaturatingCounter(bits=bits)
+        for taken in updates:
+            counter.update_towards(taken)
+            assert counter.minimum <= counter.value <= counter.maximum

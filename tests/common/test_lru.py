@@ -1,0 +1,64 @@
+"""Tests for the LRU replacement state."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.lru import LRUState
+
+
+class TestLRUState:
+    def test_initial_victim_is_way_zero(self):
+        lru = LRUState(4)
+        assert lru.victim() == 0
+
+    def test_touch_promotes(self):
+        lru = LRUState(4)
+        lru.touch(2)
+        assert lru.most_recent() == 2
+        assert lru.victim() != 2
+
+    def test_cold_fill_order(self):
+        # Touching ways in order 0,1,2,3 leaves 0 as the victim.
+        lru = LRUState(4)
+        for way in range(4):
+            lru.touch(way)
+        assert lru.victim() == 0
+
+    def test_sequence(self):
+        lru = LRUState(3)
+        lru.touch(0)
+        lru.touch(1)
+        lru.touch(2)
+        lru.touch(0)
+        assert lru.recency_order() == [0, 2, 1]
+        assert lru.victim() == 1
+
+    def test_single_way(self):
+        lru = LRUState(1)
+        assert lru.victim() == 0
+        lru.touch(0)
+        assert lru.victim() == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LRUState(0)
+
+    @given(st.integers(2, 8), st.lists(st.integers(0, 7), max_size=60))
+    def test_invariants(self, ways, touches):
+        lru = LRUState(ways)
+        for way in touches:
+            lru.touch(way % ways)
+            order = lru.recency_order()
+            # Recency order is always a permutation of all ways.
+            assert sorted(order) == list(range(ways))
+            # The just-touched way is most recent; victim is last.
+            assert order[0] == way % ways
+            assert lru.victim() == order[-1]
+
+    @given(st.integers(2, 8))
+    def test_victim_never_most_recent(self, ways):
+        lru = LRUState(ways)
+        for way in range(ways):
+            lru.touch(way)
+            assert lru.victim() != lru.most_recent()

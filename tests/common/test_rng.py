@@ -1,0 +1,102 @@
+"""Tests for the deterministic RNG."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.rng import DeterministicRNG
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(42)
+        b = DeterministicRNG(42)
+        assert [a.next_u64() for _ in range(20)] == [b.next_u64() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRNG(1)
+        b = DeterministicRNG(2)
+        assert [a.next_u64() for _ in range(4)] != [b.next_u64() for _ in range(4)]
+
+    def test_fork_is_independent(self):
+        parent = DeterministicRNG(7)
+        child = parent.fork(1)
+        parent_values = [parent.next_u64() for _ in range(8)]
+        child_values = [child.next_u64() for _ in range(8)]
+        assert parent_values != child_values
+
+
+class TestRanges:
+    @given(st.integers(0, 2**32), st.integers(-100, 100), st.integers(0, 1000))
+    def test_randint_in_range(self, seed, low, span):
+        rng = DeterministicRNG(seed)
+        high = low + span
+        for _ in range(10):
+            value = rng.randint(low, high)
+            assert low <= value <= high
+
+    def test_randint_empty_range(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(0).randint(5, 4)
+
+    @given(st.integers(0, 2**32))
+    def test_random_unit_interval(self, seed):
+        rng = DeterministicRNG(seed)
+        for _ in range(20):
+            value = rng.random()
+            assert 0.0 <= value < 1.0
+
+    def test_chance_extremes(self):
+        rng = DeterministicRNG(3)
+        assert all(not rng.chance(0.0) for _ in range(50))
+        assert all(rng.chance(1.0) for _ in range(50))
+        with pytest.raises(ValueError):
+            rng.chance(1.5)
+
+    def test_one_in_frequency(self):
+        rng = DeterministicRNG(11)
+        hits = sum(rng.one_in(4) for _ in range(4000))
+        assert 800 < hits < 1200  # ~1000 expected
+        with pytest.raises(ValueError):
+            rng.one_in(0)
+
+
+class TestChoice:
+    def test_choice_empty(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(0).choice([])
+
+    def test_choice_member(self):
+        rng = DeterministicRNG(5)
+        items = ["a", "b", "c"]
+        for _ in range(20):
+            assert rng.choice(items) in items
+
+    def test_weighted_choice_respects_zero_weight(self):
+        rng = DeterministicRNG(9)
+        for _ in range(200):
+            assert rng.weighted_choice(["x", "y"], [1.0, 0.0]) == "x"
+
+    def test_weighted_choice_distribution(self):
+        rng = DeterministicRNG(13)
+        counts = {"a": 0, "b": 0}
+        for _ in range(3000):
+            counts[rng.weighted_choice(["a", "b"], [3.0, 1.0])] += 1
+        ratio = counts["a"] / counts["b"]
+        assert 2.2 < ratio < 4.0
+
+    def test_weighted_choice_validation(self):
+        rng = DeterministicRNG(1)
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a"], [0.0])
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a", "b"], [-1.0, 2.0])
+
+    @given(st.lists(st.integers(), min_size=1, max_size=20), st.integers(0, 2**16))
+    def test_shuffle_is_permutation(self, items, seed):
+        rng = DeterministicRNG(seed)
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == sorted(items)

@@ -1,0 +1,134 @@
+"""Tests for statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.stats import (
+    Histogram,
+    RunningStat,
+    arithmetic_mean,
+    geometric_mean,
+    mpki,
+    normalise,
+    percent,
+    speedup_percent,
+)
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=30))
+    def test_bounded_by_min_max(self, values):
+        mean = geometric_mean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=30))
+    def test_leq_arithmetic_mean(self, values):
+        assert geometric_mean(values) <= arithmetic_mean(values) + 1e-9
+
+
+class TestSpeedup:
+    def test_positive(self):
+        assert speedup_percent(1.1, 1.0) == pytest.approx(10.0)
+
+    def test_negative(self):
+        assert speedup_percent(0.9, 1.0) == pytest.approx(-10.0)
+
+    def test_zero_base(self):
+        with pytest.raises(ValueError):
+            speedup_percent(1.0, 0.0)
+
+
+class TestRunningStat:
+    def test_accumulates(self):
+        stat = RunningStat()
+        for value in [1.0, 2.0, 3.0]:
+            stat.add(value)
+        assert stat.count == 3
+        assert stat.mean == pytest.approx(2.0)
+        assert stat.minimum == 1.0
+        assert stat.maximum == 3.0
+
+    def test_empty_mean(self):
+        with pytest.raises(ValueError):
+            RunningStat().mean
+
+
+class TestHistogram:
+    def test_add_and_total(self):
+        hist = Histogram()
+        hist.add(2)
+        hist.add(2)
+        hist.add(5, amount=3)
+        assert hist.total() == 5
+        assert hist.fraction(2) == pytest.approx(0.4)
+
+    def test_cumulative(self):
+        hist = Histogram()
+        for key in [1, 2, 3, 10]:
+            hist.add(key)
+        assert hist.cumulative_fraction_up_to(3) == pytest.approx(0.75)
+        assert hist.cumulative_fraction_up_to(100) == pytest.approx(1.0)
+
+    def test_empty(self):
+        hist = Histogram()
+        assert hist.total() == 0
+        assert hist.fraction(1) == 0.0
+        assert hist.cumulative_fraction_up_to(5) == 0.0
+
+    def test_merge(self):
+        a = Histogram()
+        a.add(1)
+        b = Histogram()
+        b.add(1)
+        b.add(2)
+        a.merge(b)
+        assert a.counts[1] == 2
+        assert a.counts[2] == 1
+
+    def test_sorted_items(self):
+        hist = Histogram()
+        for key in [5, 1, 3]:
+            hist.add(key)
+        assert [k for k, _ in hist.sorted_items()] == [1, 3, 5]
+
+
+class TestNormalise:
+    def test_ratio(self):
+        result = normalise({"a": 2.0}, {"a": 4.0})
+        assert result["a"] == pytest.approx(0.5)
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            normalise({"a": 1.0}, {})
+
+
+class TestMPKIPercent:
+    def test_mpki(self):
+        assert mpki(5, 10_000) == pytest.approx(0.5)
+
+    def test_mpki_invalid(self):
+        with pytest.raises(ValueError):
+            mpki(1, 0)
+
+    def test_percent(self):
+        assert percent(1, 4) == pytest.approx(25.0)
+        assert percent(1, 0) == 0.0

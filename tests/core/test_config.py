@@ -1,0 +1,95 @@
+"""Tests for core configuration (Table I) and the generation ladder (Fig. 2)."""
+
+import pytest
+
+from repro.core.config import GENERATIONS, CoreConfig
+from repro.isa.microop import OpKind
+
+
+class TestTable1:
+    """The default configuration must reproduce Table I exactly."""
+
+    def test_front_end_width(self):
+        assert CoreConfig().dispatch_width == 6
+
+    def test_back_end_width(self):
+        config = CoreConfig()
+        assert config.commit_width == 12
+        assert sum(config.ports.values()) - config.ports[OpKind.NOP] >= 12
+
+    def test_queue_sizes(self):
+        config = CoreConfig()
+        assert config.rob_entries == 512
+        assert config.iq_entries == 204
+        assert config.lq_entries == 192
+        assert config.sq_entries == 114
+
+    def test_load_store_ports(self):
+        config = CoreConfig()
+        assert config.ports[OpKind.LOAD] == 3
+        assert config.ports[OpKind.STORE] == 2
+
+    def test_memory_latencies(self):
+        config = CoreConfig()
+        assert config.hierarchy.l1d.hit_latency == 5
+        assert config.hierarchy.l2.hit_latency == 14
+        assert config.hierarchy.l3.hit_latency == 36
+        assert config.hierarchy.memory_latency == 100
+
+    def test_forwarding_filter_default_on(self):
+        assert CoreConfig().forwarding_filter is True
+
+    def test_with_forwarding_filter(self):
+        off = CoreConfig().with_forwarding_filter(False)
+        assert off.forwarding_filter is False
+        assert off.rob_entries == 512  # everything else untouched
+
+
+class TestValidation:
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            CoreConfig(dispatch_width=0)
+
+    def test_bad_queue(self):
+        with pytest.raises(ValueError):
+            CoreConfig(rob_entries=0)
+
+    def test_latency_lookup(self):
+        config = CoreConfig()
+        assert config.latency_of(OpKind.ALU) == 1
+        assert config.latency_of(OpKind.DIV) > config.latency_of(OpKind.MUL)
+
+
+class TestGenerations:
+    def test_ladder_members(self):
+        assert set(GENERATIONS) == {
+            "nehalem",
+            "sandybridge",
+            "haswell",
+            "skylake",
+            "sunnycove",
+            "alderlake",
+        }
+
+    def test_years_monotone(self):
+        years = [GENERATIONS[name].year for name in (
+            "nehalem", "sandybridge", "haswell", "skylake", "sunnycove", "alderlake"
+        )]
+        assert years == sorted(years)
+
+    def test_window_grows_monotonically(self):
+        """The speculation window growth is what drives Fig. 2's trend."""
+        ordered = ["nehalem", "sandybridge", "haswell", "skylake", "sunnycove", "alderlake"]
+        for older, newer in zip(ordered, ordered[1:]):
+            assert GENERATIONS[newer].rob_entries >= GENERATIONS[older].rob_entries
+            assert GENERATIONS[newer].sq_entries >= GENERATIONS[older].sq_entries
+            assert GENERATIONS[newer].lq_entries >= GENERATIONS[older].lq_entries
+
+    def test_nehalem_is_2008_4_wide(self):
+        nehalem = GENERATIONS["nehalem"]
+        assert nehalem.year == 2008
+        assert nehalem.dispatch_width == 4
+        assert nehalem.rob_entries == 128
+
+    def test_alderlake_is_default(self):
+        assert GENERATIONS["alderlake"].rob_entries == CoreConfig().rob_entries

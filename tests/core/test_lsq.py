@@ -1,0 +1,201 @@
+"""Tests for LSQ disambiguation — including the paper's Figure 3 scenarios."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lsq import ForwardKind, StoreRecord, is_multi_store, resolve_load
+
+
+def make_store(
+    seq,
+    address=0x1000,
+    size=8,
+    addr_ready=10,
+    exec_cycle=None,
+    drain_cycle=10_000,
+    store_number=None,
+):
+    return StoreRecord(
+        seq=seq,
+        pc=0x400 + seq * 4,
+        address=address,
+        size=size,
+        store_number=store_number if store_number is not None else seq,
+        addr_ready=addr_ready,
+        exec_cycle=exec_cycle if exec_cycle is not None else addr_ready,
+        drain_cycle=drain_cycle,
+        hist_snapshot=0,
+    )
+
+
+def resolve(stores, exec_cycle, address=0x1000, size=8, fwd=True, l1=5):
+    return resolve_load(stores, address, size, exec_cycle, l1, fwd)
+
+
+class TestFig3Scenarios:
+    """The four store-store-load interleavings of the paper's Figure 3."""
+
+    def test_a_load_after_both_stores_forwards_from_youngest(self):
+        stores = [make_store(0, addr_ready=5), make_store(1, addr_ready=8)]
+        result = resolve(stores, exec_cycle=20)
+        assert result.kind is ForwardKind.FORWARD
+        assert result.forwarder.seq == 1
+        assert not result.violated
+
+    def test_b_load_between_stores_squashes_on_younger(self):
+        # St1 resolved, St2 unresolved; load forwards from St1 but must squash
+        # when St2 resolves.
+        stores = [make_store(0, addr_ready=5), make_store(1, addr_ready=50)]
+        result = resolve(stores, exec_cycle=20)
+        assert result.kind is ForwardKind.FORWARD
+        assert result.forwarder.seq == 0
+        assert result.violated
+        assert result.violation_store_commit.seq == 1
+
+    def test_c_older_store_resolving_late_is_filtered(self):
+        # Load forwarded from the younger St2; St1 (older) resolves later.
+        # With the Sec. IV-A1 filter there is NO squash.
+        stores = [make_store(0, addr_ready=50), make_store(1, addr_ready=5)]
+        result = resolve(stores, exec_cycle=20, fwd=True)
+        assert result.kind is ForwardKind.FORWARD
+        assert result.forwarder.seq == 1
+        assert not result.violated
+
+    def test_c_without_filter_squashes_like_gem5(self):
+        stores = [make_store(0, addr_ready=50), make_store(1, addr_ready=5)]
+        result = resolve(stores, exec_cycle=20, fwd=False)
+        assert result.violated
+        assert result.violation_store_commit.seq == 0
+
+    def test_d_load_overtakes_both(self):
+        stores = [make_store(0, addr_ready=40), make_store(1, addr_ready=60)]
+        result = resolve(stores, exec_cycle=20)
+        assert result.kind is ForwardKind.CACHE
+        assert result.violated
+        # At-commit training must learn the *youngest* store...
+        assert result.violation_store_commit.seq == 1
+        # ...while at-detection training sees the first to resolve.
+        assert result.violation_store_detect.seq == 0
+
+
+class TestForwarding:
+    def test_no_overlap_is_cache(self):
+        stores = [make_store(0, address=0x2000)]
+        result = resolve(stores, exec_cycle=20)
+        assert result.kind is ForwardKind.CACHE
+        assert result.overlapping_visible == 0
+        assert not result.violated
+
+    def test_drained_store_invisible(self):
+        stores = [make_store(0, addr_ready=5, drain_cycle=15)]
+        result = resolve(stores, exec_cycle=20)
+        assert result.kind is ForwardKind.CACHE
+
+    def test_forward_waits_for_store_data(self):
+        store = make_store(0, addr_ready=5, exec_cycle=30)  # data late
+        result = resolve([store], exec_cycle=20)
+        assert result.kind is ForwardKind.FORWARD
+        assert result.data_ready == 30 + 5  # store exec + L1D latency
+
+    def test_forward_latency_from_exec(self):
+        store = make_store(0, addr_ready=5, exec_cycle=6)
+        result = resolve([store], exec_cycle=20)
+        assert result.data_ready == 20 + 5
+
+    def test_partial_coverage_waits_for_drain(self):
+        narrow = make_store(0, address=0x1000, size=4, addr_ready=5, drain_cycle=100)
+        result = resolve([narrow], exec_cycle=20, size=8)
+        assert result.kind is ForwardKind.PARTIAL
+        assert result.data_ready == 100 + 5
+        assert not result.violated
+
+    def test_true_store_is_youngest_overlapping(self):
+        stores = [
+            make_store(0, addr_ready=5),
+            make_store(1, address=0x2000, addr_ready=5),
+            make_store(2, addr_ready=6),
+        ]
+        result = resolve(stores, exec_cycle=20)
+        assert result.true_store.seq == 2
+
+
+class TestMultiStore:
+    def test_two_suppliers_detected(self):
+        stores = [
+            make_store(0, address=0x1000, size=4),
+            make_store(1, address=0x1004, size=4),
+        ]
+        assert is_multi_store(stores, 0x1000, 8)
+
+    def test_full_overwrite_is_single_supplier(self):
+        stores = [
+            make_store(0, address=0x1000, size=8),
+            make_store(1, address=0x1000, size=8),  # youngest supplies all bytes
+        ]
+        assert not is_multi_store(stores, 0x1000, 8)
+
+    def test_single_store_never_multi(self):
+        assert not is_multi_store([make_store(0)], 0x1000, 8)
+
+    def test_eight_byte_stores_pattern(self):
+        """The 525.x264_3 pattern: 8 one-byte stores feeding an 8-byte load."""
+        stores = [
+            make_store(i, address=0x1000 + i, size=1) for i in range(8)
+        ]
+        assert is_multi_store(stores, 0x1000, 8)
+        result = resolve(stores, exec_cycle=100, size=8)
+        assert result.multi_store
+        assert result.kind is ForwardKind.PARTIAL
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.sampled_from([1, 2, 4, 8])),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_multi_store_matches_byte_reference(self, layout):
+        """is_multi_store == 'two or more distinct youngest-writers of load bytes'."""
+        load_address, load_size = 4, 8
+        stores = [
+            make_store(seq, address=addr, size=size)
+            for seq, (addr, size) in enumerate(layout)
+        ]
+        overlapping = [s for s in stores if s.overlaps(load_address, load_size)]
+        suppliers = set()
+        for byte in range(load_address, load_address + load_size):
+            for store in reversed(overlapping):
+                if store.address <= byte < store.end:
+                    suppliers.add(store.seq)
+                    break
+        assert is_multi_store(overlapping, load_address, load_size) == (
+            len(suppliers) >= 2
+        )
+
+
+class TestViolationSelection:
+    def test_filter_ignores_stores_older_than_forwarder(self):
+        stores = [
+            make_store(0, addr_ready=99),  # older, unresolved
+            make_store(1, addr_ready=5),  # forwarder
+            make_store(2, addr_ready=80),  # younger, unresolved -> threat
+        ]
+        result = resolve(stores, exec_cycle=20, fwd=True)
+        assert result.violated
+        assert result.violation_store_commit.seq == 2
+
+    def test_detect_store_is_earliest_resolver(self):
+        stores = [
+            make_store(0, addr_ready=90),
+            make_store(1, addr_ready=40),
+            make_store(2, addr_ready=70),
+        ]
+        result = resolve(stores, exec_cycle=20, fwd=True)
+        assert result.violation_store_detect.seq == 1
+        assert result.violation_store_commit.seq == 2
+
+    def test_no_violation_when_all_resolved(self):
+        stores = [make_store(0, addr_ready=5), make_store(1, addr_ready=6)]
+        result = resolve(stores, exec_cycle=20)
+        assert not result.violated

@@ -1,0 +1,47 @@
+"""Tests for lazy vs eager memory-order squash (Sec. IV-A1)."""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.pipeline import Pipeline
+from repro.isa.trace import Trace
+from repro.mdp.ideal import AlwaysSpeculatePredictor
+from tests.core.test_pipeline import overtaking_conflict_ops
+
+
+def run(mode, repeats=60):
+    config = CoreConfig().with_violation_squash(mode)
+    pipeline = Pipeline(config, AlwaysSpeculatePredictor())
+    return pipeline.run(Trace(overtaking_conflict_ops(repeats)))
+
+
+class TestConfig:
+    def test_default_is_lazy(self):
+        assert CoreConfig().violation_squash == "lazy"
+
+    def test_with_violation_squash(self):
+        assert CoreConfig().with_violation_squash("eager").violation_squash == "eager"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CoreConfig(violation_squash="optimistic")
+
+
+class TestBehaviour:
+    def test_both_modes_commit_everything(self):
+        lazy = run("lazy")
+        eager = run("eager")
+        assert lazy.committed_uops == eager.committed_uops
+
+    def test_both_modes_detect_same_violations(self):
+        # Squash timing changes recovery cost, not detection.
+        assert run("lazy").violations == run("eager").violations > 0
+
+    def test_eager_recovers_no_later_than_lazy(self):
+        # Detection precedes commit, so the eager restart can only be earlier.
+        assert run("eager").cycles <= run("lazy").cycles
+
+    def test_eager_discards_less_work(self):
+        lazy = run("lazy")
+        eager = run("eager")
+        assert eager.reexecuted_uops <= lazy.reexecuted_uops

@@ -1,0 +1,68 @@
+"""Tests for warm-up exclusion in the pipeline."""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.pipeline import Pipeline
+from repro.isa.trace import Trace
+from repro.mdp.ideal import AlwaysSpeculatePredictor
+from repro.mdp.phast import PHASTPredictor
+from repro.sim.simulator import get_trace, simulate
+from tests.core.test_pipeline import alu_block, overtaking_conflict_ops
+
+
+class TestWarmupSemantics:
+    def test_committed_counts_measured_ops_only(self):
+        trace = Trace(alu_block(1000))
+        stats = Pipeline(CoreConfig(), AlwaysSpeculatePredictor()).run(
+            trace, warmup_ops=400
+        )
+        assert stats.committed_uops == 600
+
+    def test_cycles_exclude_warmup_region(self):
+        trace = Trace(alu_block(1000))
+        full = Pipeline(CoreConfig(), AlwaysSpeculatePredictor()).run(trace)
+        warm = Pipeline(CoreConfig(), AlwaysSpeculatePredictor()).run(
+            trace, warmup_ops=400
+        )
+        assert warm.cycles < full.cycles
+
+    def test_invalid_warmup_rejected(self):
+        trace = Trace(alu_block(100))
+        pipeline = Pipeline(CoreConfig(), AlwaysSpeculatePredictor())
+        with pytest.raises(ValueError):
+            pipeline.run(trace, warmup_ops=100)
+        with pytest.raises(ValueError):
+            pipeline.run(trace, warmup_ops=-1)
+
+    def test_zero_warmup_is_default_behaviour(self):
+        trace = Trace(alu_block(500))
+        a = Pipeline(CoreConfig(), AlwaysSpeculatePredictor()).run(trace)
+        b = Pipeline(CoreConfig(), AlwaysSpeculatePredictor()).run(trace, warmup_ops=0)
+        assert a.cycles == b.cycles and a.committed_uops == b.committed_uops
+
+
+class TestSteadyState:
+    def test_warmup_hides_cold_violations(self):
+        """Most PHAST violations are cold training misses (Sec. VI-A): a
+        warm-up window removes them from the measured MPKI."""
+        ops = overtaking_conflict_ops(80)
+        trace = Trace(ops)
+        cold = Pipeline(CoreConfig(), PHASTPredictor()).run(Trace(list(ops)))
+        warm = Pipeline(CoreConfig(), PHASTPredictor()).run(
+            trace, warmup_ops=len(ops) // 2
+        )
+        assert warm.violations <= cold.violations
+
+    def test_simulate_exposes_warmup(self):
+        cold = simulate("511.povray", "phast", num_ops=8000)
+        warm = simulate("511.povray", "phast", num_ops=8000, warmup_ops=4000)
+        assert warm.pipeline.committed_uops == 4000
+        assert warm.violation_mpki <= cold.violation_mpki + 0.5
+
+    def test_warmup_keeps_predictor_trained(self):
+        """Caches and tables stay warm across the boundary: steady-state IPC
+        with warm-up is at least the cold-start IPC."""
+        warm = simulate("511.povray", "phast", num_ops=10000, warmup_ops=5000)
+        cold = simulate("511.povray", "phast", num_ops=10000)
+        assert warm.ipc >= cold.ipc * 0.95

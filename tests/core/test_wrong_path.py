@@ -1,0 +1,84 @@
+"""Tests for opt-in wrong-path modelling."""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.pipeline import Pipeline
+from repro.isa.trace import Trace
+from repro.mdp.ideal import AlwaysSpeculatePredictor
+from repro.mdp.mdp_tage import MDPTagePredictor
+from repro.mdp.phast import PHASTPredictor
+from repro.workloads.motifs import alu, cond_branch, load, store
+
+
+def alternating_branch_trace(rounds=120):
+    """A hard-to-predict branch whose two outcomes lead to different blocks;
+    the not-taken block contains a load that conflicts with an in-flight
+    store — wrong-path bait for at-detection training."""
+    ops = []
+    for index in range(rounds):
+        taken = index % 2 == 0
+        # A store with a late address, always in flight around the branch.
+        ops.append(load(0x400, 0x200000 + index * 4096, 8, 20, (0,)))
+        ops.append(alu(0x404, 21, (20,)))
+        ops.append(store(0x408, 0x9000, 8, addr_srcs=(21,), data_srcs=(0,)))
+        ops.append(cond_branch(0x40C, taken, 0x500))
+        if taken:
+            ops.extend(alu(0x500 + 4 * i, None, ()) for i in range(6))
+        else:
+            # The "other" block: a load hitting the store's address.
+            ops.append(load(0x600, 0x9000, 8, 22, (0,)))
+            ops.extend(alu(0x604 + 4 * i, None, ()) for i in range(5))
+    return Trace(ops)
+
+
+class TestConfig:
+    def test_default_off(self):
+        assert CoreConfig().wrong_path_depth == 0
+
+    def test_with_wrong_path(self):
+        assert CoreConfig().with_wrong_path(24).wrong_path_depth == 24
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CoreConfig(wrong_path_depth=-1)
+
+
+class TestPhantomReplay:
+    def test_off_by_default_no_phantoms(self):
+        stats = Pipeline(CoreConfig(), AlwaysSpeculatePredictor()).run(
+            alternating_branch_trace()
+        )
+        assert stats.wrong_path_loads == 0
+
+    def test_phantoms_replayed_on_mispredicts(self):
+        config = CoreConfig().with_wrong_path(16)
+        stats = Pipeline(config, AlwaysSpeculatePredictor()).run(
+            alternating_branch_trace()
+        )
+        assert stats.branch_mispredicts > 0
+        assert stats.wrong_path_loads > 0
+
+    def test_phantoms_never_commit(self):
+        trace = alternating_branch_trace()
+        config = CoreConfig().with_wrong_path(16)
+        stats = Pipeline(config, AlwaysSpeculatePredictor()).run(trace)
+        assert stats.committed_uops == len(trace)
+
+    def test_at_detection_predictors_can_be_polluted(self):
+        """Sec. IV-A1: wrong-path dependences can train detection-time
+        predictors; commit-time training (PHAST) is immune by design."""
+        trace = alternating_branch_trace()
+        config = CoreConfig().with_wrong_path(16)
+        tage_stats = Pipeline(config, MDPTagePredictor()).run(trace)
+        phast_stats = Pipeline(config, PHASTPredictor()).run(trace)
+        assert phast_stats.wrong_path_trainings == 0
+        assert tage_stats.wrong_path_trainings >= phast_stats.wrong_path_trainings
+
+    def test_history_untouched_by_phantoms(self):
+        trace = alternating_branch_trace(40)
+        on = Pipeline(CoreConfig().with_wrong_path(16), AlwaysSpeculatePredictor())
+        off = Pipeline(CoreConfig(), AlwaysSpeculatePredictor())
+        on.run(trace)
+        off.run(trace)
+        assert on.history.snapshot() == off.history.snapshot()

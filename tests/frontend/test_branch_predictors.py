@@ -1,0 +1,141 @@
+"""Tests for the historical branch predictor roster."""
+
+import pytest
+
+from repro.frontend.branch_predictors import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    CombiningPredictor,
+    GSharePredictor,
+    IndirectTargetTable,
+    PerceptronPredictor,
+    TwoLevelLocalPredictor,
+)
+from repro.isa.microop import BranchKind
+
+ALL_PREDICTORS = [
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    TwoLevelLocalPredictor,
+    GSharePredictor,
+    CombiningPredictor,
+    PerceptronPredictor,
+]
+
+
+def mispredict_rate(predictor, stream):
+    """stream: iterable of (pc, taken)."""
+    mispredicts = 0
+    total = 0
+    for pc, taken in stream:
+        mispredicts += predictor.observe(pc, BranchKind.CONDITIONAL, taken, 0x900)
+        total += 1
+    return mispredicts / total
+
+
+def biased_stream(pc=0x400, length=2000, period_not_taken=0):
+    for index in range(length):
+        taken = not (period_not_taken and index % period_not_taken == 0)
+        yield pc, taken
+
+
+class TestAlwaysTaken:
+    def test_perfect_on_taken(self):
+        assert mispredict_rate(AlwaysTakenPredictor(), biased_stream()) == 0.0
+
+    def test_always_wrong_on_not_taken(self):
+        stream = ((0x400, False) for _ in range(100))
+        assert mispredict_rate(AlwaysTakenPredictor(), stream) == 1.0
+
+    def test_zero_storage(self):
+        assert AlwaysTakenPredictor().storage_bits() == 0
+
+
+@pytest.mark.parametrize("predictor_class", ALL_PREDICTORS[1:])
+class TestDynamicPredictors:
+    def test_learns_strong_bias(self, predictor_class):
+        rate = mispredict_rate(predictor_class(), biased_stream())
+        assert rate < 0.01
+
+    def test_storage_positive(self, predictor_class):
+        assert predictor_class().storage_bits() > 0
+
+    def test_handles_many_pcs(self, predictor_class):
+        predictor = predictor_class()
+        stream = [(0x400 + 4 * (i % 64), True) for i in range(4000)]
+        assert mispredict_rate(predictor, stream) < 0.05
+
+
+class TestLocalHistory:
+    def test_two_level_learns_short_period(self):
+        """A T,T,T,N loop pattern is perfectly predictable with local history."""
+        predictor = TwoLevelLocalPredictor()
+        stream = list(biased_stream(period_not_taken=4, length=4000))
+        warm = stream[:2000]
+        measure = stream[2000:]
+        mispredict_rate(predictor, warm)
+        assert mispredict_rate(predictor, measure) < 0.02
+
+    def test_bimodal_fails_on_alternating(self):
+        """Bimodal cannot learn T,N,T,N — it needs pattern history."""
+        stream = [(0x400, bool(i % 2)) for i in range(2000)]
+        assert mispredict_rate(BimodalPredictor(), stream) > 0.4
+
+
+class TestGlobalCorrelation:
+    def _correlated_stream(self, length=6000):
+        """Branch B's outcome equals branch A's previous outcome."""
+        import random
+
+        rng = random.Random(7)
+        last_a = False
+        for _ in range(length):
+            a = rng.random() < 0.5
+            yield (0x400, a)
+            yield (0x500, a)  # perfectly correlated with the preceding outcome
+            last_a = a
+
+    def test_gshare_exploits_correlation(self):
+        predictor = GSharePredictor()
+        stream = list(self._correlated_stream())
+        mispredict_rate(predictor, stream[:6000])
+        rate_b = 0
+        total_b = 0
+        for pc, taken in stream[6000:]:
+            wrong = predictor.observe(pc, BranchKind.CONDITIONAL, taken, 0x900)
+            if pc == 0x500:
+                rate_b += wrong
+                total_b += 1
+        assert rate_b / total_b < 0.05
+
+    def test_bimodal_cannot(self):
+        predictor = BimodalPredictor()
+        stream = list(self._correlated_stream())
+        wrong_b = sum(
+            predictor.observe(pc, BranchKind.CONDITIONAL, taken, 0x900)
+            for pc, taken in stream
+            if pc == 0x500
+        )
+        assert wrong_b / (len(stream) // 2) > 0.3
+
+
+class TestIndirectTargets:
+    def test_learns_stable_target(self):
+        table = IndirectTargetTable()
+        for _ in range(4):
+            table.update(0x400, 0x1000)
+        assert table.predict(0x400) == 0x1000
+
+    def test_observe_counts_indirect_mispredicts(self):
+        predictor = BimodalPredictor()
+        # First encounter has no target: mispredict; then learned.
+        assert predictor.observe(0x400, BranchKind.INDIRECT, True, 0x1000) is True
+        assert predictor.observe(0x400, BranchKind.INDIRECT, True, 0x1000) is False
+
+    def test_calls_never_mispredict(self):
+        predictor = BimodalPredictor()
+        assert predictor.observe(0x400, BranchKind.CALL, True, 0x1000) is False
+        assert predictor.observe(0x400, BranchKind.RETURN, True, 0x1000) is False
+
+    def test_storage(self):
+        assert IndirectTargetTable(entries=512).storage_bits() == 512 * 32 + 4

@@ -1,0 +1,150 @@
+"""Tests for the global branch history log and its filtered views."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frontend.history import BranchRecord, GlobalHistory, encode_window
+from repro.isa.microop import BranchInfo, BranchKind
+
+
+def _record(history, kind, taken=True, pc=0x400, target=0x500):
+    return history.record(pc, BranchInfo(kind=kind, taken=taken, target=target))
+
+
+class TestViewFiltering:
+    def test_divergent_view_contents(self):
+        history = GlobalHistory()
+        _record(history, BranchKind.CONDITIONAL)
+        _record(history, BranchKind.CALL)
+        _record(history, BranchKind.INDIRECT)
+        _record(history, BranchKind.RETURN)
+        _record(history, BranchKind.UNCONDITIONAL)
+        assert len(history.divergent) == 2  # conditional + indirect
+        assert len(history.nosq) == 2  # conditional + call
+
+    def test_snapshot_counts_all_branches(self):
+        history = GlobalHistory()
+        assert history.snapshot() == 0
+        _record(history, BranchKind.RETURN)
+        assert history.snapshot() == 1
+
+
+class TestWindows:
+    def test_window_is_suffix_oldest_first(self):
+        history = GlobalHistory()
+        records = [
+            _record(history, BranchKind.CONDITIONAL, taken=bool(i % 2), pc=0x400 + 4 * i)
+            for i in range(6)
+        ]
+        snap = history.snapshot()
+        window = history.divergent.window(snap, 3)
+        assert list(window) == records[3:]
+
+    def test_window_cold_start_short(self):
+        history = GlobalHistory()
+        _record(history, BranchKind.CONDITIONAL)
+        assert len(history.divergent.window(history.snapshot(), 8)) == 1
+
+    def test_window_excludes_records_after_snapshot(self):
+        history = GlobalHistory()
+        first = _record(history, BranchKind.CONDITIONAL)
+        snap = history.snapshot()
+        _record(history, BranchKind.CONDITIONAL, pc=0x900)
+        window = history.divergent.window(snap, 8)
+        assert list(window) == [first]
+
+    def test_window_zero_length(self):
+        history = GlobalHistory()
+        _record(history, BranchKind.CONDITIONAL)
+        assert history.divergent.window(history.snapshot(), 0) == ()
+
+
+class TestCountBetween:
+    def test_paper_n_semantics(self):
+        """N = divergent branches between store and load (Sec. IV-A2)."""
+        history = GlobalHistory()
+        _record(history, BranchKind.CONDITIONAL)  # before the store
+        store_snap = history.snapshot()
+        _record(history, BranchKind.CONDITIONAL)  # between
+        _record(history, BranchKind.CALL)  # between but NOT divergent
+        _record(history, BranchKind.INDIRECT)  # between
+        load_snap = history.snapshot()
+        assert history.divergent.count_between(store_snap, load_snap) == 2
+
+    def test_records_in_master_range(self):
+        history = GlobalHistory()
+        _record(history, BranchKind.CONDITIONAL, pc=0x400)
+        a = history.snapshot()
+        mid = _record(history, BranchKind.INDIRECT, pc=0x404)
+        b = history.snapshot()
+        _record(history, BranchKind.CONDITIONAL, pc=0x408)
+        assert history.divergent.records_in_master_range(a, b) == (mid,)
+
+    def test_window_of_length_n_plus_one_includes_pre_store_branch(self):
+        """The N+1 window reaches exactly one branch past the store (Fig. 5)."""
+        history = GlobalHistory()
+        selector = _record(history, BranchKind.INDIRECT, target=0x700)
+        store_snap = history.snapshot()
+        inter = _record(history, BranchKind.CONDITIONAL)
+        load_snap = history.snapshot()
+        n = history.divergent.count_between(store_snap, load_snap)
+        window = history.divergent.window(load_snap, n + 1)
+        assert list(window) == [selector, inter]
+
+
+class TestEncoding:
+    def test_encode_layout(self):
+        record = BranchRecord(
+            pc=0x400, kind=BranchKind.INDIRECT, taken=True, target=0b10110
+        )
+        encoded = record.encode(5)
+        assert encoded & 0b11111 == 0b10110  # 5 target bits
+        assert (encoded >> 5) & 1 == 1  # taken bit
+        assert (encoded >> 6) & 1 == 1  # type bit (indirect)
+
+    def test_encode_conditional_not_taken(self):
+        record = BranchRecord(
+            pc=0x400, kind=BranchKind.CONDITIONAL, taken=False, target=0x404
+        )
+        encoded = record.encode(5)
+        assert (encoded >> 5) & 1 == 0
+        assert (encoded >> 6) & 1 == 0
+
+    def test_different_targets_distinguishable(self):
+        a = BranchRecord(0x400, BranchKind.INDIRECT, True, 0x500)
+        b = BranchRecord(0x400, BranchKind.INDIRECT, True, 0x504)
+        assert a.encode(5) != b.encode(5)
+
+    def test_encode_window(self):
+        records = (
+            BranchRecord(0x400, BranchKind.CONDITIONAL, True, 0x500),
+            BranchRecord(0x404, BranchKind.INDIRECT, True, 0x600),
+        )
+        encoded = encode_window(records, 5)
+        assert len(encoded) == 2
+        assert encoded[0] == records[0].encode(5)
+
+    @given(st.integers(1, 8))
+    def test_encode_fits_width(self, target_bits):
+        record = BranchRecord(0x7FC, BranchKind.INDIRECT, True, 0xFFFFFFFF)
+        assert record.encode(target_bits) < (1 << (target_bits + 2))
+
+
+class TestPropertyWindow:
+    @given(
+        st.lists(
+            st.sampled_from(list(BranchKind)), min_size=0, max_size=40
+        ),
+        st.integers(0, 12),
+    )
+    def test_window_matches_reference(self, kinds, length):
+        """window(snapshot, L) == last L divergent records, by brute force."""
+        history = GlobalHistory()
+        divergent_reference = []
+        for index, kind in enumerate(kinds):
+            record = _record(history, kind, taken=bool(index % 2), pc=0x400 + index * 4)
+            if kind.is_divergent:
+                divergent_reference.append(record)
+        snap = history.snapshot()
+        expected = tuple(divergent_reference[-length:]) if length else ()
+        assert history.divergent.window(snap, length) == expected

@@ -1,0 +1,109 @@
+"""Tests for the TAGE branch predictor."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frontend.tage import FoldedHistory, TAGEPredictor, geometric_history_lengths
+from repro.isa.microop import BranchKind
+
+
+class TestGeometricLengths:
+    def test_endpoints(self):
+        lengths = geometric_history_lengths(6, 2000, 12)
+        assert lengths[0] == 6
+        assert lengths[-1] == 2000
+
+    def test_strictly_increasing(self):
+        lengths = geometric_history_lengths(4, 640, 8)
+        assert all(b > a for a, b in zip(lengths, lengths[1:]))
+
+    def test_count(self):
+        assert len(geometric_history_lengths(2, 100, 5)) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_history_lengths(6, 2000, 1)
+        with pytest.raises(ValueError):
+            geometric_history_lengths(0, 10, 4)
+        with pytest.raises(ValueError):
+            geometric_history_lengths(10, 10, 4)
+
+    @given(
+        st.integers(1, 16),
+        st.integers(2, 12),
+    )
+    def test_dedup_keeps_increasing(self, minimum, count):
+        lengths = geometric_history_lengths(minimum, minimum + 300, count)
+        assert all(b > a for a, b in zip(lengths, lengths[1:]))
+
+
+class TestFoldedHistory:
+    def test_tracks_fresh_fold(self):
+        """Incremental folding equals folding the raw history from scratch."""
+        length, width = 13, 5
+        folded = FoldedHistory(length, width)
+        history = [0] * length
+        rng = random.Random(3)
+        for _ in range(200):
+            new_bit = rng.randint(0, 1)
+            outgoing = history[length - 1]
+            folded.update(new_bit, outgoing)
+            history = [new_bit] + history[:-1]
+        assert 0 <= folded.value < (1 << width)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FoldedHistory(0, 4)
+        with pytest.raises(ValueError):
+            FoldedHistory(4, 0)
+
+
+def run_stream(predictor, stream):
+    mispredicts = 0
+    for pc, taken in stream:
+        mispredicts += predictor.observe(pc, BranchKind.CONDITIONAL, taken, 0x900)
+    return mispredicts / len(stream)
+
+
+class TestTAGEPredictor:
+    def test_learns_bias(self):
+        predictor = TAGEPredictor(num_tables=4, max_history=64)
+        stream = [(0x400, True)] * 2000
+        assert run_stream(predictor, stream) < 0.01
+
+    def test_learns_pattern_with_history(self):
+        """Period-3 pattern T,T,N is history-predictable, not bias-predictable."""
+        predictor = TAGEPredictor(num_tables=6, max_history=64)
+        stream = [(0x400, i % 3 != 2) for i in range(9000)]
+        run_stream(predictor, stream[:6000])
+        assert run_stream(predictor, stream[6000:]) < 0.05
+
+    def test_beats_bimodal_on_correlation(self):
+        from repro.frontend.branch_predictors import BimodalPredictor
+
+        rng = random.Random(11)
+        stream = []
+        for _ in range(4000):
+            outcome = rng.random() < 0.5
+            stream.append((0x400, outcome))
+            stream.append((0x480, outcome))
+        tage_rate = run_stream(TAGEPredictor(), list(stream))
+        bimodal_rate = run_stream(BimodalPredictor(), list(stream))
+        assert tage_rate < bimodal_rate
+
+    def test_storage_positive(self):
+        assert TAGEPredictor().storage_bits() > 0
+
+    def test_deterministic(self):
+        stream = [(0x400 + (i % 16) * 4, (i * 7) % 3 != 0) for i in range(3000)]
+        assert run_stream(TAGEPredictor(), list(stream)) == run_stream(
+            TAGEPredictor(), list(stream)
+        )
+
+    def test_useful_reset_does_not_crash(self):
+        predictor = TAGEPredictor(reset_period=256)
+        stream = [(0x400 + (i % 8) * 4, bool(i % 2)) for i in range(1024)]
+        run_stream(predictor, stream)  # crosses several reset boundaries

@@ -1,0 +1,89 @@
+"""Property-based whole-pipeline invariants over randomly composed workloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CoreConfig
+from repro.core.pipeline import Pipeline
+from repro.mdp.ideal import AlwaysSpeculatePredictor, IdealPredictor
+from repro.mdp.phast import PHASTPredictor
+from repro.sim.simulator import simulate
+from repro.workloads.generator import MotifSpec, WorkloadProfile, build_trace
+
+CONFLICT_KINDS = ["stable", "path", "data_dependent", "spill_churn", "store_set_stress"]
+
+
+@st.composite
+def random_profiles(draw):
+    seed = draw(st.integers(0, 2**20))
+    kinds = draw(
+        st.lists(st.sampled_from(CONFLICT_KINDS), min_size=1, max_size=3, unique=True)
+    )
+    motifs = [MotifSpec("filler", 8.0, {"random_branch_prob": 0.3})]
+    for kind in kinds:
+        motifs.append(MotifSpec(kind, draw(st.floats(0.2, 1.5))))
+    run_length = draw(st.floats(1.0, 12.0))
+    return WorkloadProfile(
+        name=f"fuzz-{seed}",
+        seed=seed,
+        motifs=tuple(motifs),
+        run_length_mean=run_length,
+    )
+
+
+@settings(max_examples=12)
+@given(random_profiles())
+def test_every_op_commits_exactly_once(profile):
+    result = simulate(profile, AlwaysSpeculatePredictor(), num_ops=2000)
+    assert result.pipeline.committed_uops == 2000
+
+
+@settings(max_examples=12)
+@given(random_profiles())
+def test_ideal_never_squashes_or_stalls_falsely(profile):
+    result = simulate(profile, IdealPredictor(), num_ops=2000)
+    assert result.pipeline.violations == 0
+    assert result.pipeline.false_positives == 0
+
+
+@settings(max_examples=10)
+@given(random_profiles())
+def test_ideal_dominates_blind_speculation(profile):
+    ideal = simulate(profile, IdealPredictor(), num_ops=2500)
+    speculate = simulate(profile, AlwaysSpeculatePredictor(), num_ops=2500)
+    assert ideal.pipeline.cycles <= speculate.pipeline.cycles
+
+
+@settings(max_examples=10)
+@given(random_profiles())
+def test_phast_commits_everything_despite_replay(profile):
+    result = simulate(profile, PHASTPredictor(), num_ops=2000)
+    assert result.pipeline.committed_uops == 2000
+    assert result.pipeline.cycles > 0
+
+
+@settings(max_examples=8)
+@given(random_profiles(), st.integers(1, 3))
+def test_wider_dispatch_never_slower(profile, narrow_width):
+    trace = build_trace(profile, 1500)
+    narrow = Pipeline(
+        CoreConfig(dispatch_width=narrow_width), AlwaysSpeculatePredictor()
+    ).run(trace)
+    wide = Pipeline(
+        CoreConfig(dispatch_width=8), AlwaysSpeculatePredictor()
+    ).run(trace)
+    # Wider dispatch with identical everything else cannot hurt in this model.
+    assert wide.cycles <= narrow.cycles * 1.02
+
+
+@settings(max_examples=8)
+@given(random_profiles())
+def test_mpki_accounting_consistent(profile):
+    result = simulate(profile, PHASTPredictor(), num_ops=2000)
+    stats = result.pipeline
+    # Outcome classes never exceed the number of committed loads (with
+    # replays, a load commits once, so classes are per committed load).
+    assert stats.correct_waits + stats.false_positives <= stats.loads + stats.violations
+    assert stats.violation_mpki >= 0
+    assert stats.false_positive_mpki >= 0

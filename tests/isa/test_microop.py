@@ -1,0 +1,126 @@
+"""Tests for the micro-op model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.microop import BranchInfo, BranchKind, MemInfo, MicroOp, OpKind
+
+
+class TestMemInfo:
+    def test_valid_sizes(self):
+        for size in (1, 2, 4, 8):
+            MemInfo(address=0x1000, size=size)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            MemInfo(address=0, size=3)
+
+    def test_negative_address(self):
+        with pytest.raises(ValueError):
+            MemInfo(address=-8, size=8)
+
+    def test_end(self):
+        assert MemInfo(address=0x100, size=8).end == 0x108
+
+    def test_overlap_symmetric(self):
+        a = MemInfo(address=0x100, size=8)
+        b = MemInfo(address=0x104, size=4)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+
+    def test_adjacent_no_overlap(self):
+        a = MemInfo(address=0x100, size=8)
+        b = MemInfo(address=0x108, size=8)
+        assert not a.overlaps(b)
+        assert not b.overlaps(a)
+
+    def test_covers(self):
+        wide = MemInfo(address=0x100, size=8)
+        narrow = MemInfo(address=0x102, size=2)
+        assert wide.covers(narrow)
+        assert not narrow.covers(wide)
+
+    @given(
+        st.integers(0, 1000), st.sampled_from([1, 2, 4, 8]),
+        st.integers(0, 1000), st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_overlap_matches_interval_math(self, addr_a, size_a, addr_b, size_b):
+        a = MemInfo(address=addr_a, size=size_a)
+        b = MemInfo(address=addr_b, size=size_b)
+        bytes_a = set(range(addr_a, addr_a + size_a))
+        bytes_b = set(range(addr_b, addr_b + size_b))
+        assert a.overlaps(b) == bool(bytes_a & bytes_b)
+        assert a.covers(b) == (bytes_b <= bytes_a)
+
+
+class TestBranchInfo:
+    def test_divergence(self):
+        assert BranchInfo(BranchKind.CONDITIONAL, True, 0x100).is_divergent
+        assert BranchInfo(BranchKind.INDIRECT, True, 0x100).is_divergent
+        assert not BranchInfo(BranchKind.CALL, True, 0x100).is_divergent
+        assert not BranchInfo(BranchKind.RETURN, True, 0x100).is_divergent
+        assert not BranchInfo(BranchKind.UNCONDITIONAL, True, 0x100).is_divergent
+
+
+class TestMicroOpValidation:
+    def test_load_requires_mem(self):
+        with pytest.raises(ValueError):
+            MicroOp(pc=0x400, kind=OpKind.LOAD)
+
+    def test_store_requires_mem(self):
+        with pytest.raises(ValueError):
+            MicroOp(pc=0x400, kind=OpKind.STORE)
+
+    def test_alu_rejects_mem(self):
+        with pytest.raises(ValueError):
+            MicroOp(pc=0x400, kind=OpKind.ALU, mem=MemInfo(0, 8))
+
+    def test_branch_requires_info(self):
+        with pytest.raises(ValueError):
+            MicroOp(pc=0x400, kind=OpKind.BRANCH)
+
+    def test_alu_rejects_branch_info(self):
+        with pytest.raises(ValueError):
+            MicroOp(
+                pc=0x400,
+                kind=OpKind.ALU,
+                branch=BranchInfo(BranchKind.CONDITIONAL, True, 0),
+            )
+
+    def test_store_data_regs_only_on_stores(self):
+        with pytest.raises(ValueError):
+            MicroOp(pc=0x400, kind=OpKind.ALU, store_data_regs=(1,))
+
+    def test_valid_store(self):
+        op = MicroOp(
+            pc=0x400,
+            kind=OpKind.STORE,
+            mem=MemInfo(0x1000, 8),
+            src_regs=(1,),
+            store_data_regs=(2,),
+        )
+        assert op.is_store and op.is_mem and not op.is_load
+
+
+class TestMicroOpProperties:
+    def test_divergent_branch_flag(self):
+        op = MicroOp(
+            pc=0x400,
+            kind=OpKind.BRANCH,
+            branch=BranchInfo(BranchKind.CONDITIONAL, False, 0x404),
+        )
+        assert op.is_branch and op.is_divergent_branch
+
+    def test_call_not_divergent(self):
+        op = MicroOp(
+            pc=0x400,
+            kind=OpKind.BRANCH,
+            branch=BranchInfo(BranchKind.CALL, True, 0x500),
+        )
+        assert op.is_branch and not op.is_divergent_branch
+
+    def test_describe_contains_kind_and_pc(self):
+        op = MicroOp(pc=0x1234, kind=OpKind.LOAD, dst_reg=5, mem=MemInfo(0x2000, 4))
+        text = op.describe()
+        assert "load" in text and "0x1234" in text and "0x2000" in text

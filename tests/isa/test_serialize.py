@@ -1,0 +1,123 @@
+"""Tests for trace serialization."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.microop import BranchInfo, BranchKind, MemInfo, MicroOp, OpKind
+from repro.isa.serialize import dump_trace, dumps_trace, load_trace, loads_trace
+from repro.isa.trace import Trace
+from repro.sim.simulator import get_trace
+
+
+def sample_trace():
+    return Trace(
+        [
+            MicroOp(pc=0x400, kind=OpKind.ALU, dst_reg=5, src_regs=(1, 2)),
+            MicroOp(pc=0x404, kind=OpKind.MUL, dst_reg=6, src_regs=(5,)),
+            MicroOp(pc=0x408, kind=OpKind.LOAD, dst_reg=7, src_regs=(6,),
+                    mem=MemInfo(0x1000, 8)),
+            MicroOp(pc=0x40C, kind=OpKind.STORE, src_regs=(7,),
+                    store_data_regs=(5,), mem=MemInfo(0x1008, 4)),
+            MicroOp(pc=0x410, kind=OpKind.BRANCH,
+                    branch=BranchInfo(BranchKind.CONDITIONAL, False, 0x414)),
+            MicroOp(pc=0x414, kind=OpKind.BRANCH,
+                    branch=BranchInfo(BranchKind.INDIRECT, True, 0x900)),
+            MicroOp(pc=0x418, kind=OpKind.NOP),
+        ],
+        name="sample",
+    )
+
+
+class TestRoundTrip:
+    def test_string_roundtrip(self):
+        trace = sample_trace()
+        restored = loads_trace(dumps_trace(trace))
+        assert restored.name == "sample"
+        assert len(restored) == len(trace)
+        for original, loaded in zip(trace, restored):
+            assert original.describe() == loaded.describe()
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        dump_trace(sample_trace(), path)
+        restored = load_trace(path)
+        assert len(restored) == 7
+
+    def test_stream_roundtrip(self):
+        buffer = io.StringIO()
+        dump_trace(sample_trace(), buffer)
+        buffer.seek(0)
+        assert len(load_trace(buffer)) == 7
+
+    def test_generated_workload_roundtrip(self):
+        trace = get_trace("511.povray", 1500)
+        restored = loads_trace(dumps_trace(trace))
+        assert restored.name == "511.povray"
+        assert [op.describe() for op in restored] == [op.describe() for op in trace]
+
+
+class TestFormat:
+    def test_header_line(self):
+        text = dumps_trace(sample_trace())
+        header = text.splitlines()[0]
+        assert header.startswith("# repro-trace v1")
+        assert "name=sample" in header
+        assert "ops=7" in header
+
+    def test_blank_and_comment_lines_skipped(self):
+        text = dumps_trace(sample_trace())
+        noisy = text.replace("\n", "\n\n# extra comment\n", 1)
+        assert len(loads_trace(noisy)) == 7
+
+    def test_malformed_line_reports_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            loads_trace("# header\nX|bogus\n")
+
+    def test_truncated_fields(self):
+        with pytest.raises(ValueError):
+            loads_trace("L|400|5\n")
+
+
+class TestPropertyRoundTrip:
+    @given(
+        st.lists(
+            st.one_of(
+                st.builds(
+                    lambda pc, dst, srcs: MicroOp(
+                        pc=pc, kind=OpKind.ALU, dst_reg=dst, src_regs=tuple(srcs)
+                    ),
+                    st.integers(4, 2**32).map(lambda x: x * 4),
+                    st.one_of(st.none(), st.integers(0, 63)),
+                    st.lists(st.integers(0, 63), max_size=3),
+                ),
+                st.builds(
+                    lambda pc, addr, size: MicroOp(
+                        pc=pc, kind=OpKind.LOAD, dst_reg=1,
+                        mem=MemInfo(address=addr * 8, size=size),
+                    ),
+                    st.integers(4, 2**32).map(lambda x: x * 4),
+                    st.integers(0, 2**40),
+                    st.sampled_from([1, 2, 4, 8]),
+                ),
+                st.builds(
+                    lambda pc, kind, taken, target: MicroOp(
+                        pc=pc, kind=OpKind.BRANCH,
+                        branch=BranchInfo(kind=kind, taken=taken, target=target),
+                    ),
+                    st.integers(4, 2**32).map(lambda x: x * 4),
+                    st.sampled_from(list(BranchKind)),
+                    st.booleans(),
+                    st.integers(0, 2**40),
+                ),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_arbitrary_ops_roundtrip(self, ops):
+        trace = Trace(ops, name="fuzz")
+        restored = loads_trace(dumps_trace(trace))
+        assert [op.describe() for op in restored] == [op.describe() for op in ops]

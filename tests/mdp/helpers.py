@@ -1,0 +1,167 @@
+"""A scripting harness for driving predictors without the pipeline.
+
+Lets tests build exact sequences of branches, stores and loads, then deliver
+violations and commit feedback with correctly-derived snapshots and store
+numbers — so each predictor's semantics can be tested in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.frontend.history import GlobalHistory
+from repro.isa.microop import BranchInfo, BranchKind
+from repro.mdp.base import (
+    LoadCommitInfo,
+    LoadDispatchInfo,
+    MDPredictor,
+    Prediction,
+    StoreDispatchInfo,
+    ViolationInfo,
+)
+
+
+@dataclass
+class StoreHandle:
+    pc: int
+    seq: int
+    snapshot: int
+    store_number: int
+
+
+@dataclass
+class LoadHandle:
+    pc: int
+    seq: int
+    snapshot: int
+    store_count: int
+    prediction: Prediction
+
+
+class PredictorHarness:
+    """Feeds a predictor hand-scripted event sequences."""
+
+    def __init__(self, predictor: MDPredictor) -> None:
+        self.predictor = predictor
+        self.history = GlobalHistory()
+        self._seq = 0
+        self._store_count = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq - 1
+
+    # -- event scripting -----------------------------------------------------
+
+    def branch(
+        self,
+        kind: BranchKind = BranchKind.CONDITIONAL,
+        taken: bool = True,
+        pc: int = 0x400,
+        target: Optional[int] = None,
+    ) -> None:
+        if target is None:
+            target = (pc + 8) if taken else (pc + 4)
+        self.history.record(pc, BranchInfo(kind=kind, taken=taken, target=target))
+        self._next_seq()
+
+    def store(self, pc: int = 0x500) -> StoreHandle:
+        handle = StoreHandle(
+            pc=pc,
+            seq=self._next_seq(),
+            snapshot=self.history.snapshot(),
+            store_number=self._store_count,
+        )
+        self.predictor.on_store_dispatch(
+            StoreDispatchInfo(
+                pc=pc,
+                seq=handle.seq,
+                hist_snapshot=handle.snapshot,
+                store_number=handle.store_number,
+                history=self.history,
+            )
+        )
+        self._store_count += 1
+        return handle
+
+    def load(self, pc: int = 0x600, oracle: Optional[StoreHandle] = None) -> LoadHandle:
+        seq = self._next_seq()
+        snapshot = self.history.snapshot()
+        prediction = self.predictor.on_load_dispatch(
+            LoadDispatchInfo(
+                pc=pc,
+                seq=seq,
+                hist_snapshot=snapshot,
+                store_count=self._store_count,
+                history=self.history,
+                oracle_store_number=oracle.store_number if oracle else None,
+            )
+        )
+        return LoadHandle(
+            pc=pc,
+            seq=seq,
+            snapshot=snapshot,
+            store_count=self._store_count,
+            prediction=prediction,
+        )
+
+    def violate(self, load: LoadHandle, store: StoreHandle) -> ViolationInfo:
+        info = ViolationInfo(
+            load_pc=load.pc,
+            load_seq=load.seq,
+            load_snapshot=load.snapshot,
+            load_store_count=load.store_count,
+            store_pc=store.pc,
+            store_seq=store.seq,
+            store_snapshot=store.snapshot,
+            store_number=store.store_number,
+            history=self.history,
+        )
+        self.predictor.on_violation(info)
+        return info
+
+    def commit(
+        self,
+        load: LoadHandle,
+        waited_correct: bool = False,
+        false_positive: bool = False,
+        violated: bool = False,
+        actual: Optional[StoreHandle] = None,
+    ) -> None:
+        self.predictor.on_load_commit(
+            LoadCommitInfo(
+                pc=load.pc,
+                seq=load.seq,
+                hist_snapshot=load.snapshot,
+                store_count=load.store_count,
+                prediction=load.prediction,
+                predicted_store_number=None,
+                actual_store_number=actual.store_number if actual else None,
+                waited_correct=waited_correct,
+                false_positive=false_positive,
+                violated=violated,
+                history=self.history,
+            )
+        )
+
+    # -- composite helpers -----------------------------------------------------
+
+    def distance_of(self, load: LoadHandle, store: StoreHandle) -> int:
+        return load.store_count - 1 - store.store_number
+
+    def teach_conflict(
+        self,
+        load_pc: int = 0x600,
+        store_pc: int = 0x500,
+        distance: int = 0,
+        inter_branches: int = 1,
+    ) -> ViolationInfo:
+        """Script one 'store ... load' conflict and train the predictor."""
+        store = self.store(pc=store_pc)
+        for _ in range(distance):
+            self.store(pc=0x700)
+        for index in range(inter_branches):
+            self.branch(pc=0x800 + 4 * index)
+        load = self.load(pc=load_pc)
+        return self.violate(load, store)

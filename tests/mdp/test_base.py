@@ -1,0 +1,78 @@
+"""Tests for the MDP interface records."""
+
+import pytest
+
+from repro.isa.microop import BranchKind
+from repro.mdp.base import NO_DEPENDENCE, Prediction
+from repro.mdp.ideal import AlwaysSpeculatePredictor
+from tests.mdp.helpers import PredictorHarness
+
+
+class TestPrediction:
+    def test_no_dependence(self):
+        assert not NO_DEPENDENCE.is_dependence
+        assert not Prediction().is_dependence
+
+    def test_distance_dependence(self):
+        assert Prediction(distances=(3,)).is_dependence
+
+    def test_seq_dependence(self):
+        assert Prediction(store_seqs=(17,)).is_dependence
+
+    def test_wait_all(self):
+        assert Prediction(wait_all_older=True).is_dependence
+
+
+class TestViolationInfo:
+    def test_store_distance_zero_for_adjacent(self):
+        harness = PredictorHarness(AlwaysSpeculatePredictor())
+        store = harness.store()
+        load = harness.load()
+        info = harness.violate(load, store)
+        assert info.store_distance == 0
+
+    def test_store_distance_counts_intermediate_stores(self):
+        harness = PredictorHarness(AlwaysSpeculatePredictor())
+        store = harness.store()
+        harness.store(pc=0x700)
+        harness.store(pc=0x704)
+        load = harness.load()
+        info = harness.violate(load, store)
+        assert info.store_distance == 2
+
+    def test_divergent_distance_is_paper_n(self):
+        harness = PredictorHarness(AlwaysSpeculatePredictor())
+        harness.branch()  # before the store: not counted in N
+        store = harness.store()
+        harness.branch()  # counted
+        harness.branch(kind=BranchKind.INDIRECT)  # counted
+        harness.branch(kind=BranchKind.CALL)  # NOT divergent
+        load = harness.load()
+        info = harness.violate(load, store)
+        assert info.divergent_distance == 2
+        assert info.required_history_length == 3
+
+    def test_required_length_minimum_one(self):
+        harness = PredictorHarness(AlwaysSpeculatePredictor())
+        store = harness.store()
+        load = harness.load()
+        info = harness.violate(load, store)
+        assert info.required_history_length == 1
+
+
+class TestStatsPlumbing:
+    def test_load_predictions_counted(self):
+        harness = PredictorHarness(AlwaysSpeculatePredictor())
+        for _ in range(5):
+            harness.load()
+        assert harness.predictor.stats.load_predictions == 5
+
+    def test_reset_stats(self):
+        predictor = AlwaysSpeculatePredictor()
+        harness = PredictorHarness(predictor)
+        harness.load()
+        predictor.reset_stats()
+        assert predictor.stats.load_predictions == 0
+
+    def test_storage_kb(self):
+        assert AlwaysSpeculatePredictor().storage_kb() == 0.0

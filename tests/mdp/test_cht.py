@@ -1,0 +1,76 @@
+"""Tests for the Collision History Table predictor."""
+
+import pytest
+
+from repro.mdp.cht import CHTPredictor
+from tests.mdp.helpers import PredictorHarness
+
+
+def harness(**kwargs):
+    return PredictorHarness(CHTPredictor(**kwargs))
+
+
+class TestLearning:
+    def test_predicts_learned_distance(self):
+        h = harness()
+        h.teach_conflict(distance=1)
+        h.store()
+        h.store(pc=0x700)
+        load = h.load()
+        assert load.prediction.distances == (1,)
+
+    def test_distance_change_replaces_entry(self):
+        h = harness()
+        h.teach_conflict(distance=0)
+        h.teach_conflict(distance=4)
+        h.store()
+        for _ in range(4):
+            h.store(pc=0x700)
+        load = h.load()
+        assert load.prediction.distances == (4,)
+
+    def test_context_insensitive(self):
+        """CHT has one entry per PC: it cannot hold two path distances."""
+        h = harness()
+        h.teach_conflict(distance=0)
+        h.teach_conflict(distance=2)
+        h.teach_conflict(distance=0)
+        load = h.load()
+        # Whatever it predicts, it is a single distance.
+        assert len(load.prediction.distances) == 1
+
+
+class TestConfidence:
+    def test_false_positive_decays_below_threshold(self):
+        h = harness(confidence_bits=2, threshold=2)
+        h.teach_conflict()
+        load = h.load()
+        assert load.prediction.is_dependence
+        for _ in range(3):
+            load = h.load()
+            h.commit(load, false_positive=True)
+        assert not h.load().prediction.is_dependence
+
+    def test_correct_wait_strengthens(self):
+        h = harness(confidence_bits=2, threshold=2)
+        h.teach_conflict()
+        load = h.load()
+        h.commit(load, waited_correct=True)
+        load = h.load()
+        h.commit(load, false_positive=True)
+        assert h.load().prediction.is_dependence  # one FP not enough now
+
+    def test_distance_clamped(self):
+        h = harness(distance_bits=3)
+        store = h.store()
+        for _ in range(20):
+            h.store(pc=0x700)
+        load = h.load()
+        h.violate(load, store)
+        assert h.load().prediction.distances == (7,)
+
+
+class TestStorage:
+    def test_bits(self):
+        predictor = CHTPredictor(entries=4096, confidence_bits=2, distance_bits=7)
+        assert predictor.storage_bits() == 4096 * 9

@@ -1,0 +1,86 @@
+"""Reproduction of the paper's Figure 5 argument as an executable test.
+
+Fig. 5 shows two control-flow scenarios where the code between the store and
+the load contains only non-divergent branches, so a history restricted to
+that span is EMPTY — yet the correct store distance differs per path (0 on
+the left path, 1 on the right). The disambiguating information is the
+destination of the divergent branch *previous to the store*: hence the
+paper's N+1 rule.
+
+The test demonstrates that:
+
+* a PHAST variant trained with only N entries (no pre-store branch) cannot
+  separate the paths and mispredicts on alternation;
+* real PHAST (N+1) separates them with exactly one entry per path.
+"""
+
+import pytest
+
+from repro.isa.microop import BranchKind
+from repro.mdp.phast import PHASTPredictor
+from repro.mdp.unlimited import UnlimitedPHASTPredictor
+from tests.mdp.helpers import PredictorHarness
+
+
+def run_fig5_scenario(harness, path, train):
+    """One activation of Fig. 5: path selects the store and the distance."""
+    h = harness
+    # The divergent branch previous to the store; its destination encodes
+    # the path (a conditional taken/not-taken in scenario (a) of the figure).
+    h.branch(kind=BranchKind.CONDITIONAL, taken=(path == 1), pc=0x450, target=0x480)
+    store = h.store(pc=0x500 + 4 * path)
+    if path == 1:
+        h.store(pc=0x700)  # the right path interposes one store: distance 1
+    # Only NON-divergent control flow between store and load (Fig. 5):
+    h.branch(kind=BranchKind.UNCONDITIONAL, pc=0x520, target=0x540)
+    load = h.load(pc=0x600)
+    if train:
+        h.violate(load, store)
+    return load, store
+
+
+class TestNPlusOneRule:
+    def test_n_is_zero_between_store_and_load(self):
+        h = PredictorHarness(UnlimitedPHASTPredictor())
+        _, store = run_fig5_scenario(h, path=0, train=False)
+        load = h.load(pc=0x600)
+        # No divergent branches sit between the store and the load.
+        assert h.history.divergent.count_between(store.snapshot, load.snapshot) == 0
+
+    def test_unlimited_phast_separates_paths(self):
+        h = PredictorHarness(UnlimitedPHASTPredictor())
+        for _ in range(2):
+            run_fig5_scenario(h, path=0, train=True)
+            run_fig5_scenario(h, path=1, train=True)
+        load0, _ = run_fig5_scenario(h, path=0, train=False)
+        load1, _ = run_fig5_scenario(h, path=1, train=False)
+        assert load0.prediction.distances == (0,)
+        assert load1.prediction.distances == (1,)
+
+    def test_limited_phast_with_length_one_table_separates_paths(self):
+        """A ladder containing length 1 holds the N+1 window exactly."""
+        h = PredictorHarness(PHASTPredictor(history_lengths=(0, 1, 2, 4)))
+        for _ in range(3):
+            run_fig5_scenario(h, path=0, train=True)
+            run_fig5_scenario(h, path=1, train=True)
+        load0, _ = run_fig5_scenario(h, path=0, train=False)
+        load1, _ = run_fig5_scenario(h, path=1, train=False)
+        assert load0.prediction.distances == (0,)
+        assert load1.prediction.distances == (1,)
+
+    def test_pc_only_prediction_cannot_separate(self):
+        """Without the pre-store branch (history length 0), paths collide."""
+        h = PredictorHarness(PHASTPredictor(history_lengths=(0,)))
+        for _ in range(3):
+            run_fig5_scenario(h, path=0, train=True)
+            run_fig5_scenario(h, path=1, train=True)
+        load0, _ = run_fig5_scenario(h, path=0, train=False)
+        load1, _ = run_fig5_scenario(h, path=1, train=False)
+        # A single PC-indexed entry: the two paths necessarily share it.
+        assert load0.prediction.distances == load1.prediction.distances
+
+    def test_required_length_is_one(self):
+        """N = 0 divergent branches between store and load => train with N+1 = 1."""
+        h = PredictorHarness(UnlimitedPHASTPredictor())
+        run_fig5_scenario(h, path=0, train=True)
+        assert h.predictor.conflict_length_histogram.counts[1] == 1

@@ -1,0 +1,63 @@
+"""Tests for the oracle predictors."""
+
+import pytest
+
+from repro.mdp.base import Prediction
+from repro.mdp.ideal import AlwaysSpeculatePredictor, AlwaysWaitPredictor, IdealPredictor
+from tests.mdp.helpers import PredictorHarness
+
+
+class TestIdeal:
+    def test_predicts_oracle_distance(self):
+        harness = PredictorHarness(IdealPredictor())
+        store = harness.store()
+        harness.store(pc=0x700)
+        load = harness.load(oracle=store)
+        assert load.prediction.distances == (1,)
+
+    def test_no_oracle_no_dependence(self):
+        harness = PredictorHarness(IdealPredictor())
+        load = harness.load()
+        assert not load.prediction.is_dependence
+
+    def test_strict_raises_on_violation(self):
+        harness = PredictorHarness(IdealPredictor())
+        store = harness.store()
+        load = harness.load()
+        with pytest.raises(AssertionError):
+            harness.violate(load, store)
+
+    def test_relaxed_counts_violations(self):
+        harness = PredictorHarness(IdealPredictor(strict=False))
+        store = harness.store()
+        load = harness.load()
+        harness.violate(load, store)
+        assert harness.predictor.stats.trainings == 1
+
+    def test_rejects_impossible_oracle(self):
+        harness = PredictorHarness(IdealPredictor())
+        store = harness.store()
+        bad = type(store)(pc=store.pc, seq=store.seq, snapshot=store.snapshot,
+                          store_number=99)
+        with pytest.raises(ValueError):
+            harness.load(oracle=bad)
+
+
+class TestBlindOracles:
+    def test_always_speculate_never_predicts(self):
+        harness = PredictorHarness(AlwaysSpeculatePredictor())
+        harness.store()
+        load = harness.load()
+        assert not load.prediction.is_dependence
+
+    def test_always_wait_predicts_all_older(self):
+        harness = PredictorHarness(AlwaysWaitPredictor())
+        load = harness.load()
+        assert load.prediction.wait_all_older
+
+    def test_always_wait_rejects_violation(self):
+        harness = PredictorHarness(AlwaysWaitPredictor())
+        store = harness.store()
+        load = harness.load()
+        with pytest.raises(AssertionError):
+            harness.violate(load, store)

@@ -1,0 +1,56 @@
+"""Tests for the perceptron memory dependence predictor (related work)."""
+
+from repro.mdp.perceptron import PerceptronMDPredictor
+from tests.mdp.helpers import PredictorHarness
+
+
+def harness(**kwargs):
+    return PredictorHarness(PerceptronMDPredictor(**kwargs))
+
+
+class TestLearning:
+    def test_untrained_predicts_nothing(self):
+        h = harness()
+        assert not h.load().prediction.is_dependence
+
+    def test_learns_always_dependent_load(self):
+        h = harness()
+        for _ in range(30):
+            store = h.store()
+            load = h.load()
+            if not load.prediction.is_dependence:
+                h.violate(load, store)
+            h.commit(load, violated=not load.prediction.is_dependence, actual=store)
+        # By now the perceptron should gate the wait on.
+        h.store()
+        assert h.load().prediction.is_dependence
+
+    def test_learns_never_dependent_load(self):
+        h = harness()
+        for _ in range(30):
+            load = h.load(pc=0x640)
+            h.commit(load)
+        assert not h.load(pc=0x640).prediction.is_dependence
+
+    def test_distance_from_last_violation(self):
+        h = harness()
+        for _ in range(30):
+            store = h.store()
+            h.store(pc=0x700)
+            load = h.load()
+            if not load.prediction.is_dependence:
+                h.violate(load, store)
+            h.commit(load, violated=True, actual=store)
+        h.store()
+        h.store(pc=0x700)
+        load = h.load()
+        assert load.prediction.distances == (1,)
+
+
+class TestStorage:
+    def test_bits_accounted(self):
+        predictor = PerceptronMDPredictor(
+            table_entries=16, history_loads=8, weight_bits=8, distance_entries=32
+        )
+        expected = 16 * 9 * 8 + 32 * 7 + 8
+        assert predictor.storage_bits() == expected

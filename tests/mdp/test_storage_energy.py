@@ -1,0 +1,93 @@
+"""Tests for Table II storage accounting and the calibrated energy model."""
+
+import pytest
+
+from repro.mdp.energy import CALIBRATION_POINTS, TABLE_GEOMETRY, EnergyModel
+from repro.mdp.storage import EVALUATED_PREDICTORS, format_table2, table2_rows
+
+
+class TestTable2:
+    def test_all_five_predictors_present(self):
+        rows = table2_rows()
+        assert {row.name for row in rows} == {
+            "store-sets",
+            "nosq",
+            "mdp-tage",
+            "mdp-tage-s",
+            "phast",
+        }
+
+    def test_paper_storage_sizes(self):
+        """Table II sizes: 18.5 / 19 / 38.625 / 13 / 14.5 KB."""
+        sizes = {row.name: row.storage_kb for row in table2_rows()}
+        assert sizes["store-sets"] == pytest.approx(18.5, abs=0.2)
+        assert sizes["nosq"] == pytest.approx(19.0, abs=0.2)
+        assert sizes["mdp-tage"] == pytest.approx(38.625, abs=2.0)
+        assert sizes["mdp-tage-s"] == pytest.approx(13.0, abs=0.5)
+        assert sizes["phast"] == pytest.approx(14.5, abs=0.2)
+
+    def test_phast_smaller_than_nosq_and_tage(self):
+        """The headline: PHAST outperforms *larger* predictors."""
+        sizes = {row.name: row.storage_kb for row in table2_rows()}
+        assert sizes["phast"] < sizes["nosq"]
+        assert sizes["phast"] < sizes["mdp-tage"]
+        assert sizes["phast"] < sizes["store-sets"]
+
+    def test_factories_build(self):
+        for name, factory in EVALUATED_PREDICTORS.items():
+            predictor = factory()
+            assert predictor.storage_bits() > 0
+
+    def test_format_renders_all_rows(self):
+        text = format_table2()
+        for name in EVALUATED_PREDICTORS:
+            assert name in text
+
+
+class TestEnergyModel:
+    def test_calibration_reasonable(self):
+        """The power-law fit lands within ~45% of every CACTI-P point."""
+        model = EnergyModel.calibrated()
+        assert model.calibration_error() < 0.45
+
+    def test_monotonic_in_bits(self):
+        model = EnergyModel.calibrated()
+        assert model.table_read_energy_pj(1 << 16) < model.table_read_energy_pj(1 << 18)
+
+    def test_tage_most_expensive_per_access(self):
+        """Fig. 16's message: TAGE-like structures dominate energy."""
+        model = EnergyModel.calibrated()
+        tage = model.read_energy_pj("mdp-tage")
+        for other in ("store-sets", "nosq", "mdp-tage-s", "phast"):
+            assert tage > model.read_energy_pj(other)
+
+    def test_paper_energy_ordering(self):
+        """Per-access ordering from Table II: TAGE > PHAST > TAGE-S > NoSQ-ish."""
+        model = EnergyModel.calibrated()
+        assert model.read_energy_pj("phast") > model.read_energy_pj("mdp-tage-s")
+
+    def test_write_charged_with_multiplier(self):
+        model = EnergyModel.calibrated(write_multiplier=2.0)
+        read_nj, write_nj = model.total_energy_nj("phast", reads=100, writes=100)
+        assert write_nj > read_nj
+
+    def test_total_energy_scales_with_accesses(self):
+        model = EnergyModel.calibrated()
+        small = sum(model.total_energy_nj("phast", 10, 10))
+        large = sum(model.total_energy_nj("phast", 1000, 1000))
+        assert large == pytest.approx(small * 100)
+
+    def test_unknown_predictor(self):
+        with pytest.raises(KeyError):
+            EnergyModel.calibrated().read_energy_pj("does-not-exist")
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            EnergyModel.calibrated().table_read_energy_pj(0)
+
+    def test_geometry_matches_calibration(self):
+        # Every calibration point corresponds to a real table geometry.
+        geometry_bits = {bits for tables in TABLE_GEOMETRY.values() for bits in tables}
+        for bits, _ in CALIBRATION_POINTS:
+            # mdp-tage's calibration point uses the mean tag width.
+            assert bits in geometry_bits or bits == 1365 * 19

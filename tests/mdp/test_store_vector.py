@@ -1,0 +1,66 @@
+"""Tests for the Store Vectors predictor."""
+
+import pytest
+
+from repro.mdp.store_vector import StoreVectorPredictor
+from tests.mdp.helpers import PredictorHarness
+
+
+def harness(**kwargs):
+    return PredictorHarness(StoreVectorPredictor(**kwargs))
+
+
+class TestVectorSemantics:
+    def test_learns_single_distance(self):
+        h = harness()
+        h.teach_conflict(distance=2)
+        h.store()
+        h.store(pc=0x700)
+        h.store(pc=0x704)
+        load = h.load()
+        assert load.prediction.distances == (2,)
+
+    def test_accumulates_distances(self):
+        """Store Vectors never forgets between resets: bits accumulate."""
+        h = harness()
+        h.teach_conflict(distance=0)
+        h.teach_conflict(distance=3)
+        h.store()
+        load = h.load()
+        assert set(load.prediction.distances) == {0, 3}
+
+    def test_distance_saturates_at_vector_width(self):
+        h = harness(vector_bits=8)
+        store = h.store()
+        for _ in range(20):
+            h.store(pc=0x700)
+        load = h.load()
+        h.violate(load, store)
+        load2 = h.load()
+        assert load2.prediction.distances == (7,)  # clamped to last bit
+
+    def test_untrained_pc_no_dependence(self):
+        h = harness()
+        h.teach_conflict(load_pc=0x600)
+        load = h.load(pc=0x604)
+        assert not load.prediction.is_dependence
+
+
+class TestReset:
+    def test_periodic_reset(self):
+        h = harness(reset_interval=3)
+        h.teach_conflict()
+        for _ in range(4):
+            h.load(pc=0x900)
+        load = h.load()
+        assert not load.prediction.is_dependence
+
+
+class TestStorage:
+    def test_bits(self):
+        predictor = StoreVectorPredictor(entries=4096, vector_bits=64)
+        assert predictor.storage_bits() == 4096 * 64
+
+    def test_invalid_vector(self):
+        with pytest.raises(ValueError):
+            StoreVectorPredictor(vector_bits=0)

@@ -1,0 +1,143 @@
+"""Tests for shared prediction-table structures and history folding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mdp.tables import (
+    ChunkedFoldedHistory,
+    PredictionEntry,
+    SetAssocTable,
+    fold_window,
+)
+
+
+class TestSetAssocTable:
+    def test_lookup_miss(self):
+        table = SetAssocTable(num_sets=4, ways=2)
+        assert table.lookup(0, tag=5) is None
+
+    def test_allocate_then_lookup(self):
+        table = SetAssocTable(num_sets=4, ways=2)
+        entry = table.allocate(1, tag=7)
+        entry.valid = True
+        entry.tag = 7
+        entry.distance = 3
+        found = table.lookup(1, tag=7)
+        assert found is entry
+        assert found.distance == 3
+
+    def test_same_tag_reuses_entry(self):
+        table = SetAssocTable(num_sets=2, ways=2)
+        first = table.allocate(0, tag=9)
+        first.valid = True
+        first.tag = 9
+        assert table.allocate(0, tag=9) is first
+
+    def test_prefers_invalid_ways(self):
+        table = SetAssocTable(num_sets=1, ways=2)
+        a = table.allocate(0, tag=1)
+        a.valid = True
+        a.tag = 1
+        b = table.allocate(0, tag=2)
+        assert b is not a
+
+    def test_prefers_zero_confidence_victim(self):
+        table = SetAssocTable(num_sets=1, ways=2)
+        a = table.allocate(0, tag=1)
+        a.valid, a.tag, a.confidence = True, 1, 5
+        b = table.allocate(0, tag=2)
+        b.valid, b.tag, b.confidence = True, 2, 0
+        victim = table.allocate(0, tag=3)
+        assert victim is b  # the dead (zero-confidence) entry goes first
+
+    def test_lru_victim_when_all_confident(self):
+        table = SetAssocTable(num_sets=1, ways=2)
+        a = table.allocate(0, tag=1)
+        a.valid, a.tag, a.confidence = True, 1, 5
+        b = table.allocate(0, tag=2)
+        b.valid, b.tag, b.confidence = True, 2, 5
+        table.lookup(0, tag=1)  # A becomes MRU
+        victim = table.allocate(0, tag=3)
+        assert victim is b
+
+    def test_index_wraps_modulo_sets(self):
+        table = SetAssocTable(num_sets=4, ways=1)
+        entry = table.allocate(9, tag=1)  # set 1
+        entry.valid, entry.tag = True, 1
+        assert table.lookup(5, tag=1) is entry
+
+    def test_clear(self):
+        table = SetAssocTable(num_sets=2, ways=2)
+        entry = table.allocate(0, tag=1)
+        entry.valid = True
+        table.clear()
+        assert all(not e.valid for e in table.entries())
+
+    def test_total_entries(self):
+        assert SetAssocTable(num_sets=128, ways=4).total_entries == 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SetAssocTable(num_sets=0, ways=4)
+
+
+class TestFoldWindow:
+    def test_single_chunk_identity(self):
+        assert fold_window([0b1010101], 7, 16) == 0b1010101
+
+    def test_position_matters(self):
+        assert fold_window([1, 2], 7, 16) != fold_window([2, 1], 7, 16)
+
+    def test_empty_window(self):
+        assert fold_window([], 7, 16) == 0
+
+    def test_leading_zero_chunks_neutral(self):
+        """Cold-start short windows equal zero-padded full windows."""
+        assert fold_window([5, 9], 7, 16) == fold_window([0, 0, 5, 9], 7, 16)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            fold_window([1], 7, 0)
+
+    @given(
+        st.lists(st.integers(0, 127), max_size=40),
+        st.integers(2, 20),
+    )
+    def test_fits_width(self, chunks, width):
+        assert 0 <= fold_window(chunks, 7, width) < (1 << width)
+
+
+class TestChunkedFoldedHistory:
+    @given(
+        st.lists(st.integers(0, 127), min_size=1, max_size=60),
+        st.integers(1, 12),
+        st.integers(2, 18),
+    )
+    def test_incremental_equals_reference(self, chunks, length, width):
+        """The rolling fold always equals refolding its window from scratch."""
+        rolling = ChunkedFoldedHistory(length, 7, width)
+        for chunk in chunks:
+            rolling.push(chunk)
+            assert rolling.value == fold_window(rolling.window(), 7, width)
+
+    def test_window_contents(self):
+        rolling = ChunkedFoldedHistory(3, 7, 8)
+        for chunk in (1, 2, 3, 4):
+            rolling.push(chunk)
+        assert rolling.window() == (2, 3, 4)
+
+    def test_same_content_same_fold(self):
+        """Content-determinism: what makes predict/train lookups agree."""
+        a = ChunkedFoldedHistory(4, 7, 10)
+        b = ChunkedFoldedHistory(4, 7, 10)
+        for chunk in (9, 9, 9, 5, 6, 7, 8):
+            a.push(chunk)
+        for chunk in (1, 2, 3, 5, 6, 7, 8):  # different prefix, same window
+            b.push(chunk)
+        assert a.window() == b.window()
+        assert a.value == b.value
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChunkedFoldedHistory(0, 7, 8)

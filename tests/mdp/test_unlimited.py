@@ -1,0 +1,157 @@
+"""Tests for the unlimited-budget study predictors (Sec. III-C / VI-A)."""
+
+import pytest
+
+from repro.isa.microop import BranchKind
+from repro.mdp.unlimited import (
+    UnlimitedMDPTagePredictor,
+    UnlimitedNoSQPredictor,
+    UnlimitedPHASTPredictor,
+)
+from tests.mdp.helpers import PredictorHarness
+
+
+class TestUnlimitedPHAST:
+    def test_exact_length_training(self):
+        h = PredictorHarness(UnlimitedPHASTPredictor())
+        info = h.teach_conflict(distance=1, inter_branches=2)
+        assert info.required_history_length == 3
+        assert h.predictor.paths_tracked == 1
+        assert h.predictor.conflict_length_histogram.counts[3] == 1
+
+    def test_unique_conflicts_counted_once(self):
+        h = PredictorHarness(UnlimitedPHASTPredictor())
+        h.teach_conflict(inter_branches=1)
+        h.teach_conflict(inter_branches=1)
+        h.teach_conflict(inter_branches=1)
+        # After cold start the same path repeats: at most 2 unique keys.
+        assert h.predictor.paths_tracked <= 2
+
+    def test_predicts_exact_context(self):
+        h = PredictorHarness(UnlimitedPHASTPredictor())
+        h.teach_conflict(distance=2, inter_branches=1)
+        h.teach_conflict(distance=2, inter_branches=1)
+        h.store(pc=0x500)
+        h.store(pc=0x700)
+        h.store(pc=0x700)
+        h.branch(pc=0x800)
+        load = h.load(pc=0x600)
+        assert load.prediction.distances == (2,)
+
+    def test_distinguishes_indirect_targets(self):
+        """The 511.povray pattern: one violation per store, 2-branch history."""
+        h = PredictorHarness(UnlimitedPHASTPredictor())
+
+        def conflict(target_index, distance, train):
+            h.branch(kind=BranchKind.INDIRECT, pc=0x450, target=0x900 + 4 * target_index)
+            store = h.store(pc=0x500 + 4 * target_index)
+            for _ in range(distance):
+                h.store(pc=0x700)
+            h.branch(pc=0x800)
+            load = h.load(pc=0x600)
+            if train:
+                h.violate(load, store)
+            return load
+
+        for _ in range(2):
+            for path in range(3):
+                conflict(path, path, train=True)
+        for path in range(3):
+            load = conflict(path, path, train=False)
+            assert load.prediction.distances == (path,)
+
+    def test_max_history_clamp(self):
+        h = PredictorHarness(UnlimitedPHASTPredictor(max_history=2))
+        info = h.teach_conflict(distance=0, inter_branches=6)
+        assert info.required_history_length == 7
+        # Histogram records the true requirement, training clamps the key.
+        assert h.predictor.conflict_length_histogram.counts[7] == 1
+        ((pc, window),) = h.predictor._entries.keys()
+        assert len(window) == 2
+
+    def test_clamp_validation(self):
+        with pytest.raises(ValueError):
+            UnlimitedPHASTPredictor(max_history=0)
+
+    def test_confidence_decay(self):
+        h = PredictorHarness(UnlimitedPHASTPredictor(confidence_max=1))
+        h.teach_conflict(inter_branches=1)
+        h.teach_conflict(inter_branches=1)
+        h.store(pc=0x500)
+        h.branch(pc=0x800)
+        load = h.load(pc=0x600)
+        assert load.prediction.is_dependence
+        h.commit(load, false_positive=True)
+        h.store(pc=0x500)
+        h.branch(pc=0x800)
+        assert not h.load(pc=0x600).prediction.is_dependence
+
+
+class TestUnlimitedNoSQ:
+    def test_fixed_window_key(self):
+        h = PredictorHarness(UnlimitedNoSQPredictor(history_branches=2))
+        h.branch(taken=True)
+        h.branch(taken=False)
+        h.teach_conflict(inter_branches=0)
+        assert h.predictor.paths_tracked == 1
+
+    def test_insensitive_fallback(self):
+        h = PredictorHarness(UnlimitedNoSQPredictor(history_branches=4))
+        h.teach_conflict(distance=1, inter_branches=0)
+        # Different history, same PC: path-insensitive entry answers.
+        h.branch(taken=False)
+        h.branch(taken=False)
+        h.store(pc=0x500)
+        h.store(pc=0x700)
+        load = h.load(pc=0x600)
+        assert load.prediction.distances == (1,)
+
+    def test_indirects_invisible(self):
+        """NoSQ history sees conditionals and calls only."""
+        h = PredictorHarness(UnlimitedNoSQPredictor(history_branches=4))
+
+        def conflict(target_index, distance, train):
+            h.branch(kind=BranchKind.INDIRECT, pc=0x450, target=0x900 + 4 * target_index)
+            store = h.store(pc=0x500)
+            for _ in range(distance):
+                h.store(pc=0x700)
+            load = h.load(pc=0x600)
+            if train:
+                h.violate(load, store)
+            return load
+
+        conflict(0, 0, train=True)
+        conflict(1, 2, train=True)
+        # The two contexts hash identically for NoSQ: one path entry only.
+        assert h.predictor.paths_tracked == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnlimitedNoSQPredictor(history_branches=-1)
+
+
+class TestUnlimitedMDPTage:
+    def test_first_allocation_shortest_table(self):
+        h = PredictorHarness(UnlimitedMDPTagePredictor())
+        h.teach_conflict(inter_branches=0)
+        assert len(h.predictor._tables[0]) == 1
+        assert h.predictor.paths_tracked == 1
+
+    def test_escalates_after_wrong_prediction(self):
+        h = PredictorHarness(UnlimitedMDPTagePredictor())
+        h.teach_conflict(distance=0, inter_branches=0)
+        h.teach_conflict(distance=0, inter_branches=0)  # warm: predictable now
+        # Make the short entry mispredict: same context, different distance.
+        store = h.store(pc=0x500)
+        h.store(pc=0x700)
+        load = h.load(pc=0x600)
+        if load.prediction.is_dependence:
+            h.violate(load, store)
+            assert len(h.predictor._tables[1]) == 1
+
+    def test_paths_accumulate_across_tables(self):
+        h = PredictorHarness(UnlimitedMDPTagePredictor())
+        for index in range(4):
+            h.branch(taken=bool(index % 2), pc=0x440 + index * 4)
+            h.teach_conflict(inter_branches=0)
+        assert h.predictor.paths_tracked >= 2

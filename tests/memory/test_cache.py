@@ -1,0 +1,113 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memory.cache import Cache, CacheConfig
+
+
+def small_cache(ways=2, sets=4, latency=3, mshrs=2):
+    return Cache(
+        CacheConfig(
+            name="test",
+            size_bytes=ways * sets * 64,
+            ways=ways,
+            line_bytes=64,
+            hit_latency=latency,
+            mshrs=mshrs,
+        )
+    )
+
+
+class TestConfig:
+    def test_geometry(self):
+        config = CacheConfig(name="l1", size_bytes=48 * 1024, ways=12, hit_latency=5)
+        assert config.num_sets == 64
+        assert config.offset_bits == 6
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="bad", size_bytes=1000, ways=3)
+
+    def test_nonpow2_line_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="bad", size_bytes=960, ways=1, line_bytes=60)
+
+    def test_bad_latency(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="bad", size_bytes=128, ways=1, line_bytes=64, hit_latency=0)
+
+
+class TestLookup:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        hit, _ = cache.lookup(0x1000, cycle=0)
+        assert not hit
+        cache.fill(0x1000)
+        hit, ready = cache.lookup(0x1000, cycle=10)
+        assert hit
+        assert ready == 13  # cycle + hit latency
+
+    def test_same_line_offsets_hit(self):
+        cache = small_cache()
+        cache.fill(0x1000)
+        assert cache.probe(0x1038)  # same 64B line
+        assert not cache.probe(0x1040)  # next line
+
+    def test_lru_eviction(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.fill(0x0)
+        cache.fill(0x40)
+        cache.fill(0x80)  # evicts 0x0 (LRU)
+        assert not cache.probe(0x0)
+        assert cache.probe(0x40)
+        assert cache.probe(0x80)
+
+    def test_touch_refreshes_lru(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.fill(0x0)
+        cache.fill(0x40)
+        cache.lookup(0x0, cycle=0)  # 0x0 becomes MRU
+        cache.fill(0x80)  # evicts 0x40
+        assert cache.probe(0x0)
+        assert not cache.probe(0x40)
+
+    def test_stats(self):
+        cache = small_cache()
+        cache.lookup(0x0, 0)
+        cache.fill(0x0)
+        cache.lookup(0x0, 0)
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+
+class TestMSHRs:
+    def test_merge_into_outstanding_fill(self):
+        cache = small_cache(mshrs=2)
+        line = cache.line_address(0x1000)
+        cache.register_fill(line, ready_cycle=100)
+        start, merged = cache.miss_start_cycle(line, cycle=10)
+        assert merged == 100
+        assert cache.stats.mshr_merges == 1
+
+    def test_stall_when_full(self):
+        cache = small_cache(mshrs=2)
+        cache.register_fill(1, ready_cycle=50)
+        cache.register_fill(2, ready_cycle=80)
+        start, merged = cache.miss_start_cycle(3, cycle=10)
+        assert merged is None
+        assert start == 50  # waits for the earliest MSHR to free
+        assert cache.stats.mshr_stalls == 1
+
+    def test_prune_frees_mshrs(self):
+        cache = small_cache(mshrs=1)
+        cache.register_fill(1, ready_cycle=20)
+        start, merged = cache.miss_start_cycle(2, cycle=30)  # fill already done
+        assert merged is None
+        assert start == 30
+
+    def test_free_mshr_no_delay(self):
+        cache = small_cache(mshrs=4)
+        start, merged = cache.miss_start_cycle(9, cycle=7)
+        assert (start, merged) == (7, None)

@@ -1,0 +1,88 @@
+"""Tests for the instruction-cache fetch path."""
+
+import pytest
+
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+
+
+def tiny():
+    return MemoryHierarchy(
+        HierarchyConfig(
+            l1i=CacheConfig(name="L1I", size_bytes=256, ways=2, hit_latency=2, mshrs=4),
+            l1d=CacheConfig(name="L1D", size_bytes=256, ways=2, hit_latency=2, mshrs=4),
+            l2=CacheConfig(name="L2", size_bytes=1024, ways=2, hit_latency=6, mshrs=4),
+            l3=CacheConfig(name="L3", size_bytes=4096, ways=2, hit_latency=15, mshrs=4),
+            memory_latency=50,
+            prefetch_degree=0,
+        )
+    )
+
+
+class TestFetchAccess:
+    def test_table1_l1i_defaults(self):
+        config = HierarchyConfig()
+        assert config.l1i.size_bytes == 32 * 1024
+        assert config.l1i.ways == 8
+        assert config.l1i.hit_latency == 4
+
+    def test_hit_is_free(self):
+        hierarchy = tiny()
+        hierarchy.fetch_access(0x400000, 0)  # cold fill
+        assert hierarchy.fetch_access(0x400000, 100) == 100
+
+    def test_cold_miss_pays_l2_l3_memory(self):
+        hierarchy = tiny()
+        ready = hierarchy.fetch_access(0x400000, 0)
+        # L1I tag check + L2 check + L3 check + memory.
+        assert ready == 2 + 6 + 15 + 50
+
+    def test_l2_shared_with_data_side(self):
+        hierarchy = tiny()
+        hierarchy.fetch_access(0x400000, 0)
+        assert hierarchy.l2.probe(0x400000)
+
+    def test_fetch_does_not_pollute_l1d(self):
+        hierarchy = tiny()
+        hierarchy.fetch_access(0x400000, 0)
+        assert not hierarchy.l1d.probe(0x400000)
+
+    def test_same_line_different_pc_hits(self):
+        hierarchy = tiny()
+        hierarchy.fetch_access(0x400000, 0)
+        assert hierarchy.fetch_access(0x400030, 200) == 200  # same 64B line
+
+    def test_mshr_merge(self):
+        hierarchy = tiny()
+        line = hierarchy.l1i.line_address(0x400000)
+        hierarchy.l1i.register_fill(line, ready_cycle=90)
+        assert hierarchy.fetch_access(0x400000, 10) == 90
+
+
+class TestPipelineIntegration:
+    def test_code_footprint_warms_up(self):
+        """After warmup, fetch misses are rare and IPC is unaffected."""
+        from repro.core.config import CoreConfig
+        from repro.core.pipeline import Pipeline
+        from repro.isa.trace import Trace
+        from repro.mdp.ideal import AlwaysSpeculatePredictor
+        from repro.workloads.motifs import alu
+
+        ops = [alu(0x400000 + 4 * (i % 256), None, ()) for i in range(4000)]
+        stats = Pipeline(CoreConfig(), AlwaysSpeculatePredictor()).run(Trace(ops))
+        # 256 PCs = 16 lines; a handful of cold fetch misses then pure hits.
+        assert stats.ipc > 2.0
+
+    def test_giant_code_footprint_slows_fetch(self):
+        from repro.core.config import CoreConfig
+        from repro.core.pipeline import Pipeline
+        from repro.isa.trace import Trace
+        from repro.mdp.ideal import AlwaysSpeculatePredictor
+        from repro.workloads.motifs import alu
+
+        # Every op on a new line, footprint far beyond the 32 KB L1I.
+        ops = [alu(0x400000 + 64 * i, None, ()) for i in range(4000)]
+        small = [alu(0x400000 + 4 * (i % 256), None, ()) for i in range(4000)]
+        cold = Pipeline(CoreConfig(), AlwaysSpeculatePredictor()).run(Trace(ops))
+        warm = Pipeline(CoreConfig(), AlwaysSpeculatePredictor()).run(Trace(small))
+        assert cold.cycles > warm.cycles

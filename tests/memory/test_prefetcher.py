@@ -1,0 +1,63 @@
+"""Tests for the IP-stride prefetcher."""
+
+import pytest
+
+from repro.memory.prefetcher import IPStridePrefetcher
+
+
+class TestStrideDetection:
+    def test_needs_confidence(self):
+        prefetcher = IPStridePrefetcher(degree=3, confidence_threshold=2)
+        assert prefetcher.train(0x400, 0x1000) == []  # allocate
+        assert prefetcher.train(0x400, 0x1040) == []  # stride seen once
+        assert prefetcher.train(0x400, 0x1080) == []  # confidence 1
+        prefetches = prefetcher.train(0x400, 0x10C0)  # confidence 2 -> fire
+        assert prefetches == [0x1100, 0x1140, 0x1180]
+
+    def test_degree(self):
+        prefetcher = IPStridePrefetcher(degree=1, confidence_threshold=1)
+        prefetcher.train(0x400, 0x0)
+        prefetcher.train(0x400, 0x40)
+        assert prefetcher.train(0x400, 0x80) == [0xC0]
+
+    def test_zero_stride_never_fires(self):
+        prefetcher = IPStridePrefetcher(confidence_threshold=1)
+        for _ in range(6):
+            assert prefetcher.train(0x400, 0x1000) == []
+
+    def test_stride_change_resets_confidence(self):
+        prefetcher = IPStridePrefetcher(degree=2, confidence_threshold=2)
+        for address in (0x0, 0x40, 0x80, 0xC0):
+            prefetcher.train(0x400, address)
+        # Break the stride.
+        assert prefetcher.train(0x400, 0x1000) == []
+        assert prefetcher.train(0x400, 0x1008) == []
+
+    def test_negative_stride(self):
+        prefetcher = IPStridePrefetcher(degree=1, confidence_threshold=2)
+        for address in (0x1000, 0xFC0, 0xF80, 0xF40):
+            result = prefetcher.train(0x400, address)
+        assert result == [0xF00]
+
+    def test_distinct_pcs_independent(self):
+        prefetcher = IPStridePrefetcher(degree=1, confidence_threshold=1)
+        prefetcher.train(0x400, 0x0)
+        prefetcher.train(0x404, 0x10000)
+        prefetcher.train(0x400, 0x40)
+        assert prefetcher.train(0x400, 0x80) == [0xC0]
+
+    def test_stats(self):
+        prefetcher = IPStridePrefetcher(degree=2, confidence_threshold=1)
+        for address in (0x0, 0x40, 0x80):
+            prefetcher.train(0x400, address)
+        assert prefetcher.stats.trainings == 3
+        assert prefetcher.stats.issued == 2
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            IPStridePrefetcher(degree=-1)
+
+    def test_degree_zero_never_prefetches(self):
+        prefetcher = IPStridePrefetcher(degree=0, confidence_threshold=1)
+        for address in (0x0, 0x40, 0x80, 0xC0):
+            assert prefetcher.train(0x400, address) == []

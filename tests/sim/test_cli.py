@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "511.povray", "phast", "--num-ops", "1234", "--core", "nehalem"]
+        )
+        assert args.workload == "511.povray"
+        assert args.predictor == "phast"
+        assert args.num_ops == 1234
+        assert args.core == "nehalem"
+
+    def test_rejects_unknown_predictor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "511.povray", "nonsense"])
+
+    def test_rejects_unknown_core(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "511.povray", "phast", "--core", "pentium"]
+            )
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "511.povray", "phast", "--num-ops", "2000"]) == 0
+        output = capsys.readouterr().out
+        assert "511.povray" in output and "IPC=" in output
+        assert "violations=" in output
+
+    def test_suite(self, capsys):
+        assert main(
+            ["suite", "--predictors", "phast", "--num-ops", "2000", "--subset", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "GEOMEAN" in output
+
+    def test_suite_rejects_bad_predictor(self):
+        with pytest.raises(SystemExit):
+            main(["suite", "--predictors", "bogus", "--subset", "1"])
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        assert "511.povray" in capsys.readouterr().out
+
+    def test_predictors(self, capsys):
+        assert main(["predictors"]) == 0
+        output = capsys.readouterr().out
+        assert "phast" in output and "store-sets" in output
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "phast" in output and "14.5" in output

@@ -1,0 +1,68 @@
+"""Tests for the experiment grid."""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.mdp.unlimited import UnlimitedNoSQPredictor
+from repro.sim.experiment import ExperimentGrid, normalize_to_ideal
+
+
+@pytest.fixture()
+def small_grid():
+    return ExperimentGrid(num_ops=2500)
+
+
+class TestMemoisation:
+    def test_same_cell_cached(self, small_grid):
+        first = small_grid.run("511.povray", "phast")
+        second = small_grid.run("511.povray", "phast")
+        assert first is second
+
+    def test_distinct_predictors_not_shared(self, small_grid):
+        a = small_grid.run("511.povray", "phast")
+        b = small_grid.run("511.povray", "nosq")
+        assert a is not b
+
+    def test_nofwd_config_is_distinct_cell(self, small_grid):
+        fwd = small_grid.run("511.povray", "phast")
+        nofwd = small_grid.run(
+            "511.povray", "phast", CoreConfig().with_forwarding_filter(False)
+        )
+        assert fwd is not nofwd
+
+    def test_factory_label_distinguishes_variants(self, small_grid):
+        h4 = small_grid.run(
+            "511.povray",
+            "unl-nosq-h4",
+            predictor_factory=lambda: UnlimitedNoSQPredictor(history_branches=4),
+        )
+        h8 = small_grid.run(
+            "511.povray",
+            "unl-nosq-h8",
+            predictor_factory=lambda: UnlimitedNoSQPredictor(history_branches=8),
+        )
+        assert h4 is not h8
+
+
+class TestAggregates:
+    def test_run_suite_keys(self, small_grid):
+        results = small_grid.run_suite(["511.povray", "541.leela"], "phast")
+        assert set(results) == {"511.povray", "541.leela"}
+
+    def test_normalize_to_ideal(self, small_grid):
+        workloads = ["511.povray"]
+        results = small_grid.run_suite(workloads, "always-speculate")
+        ideal = small_grid.run_suite(workloads, "ideal")
+        normalized = normalize_to_ideal(results, ideal)
+        assert 0 < normalized["511.povray"] <= 1.05
+
+    def test_mean_normalized_ipc_bounded(self, small_grid):
+        value = small_grid.mean_normalized_ipc(["511.povray", "541.leela"], "phast")
+        assert 0.3 < value <= 1.05
+
+    def test_mean_mpki_non_negative(self, small_grid):
+        violations, false_deps = small_grid.mean_mpki(
+            ["511.povray", "541.leela"], "always-speculate"
+        )
+        assert violations >= 0
+        assert false_deps == 0.0  # never predicts a dependence

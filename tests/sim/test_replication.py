@@ -1,0 +1,89 @@
+"""Tests for multi-seed replication statistics."""
+
+import pytest
+
+from repro.sim.replication import (
+    ReplicatedMetric,
+    replicate,
+    replicated_speedup,
+    seed_replicas,
+)
+from repro.workloads.spec2017 import workload
+
+
+class TestReplicatedMetric:
+    def test_mean_std(self):
+        metric = ReplicatedMetric("x", (1.0, 2.0, 3.0))
+        assert metric.mean == pytest.approx(2.0)
+        assert metric.std == pytest.approx(1.0)
+
+    def test_single_sample(self):
+        metric = ReplicatedMetric("x", (5.0,))
+        assert metric.std == 0.0
+        assert metric.ci95_half_width == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedMetric("x", ())
+
+    def test_ci_shrinks_with_samples(self):
+        few = ReplicatedMetric("x", (1.0, 2.0))
+        many = ReplicatedMetric("x", (1.0, 2.0) * 8)
+        assert many.ci95_half_width < few.ci95_half_width
+
+    def test_overlap(self):
+        a = ReplicatedMetric("a", (1.0, 1.1, 0.9))
+        b = ReplicatedMetric("b", (1.05, 1.0, 1.1))
+        c = ReplicatedMetric("c", (9.0, 9.1, 8.9))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_str(self):
+        text = str(ReplicatedMetric("ipc", (1.0, 2.0)))
+        assert "ipc" in text and "n=2" in text
+
+
+class TestSeedReplicas:
+    def test_distinct_seeds_same_structure(self):
+        replicas = seed_replicas("511.povray", 4)
+        assert len({replica.seed for replica in replicas}) == 4
+        base = workload("511.povray")
+        for replica in replicas:
+            assert replica.motifs == base.motifs
+
+    def test_names_distinct(self):
+        replicas = seed_replicas("511.povray", 3)
+        assert len({replica.name for replica in replicas}) == 3
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            seed_replicas("511.povray", 0)
+
+
+class TestReplicate:
+    def test_ipc_samples(self):
+        metric = replicate("511.povray", "phast", replicas=3, num_ops=2500)
+        assert len(metric.samples) == 3
+        assert all(sample > 0 for sample in metric.samples)
+
+    def test_seeds_change_result(self):
+        metric = replicate("541.leela", "always-speculate", replicas=3, num_ops=2500)
+        assert len(set(metric.samples)) > 1  # different seeds, different traces
+
+    def test_custom_metric(self):
+        metric = replicate(
+            "511.povray",
+            "always-speculate",
+            replicas=2,
+            num_ops=2500,
+            metric=lambda result: float(result.pipeline.violations),
+            metric_name="violations",
+        )
+        assert metric.name == "violations"
+        assert all(sample >= 0 for sample in metric.samples)
+
+    def test_paired_speedup(self):
+        metric = replicated_speedup(
+            "511.povray", "phast", "always-speculate", replicas=2, num_ops=2500
+        )
+        assert metric.mean > 0  # PHAST beats blind speculation on every seed

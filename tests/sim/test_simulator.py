@@ -1,0 +1,91 @@
+"""Tests for the one-call simulation API."""
+
+import pytest
+
+from repro.core.config import GENERATIONS, CoreConfig
+from repro.mdp.phast import PHASTPredictor
+from repro.sim.simulator import (
+    PREDICTOR_FACTORIES,
+    clear_trace_cache,
+    get_trace,
+    make_predictor,
+    simulate,
+)
+from repro.workloads.spec2017 import workload
+
+
+class TestRegistry:
+    def test_all_predictors_constructible(self):
+        for name in PREDICTOR_FACTORIES:
+            predictor = make_predictor(name)
+            assert predictor.storage_bits() >= 0
+
+    def test_registry_contains_paper_roster(self):
+        for name in ("ideal", "store-sets", "nosq", "mdp-tage", "mdp-tage-s",
+                     "phast", "unlimited-phast", "unlimited-nosq",
+                     "unlimited-mdp-tage", "cht", "store-vector"):
+            assert name in PREDICTOR_FACTORIES
+
+    def test_unknown_predictor(self):
+        with pytest.raises(KeyError):
+            make_predictor("bogus")
+
+    def test_fresh_instance_each_call(self):
+        assert make_predictor("phast") is not make_predictor("phast")
+
+
+class TestTraceCache:
+    def test_same_object_returned(self):
+        a = get_trace("511.povray", 1000)
+        b = get_trace("511.povray", 1000)
+        assert a is b
+
+    def test_distinct_lengths_distinct(self):
+        assert get_trace("511.povray", 1000) is not get_trace("511.povray", 1001)
+
+    def test_clear(self):
+        a = get_trace("511.povray", 1000)
+        clear_trace_cache()
+        assert get_trace("511.povray", 1000) is not a
+
+    def test_accepts_profile_object(self):
+        trace = get_trace(workload("541.leela"), 800)
+        assert trace.name == "541.leela"
+
+
+class TestSimulate:
+    def test_result_fields(self):
+        result = simulate("511.povray", "phast", num_ops=3000)
+        assert result.workload == "511.povray"
+        assert result.predictor == "phast"
+        assert result.core == "alderlake"
+        assert result.ipc > 0
+        assert result.pipeline.committed_uops == 3000
+
+    def test_predictor_instance_accepted(self):
+        predictor = PHASTPredictor()
+        result = simulate("511.povray", predictor, num_ops=2000)
+        assert result.mdp is predictor.stats
+
+    def test_custom_config(self):
+        result = simulate(
+            "511.povray", "phast", config=GENERATIONS["nehalem"], num_ops=2000
+        )
+        assert result.core == "nehalem"
+
+    def test_paths_tracked_only_for_unlimited(self):
+        limited = simulate("511.povray", "phast", num_ops=2000)
+        unlimited = simulate("511.povray", "unlimited-phast", num_ops=2000)
+        assert limited.paths_tracked is None
+        assert unlimited.paths_tracked is not None
+
+    def test_deterministic(self):
+        a = simulate("541.leela", "nosq", num_ops=3000)
+        b = simulate("541.leela", "nosq", num_ops=3000)
+        assert a.ipc == b.ipc
+        assert a.pipeline.violations == b.pipeline.violations
+
+    def test_summary_format(self):
+        result = simulate("511.povray", "phast", num_ops=2000)
+        text = result.summary()
+        assert "511.povray" in text and "phast" in text and "IPC=" in text

@@ -1,0 +1,104 @@
+"""Tests for trace generation."""
+
+import pytest
+
+from repro.workloads.generator import MOTIF_REGISTRY, MotifSpec, WorkloadProfile, build_trace
+
+
+def simple_profile(run_length_mean=4.0, replicas=1):
+    return WorkloadProfile(
+        name="test",
+        seed=1,
+        run_length_mean=run_length_mean,
+        motifs=(
+            MotifSpec("filler", 5.0, {"random_branch_prob": 0.2}),
+            MotifSpec("stable", 1.0, {}, replicas=replicas),
+        ),
+    )
+
+
+class TestMotifSpec:
+    def test_unknown_motif_rejected(self):
+        with pytest.raises(KeyError):
+            MotifSpec("nonexistent", 1.0)
+
+    def test_bad_weight(self):
+        with pytest.raises(ValueError):
+            MotifSpec("filler", 0.0)
+
+    def test_bad_replicas(self):
+        with pytest.raises(ValueError):
+            MotifSpec("filler", 1.0, replicas=0)
+
+    def test_registry_complete(self):
+        assert set(MOTIF_REGISTRY) == {
+            "filler",
+            "stable",
+            "path",
+            "data_dependent",
+            "multi_store",
+            "store_set_stress",
+            "call_heavy",
+            "spill_churn",
+            "overwrite",
+        }
+
+
+class TestWorkloadProfile:
+    def test_empty_motifs_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", seed=0, motifs=())
+
+    def test_bad_run_length(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(
+                name="x", seed=0, motifs=(MotifSpec("filler", 1.0),),
+                run_length_mean=0.5,
+            )
+
+
+class TestBuildTrace:
+    def test_exact_length(self):
+        trace = build_trace(simple_profile(), 2500)
+        assert len(trace) == 2500
+
+    def test_deterministic(self):
+        a = build_trace(simple_profile(), 2000)
+        b = build_trace(simple_profile(), 2000)
+        assert [op.describe() for op in a] == [op.describe() for op in b]
+
+    def test_prefix_property(self):
+        """A shorter trace is a prefix of a longer one (same seed)."""
+        short = build_trace(simple_profile(), 500)
+        long = build_trace(simple_profile(), 2000)
+        assert [op.describe() for op in short] == [
+            op.describe() for op in long.ops[:500]
+        ]
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            build_trace(simple_profile(), 0)
+
+    def test_contains_all_motif_kinds(self):
+        trace = build_trace(simple_profile(), 6000)
+        stats = trace.stats()
+        assert stats.loads > 0
+        assert stats.stores > 0
+        assert stats.branches > 0
+
+    def test_replicas_expand_static_footprint(self):
+        small = build_trace(simple_profile(replicas=1), 8000).stats()
+        large = build_trace(simple_profile(replicas=8), 8000).stats()
+        assert large.unique_pcs > small.unique_pcs
+
+    def test_run_lengths_create_phases(self):
+        """With long runs, consecutive stores far more often share a PC."""
+
+        def store_pc_repeat_rate(run_length_mean):
+            trace = build_trace(simple_profile(run_length_mean=run_length_mean,
+                                               replicas=6), 12000)
+            store_pcs = [op.pc for op in trace if op.is_store]
+            repeats = sum(1 for a, b in zip(store_pcs, store_pcs[1:]) if a == b)
+            return repeats / max(1, len(store_pcs) - 1)
+
+        assert store_pc_repeat_rate(16.0) > store_pc_repeat_rate(1.0)

@@ -1,0 +1,107 @@
+"""Tests for static layout allocation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.rng import DeterministicRNG
+from repro.workloads.layout import (
+    AddressRegion,
+    AddressSpaceAllocator,
+    LayoutContext,
+    PCAllocator,
+    RegisterAllocator,
+)
+
+
+class TestPCAllocator:
+    def test_unique_and_aligned(self):
+        allocator = PCAllocator()
+        pcs = allocator.fresh_block(100)
+        assert len(set(pcs)) == 100
+        assert all(pc % 4 == 0 for pc in pcs)
+
+    def test_monotonic(self):
+        allocator = PCAllocator()
+        assert allocator.fresh() < allocator.fresh()
+
+
+class TestRegisterAllocator:
+    def test_never_hands_out_ready_regs(self):
+        allocator = RegisterAllocator(16)
+        regs = allocator.fresh_block(40)  # forces wraparound
+        assert all(reg >= 4 for reg in regs)
+        assert all(reg < 16 for reg in regs)
+
+    def test_ready_reg_is_zero(self):
+        assert RegisterAllocator(16).ready_reg == 0
+
+    def test_too_few_regs_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterAllocator(4)
+
+
+class TestAddressRegion:
+    def test_slot_aligned_and_contained(self):
+        region = AddressRegion(base=0x1000, size=256)
+        for index in range(100):
+            address = region.slot(index, 8)
+            assert address % 8 == 0
+            assert region.base <= address < region.base + region.size
+
+    def test_slots_distinct_within_capacity(self):
+        region = AddressRegion(base=0x1000, size=64)
+        slots = {region.slot(i, 8) for i in range(8)}
+        assert len(slots) == 8
+
+    def test_random_aligned(self):
+        region = AddressRegion(base=0x2000, size=128)
+        rng = DeterministicRNG(1)
+        for _ in range(50):
+            address = region.random_aligned(rng, 8)
+            assert address % 8 == 0
+            assert region.base <= address < region.base + region.size
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AddressRegion(base=-1, size=64)
+        with pytest.raises(ValueError):
+            AddressRegion(base=0, size=0)
+
+    def test_too_small_for_access(self):
+        region = AddressRegion(base=0, size=4)
+        with pytest.raises(ValueError):
+            region.random_aligned(DeterministicRNG(0), 8)
+
+
+class TestAddressSpaceAllocator:
+    def test_regions_disjoint(self):
+        allocator = AddressSpaceAllocator()
+        regions = [allocator.region(1000) for _ in range(20)]
+        for a in regions:
+            for b in regions:
+                if a is not b:
+                    assert a.base + a.size <= b.base or b.base + b.size <= a.base
+
+    def test_page_aligned(self):
+        allocator = AddressSpaceAllocator()
+        for _ in range(5):
+            region = allocator.region(777)
+            assert region.base % 0x1000 == 0
+            assert region.size % 0x1000 == 0
+
+    @given(st.lists(st.integers(1, 10_000_000), min_size=1, max_size=10))
+    def test_any_sizes_disjoint(self, sizes):
+        allocator = AddressSpaceAllocator()
+        regions = [allocator.region(size) for size in sizes]
+        sorted_regions = sorted(regions, key=lambda r: r.base)
+        for earlier, later in zip(sorted_regions, sorted_regions[1:]):
+            assert earlier.base + earlier.size <= later.base
+
+
+class TestLayoutContext:
+    def test_fresh_builds_all_allocators(self):
+        layout = LayoutContext.fresh()
+        assert layout.pcs.fresh() > 0
+        assert layout.regs.fresh() >= 4
+        assert layout.memory.region(64).size > 0

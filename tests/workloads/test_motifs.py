@@ -1,0 +1,356 @@
+"""Tests for the dependence motifs."""
+
+import pytest
+
+from repro.common.rng import DeterministicRNG
+from repro.isa.microop import BranchKind, OpKind
+from repro.workloads.layout import LayoutContext
+from repro.workloads.motifs import (
+    CallHeavyConflict,
+    ComputeFiller,
+    DataDependentConflict,
+    MultiStoreConflict,
+    OverwriteConflict,
+    PathDependentConflict,
+    SpillChurn,
+    StableConflict,
+    StoreSetStress,
+)
+
+ALL_MOTIFS = [
+    ComputeFiller,
+    StableConflict,
+    PathDependentConflict,
+    DataDependentConflict,
+    MultiStoreConflict,
+    StoreSetStress,
+    CallHeavyConflict,
+    SpillChurn,
+    OverwriteConflict,
+]
+
+
+def activate(motif_class, seed=1, rounds=5, **kwargs):
+    layout = LayoutContext.fresh()
+    motif = motif_class(layout, **kwargs)
+    rng = DeterministicRNG(seed)
+    return motif, [motif.activate(rng) for _ in range(rounds)]
+
+
+@pytest.mark.parametrize("motif_class", ALL_MOTIFS)
+class TestAllMotifs:
+    def test_emits_valid_ops(self, motif_class):
+        _, activations = activate(motif_class)
+        for ops in activations:
+            assert ops
+            for op in ops:
+                assert op.pc > 0  # construction already validates the rest
+
+    def test_static_pcs_stable_across_activations(self, motif_class):
+        """Dynamic instances must share static identity, like loop iterations."""
+        _, activations = activate(motif_class, rounds=8)
+        all_pcs = [frozenset(op.pc for op in ops) for ops in activations]
+        # Every activation's PCs are drawn from one static pool.
+        union = frozenset().union(*all_pcs)
+        assert len(union) <= 64
+
+    def test_deterministic(self, motif_class):
+        _, first = activate(motif_class, seed=7)
+        _, second = activate(motif_class, seed=7)
+        assert [
+            [op.describe() for op in ops] for ops in first
+        ] == [[op.describe() for op in ops] for ops in second]
+
+
+class TestStableConflict:
+    def test_store_load_same_address(self):
+        _, activations = activate(StableConflict, distance=2, address_slots=1)
+        for ops in activations:
+            stores = [op for op in ops if op.is_store]
+            loads = [op for op in ops if op.is_load]
+            conflicting_store = stores[0]
+            assert any(
+                op.mem.address == conflicting_store.mem.address for op in loads
+            )
+
+    def test_distance_filler_stores(self):
+        _, activations = activate(StableConflict, distance=3)
+        stores = [op for op in activations[0] if op.is_store]
+        assert len(stores) == 4  # conflicting store + 3 fillers
+
+    def test_store_address_operand_is_late(self):
+        """The conflicting store's address register comes from the chain."""
+        _, activations = activate(StableConflict)
+        ops = activations[0]
+        chain_load = next(op for op in ops if op.is_load)
+        conflicting_store = next(op for op in ops if op.is_store)
+        assert conflicting_store.src_regs  # address-generation register
+        assert chain_load.dst_reg is not None
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            StableConflict(LayoutContext.fresh(), distance=-1)
+
+
+class TestPathDependentConflict:
+    def test_distance_matches_path(self):
+        motif, activations = activate(
+            PathDependentConflict,
+            distances=(0, 3),
+            inter_branches=1,
+            persistence=0.0,
+            rounds=30,
+        )
+        for ops in activations:
+            stores = [op for op in ops if op.is_store]
+            # Conflicting store is the first one after the chain (PC pool).
+            filler_count = len(stores) - 1
+            assert filler_count in (0, 3)
+
+    def test_indirect_selector_targets_differ(self):
+        _, activations = activate(
+            PathDependentConflict,
+            distances=(0, 1, 2),
+            indirect=True,
+            persistence=0.0,
+            rounds=40,
+        )
+        targets = set()
+        for ops in activations:
+            selector = next(
+                op for op in ops
+                if op.is_branch and op.branch.kind is BranchKind.INDIRECT
+            )
+            targets.add(selector.branch.target)
+        assert len(targets) == 3
+        # Targets are distinguishable in the predictor's 5 target bits.
+        assert len({t & 0x1F for t in targets}) == 3
+
+    def test_heralds_encode_path(self):
+        _, activations = activate(
+            PathDependentConflict,
+            distances=(0, 1, 2, 3),
+            indirect=True,
+            herald_bits=2,
+            persistence=0.0,
+            rounds=30,
+        )
+        for ops in activations:
+            conditionals = [
+                op for op in ops
+                if op.is_branch and op.branch.kind is BranchKind.CONDITIONAL
+            ]
+            heralds = conditionals[:2]
+            selector = next(
+                op for op in ops
+                if op.is_branch and op.branch.kind is BranchKind.INDIRECT
+            )
+            # Selector target index == herald bits, little-endian.
+            path = (selector.branch.target - min(
+                s.branch.target for a in activations for s in a
+                if s.is_branch and s.branch.kind is BranchKind.INDIRECT
+            )) // 4
+            encoded = int(heralds[0].branch.taken) | (int(heralds[1].branch.taken) << 1)
+            assert encoded == path
+
+    def test_persistence_repeats_paths(self):
+        motif, activations = activate(
+            PathDependentConflict, distances=(0, 5), persistence=0.95, rounds=60
+        )
+        distances = [len([op for op in ops if op.is_store]) - 1 for ops in activations]
+        switches = sum(1 for a, b in zip(distances, distances[1:]) if a != b)
+        assert switches < 15
+
+    def test_conflict_prob_zero_never_conflicts(self):
+        _, activations = activate(
+            PathDependentConflict, distances=(0, 1), conflict_prob=0.0, rounds=20
+        )
+        for ops in activations:
+            loads = [op for op in ops if op.is_load]
+            conflict_load = loads[-1]
+            stores = [op for op in ops if op.is_store]
+            assert not any(
+                op.mem.overlaps(conflict_load.mem) for op in stores
+            )
+
+    def test_validation(self):
+        layout = LayoutContext.fresh()
+        with pytest.raises(ValueError):
+            PathDependentConflict(layout, distances=(0, 1, 2), indirect=False)
+        with pytest.raises(ValueError):
+            PathDependentConflict(layout, distances=(0,) * 9, indirect=True)
+        with pytest.raises(ValueError):
+            PathDependentConflict(layout, distances=(0, 1), persistence=1.0)
+
+
+class TestDataDependentConflict:
+    def test_collision_rate_matches_slots(self):
+        _, activations = activate(DataDependentConflict, address_slots=4, rounds=200)
+        # The conflict load always reads slot 0 = the smallest store address.
+        slot0 = min(
+            op.mem.address
+            for ops in activations
+            for op in ops
+            if op.is_store
+        )
+        collisions = 0
+        for ops in activations:
+            load = next(op for op in ops if op.is_load and op.mem.address == slot0)
+            store = next(op for op in ops if op.is_store)
+            collisions += store.mem.overlaps(load.mem)
+        assert 20 <= collisions <= 90  # ~1/4 of 200
+
+    def test_requires_two_slots(self):
+        with pytest.raises(ValueError):
+            DataDependentConflict(LayoutContext.fresh(), address_slots=1)
+
+
+class TestMultiStoreConflict:
+    def test_stores_cover_load(self):
+        _, activations = activate(MultiStoreConflict, num_stores=8)
+        for ops in activations:
+            stores = [op for op in ops if op.is_store]
+            base = min(op.mem.address for op in stores)
+            load = next(op for op in ops if op.is_load and op.mem.address == base)
+            covered = set()
+            for op in stores:
+                covered.update(range(op.mem.address, op.mem.end))
+            assert covered == set(range(load.mem.address, load.mem.end))
+
+    def test_insufficient_stores_rejected(self):
+        with pytest.raises(ValueError):
+            MultiStoreConflict(LayoutContext.fresh(), num_stores=2, store_size=1, load_size=8)
+
+    def test_shared_address_register(self):
+        """All writers hang off one register: they execute in order (Fig. 4)."""
+        _, activations = activate(MultiStoreConflict)
+        stores = [op for op in activations[0] if op.is_store]
+        assert len({op.src_regs for op in stores}) == 1
+
+
+class TestStoreSetStress:
+    def test_recurrence_reads_previous_slot(self):
+        _, activations = activate(StoreSetStress, iterations=4)
+        ops = activations[0]
+        stores = [op for op in ops if op.is_store]
+        loads = [op for op in ops if op.is_load and op.pc == stores[0].pc + 0]  # noqa: F841
+        conflict_loads = [
+            op for op in ops if op.is_load and any(
+                s.mem.address == op.mem.address for s in stores
+            )
+        ]
+        assert len(conflict_loads) == 3  # iterations - 1
+
+    def test_single_static_store_pc(self):
+        _, activations = activate(StoreSetStress, iterations=5)
+        stores = [op for op in activations[0] if op.is_store]
+        assert len({op.pc for op in stores}) == 1
+
+    def test_needs_two_iterations(self):
+        with pytest.raises(ValueError):
+            StoreSetStress(LayoutContext.fresh(), iterations=1)
+
+
+class TestSpillChurn:
+    def test_pairing_branch_tracks_swap(self):
+        _, activations = activate(SpillChurn, swap_prob=0.5, rounds=40)
+        for ops in activations:
+            pairing = next(
+                op for op in ops
+                if op.is_branch and op.branch.kind is BranchKind.CONDITIONAL
+            )
+            stores = [op for op in ops if op.is_store]
+            loads = [op for op in ops if op.is_load and op.dst_reg is not None]
+            conflict_loads = [
+                op for op in loads if any(s.mem.address == op.mem.address for s in stores)
+            ]
+            assert len(conflict_loads) >= 2
+
+    def test_swap_changes_producers(self):
+        _, activations = activate(SpillChurn, swap_prob=1.0, rounds=4)
+        first_stores = [op for op in activations[0] if op.is_store]
+        second_stores = [op for op in activations[1] if op.is_store]
+        assert first_stores[0].mem.address != second_stores[0].mem.address
+
+    def test_swap_validation(self):
+        with pytest.raises(ValueError):
+            SpillChurn(LayoutContext.fresh(), swap_prob=1.5)
+
+
+class TestComputeFiller:
+    def test_noise_probability_controls_divergent_density(self):
+        _, quiet = activate(ComputeFiller, random_branch_prob=0.0, rounds=50)
+        _, noisy = activate(ComputeFiller, random_branch_prob=1.0, rounds=50)
+        count_branches = lambda acts: sum(
+            1 for ops in acts for op in ops if op.is_divergent_branch
+        )
+        assert count_branches(noisy) > count_branches(quiet)
+
+    def test_no_stores(self):
+        _, activations = activate(ComputeFiller, rounds=20)
+        assert not any(op.is_store for ops in activations for op in ops)
+
+    def test_access_pattern_validation(self):
+        with pytest.raises(ValueError):
+            ComputeFiller(LayoutContext.fresh(), access_pattern="bogus")
+
+
+class TestOverwriteConflict:
+    def test_both_stores_hit_same_address(self):
+        _, activations = activate(OverwriteConflict)
+        for ops in activations:
+            stores = [op for op in ops if op.is_store]
+            assert len(stores) == 2
+            assert stores[0].mem.address == stores[1].mem.address
+
+    def test_slow_then_fast_address_operands(self):
+        """Store 1 hangs off the chain; store 2 is immediately resolvable —
+        the Fig. 3c pattern needs the OLDER store to resolve later."""
+        _, activations = activate(OverwriteConflict)
+        ops = activations[0]
+        stores = [op for op in ops if op.is_store]
+        chain_load = next(op for op in ops if op.is_load)
+        assert stores[0].src_regs != (0,)  # slow: chain register
+        assert stores[1].src_regs == (0,)  # fast: always-ready register
+
+    def test_fig3c_behaviour_in_pipeline(self):
+        """With the FWD filter the load never squashes; without it, it does."""
+        from repro.core.config import CoreConfig
+        from repro.core.pipeline import Pipeline
+        from repro.isa.trace import Trace
+        from repro.mdp.ideal import AlwaysSpeculatePredictor
+
+        layout = LayoutContext.fresh()
+        motif = OverwriteConflict(layout)
+        rng = DeterministicRNG(3)
+        ops = [op for _ in range(30) for op in motif.activate(rng)]
+
+        fwd = Pipeline(CoreConfig(), AlwaysSpeculatePredictor()).run(Trace(ops))
+        nofwd = Pipeline(
+            CoreConfig().with_forwarding_filter(False), AlwaysSpeculatePredictor()
+        ).run(Trace(ops))
+        # The filter suppresses (almost) all squashes: an occasional one
+        # remains when the load's issue slot lands before the fast store's
+        # AGU slot, which is a true ordering risk, not a Fig. 3c false one.
+        assert fwd.violations <= len(ops) // 200
+        assert nofwd.violations > fwd.violations * 5
+
+
+class TestCallHeavyConflict:
+    def test_emits_call_and_return(self):
+        _, activations = activate(CallHeavyConflict)
+        kinds = {
+            op.branch.kind for ops in activations for op in ops if op.is_branch
+        }
+        assert BranchKind.CALL in kinds
+        assert BranchKind.RETURN in kinds
+
+    def test_multiple_call_sites(self):
+        _, activations = activate(CallHeavyConflict, num_call_sites=3, rounds=40)
+        call_pcs = {
+            op.pc
+            for ops in activations
+            for op in ops
+            if op.is_branch and op.branch.kind is BranchKind.CALL
+        }
+        assert len(call_pcs) == 3

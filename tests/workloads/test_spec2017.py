@@ -1,0 +1,90 @@
+"""Tests for the SPEC CPU 2017-like profile suite."""
+
+import pytest
+
+from repro.workloads.generator import build_trace
+from repro.workloads.spec2017 import SPEC_PROFILES, spec_suite, workload
+
+
+class TestSuiteRoster:
+    def test_paper_applications_present(self):
+        names = set(SPEC_PROFILES)
+        # The applications the paper's figures single out must exist.
+        for expected in (
+            "500.perlbench_1",
+            "500.perlbench_3",
+            "502.gcc_1",
+            "503.bwaves",
+            "510.parest",
+            "511.povray",
+            "525.x264_3",
+            "531.deepsjeng",
+            "541.leela",
+            "544.nab",
+        ):
+            assert expected in names
+
+    def test_suite_size(self):
+        assert len(SPEC_PROFILES) >= 25
+
+    def test_spec_suite_sorted_and_subset(self):
+        names = spec_suite()
+        assert names == sorted(names)
+        assert spec_suite(subset=5) == names[:5]
+
+    def test_workload_lookup(self):
+        assert workload("511.povray").name == "511.povray"
+        with pytest.raises(KeyError):
+            workload("999.nonexistent")
+
+    def test_unique_seeds(self):
+        seeds = [profile.seed for profile in SPEC_PROFILES.values()]
+        assert len(seeds) == len(set(seeds))
+
+
+@pytest.mark.parametrize("name", spec_suite())
+class TestEveryProfileBuilds:
+    def test_builds_and_mixes(self, name):
+        trace = build_trace(workload(name), 3000)
+        stats = trace.stats()
+        assert stats.total_ops == 3000
+        assert stats.loads > 0
+        assert stats.branches > 0
+        # Plausible instruction mix for a CPU workload.
+        assert 0.05 < stats.load_fraction < 0.6
+        assert stats.branch_fraction < 0.45
+
+
+class TestProfileCharacter:
+    def test_multi_store_apps_emit_narrow_stores(self):
+        trace = build_trace(workload("525.x264_3"), 30000)
+        narrow = [op for op in trace if op.is_store and op.mem.size == 1]
+        assert narrow
+
+    def test_exchange2_has_no_stores(self):
+        trace = build_trace(workload("548.exchange2"), 10000)
+        assert trace.stats().stores == 0
+
+    def test_fp_apps_have_fp_ops(self):
+        from repro.isa.microop import OpKind
+
+        trace = build_trace(workload("519.lbm"), 5000)
+        fp_ops = sum(1 for op in trace if op.kind is OpKind.FP)
+        assert fp_ops > 200
+
+    def test_gcc_has_indirect_branches(self):
+        from repro.isa.microop import BranchKind
+
+        trace = build_trace(workload("502.gcc_1"), 30000)
+        indirects = sum(
+            1
+            for op in trace
+            if op.is_branch and op.branch.kind is BranchKind.INDIRECT
+        )
+        assert indirects > 0
+
+    def test_conflict_density_integer_vs_fp(self):
+        """Integer apps carry far more store traffic than streaming FP apps."""
+        gcc = build_trace(workload("502.gcc_1"), 20000).stats()
+        lbm = build_trace(workload("519.lbm"), 20000).stats()
+        assert gcc.store_fraction > lbm.store_fraction

@@ -1,0 +1,58 @@
+"""Suite-wide character invariants: every profile exercises what it claims."""
+
+import pytest
+
+from repro.sim.experiment import ExperimentGrid
+from repro.workloads.spec2017 import spec_suite
+
+#: Profiles designed without memory conflicts (pure compute / streaming).
+CONFLICT_FREE = {"548.exchange2"}
+
+#: Profiles with deliberately tiny conflict rates (may be zero on short runs).
+CONFLICT_LIGHT = {
+    "507.cactuBSSN",
+    "508.namd",
+    "519.lbm",
+    "521.wrf",
+    "538.imagick",
+    "549.fotonik3d",
+    "554.roms",
+    "503.bwaves",
+    "544.nab",
+    "505.mcf",
+}
+
+NUM_OPS = 15_000
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return ExperimentGrid(num_ops=NUM_OPS)
+
+
+@pytest.mark.parametrize("name", sorted(set(spec_suite()) - CONFLICT_FREE - CONFLICT_LIGHT))
+def test_integer_profiles_have_real_conflicts(grid, name):
+    """Blind speculation must squash on every conflict-bearing profile."""
+    result = grid.run(name, "always-speculate")
+    assert result.pipeline.violations > 0, name
+
+
+@pytest.mark.parametrize("name", sorted(CONFLICT_FREE))
+def test_conflict_free_profiles_never_squash(grid, name):
+    result = grid.run(name, "always-speculate")
+    assert result.pipeline.violations == 0
+
+
+def test_prediction_matters_suite_wide(grid):
+    """PHAST must beat blind speculation over the conflict-bearing subset."""
+    subset = sorted(set(spec_suite()) - CONFLICT_FREE - CONFLICT_LIGHT)[:6]
+    phast = grid.mean_normalized_ipc(subset, "phast")
+    blind = grid.mean_normalized_ipc(subset, "always-speculate")
+    assert phast > blind
+
+
+def test_every_profile_has_reasonable_branch_behaviour(grid):
+    """Branch MPKI stays within plausible CPU-workload bounds everywhere."""
+    for name in spec_suite():
+        result = grid.run(name, "always-speculate")
+        assert result.branch_mpki < 120, name

@@ -18,11 +18,18 @@ from pathlib import Path
 
 import pytest
 
+from repro.harness.store import ResultStore
 from repro.sim.experiment import ExperimentGrid
 from repro.workloads.spec2017 import spec_suite
 
 #: Simulated micro-ops per (workload, predictor) cell.
 BENCH_OPS = int(os.environ.get("REPRO_BENCH_OPS", "25000"))
+
+#: Optional durable result store: point REPRO_RESULT_STORE at a directory
+#: and a killed/crashed benchmark session resumes from its completed cells
+#: (the per-cell entries are written atomically, so partial files cannot
+#: occur; see docs/harness.md).
+STORE_PATH = os.environ.get("REPRO_RESULT_STORE")
 
 #: The full suite, used by the per-application figures (7-9, 14-16).
 SUITE = spec_suite()
@@ -46,7 +53,8 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 @pytest.fixture(scope="session")
 def grid() -> ExperimentGrid:
-    return ExperimentGrid(num_ops=BENCH_OPS)
+    store = ResultStore(STORE_PATH) if STORE_PATH else None
+    return ExperimentGrid(num_ops=BENCH_OPS, store=store)
 
 
 @pytest.fixture(scope="session")

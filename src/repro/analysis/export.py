@@ -8,29 +8,21 @@ the simulator.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, IO, Iterable, List, Optional, Union
 
+from repro.common.atomicio import atomic_write_text
 from repro.sim.metrics import SimResult
 
 
 def result_to_dict(result: SimResult) -> Dict[str, object]:
     """Flatten one simulation result into a JSON-safe dict."""
-    pipeline = asdict(result.pipeline)
-    mdp = asdict(result.mdp)
-    return {
-        "workload": result.workload,
-        "predictor": result.predictor,
-        "core": result.core,
-        "ipc": result.ipc,
-        "violation_mpki": result.violation_mpki,
-        "false_positive_mpki": result.false_positive_mpki,
-        "branch_mpki": result.branch_mpki,
-        "paths_tracked": result.paths_tracked,
-        "pipeline": pipeline,
-        "mdp": mdp,
-    }
+    return result.to_record()
+
+
+def record_to_result(record: Dict[str, object]) -> SimResult:
+    """Inverse of :func:`result_to_dict` (derived metrics are recomputed)."""
+    return SimResult.from_record(record)
 
 
 def results_to_records(results: Iterable[SimResult]) -> List[Dict[str, object]]:
@@ -43,16 +35,17 @@ def dump_results(
     destination: Union[str, Path, IO[str]],
     indent: Optional[int] = 2,
 ) -> None:
-    """Write results as a JSON array to a path or stream."""
+    """Write results as a JSON array to a path or stream.
+
+    Path destinations are written atomically (temp file + rename), so an
+    interrupted export never leaves a truncated JSON file behind.
+    """
     records = results_to_records(results)
-    own = isinstance(destination, (str, Path))
-    stream: IO[str] = open(destination, "w") if own else destination
-    try:
-        json.dump(records, stream, indent=indent)
-        stream.write("\n")
-    finally:
-        if own:
-            stream.close()
+    if isinstance(destination, (str, Path)):
+        atomic_write_text(destination, json.dumps(records, indent=indent) + "\n")
+        return
+    json.dump(records, destination, indent=indent)
+    destination.write("\n")
 
 
 def load_records(source: Union[str, Path, IO[str]]) -> List[Dict[str, object]]:

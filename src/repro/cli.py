@@ -5,6 +5,9 @@ Commands:
 * ``run`` — simulate one (workload, predictor) pair and print the result.
 * ``suite`` — run a predictor roster over workloads, print Fig. 15-style
   normalised IPC and the mean-speedup summary.
+* ``sweep`` — fault-tolerant resumable sweep: per-cell worker processes,
+  timeouts, retries, a durable result store and a failure manifest
+  (``--resume`` to continue a killed campaign, ``--status`` to inspect it).
 * ``workloads`` — list the synthetic SPEC CPU 2017-like profiles.
 * ``predictors`` — list the predictor registry with storage budgets.
 * ``table2`` — print the reproduced Table II (configurations/storage/energy).
@@ -13,6 +16,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -20,10 +24,17 @@ from repro.analysis.export import dump_results
 from repro.analysis.report import format_table
 from repro.common.stats import geometric_mean
 from repro.core.config import GENERATIONS, CoreConfig
+from repro.harness.executor import ProcessCellExecutor
+from repro.harness.store import ResultStore
+from repro.harness.sweep import SweepRunner, build_cells
 from repro.mdp.storage import format_table2
 from repro.sim.experiment import ExperimentGrid
 from repro.sim.simulator import DEFAULT_NUM_OPS, PREDICTOR_FACTORIES, simulate
-from repro.workloads.spec2017 import SPEC_PROFILES, spec_suite
+from repro.workloads.spec2017 import SPEC_PROFILES, spec_suite, workload
+
+#: Default durable store location; flags override, env overrides the default.
+ENV_STORE = "REPRO_RESULT_STORE"
+DEFAULT_STORE = ".repro-store"
 
 
 def _core_config(name: str) -> CoreConfig:
@@ -37,10 +48,11 @@ def _core_config(name: str) -> CoreConfig:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     result = simulate(
-        args.workload,
+        workload(args.workload, seed=args.seed),
         args.predictor,
         config=_core_config(args.core),
         num_ops=args.num_ops,
+        check_invariants=True if args.check_invariants else None,
     )
     print(result.summary())
     stats = result.pipeline
@@ -65,14 +77,17 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             raise SystemExit(f"unknown predictor {name!r}")
     grid = ExperimentGrid(num_ops=args.num_ops)
     config = _core_config(args.core)
-    ideal = grid.run_suite(workloads, "ideal", config)
+    ideal = {
+        name: grid.run(name, "ideal", config, seed=args.seed) for name in workloads
+    }
 
     rows = []
     normalized = {name: [] for name in predictors}
-    for workload in workloads:
-        row: List[object] = [workload]
+    for workload_name in workloads:
+        row: List[object] = [workload_name]
         for name in predictors:
-            ratio = grid.run(workload, name, config).ipc / ideal[workload].ipc
+            result = grid.run(workload_name, name, config, seed=args.seed)
+            ratio = result.ipc / ideal[workload_name].ipc
             normalized[name].append(ratio)
             row.append(ratio)
         rows.append(row)
@@ -129,6 +144,50 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    workloads = spec_suite(subset=args.subset)
+    predictors = args.predictors.split(",")
+    for name in predictors:
+        if name not in PREDICTOR_FACTORIES:
+            raise SystemExit(f"unknown predictor {name!r}")
+    cells = build_cells(
+        workloads,
+        predictors,
+        config=_core_config(args.core),
+        num_ops=args.num_ops,
+        seed=args.seed,
+    )
+    store = ResultStore(args.store)
+    runner = SweepRunner(
+        store,
+        ProcessCellExecutor(
+            timeout=args.timeout,
+            retries=args.retries,
+            workers=args.workers,
+            check_invariants=args.check_invariants,
+        ),
+    )
+
+    if args.status:
+        status = runner.status(cells)
+        print(f"store: {store.root}")
+        print(status.summary())
+        return 0
+
+    def progress(outcome) -> None:
+        spec = outcome.spec
+        if outcome.ok:
+            tag = "cached" if outcome.cached else "ok"
+            print(f"  [{tag}] {spec.workload}/{spec.predictor}")
+        else:
+            print(f"  {outcome.failure.summary()}")
+
+    report = runner.run(cells, resume=not args.no_resume, progress=progress)
+    print(report.summary())
+    print(f"failure manifest: {store.manifest_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -141,6 +200,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("predictor", choices=sorted(PREDICTOR_FACTORIES))
     run.add_argument("--num-ops", type=int, default=DEFAULT_NUM_OPS)
     run.add_argument("--core", default="alderlake", choices=sorted(GENERATIONS))
+    run.add_argument(
+        "--seed", type=int, default=None, help="override the workload trace seed"
+    )
+    run.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="enable simulator self-checks (fail loudly on model corruption)",
+    )
     run.set_defaults(func=_cmd_run)
 
     suite = sub.add_parser("suite", help="predictor roster over the suite")
@@ -150,7 +217,63 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--num-ops", type=int, default=DEFAULT_NUM_OPS)
     suite.add_argument("--subset", type=int, default=None)
     suite.add_argument("--core", default="alderlake", choices=sorted(GENERATIONS))
+    suite.add_argument(
+        "--seed", type=int, default=None, help="override every workload's trace seed"
+    )
     suite.set_defaults(func=_cmd_suite)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="fault-tolerant resumable sweep with a durable result store",
+    )
+    sweep.add_argument(
+        "--predictors", default="store-sets,nosq,mdp-tage,mdp-tage-s,phast,ideal"
+    )
+    sweep.add_argument("--num-ops", type=int, default=DEFAULT_NUM_OPS)
+    sweep.add_argument("--subset", type=int, default=None)
+    sweep.add_argument("--core", default="alderlake", choices=sorted(GENERATIONS))
+    sweep.add_argument("--seed", type=int, default=None)
+    sweep.add_argument(
+        "--store",
+        default=os.environ.get(ENV_STORE, DEFAULT_STORE),
+        help=f"result store directory (default ${ENV_STORE} or {DEFAULT_STORE})",
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-cell wall-clock budget in seconds ($REPRO_SWEEP_TIMEOUT)",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="retries for transient failures ($REPRO_SWEEP_RETRIES)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="concurrent worker processes ($REPRO_SWEEP_WORKERS)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed cells from the store (the default; kept as an "
+        "explicit flag for campaign scripts)",
+    )
+    sweep.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore previously stored results and re-simulate every cell",
+    )
+    sweep.add_argument(
+        "--status",
+        action="store_true",
+        help="report completed/failed/pending counts without running",
+    )
+    sweep.add_argument("--check-invariants", action="store_true")
+    sweep.set_defaults(func=_cmd_sweep)
 
     workloads = sub.add_parser("workloads", help="list workload profiles")
     workloads.set_defaults(func=_cmd_workloads)

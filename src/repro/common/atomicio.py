@@ -1,0 +1,53 @@
+"""Crash-safe file writes: temp file in the target directory + atomic rename.
+
+POSIX ``rename(2)`` within one filesystem is atomic, so a reader (or a
+process resuming after SIGKILL) observes either the complete previous file
+or the complete new file — never a truncated mix. Every durable artefact in
+the repository (result-store entries, failure manifests, exported JSON)
+goes through :func:`atomic_write_text` so a killed process cannot corrupt
+on-disk state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> Path:
+    """Write ``text`` to ``path`` atomically; returns the resolved path.
+
+    The temp file lives in the destination directory (same filesystem, so
+    the final ``os.replace`` is atomic) and is fsynced before the rename;
+    on any failure the temp file is removed and no partial ``path`` exists.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as stream:
+            stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(
+    path: Union[str, Path], payload: object, indent: Optional[int] = 2
+) -> Path:
+    """JSON-serialise ``payload`` and write it atomically."""
+    return atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

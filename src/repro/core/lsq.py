@@ -157,16 +157,22 @@ def resolve_load(
     exec_cycle: int,
     l1d_latency: int,
     forwarding_filter: bool,
+    checker: Optional[object] = None,
 ) -> LoadResolution:
     """Disambiguate a load executing at ``exec_cycle`` against older stores.
 
     ``stores`` must contain only stores *older* than the load, in program
     order (oldest first). Returns timing and violation information; the
     caller handles cache access for :attr:`ForwardKind.CACHE`.
+
+    ``checker`` optionally receives the resolution for validation (an
+    :class:`repro.sim.invariants.InvariantChecker`, injected so this module
+    stays import-cycle free); an inconsistent outcome raises
+    ``SimInvariantError`` instead of silently skewing timing.
     """
     overlapping = _visible_overlapping(stores, address, size, exec_cycle)
     if not overlapping:
-        return LoadResolution(
+        resolution = LoadResolution(
             kind=ForwardKind.CACHE,
             forwarder=None,
             data_ready=None,
@@ -177,6 +183,11 @@ def resolve_load(
             multi_store=False,
             overlapping_visible=0,
         )
+        if checker is not None:
+            checker.check_load_resolution(
+                resolution, stores, address, size, exec_cycle, forwarding_filter
+            )
+        return resolution
 
     true_store = overlapping[-1]  # youngest in program order
     multi_store = is_multi_store(overlapping, address, size)
@@ -218,7 +229,7 @@ def resolve_load(
             violation_commit = threatening[-1]  # youngest in program order
             violation_detect = min(threatening, key=lambda s: (s.addr_ready, s.seq))
 
-    return LoadResolution(
+    resolution = LoadResolution(
         kind=kind,
         forwarder=forwarder,
         data_ready=data_ready,
@@ -229,3 +240,8 @@ def resolve_load(
         multi_store=multi_store,
         overlapping_visible=len(overlapping),
     )
+    if checker is not None:
+        checker.check_load_resolution(
+            resolution, stores, address, size, exec_cycle, forwarding_filter
+        )
+    return resolution

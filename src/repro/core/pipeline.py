@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from repro.core.config import CoreConfig
 from repro.core.lsq import (
@@ -51,6 +51,9 @@ from repro.mdp.base import (
     ViolationInfo,
 )
 from repro.memory.hierarchy import MemoryHierarchy
+
+if TYPE_CHECKING:  # import cycle guard: repro.sim.__init__ imports this module
+    from repro.sim.invariants import InvariantChecker
 
 
 @dataclass
@@ -231,6 +234,7 @@ class Pipeline:
         predictor: MDPredictor,
         branch_predictor: Optional[BranchPredictor] = None,
         hierarchy: Optional[MemoryHierarchy] = None,
+        check_invariants: Optional[bool] = None,
     ) -> None:
         self.config = config
         self.predictor = predictor
@@ -238,6 +242,23 @@ class Pipeline:
         self.hierarchy = hierarchy or MemoryHierarchy(config.hierarchy)
         self.history = GlobalHistory()
         self.stats = PipelineStats()
+        # Imported lazily: repro.sim.__init__ (transitively) imports this
+        # module, so a top-level import of repro.sim.invariants would cycle.
+        from repro.sim.invariants import InvariantChecker, invariants_enabled
+
+        # None defers to the REPRO_CHECK_INVARIANTS environment knob; an
+        # explicit bool wins (CLI --check-invariants, harness workers).
+        enabled = invariants_enabled() if check_invariants is None else check_invariants
+        self.invariants: Optional["InvariantChecker"] = (
+            InvariantChecker(
+                rob_entries=config.rob_entries,
+                iq_entries=config.iq_entries,
+                lq_entries=config.lq_entries,
+                sq_entries=config.sq_entries,
+            )
+            if enabled
+            else None
+        )
 
     # ------------------------------------------------------------------ run --
 
@@ -257,6 +278,7 @@ class Pipeline:
         stats = self.stats
         history = self.history
         predictor = self.predictor
+        checker = self.invariants
         l1d_latency = config.hierarchy.l1d.hit_latency
         d2i = config.dispatch_to_issue_latency
         fwd_filter = config.forwarding_filter
@@ -311,6 +333,23 @@ class Pipeline:
             elif kind is OpKind.STORE:
                 earliest = max(earliest, store_ring[store_count % sq])
             dispatch_cycle = dispatch.allocate(earliest)
+            if checker is not None:
+                # The rings still hold the freeing cycles of the ops being
+                # displaced — occupancy bounds are checkable right here.
+                checker.observe_dispatch(
+                    index,
+                    dispatch_cycle,
+                    commit_ring[index % rob],
+                    issue_ring[index % iq],
+                )
+                if kind is OpKind.LOAD:
+                    checker.observe_load_slot(
+                        index, dispatch_cycle, load_ring[load_count % lq]
+                    )
+                elif kind is OpKind.STORE:
+                    checker.observe_store_slot(
+                        index, dispatch_cycle, store_ring[store_count % sq]
+                    )
             snapshot = history.snapshot()
 
             operands = 0
@@ -375,19 +414,20 @@ class Pipeline:
                 complete = max(addr_ready, exec_floor)
                 commit_cycle = commit.allocate(max(complete + 1, last_commit))
                 drain_cycle = drain.allocate(commit_cycle + 1)
-                window.append(
-                    StoreRecord(
-                        seq=index,
-                        pc=op.pc,
-                        address=op.mem.address,
-                        size=op.mem.size,
-                        store_number=store_count,
-                        addr_ready=addr_ready,
-                        exec_cycle=complete,
-                        drain_cycle=drain_cycle,
-                        hist_snapshot=snapshot,
-                    )
+                record = StoreRecord(
+                    seq=index,
+                    pc=op.pc,
+                    address=op.mem.address,
+                    size=op.mem.size,
+                    store_number=store_count,
+                    addr_ready=addr_ready,
+                    exec_cycle=complete,
+                    drain_cycle=drain_cycle,
+                    hist_snapshot=snapshot,
                 )
+                if checker is not None:
+                    checker.observe_store_record(record)
+                window.append(record)
                 store_ring[store_count % sq] = drain_cycle
                 store_count += 1
                 if measuring:
@@ -437,6 +477,8 @@ class Pipeline:
                 commit_cycle = commit.allocate(max(complete + 1, last_commit))
 
             # ---- retire bookkeeping -------------------------------------------
+            if checker is not None:
+                checker.observe_commit(index, commit_cycle, complete)
             commit_ring[index % rob] = commit_cycle
             issue_ring[index % iq] = issue
             last_commit = max(last_commit, commit_cycle)
@@ -446,6 +488,8 @@ class Pipeline:
                 warmup_end_cycle = last_commit
 
         stats.cycles = max(1, last_commit - warmup_end_cycle)
+        if checker is not None:
+            checker.finalize(stats, total - warmup_ops)
         return stats
 
     # -------------------------------------------------------- wrong path --
@@ -498,7 +542,13 @@ class Pipeline:
                 continue  # squashed before commit: never trained (PHAST)
             candidates = window.candidates(mem.address, mem.size)
             resolution = resolve_load(
-                candidates, mem.address, mem.size, cycle, l1d_latency, fwd_filter
+                candidates,
+                mem.address,
+                mem.size,
+                cycle,
+                l1d_latency,
+                fwd_filter,
+                checker=self.invariants,
             )
             if resolution.violated:
                 training_store = resolution.violation_store_detect
@@ -621,6 +671,7 @@ class Pipeline:
                 exec_cycle,
                 l1d_latency,
                 fwd_filter,
+                checker=self.invariants,
             )
             if resolution.kind is ForwardKind.CACHE:
                 complete = self.hierarchy.load_access(op.pc, mem.address, exec_cycle)

@@ -1,0 +1,54 @@
+"""Fault-tolerant experiment harness.
+
+Layered under :class:`~repro.sim.experiment.ExperimentGrid`, the CLI and the
+benchmark suite:
+
+* :mod:`repro.harness.store` — durable, content-hash-keyed, crash-safe
+  result store (atomic temp-file + rename writes; corruption reads as a
+  cache miss).
+* :mod:`repro.harness.executor` — per-cell worker subprocesses with
+  timeouts, failure classification and capped-exponential-backoff retries.
+* :mod:`repro.harness.sweep` — campaign orchestration: resume, status,
+  graceful degradation with a machine-readable failure manifest.
+* :mod:`repro.harness.failures` — the failure taxonomy shared by all three.
+"""
+
+from repro.harness.executor import (
+    CellOutcome,
+    CellSpec,
+    ProcessCellExecutor,
+)
+from repro.harness.failures import (
+    CellFailure,
+    FailureKind,
+    TRANSIENT_KINDS,
+    backoff_delay,
+    classify_exitcode,
+)
+from repro.harness.store import (
+    CellKey,
+    ResultStore,
+    StoreStatus,
+    cell_key,
+    config_fingerprint,
+)
+from repro.harness.sweep import SweepReport, SweepRunner, build_cells
+
+__all__ = [
+    "CellFailure",
+    "CellKey",
+    "CellOutcome",
+    "CellSpec",
+    "FailureKind",
+    "ProcessCellExecutor",
+    "ResultStore",
+    "StoreStatus",
+    "SweepReport",
+    "SweepRunner",
+    "TRANSIENT_KINDS",
+    "backoff_delay",
+    "build_cells",
+    "cell_key",
+    "classify_exitcode",
+    "config_fingerprint",
+]

@@ -1,0 +1,373 @@
+"""Process-isolated execution of sweep cells with timeouts and retries.
+
+Each cell runs in its own worker subprocess, so a pathological cell — an
+infinite loop, a segfaulting native extension, a memory blow-up, the kernel
+OOM killer — takes down only that cell, never the campaign. The parent
+classifies what happened (:class:`~repro.harness.failures.FailureKind`),
+retries transient failures with capped exponential backoff, and records a
+structured :class:`~repro.harness.failures.CellFailure` for anything that
+still fails, while completed cells land in the crash-safe
+:class:`~repro.harness.store.ResultStore`.
+
+``ProcessCellExecutor.run_many`` is a small deadline-driven scheduler: up to
+``workers`` subprocesses in flight, per-cell timeouts enforced with
+``proc.kill()``, and retry backoff expressed as "not before" timestamps so
+waiting cells never block a worker slot.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import connection, get_context
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import CoreConfig
+from repro.harness.failures import (
+    CellFailure,
+    FailureKind,
+    backoff_delay,
+    classify_exitcode,
+)
+from repro.harness.store import CellKey, ResultStore, cell_key
+from repro.sim.metrics import SimResult
+
+#: Environment defaults for the sweep knobs (CLI flags override).
+ENV_TIMEOUT = "REPRO_SWEEP_TIMEOUT"
+ENV_RETRIES = "REPRO_SWEEP_RETRIES"
+ENV_WORKERS = "REPRO_SWEEP_WORKERS"
+
+
+def default_timeout() -> float:
+    return float(os.environ.get(ENV_TIMEOUT, "300"))
+
+
+def default_retries() -> int:
+    return int(os.environ.get(ENV_RETRIES, "2"))
+
+
+def default_workers() -> int:
+    return int(os.environ.get(ENV_WORKERS, "1"))
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One sweep cell: everything needed to run it in a fresh process."""
+
+    workload: str
+    predictor: str
+    config: CoreConfig = field(default_factory=CoreConfig)
+    num_ops: int = 0
+    seed: Optional[int] = None
+
+    def key(self) -> CellKey:
+        return cell_key(
+            self.workload, self.predictor, self.config, self.num_ops, self.seed
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return dict(self.key().describe)
+
+
+@dataclass
+class CellOutcome:
+    """What one cell produced: a result (fresh or cached) or a failure."""
+
+    spec: CellSpec
+    result: Optional[SimResult] = None
+    failure: Optional[CellFailure] = None
+    attempts: int = 0
+    elapsed_seconds: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+def _simulate_cell(spec: CellSpec, check_invariants: bool) -> SimResult:
+    """Run one cell in-process (the worker body; importable for tests)."""
+    from repro.sim.simulator import simulate
+    from repro.workloads.spec2017 import workload
+
+    profile = workload(spec.workload, seed=spec.seed)
+    return simulate(
+        profile,
+        spec.predictor,
+        config=spec.config,
+        num_ops=spec.num_ops or None,
+        check_invariants=check_invariants or None,
+    )
+
+
+def _cell_worker(conn, spec: CellSpec, check_invariants: bool) -> None:
+    """Subprocess entry point: simulate, send a tagged message, exit."""
+    from repro.sim.invariants import SimInvariantError
+
+    try:
+        result = _simulate_cell(spec, check_invariants)
+        conn.send(("ok", result.to_record()))
+    except SimInvariantError as exc:
+        conn.send(("invariant", {"message": str(exc), "detail": exc.to_dict()}))
+    except MemoryError:
+        conn.send(("oom", {"message": "MemoryError in worker"}))
+    except BaseException as exc:  # noqa: BLE001 — report, parent classifies
+        conn.send(
+            (
+                "error",
+                {
+                    "message": f"{type(exc).__name__}: {exc}",
+                    "detail": {"traceback": traceback.format_exc()},
+                },
+            )
+        )
+    finally:
+        conn.close()
+
+
+#: Message tag -> failure kind for in-band worker reports.
+_TAG_KINDS = {
+    "invariant": FailureKind.INVARIANT,
+    "oom": FailureKind.OOM,
+    "error": FailureKind.ERROR,
+}
+
+
+class _Running:
+    """Bookkeeping for one in-flight worker process."""
+
+    __slots__ = ("index", "spec", "attempt", "proc", "conn", "deadline", "started")
+
+    def __init__(self, index, spec, attempt, proc, conn, deadline, started):
+        self.index = index
+        self.spec = spec
+        self.attempt = attempt
+        self.proc = proc
+        self.conn = conn
+        self.deadline = deadline
+        self.started = started
+
+
+class ProcessCellExecutor:
+    """Runs cells in worker subprocesses with timeout/retry/backoff.
+
+    ``worker`` is the subprocess entry point — injectable so the tests can
+    substitute deliberately hanging/crashing cells without touching the
+    simulator. ``mp_context`` defaults to fork where available (cheap on
+    Linux; workers inherit nothing mutable they can corrupt — results flow
+    back only through the pipe).
+    """
+
+    def __init__(
+        self,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        workers: Optional[int] = None,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        check_invariants: bool = False,
+        worker: Callable = _cell_worker,
+        mp_context=None,
+    ) -> None:
+        self.timeout = default_timeout() if timeout is None else float(timeout)
+        self.retries = default_retries() if retries is None else int(retries)
+        self.workers = max(1, default_workers() if workers is None else int(workers))
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.check_invariants = check_invariants
+        self.worker = worker
+        if mp_context is None:
+            try:
+                mp_context = get_context("fork")
+            except ValueError:  # platforms without fork
+                mp_context = get_context()
+        self.mp = mp_context
+
+    # --------------------------------------------------------- lifecycle --
+
+    def _spawn(self, index: int, spec: CellSpec, attempt: int, now: float) -> _Running:
+        parent_conn, child_conn = self.mp.Pipe(duplex=False)
+        proc = self.mp.Process(
+            target=self.worker,
+            args=(child_conn, spec, self.check_invariants),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # parent's copy; lets EOF surface on worker death
+        return _Running(
+            index=index,
+            spec=spec,
+            attempt=attempt,
+            proc=proc,
+            conn=parent_conn,
+            deadline=now + self.timeout,
+            started=now,
+        )
+
+    def _reap(self, entry: _Running) -> Tuple[Optional[SimResult], Optional[CellFailure]]:
+        """Collect a finished (readable or dead) worker; classify the outcome."""
+        message = None
+        try:
+            if entry.conn.poll(0):
+                message = entry.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        entry.proc.join(5)
+        entry.conn.close()
+        elapsed = time.monotonic() - entry.started
+
+        if message is not None:
+            tag, payload = message
+            if tag == "ok":
+                try:
+                    return SimResult.from_record(payload), None
+                except (KeyError, TypeError, ValueError) as exc:
+                    return None, self._failure(
+                        entry,
+                        FailureKind.ERROR,
+                        f"worker sent an undecodable result: {exc}",
+                        elapsed,
+                    )
+            kind = _TAG_KINDS.get(tag, FailureKind.ERROR)
+            return None, self._failure(
+                entry,
+                kind,
+                str(payload.get("message", tag)),
+                elapsed,
+                detail=payload.get("detail"),
+            )
+
+        kind, reason = classify_exitcode(entry.proc.exitcode)
+        return None, self._failure(entry, kind, reason, elapsed)
+
+    def _kill_timed_out(self, entry: _Running) -> CellFailure:
+        entry.proc.kill()
+        entry.proc.join(5)
+        entry.conn.close()
+        elapsed = time.monotonic() - entry.started
+        return self._failure(
+            entry,
+            FailureKind.TIMEOUT,
+            f"cell exceeded the {self.timeout:.1f}s timeout",
+            elapsed,
+        )
+
+    def _failure(
+        self,
+        entry: _Running,
+        kind: FailureKind,
+        message: str,
+        elapsed: float,
+        detail=None,
+    ) -> CellFailure:
+        return CellFailure(
+            kind=kind,
+            message=message,
+            cell=entry.spec.describe(),
+            attempts=entry.attempt + 1,
+            elapsed_seconds=round(elapsed, 3),
+            detail=detail,
+        )
+
+    # -------------------------------------------------------------- runs --
+
+    def run_one(self, spec: CellSpec) -> CellOutcome:
+        return self.run_many([spec])[0]
+
+    def run_many(
+        self,
+        specs: Sequence[CellSpec],
+        store: Optional[ResultStore] = None,
+        resume: bool = True,
+        progress: Optional[Callable[[CellOutcome], None]] = None,
+    ) -> List[CellOutcome]:
+        """Run every cell; never raises for a failing cell.
+
+        With a ``store`` and ``resume=True``, cells whose results are already
+        durable are returned as cache hits without spawning a worker; fresh
+        results and final failures are persisted as they complete, so a
+        killed sweep resumes from its last finished cell.
+        """
+        outcomes: Dict[int, CellOutcome] = {}
+        pending: List[Tuple[int, CellSpec, int, float]] = []  # (idx, spec, attempt, not_before)
+        for index, spec in enumerate(specs):
+            if store is not None and resume:
+                cached = store.get(spec.key())
+                if cached is not None:
+                    outcomes[index] = CellOutcome(
+                        spec=spec, result=cached, cached=True
+                    )
+                    if progress:
+                        progress(outcomes[index])
+                    continue
+            pending.append((index, spec, 0, 0.0))
+
+        running: List[_Running] = []
+
+        def settle(index: int, spec: CellSpec, attempt: int, result, failure) -> None:
+            now = time.monotonic()
+            if result is not None:
+                outcome = CellOutcome(
+                    spec=spec, result=result, attempts=attempt + 1
+                )
+                if store is not None:
+                    store.put(spec.key(), result)
+            elif failure.transient and attempt < self.retries:
+                delay = backoff_delay(attempt, self.backoff_base, self.backoff_cap)
+                pending.append((index, spec, attempt + 1, now + delay))
+                return
+            else:
+                outcome = CellOutcome(
+                    spec=spec, failure=failure, attempts=attempt + 1
+                )
+                if store is not None:
+                    store.put_failure(spec.key(), failure)
+            outcomes[index] = outcome
+            if progress:
+                progress(outcome)
+
+        while pending or running:
+            now = time.monotonic()
+
+            # Launch every eligible pending cell into a free worker slot.
+            launched = []
+            for slot, (index, spec, attempt, not_before) in enumerate(pending):
+                if len(running) >= self.workers:
+                    break
+                if not_before <= now:
+                    running.append(self._spawn(index, spec, attempt, now))
+                    launched.append(slot)
+            for slot in reversed(launched):
+                pending.pop(slot)
+
+            if not running:
+                # Only backoff waits remain; sleep until the nearest one.
+                wakeup = min(entry[3] for entry in pending)
+                time.sleep(max(0.0, wakeup - time.monotonic()))
+                continue
+
+            # Sleep until a worker speaks/dies, a deadline passes, or a
+            # backoff expires — whichever is first.
+            horizon = min(entry.deadline for entry in running)
+            future_backoffs = [nb for (_, _, _, nb) in pending if nb > now]
+            if future_backoffs:
+                horizon = min(horizon, min(future_backoffs))
+            wait_for = max(0.0, min(horizon - time.monotonic(), 0.5))
+            ready = connection.wait([entry.conn for entry in running], wait_for)
+
+            now = time.monotonic()
+            still_running: List[_Running] = []
+            for entry in running:
+                if entry.conn in ready or not entry.proc.is_alive():
+                    result, failure = self._reap(entry)
+                    settle(entry.index, entry.spec, entry.attempt, result, failure)
+                elif now >= entry.deadline:
+                    failure = self._kill_timed_out(entry)
+                    settle(entry.index, entry.spec, entry.attempt, None, failure)
+                else:
+                    still_running.append(entry)
+            running = still_running
+
+        return [outcomes[index] for index in range(len(specs))]

@@ -1,0 +1,110 @@
+"""Failure taxonomy for the fault-tolerant sweep harness.
+
+A sweep cell that does not produce a result produces a :class:`CellFailure`
+instead: what kind of failure it was, whether it is worth retrying, and
+enough context to reproduce the cell from the command line (``repro run
+<workload> <predictor> --core <core> --num-ops <n> --seed <s>``).
+"""
+
+from __future__ import annotations
+
+import enum
+import signal
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+
+class FailureKind(str, enum.Enum):
+    """Why a sweep cell produced no result."""
+
+    TIMEOUT = "timeout"  # exceeded the per-cell wall-clock budget
+    CRASH = "crash"  # worker process died (signal or nonzero exit)
+    OOM = "oom"  # killed by SIGKILL (the kernel OOM killer) or MemoryError
+    INVARIANT = "invariant"  # simulator self-check tripped (SimInvariantError)
+    ERROR = "error"  # ordinary Python exception inside the cell
+
+
+#: Failure kinds worth retrying: the cell might succeed on a quieter machine
+#: (timeout under load, OOM pressure, a crashed worker). Invariant violations
+#: and ordinary exceptions are deterministic — retrying cannot help.
+TRANSIENT_KINDS = frozenset(
+    {FailureKind.TIMEOUT, FailureKind.CRASH, FailureKind.OOM}
+)
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Structured record of one cell that failed after all retries."""
+
+    kind: FailureKind
+    message: str
+    cell: Mapping[str, object] = field(default_factory=dict)
+    attempts: int = 1
+    elapsed_seconds: float = 0.0
+    detail: Optional[Mapping[str, object]] = None
+
+    @property
+    def transient(self) -> bool:
+        return self.kind in TRANSIENT_KINDS
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "kind": self.kind.value,
+            "message": self.message,
+            "cell": dict(self.cell),
+            "attempts": self.attempts,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        if self.detail is not None:
+            payload["detail"] = dict(self.detail)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "CellFailure":
+        return cls(
+            kind=FailureKind(payload["kind"]),
+            message=str(payload["message"]),
+            cell=dict(payload.get("cell", {})),
+            attempts=int(payload.get("attempts", 1)),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            detail=payload.get("detail"),
+        )
+
+    def summary(self) -> str:
+        where = self.cell.get("workload", "?"), self.cell.get("predictor", "?")
+        return (
+            f"[{self.kind.value}] {where[0]}/{where[1]} "
+            f"after {self.attempts} attempt(s): {self.message}"
+        )
+
+
+def classify_exitcode(exitcode: Optional[int]) -> Tuple[FailureKind, str]:
+    """Map a dead worker's exit code to a failure kind.
+
+    A negative exit code is the signal that killed the process; SIGKILL is
+    classified as OOM because the kernel OOM killer is by far its most
+    common uninvited sender (an operator's ``kill -9`` reads the same way,
+    and both are transient, so the conservative label costs nothing).
+    """
+    if exitcode is None:
+        return FailureKind.CRASH, "worker vanished without an exit code"
+    if exitcode < 0:
+        signum = -exitcode
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:
+            name = f"signal {signum}"
+        if signum == signal.SIGKILL:
+            return FailureKind.OOM, f"worker killed by {name} (likely OOM)"
+        return FailureKind.CRASH, f"worker killed by {name}"
+    return FailureKind.CRASH, f"worker exited with status {exitcode}"
+
+
+def backoff_delay(attempt: int, base: float, cap: float) -> float:
+    """Capped exponential backoff: ``min(cap, base * 2**attempt)``.
+
+    ``attempt`` is zero-based (the delay before retry #1 uses attempt=0).
+    """
+    if base <= 0:
+        return 0.0
+    return min(cap, base * (2.0 ** attempt))

@@ -1,0 +1,282 @@
+"""Durable, crash-safe result store for simulation sweeps.
+
+Each sweep cell — one (workload, predictor, core configuration, trace
+length, seed) simulation — is keyed by a SHA-256 content hash over the
+*complete* cell description, including every :class:`~repro.core.config.
+CoreConfig` field (latency and port maps, the cache hierarchy, squash
+policy, …) plus the store schema and code version. Two configs that differ
+in any field hash differently even when they share a ``name``; a config
+rebuilt field-for-field hashes identically across processes and sessions.
+
+Entries are single JSON files written via temp-file + atomic rename
+(:mod:`repro.common.atomicio`), so a process killed mid-write can never
+leave a truncated entry: re-running a sweep after a crash resumes from
+exactly the set of complete cells. Unreadable, truncated, or
+version-mismatched entries read as cache *misses*, never as errors.
+
+Layout under the store root::
+
+    <root>/results/<digest>.json     one completed cell each
+    <root>/failures/<digest>.json    structured CellFailure records
+    <root>/failure_manifest.json     machine-readable manifest of a sweep
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.common.atomicio import atomic_write_json
+from repro.core.config import CoreConfig
+from repro.harness.failures import CellFailure
+from repro.sim.metrics import SimResult
+
+#: On-disk entry format version; bump on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+#: Simulator semantics version. Bump whenever a change alters simulation
+#: *results* (timing model, predictor behaviour, trace generation) so stale
+#: cached cells read as misses instead of contaminating new sweeps.
+CODE_VERSION = "1"
+
+
+def _canonical(value: object) -> object:
+    """Recursively render a config value into JSON-stable primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, Mapping):
+        return {
+            str(_canonical(key)): _canonical(val)
+            for key, val in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_canonical(item) for item in value]
+        if isinstance(value, (set, frozenset)):
+            items.sort(key=str)
+        return items
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def canonical_config(config: CoreConfig) -> Dict[str, object]:
+    """Every field of a core config as a deterministic JSON-safe dict."""
+    rendered = _canonical(config)
+    assert isinstance(rendered, dict)
+    return rendered
+
+
+def config_fingerprint(config: CoreConfig) -> str:
+    """SHA-256 hex digest over the complete canonical config."""
+    blob = json.dumps(canonical_config(config), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """Content-addressed identity of one sweep cell."""
+
+    digest: str
+    describe: Mapping[str, object]
+
+    @property
+    def short(self) -> str:
+        return self.digest[:12]
+
+
+def cell_key(
+    workload: str,
+    predictor: str,
+    config: Optional[CoreConfig] = None,
+    num_ops: int = 0,
+    seed: Optional[int] = None,
+) -> CellKey:
+    """Build the full content-hash key of a sweep cell.
+
+    ``predictor`` is the cache *label*; parameter-sweep variants built via a
+    factory must encode the variant in the label (as `ExperimentGrid` already
+    requires). ``seed`` is a workload seed override (None = profile default).
+    """
+    core = config or CoreConfig()
+    config_sha = config_fingerprint(core)
+    describe: Dict[str, object] = {
+        "workload": workload,
+        "predictor": predictor,
+        "core": core.name,
+        "config_sha256": config_sha,
+        "num_ops": num_ops,
+        "seed": seed,
+        "schema": SCHEMA_VERSION,
+        "code_version": CODE_VERSION,
+    }
+    blob = json.dumps(describe, sort_keys=True)
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return CellKey(digest=digest, describe=describe)
+
+
+@dataclass(frozen=True)
+class StoreStatus:
+    """Completed/failed/pending split of a cell population."""
+
+    completed: int
+    failed: int
+    pending: int
+
+    @property
+    def total(self) -> int:
+        return self.completed + self.failed + self.pending
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} cells: {self.completed} completed, "
+            f"{self.failed} failed, {self.pending} pending"
+        )
+
+
+class ResultStore:
+    """Content-addressed, crash-safe store of completed sweep cells."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------- paths --
+
+    @property
+    def results_dir(self) -> Path:
+        return self.root / "results"
+
+    @property
+    def failures_dir(self) -> Path:
+        return self.root / "failures"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "failure_manifest.json"
+
+    def result_path(self, key: CellKey) -> Path:
+        return self.results_dir / f"{key.digest}.json"
+
+    def failure_path(self, key: CellKey) -> Path:
+        return self.failures_dir / f"{key.digest}.json"
+
+    # ------------------------------------------------------------ results --
+
+    def get(self, key: CellKey) -> Optional[SimResult]:
+        """Cached result, or None on miss — including every corruption mode.
+
+        A truncated entry (killed writer on a non-atomic filesystem), invalid
+        JSON, a schema or code-version mismatch, or a record that no longer
+        matches the current ``SimResult`` shape all read as misses: the cell
+        is simply re-simulated and the entry rewritten.
+        """
+        try:
+            entry = json.loads(self.result_path(key).read_text())
+        except (OSError, ValueError):
+            return None
+        try:
+            if entry["schema"] != SCHEMA_VERSION:
+                return None
+            if entry["code_version"] != CODE_VERSION:
+                return None
+            if entry["key"] != key.digest:
+                return None
+            return SimResult.from_record(entry["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, key: CellKey, result: SimResult) -> Path:
+        """Persist one completed cell atomically; clears any stale failure."""
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "code_version": CODE_VERSION,
+            "key": key.digest,
+            "cell": dict(key.describe),
+            "result": result.to_record(),
+        }
+        path = atomic_write_json(self.result_path(key), entry)
+        self.clear_failure(key)
+        return path
+
+    def contains(self, key: CellKey) -> bool:
+        return self.get(key) is not None
+
+    # ----------------------------------------------------------- failures --
+
+    def put_failure(self, key: CellKey, failure: CellFailure) -> Path:
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "code_version": CODE_VERSION,
+            "key": key.digest,
+            "cell": dict(key.describe),
+            "failure": failure.to_dict(),
+        }
+        return atomic_write_json(self.failure_path(key), entry)
+
+    def get_failure(self, key: CellKey) -> Optional[CellFailure]:
+        try:
+            entry = json.loads(self.failure_path(key).read_text())
+            return CellFailure.from_dict(entry["failure"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def clear_failure(self, key: CellKey) -> None:
+        try:
+            self.failure_path(key).unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------- status --
+
+    def status(self, keys: Iterable[CellKey]) -> StoreStatus:
+        """Classify a cell population against the store's current contents."""
+        completed = failed = pending = 0
+        for key in keys:
+            if self.contains(key):
+                completed += 1
+            elif self.get_failure(key) is not None:
+                failed += 1
+            else:
+                pending += 1
+        return StoreStatus(completed=completed, failed=failed, pending=pending)
+
+    def write_manifest(
+        self, failures: Sequence[CellFailure], extra: Optional[Mapping[str, object]] = None
+    ) -> Path:
+        """Write the machine-readable failure manifest for the last sweep."""
+        payload: Dict[str, object] = {
+            "schema": SCHEMA_VERSION,
+            "code_version": CODE_VERSION,
+            "failure_count": len(failures),
+            "failures": [failure.to_dict() for failure in failures],
+        }
+        if extra:
+            payload.update(extra)
+        return atomic_write_json(self.manifest_path, payload)
+
+    def read_manifest(self) -> Optional[Dict[str, object]]:
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    # -------------------------------------------------------------- misc --
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.results_dir.glob("*.json"))
+        except OSError:
+            return 0
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"

@@ -1,0 +1,132 @@
+"""Campaign-level sweep orchestration: resume, status, failure manifests.
+
+``SweepRunner`` glues the durable :class:`~repro.harness.store.ResultStore`
+to the :class:`~repro.harness.executor.ProcessCellExecutor`: it expands a
+(workloads × predictors) grid into :class:`CellSpec` cells, skips cells the
+store already holds, runs the rest under process isolation, and finishes
+*with whatever succeeded* — failures become a machine-readable manifest
+(``<store>/failure_manifest.json``), never an abort. ``repro sweep`` is the
+CLI face of this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.config import CoreConfig
+from repro.harness.executor import CellOutcome, CellSpec, ProcessCellExecutor
+from repro.harness.failures import CellFailure
+from repro.harness.store import ResultStore, StoreStatus
+from repro.sim.metrics import SimResult
+
+
+def build_cells(
+    workloads: Iterable[str],
+    predictors: Iterable[str],
+    config: Optional[CoreConfig] = None,
+    num_ops: int = 0,
+    seed: Optional[int] = None,
+) -> List[CellSpec]:
+    """Expand a (workload × predictor) grid into sweep cells."""
+    core = config or CoreConfig()
+    return [
+        CellSpec(
+            workload=workload,
+            predictor=predictor,
+            config=core,
+            num_ops=num_ops,
+            seed=seed,
+        )
+        for workload in workloads
+        for predictor in predictors
+    ]
+
+
+@dataclass
+class SweepReport:
+    """Everything a sweep produced, successes and failures alike."""
+
+    outcomes: List[CellOutcome]
+
+    @property
+    def results(self) -> Dict[tuple, SimResult]:
+        """(workload, predictor) -> result, for the cells that succeeded."""
+        return {
+            (outcome.spec.workload, outcome.spec.predictor): outcome.result
+            for outcome in self.outcomes
+            if outcome.ok
+        }
+
+    @property
+    def failures(self) -> List[CellFailure]:
+        return [outcome.failure for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def simulated(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.ok and not outcome.cached)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.ok)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.ok)
+
+    def summary(self) -> str:
+        total = len(self.outcomes)
+        return (
+            f"sweep: {total} cells — ok={self.completed} "
+            f"(cached={self.cached}, simulated={self.simulated}) "
+            f"failed={self.failed}"
+        )
+
+
+class SweepRunner:
+    """Resumable fault-tolerant sweep over a cell population."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        executor: Optional[ProcessCellExecutor] = None,
+    ) -> None:
+        self.store = store
+        self.executor = executor or ProcessCellExecutor()
+
+    def run(
+        self,
+        cells: Sequence[CellSpec],
+        resume: bool = True,
+        progress: Optional[Callable[[CellOutcome], None]] = None,
+    ) -> SweepReport:
+        """Run the sweep; completes with the surviving cells, never aborts.
+
+        Every fresh result and final failure is persisted atomically the
+        moment it settles, so a SIGKILL anywhere leaves the store with only
+        complete entries and a re-run with ``resume=True`` picks up from
+        exactly the finished set. The failure manifest is (re)written at the
+        end of every run — empty when everything succeeded.
+        """
+        outcomes = self.executor.run_many(
+            cells, store=self.store, resume=resume, progress=progress
+        )
+        report = SweepReport(outcomes=outcomes)
+        self.store.write_manifest(
+            report.failures,
+            extra={
+                "cells": len(cells),
+                "completed": report.completed,
+                "cached": report.cached,
+                "simulated": report.simulated,
+            },
+        )
+        return report
+
+    def status(self, cells: Sequence[CellSpec]) -> StoreStatus:
+        """Completed/failed/pending counts for a sweep, without running it."""
+        return self.store.status(cell.key() for cell in cells)

@@ -1,9 +1,17 @@
-"""Experiment grids with in-process memoisation.
+"""Experiment grids: memoised sweeps, durably cached and fault-tolerant.
 
 Every figure in the paper is a (workload x predictor x configuration) sweep;
 :class:`ExperimentGrid` runs those cells once and caches the results, so a
 benchmark session that regenerates several figures does not re-simulate
 shared cells (e.g. the ideal baseline appears in Figs. 2, 6, 7, 11-15).
+
+Cells are keyed by the full content hash from :mod:`repro.harness.store` —
+every :class:`~repro.core.config.CoreConfig` field participates, so two
+configs differing in any knob (not just ``name``/``forwarding_filter``)
+never collide. With a :class:`~repro.harness.store.ResultStore` attached,
+completed cells also persist across processes: a crashed or killed session
+resumes from the durable cache, and ``tolerant=True`` suites record failed
+cells in a manifest instead of aborting the whole figure.
 """
 
 from __future__ import annotations
@@ -12,9 +20,13 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.common.stats import geometric_mean
 from repro.core.config import CoreConfig
+from repro.harness.failures import CellFailure, FailureKind
+from repro.harness.store import ResultStore, cell_key
 from repro.mdp.base import MDPredictor
+from repro.sim.invariants import SimInvariantError
 from repro.sim.metrics import SimResult
 from repro.sim.simulator import DEFAULT_NUM_OPS, make_predictor, simulate
+from repro.workloads.spec2017 import workload
 
 
 def normalize_to_ideal(
@@ -29,11 +41,22 @@ def normalize_to_ideal(
 
 
 class ExperimentGrid:
-    """Memoised (workload, predictor, core, length) simulation runner."""
+    """Memoised (workload, predictor, core, length, seed) simulation runner.
 
-    def __init__(self, num_ops: Optional[int] = None) -> None:
+    ``store`` optionally layers a durable on-disk cache under the in-process
+    one — results survive crashes and are shared across sessions.
+    """
+
+    def __init__(
+        self,
+        num_ops: Optional[int] = None,
+        store: Optional[ResultStore] = None,
+    ) -> None:
         self.num_ops = num_ops or DEFAULT_NUM_OPS
-        self._cache: Dict[Tuple[str, str, str, int], SimResult] = {}
+        self.store = store
+        self._cache: Dict[str, SimResult] = {}
+        #: Failures recorded by tolerant suite runs (cleared per run_suite).
+        self.failures: List[CellFailure] = []
 
     def run(
         self,
@@ -42,26 +65,39 @@ class ExperimentGrid:
         config: Optional[CoreConfig] = None,
         predictor_factory: Optional[Callable[[], MDPredictor]] = None,
         num_ops: Optional[int] = None,
+        seed: Optional[int] = None,
     ) -> SimResult:
         """Run one cell, or return its cached result.
 
         ``predictor`` is the cache label; ``predictor_factory`` overrides how
         the instance is built (for parameter sweeps where the label encodes
-        the variant, e.g. ``"unlimited-nosq-h12"``).
+        the variant, e.g. ``"unlimited-nosq-h12"``). ``seed`` overrides the
+        workload's trace seed (cell-for-cell failure reproduction).
         """
         core = config or CoreConfig()
         length = num_ops or self.num_ops
-        key = (workload_name, predictor, core.name + (
-            "" if core.forwarding_filter else "-nofwd"
-        ), length)
-        if key not in self._cache:
-            instance = (
-                predictor_factory() if predictor_factory else make_predictor(predictor)
-            )
-            self._cache[key] = simulate(
-                workload_name, instance, config=core, num_ops=length
-            )
-        return self._cache[key]
+        key = cell_key(workload_name, predictor, core, length, seed)
+        hit = self._cache.get(key.digest)
+        if hit is not None:
+            return hit
+        if self.store is not None:
+            stored = self.store.get(key)
+            if stored is not None:
+                self._cache[key.digest] = stored
+                return stored
+        instance = (
+            predictor_factory() if predictor_factory else make_predictor(predictor)
+        )
+        result = simulate(
+            workload(workload_name, seed=seed),
+            instance,
+            config=core,
+            num_ops=length,
+        )
+        self._cache[key.digest] = result
+        if self.store is not None:
+            self.store.put(key, result)
+        return result
 
     def run_suite(
         self,
@@ -69,12 +105,47 @@ class ExperimentGrid:
         predictor: str,
         config: Optional[CoreConfig] = None,
         predictor_factory: Optional[Callable[[], MDPredictor]] = None,
+        tolerant: bool = False,
     ) -> Dict[str, SimResult]:
-        """Run a predictor over many workloads; returns workload -> result."""
-        return {
-            name: self.run(name, predictor, config, predictor_factory)
-            for name in workloads
-        }
+        """Run a predictor over many workloads; returns workload -> result.
+
+        With ``tolerant=True`` a failing cell is recorded in
+        :attr:`failures` (and the attached store's manifest, if any) and the
+        suite completes with the cells that succeeded, instead of one bad
+        cell aborting the whole figure.
+        """
+        if not tolerant:
+            return {
+                name: self.run(name, predictor, config, predictor_factory)
+                for name in workloads
+            }
+        self.failures = []
+        results: Dict[str, SimResult] = {}
+        core = config or CoreConfig()
+        for name in workloads:
+            try:
+                results[name] = self.run(name, predictor, config, predictor_factory)
+            except Exception as exc:  # noqa: BLE001 — degrade, don't abort
+                kind = (
+                    FailureKind.INVARIANT
+                    if isinstance(exc, SimInvariantError)
+                    else FailureKind.ERROR
+                )
+                self.failures.append(
+                    CellFailure(
+                        kind=kind,
+                        message=f"{type(exc).__name__}: {exc}",
+                        cell={
+                            "workload": name,
+                            "predictor": predictor,
+                            "core": core.name,
+                            "num_ops": self.num_ops,
+                        },
+                    )
+                )
+        if self.failures and self.store is not None:
+            self.store.write_manifest(self.failures)
+        return results
 
     def mean_normalized_ipc(
         self,

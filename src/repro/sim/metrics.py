@@ -1,12 +1,18 @@
-"""Result records produced by a simulation run."""
+"""Result records produced by a simulation run, and their JSON codec."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Optional
 
 from repro.core.pipeline import PipelineStats
 from repro.mdp.base import MDPStats
+
+
+def _stats_from_dict(cls, payload: Dict[str, object]):
+    """Rebuild a stats dataclass, tolerating extra keys from newer writers."""
+    known = {field.name for field in fields(cls)}
+    return cls(**{key: value for key, value in payload.items() if key in known})
 
 
 @dataclass(frozen=True)
@@ -49,4 +55,31 @@ class SimResult:
             f"{self.workload:<18} {self.predictor:<16} IPC={self.ipc:5.2f} "
             f"violMPKI={self.violation_mpki:6.3f} fpMPKI={self.false_positive_mpki:6.3f}"
             f"{paths}"
+        )
+
+    def to_record(self) -> Dict[str, object]:
+        """Flatten into a JSON-safe dict (the durable-store/export format)."""
+        return {
+            "workload": self.workload,
+            "predictor": self.predictor,
+            "core": self.core,
+            "ipc": self.ipc,
+            "violation_mpki": self.violation_mpki,
+            "false_positive_mpki": self.false_positive_mpki,
+            "branch_mpki": self.branch_mpki,
+            "paths_tracked": self.paths_tracked,
+            "pipeline": asdict(self.pipeline),
+            "mdp": asdict(self.mdp),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "SimResult":
+        """Inverse of :meth:`to_record` (derived metrics are recomputed)."""
+        return cls(
+            workload=str(record["workload"]),
+            predictor=str(record["predictor"]),
+            core=str(record["core"]),
+            pipeline=_stats_from_dict(PipelineStats, dict(record["pipeline"])),
+            mdp=_stats_from_dict(MDPStats, dict(record["mdp"])),
+            paths_tracked=record.get("paths_tracked"),
         )

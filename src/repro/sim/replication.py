@@ -15,6 +15,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence, Union
 
 from repro.core.config import CoreConfig
+from repro.harness.store import ResultStore, cell_key
 from repro.mdp.base import MDPredictor
 from repro.sim.metrics import SimResult
 from repro.sim.simulator import DEFAULT_NUM_OPS, make_predictor, simulate
@@ -80,6 +81,32 @@ def seed_replicas(
     ]
 
 
+def _replica_result(
+    replica: WorkloadProfile,
+    predictor: MDPredictor,
+    config: Optional[CoreConfig],
+    num_ops: int,
+    store: Optional[ResultStore],
+) -> SimResult:
+    """Simulate one replica, consulting/feeding the durable store if given.
+
+    The store key carries the replica's seed, so re-seeded copies of the
+    same profile occupy distinct cells and a replication campaign resumes
+    from its completed replicas after a crash.
+    """
+    if store is None:
+        return simulate(replica, predictor, config=config, num_ops=num_ops)
+    key = cell_key(
+        replica.name, predictor.name, config or CoreConfig(), num_ops, replica.seed
+    )
+    cached = store.get(key)
+    if cached is not None:
+        return cached
+    result = simulate(replica, predictor, config=config, num_ops=num_ops)
+    store.put(key, result)
+    return result
+
+
 def replicate(
     profile: Union[str, WorkloadProfile],
     predictor_factory: Union[str, Callable[[], MDPredictor]],
@@ -88,6 +115,7 @@ def replicate(
     config: Optional[CoreConfig] = None,
     metric: Callable[[SimResult], float] = lambda result: result.ipc,
     metric_name: str = "ipc",
+    store: Optional[ResultStore] = None,
 ) -> ReplicatedMetric:
     """Run ``replicas`` re-seeded copies and aggregate ``metric``."""
     if isinstance(predictor_factory, str):
@@ -95,11 +123,12 @@ def replicate(
         predictor_factory = lambda: make_predictor(name)  # noqa: E731
     samples = []
     for replica in seed_replicas(profile, replicas):
-        result = simulate(
+        result = _replica_result(
             replica,
             predictor_factory(),
-            config=config,
-            num_ops=num_ops or DEFAULT_NUM_OPS,
+            config,
+            num_ops or DEFAULT_NUM_OPS,
+            store,
         )
         samples.append(metric(result))
     return ReplicatedMetric(name=metric_name, samples=tuple(samples))
@@ -111,6 +140,7 @@ def replicated_speedup(
     baseline: str,
     replicas: int = 5,
     num_ops: Optional[int] = None,
+    store: Optional[ResultStore] = None,
 ) -> ReplicatedMetric:
     """Per-replica paired speedup (%) of ``predictor`` over ``baseline``.
 
@@ -118,9 +148,10 @@ def replicated_speedup(
     small mean speedups detectable with few replicas.
     """
     samples = []
+    length = num_ops or DEFAULT_NUM_OPS
     for replica in seed_replicas(profile, replicas):
-        new = simulate(replica, predictor, num_ops=num_ops or DEFAULT_NUM_OPS)
-        base = simulate(replica, baseline, num_ops=num_ops or DEFAULT_NUM_OPS)
+        new = _replica_result(replica, make_predictor(predictor), None, length, store)
+        base = _replica_result(replica, make_predictor(baseline), None, length, store)
         samples.append((new.ipc / base.ipc - 1.0) * 100.0)
     return ReplicatedMetric(
         name=f"speedup {predictor} vs {baseline} (%)", samples=tuple(samples)

@@ -65,7 +65,7 @@ PREDICTOR_FACTORIES: Dict[str, Callable[[], MDPredictor]] = {
     "unlimited-mdp-tage": UnlimitedMDPTagePredictor,
 }
 
-_TRACE_CACHE: Dict[Tuple[str, int], Trace] = {}
+_TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
 
 
 def make_predictor(name: str) -> MDPredictor:
@@ -83,7 +83,9 @@ def get_trace(profile: Union[str, WorkloadProfile], num_ops: int) -> Trace:
     """Build (or fetch from cache) the deterministic trace for a profile."""
     if isinstance(profile, str):
         profile = workload(profile)
-    key = (profile.name, num_ops)
+    # The seed participates in the key: a --seed-overridden profile shares
+    # its name with the default profile but is a different trace.
+    key = (profile.name, profile.seed, num_ops)
     if key not in _TRACE_CACHE:
         _TRACE_CACHE[key] = build_trace(profile, num_ops)
     return _TRACE_CACHE[key]
@@ -100,11 +102,15 @@ def simulate(
     num_ops: Optional[int] = None,
     branch_predictor: Optional[BranchPredictor] = None,
     warmup_ops: Optional[int] = None,
+    check_invariants: Optional[bool] = None,
 ) -> SimResult:
     """Run one (workload, predictor, core) simulation and return its result.
 
     ``warmup_ops`` micro-ops execute (training predictors and warming caches)
     but are excluded from every statistic — the steady-state methodology.
+
+    ``check_invariants`` enables the simulator's self-checks
+    (:mod:`repro.sim.invariants`); None defers to REPRO_CHECK_INVARIANTS.
     """
     core_config = config or CoreConfig()
     if isinstance(predictor, str):
@@ -114,6 +120,7 @@ def simulate(
         config=core_config,
         predictor=predictor,
         branch_predictor=branch_predictor or TAGEPredictor(),
+        check_invariants=check_invariants,
     )
     stats = pipeline.run(
         trace,

@@ -27,6 +27,7 @@ the paper's cold misses do.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional
 
 from repro.workloads.generator import MotifSpec, WorkloadProfile
@@ -462,11 +463,19 @@ def spec_suite(subset: Optional[int] = None) -> List[str]:
     return names[:subset] if subset else names
 
 
-def workload(name: str) -> WorkloadProfile:
-    """Look up a profile by name, with a helpful error."""
+def workload(name: str, seed: Optional[int] = None) -> WorkloadProfile:
+    """Look up a profile by name, with a helpful error.
+
+    ``seed`` overrides the profile's trace seed (same static structure,
+    different dynamic draw) — the knob the fault-tolerant harness and the
+    ``--seed`` CLI flag use to reproduce a failing sweep cell bit-for-bit.
+    """
     try:
-        return SPEC_PROFILES[name]
+        profile = SPEC_PROFILES[name]
     except KeyError:
         raise KeyError(
             f"unknown workload {name!r}; available: {', '.join(sorted(SPEC_PROFILES))}"
         ) from None
+    if seed is not None and seed != profile.seed:
+        profile = replace(profile, seed=seed)
+    return profile

@@ -61,3 +61,59 @@ class TestCommands:
         assert main(["table2"]) == 0
         output = capsys.readouterr().out
         assert "phast" in output and "14.5" in output
+
+    def test_run_seed_override(self, capsys):
+        assert main(
+            ["run", "511.povray", "phast", "--num-ops", "2000", "--seed", "7"]
+        ) == 0
+        assert "IPC=" in capsys.readouterr().out
+
+
+class TestSweep:
+    def sweep(self, tmp_path, *extra):
+        return main(
+            [
+                "sweep",
+                "--predictors",
+                "phast",
+                "--subset",
+                "1",
+                "--num-ops",
+                "2000",
+                "--store",
+                str(tmp_path / "store"),
+                *extra,
+            ]
+        )
+
+    def test_status_on_empty_store(self, tmp_path, capsys):
+        assert self.sweep(tmp_path, "--status") == 0
+        output = capsys.readouterr().out
+        assert "1 cells: 0 completed, 0 failed, 1 pending" in output
+
+    def test_run_then_resume_is_all_cached(self, tmp_path, capsys):
+        assert self.sweep(tmp_path) == 0
+        first = capsys.readouterr().out
+        assert "ok=1 (cached=0, simulated=1) failed=0" in first
+        assert "failure manifest:" in first
+
+        assert self.sweep(tmp_path) == 0
+        second = capsys.readouterr().out
+        assert "ok=1 (cached=1, simulated=0) failed=0" in second
+
+        assert self.sweep(tmp_path, "--status") == 0
+        assert "1 completed, 0 failed, 0 pending" in capsys.readouterr().out
+
+    def test_rejects_bad_predictor(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep",
+                    "--predictors",
+                    "bogus",
+                    "--subset",
+                    "1",
+                    "--store",
+                    str(tmp_path / "store"),
+                ]
+            )

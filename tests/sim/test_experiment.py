@@ -1,10 +1,16 @@
 """Tests for the experiment grid."""
 
+import dataclasses
+
 import pytest
 
+import repro.sim.experiment as experiment_module
 from repro.core.config import CoreConfig
+from repro.harness.failures import FailureKind
+from repro.harness.store import ResultStore
 from repro.mdp.unlimited import UnlimitedNoSQPredictor
 from repro.sim.experiment import ExperimentGrid, normalize_to_ideal
+from repro.sim.simulator import simulate as real_simulate
 
 
 @pytest.fixture()
@@ -30,6 +36,21 @@ class TestMemoisation:
         )
         assert fwd is not nofwd
 
+    def test_same_name_configs_do_not_collide(self, small_grid):
+        """Regression: keys once covered only (name, forwarding_filter)."""
+        base = CoreConfig()
+        shrunk = dataclasses.replace(base, rob_entries=64, iq_entries=32)
+        assert shrunk.name == base.name
+        full = small_grid.run("511.povray", "phast", base)
+        tiny = small_grid.run("511.povray", "phast", shrunk)
+        assert full is not tiny
+        assert tiny.ipc < full.ipc  # a quarter of the window must cost IPC
+
+    def test_seed_is_part_of_the_key(self, small_grid):
+        default = small_grid.run("511.povray", "phast")
+        reseeded = small_grid.run("511.povray", "phast", seed=12345)
+        assert default is not reseeded
+
     def test_factory_label_distinguishes_variants(self, small_grid):
         h4 = small_grid.run(
             "511.povray",
@@ -42,6 +63,64 @@ class TestMemoisation:
             predictor_factory=lambda: UnlimitedNoSQPredictor(history_branches=8),
         )
         assert h4 is not h8
+
+
+class TestDurableStore:
+    def test_second_grid_hits_the_store_without_simulating(
+        self, tmp_path, monkeypatch
+    ):
+        store = ResultStore(tmp_path / "store")
+        first = ExperimentGrid(num_ops=2500, store=store)
+        result = first.run("511.povray", "phast")
+
+        def boom(*args, **kwargs):
+            raise AssertionError("cell should have come from the durable store")
+
+        monkeypatch.setattr(experiment_module, "simulate", boom)
+        second = ExperimentGrid(num_ops=2500, store=store)
+        assert second.run("511.povray", "phast") == result
+
+    def test_different_cell_misses_the_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        grid = ExperimentGrid(num_ops=2500, store=store)
+        grid.run("511.povray", "phast")
+        assert len(store) == 1
+        grid.run("511.povray", "nosq")
+        assert len(store) == 2
+
+
+class TestTolerantSuites:
+    def flaky_simulate(self, broken_workload):
+        def wrapper(profile, *args, **kwargs):
+            if profile.name == broken_workload:
+                raise RuntimeError("seeded cell failure")
+            return real_simulate(profile, *args, **kwargs)
+
+        return wrapper
+
+    def test_tolerant_suite_survives_a_failing_cell(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            experiment_module, "simulate", self.flaky_simulate("541.leela")
+        )
+        store = ResultStore(tmp_path / "store")
+        grid = ExperimentGrid(num_ops=2500, store=store)
+        results = grid.run_suite(
+            ["511.povray", "541.leela"], "phast", tolerant=True
+        )
+        assert set(results) == {"511.povray"}
+        assert len(grid.failures) == 1
+        failure = grid.failures[0]
+        assert failure.kind is FailureKind.ERROR
+        assert failure.cell["workload"] == "541.leela"
+        assert store.read_manifest()["failure_count"] == 1
+
+    def test_strict_suite_still_raises(self, monkeypatch):
+        monkeypatch.setattr(
+            experiment_module, "simulate", self.flaky_simulate("541.leela")
+        )
+        grid = ExperimentGrid(num_ops=2500)
+        with pytest.raises(RuntimeError):
+            grid.run_suite(["511.povray", "541.leela"], "phast")
 
 
 class TestAggregates:

@@ -1,0 +1,320 @@
+"""Tests for the simulator's invariant-check mode.
+
+Each seeded-inconsistency test hands the checker an event stream or LSQ
+resolution that a correct scheduler could never produce, and asserts the
+matching structured :class:`SimInvariantError` fires; the end-to-end tests
+assert a real simulation passes every check and is bit-identical to an
+unchecked run.
+"""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.lsq import ForwardKind, LoadResolution, StoreRecord, resolve_load
+from repro.core.pipeline import PipelineStats
+from repro.sim.invariants import (
+    ENV_FLAG,
+    InvariantChecker,
+    SimInvariantError,
+    invariants_enabled,
+)
+from repro.sim.simulator import simulate
+
+
+def make_store(
+    seq,
+    address=0x1000,
+    size=8,
+    addr_ready=10,
+    exec_cycle=None,
+    drain_cycle=10_000,
+):
+    return StoreRecord(
+        seq=seq,
+        pc=0x400 + seq * 4,
+        address=address,
+        size=size,
+        store_number=seq,
+        addr_ready=addr_ready,
+        exec_cycle=exec_cycle if exec_cycle is not None else addr_ready,
+        drain_cycle=drain_cycle,
+        hist_snapshot=0,
+    )
+
+
+def make_resolution(**overrides):
+    fields = dict(
+        kind=ForwardKind.CACHE,
+        forwarder=None,
+        data_ready=None,
+        violated=False,
+        violation_store_commit=None,
+        violation_store_detect=None,
+        true_store=None,
+        multi_store=False,
+        overlapping_visible=0,
+    )
+    fields.update(overrides)
+    return LoadResolution(**fields)
+
+
+def checker():
+    return InvariantChecker(rob_entries=512, iq_entries=204, lq_entries=192, sq_entries=114)
+
+
+def check_of(excinfo):
+    return excinfo.value.check
+
+
+class TestEnvFlag:
+    @pytest.mark.parametrize("value", ["1", "yes", "true", "on"])
+    def test_enabled(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_FLAG, value)
+        assert invariants_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", " FALSE "])
+    def test_disabled(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_FLAG, value)
+        assert not invariants_enabled()
+
+    def test_unset_disabled(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert not invariants_enabled()
+
+
+class TestErrorShape:
+    def test_structured(self):
+        err = SimInvariantError("rob-overflow", "boom", {"seq": 5})
+        assert err.check == "rob-overflow"
+        assert "[rob-overflow] boom" in str(err)
+        assert err.to_dict() == {
+            "check": "rob-overflow",
+            "message": "boom",
+            "context": {"seq": 5},
+        }
+
+
+class TestWindowChecks:
+    def test_rob_overflow(self):
+        with pytest.raises(SimInvariantError) as excinfo:
+            checker().observe_dispatch(5, 10, rob_free_cycle=20, iq_free_cycle=0)
+        assert check_of(excinfo) == "rob-overflow"
+
+    def test_iq_overflow(self):
+        with pytest.raises(SimInvariantError) as excinfo:
+            checker().observe_dispatch(5, 10, rob_free_cycle=0, iq_free_cycle=20)
+        assert check_of(excinfo) == "iq-overflow"
+
+    def test_lq_overflow(self):
+        with pytest.raises(SimInvariantError) as excinfo:
+            checker().observe_load_slot(5, 10, lq_free_cycle=20)
+        assert check_of(excinfo) == "lq-overflow"
+
+    def test_sq_overflow(self):
+        with pytest.raises(SimInvariantError) as excinfo:
+            checker().observe_store_slot(5, 10, sq_free_cycle=20)
+        assert check_of(excinfo) == "sq-overflow"
+
+    def test_in_bounds_dispatch_passes(self):
+        chk = checker()
+        chk.observe_dispatch(5, 10, rob_free_cycle=10, iq_free_cycle=3)
+        chk.observe_load_slot(5, 10, lq_free_cycle=0)
+        assert chk.checks_run == 2
+
+
+class TestCommitChecks:
+    def test_commit_order(self):
+        chk = checker()
+        chk.observe_commit(0, commit_cycle=100, complete_cycle=50)
+        with pytest.raises(SimInvariantError) as excinfo:
+            chk.observe_commit(1, commit_cycle=90, complete_cycle=50)
+        assert check_of(excinfo) == "commit-order"
+
+    def test_commit_before_complete(self):
+        with pytest.raises(SimInvariantError) as excinfo:
+            checker().observe_commit(0, commit_cycle=50, complete_cycle=50)
+        assert check_of(excinfo) == "commit-before-complete"
+
+    def test_ordered_commits_pass(self):
+        chk = checker()
+        chk.observe_commit(0, 100, 50)
+        chk.observe_commit(1, 100, 60)
+        chk.observe_commit(2, 105, 80)
+
+
+class TestStoreRecordChecks:
+    def test_exec_before_agu(self):
+        record = make_store(0, addr_ready=20, exec_cycle=10)
+        with pytest.raises(SimInvariantError) as excinfo:
+            checker().observe_store_record(record)
+        assert check_of(excinfo) == "store-exec-before-agu"
+
+    def test_drain_before_exec(self):
+        record = make_store(0, addr_ready=10, exec_cycle=10, drain_cycle=10)
+        with pytest.raises(SimInvariantError) as excinfo:
+            checker().observe_store_record(record)
+        assert check_of(excinfo) == "store-drain-before-exec"
+
+    def test_empty_store(self):
+        record = make_store(0, size=0)
+        with pytest.raises(SimInvariantError) as excinfo:
+            checker().observe_store_record(record)
+        assert check_of(excinfo) == "store-empty"
+
+    def test_sane_store_passes(self):
+        checker().observe_store_record(make_store(0))
+
+
+class TestResolutionChecks:
+    def run_check(self, resolution, stores=(), exec_cycle=20, fwd=True):
+        checker().check_load_resolution(
+            resolution, list(stores), 0x1000, 8, exec_cycle, fwd
+        )
+
+    def test_forwarder_unresolved(self):
+        # Seeded LSQ inconsistency: a load "forwards" from a store whose
+        # address has not resolved yet — physically impossible.
+        bad = make_resolution(
+            kind=ForwardKind.FORWARD,
+            forwarder=make_store(0, addr_ready=30),
+            data_ready=31,
+        )
+        with pytest.raises(SimInvariantError) as excinfo:
+            self.run_check(bad, exec_cycle=20)
+        assert check_of(excinfo) == "forwarder-unresolved"
+
+    def test_forward_without_store(self):
+        with pytest.raises(SimInvariantError) as excinfo:
+            self.run_check(make_resolution(kind=ForwardKind.FORWARD))
+        assert check_of(excinfo) == "forward-without-store"
+
+    def test_forwarder_partial_coverage(self):
+        bad = make_resolution(
+            kind=ForwardKind.FORWARD,
+            forwarder=make_store(0, address=0x1000, size=4, addr_ready=5),
+            data_ready=21,
+        )
+        with pytest.raises(SimInvariantError) as excinfo:
+            self.run_check(bad)
+        assert check_of(excinfo) == "forwarder-partial"
+
+    def test_forwarder_already_drained(self):
+        bad = make_resolution(
+            kind=ForwardKind.FORWARD,
+            forwarder=make_store(0, addr_ready=5, drain_cycle=10),
+            data_ready=21,
+        )
+        with pytest.raises(SimInvariantError) as excinfo:
+            self.run_check(bad, exec_cycle=20)
+        assert check_of(excinfo) == "forwarder-drained"
+
+    def test_cache_with_forwarding_state(self):
+        bad = make_resolution(kind=ForwardKind.CACHE, data_ready=25)
+        with pytest.raises(SimInvariantError) as excinfo:
+            self.run_check(bad)
+        assert check_of(excinfo) == "cache-with-forwarder"
+
+    def test_data_before_exec(self):
+        bad = make_resolution(
+            kind=ForwardKind.FORWARD,
+            forwarder=make_store(0, addr_ready=5),
+            data_ready=10,
+        )
+        with pytest.raises(SimInvariantError) as excinfo:
+            self.run_check(bad, exec_cycle=20)
+        assert check_of(excinfo) == "data-before-exec"
+
+    def test_violation_without_store(self):
+        with pytest.raises(SimInvariantError) as excinfo:
+            self.run_check(make_resolution(violated=True))
+        assert check_of(excinfo) == "violation-without-store"
+
+    def test_violation_from_resolved_store(self):
+        resolved = make_store(0, addr_ready=5)
+        bad = make_resolution(
+            violated=True,
+            violation_store_commit=resolved,
+            violation_store_detect=resolved,
+        )
+        with pytest.raises(SimInvariantError) as excinfo:
+            self.run_check(bad, exec_cycle=20)
+        assert check_of(excinfo) == "violation-resolved-store"
+
+    def test_fwd_filter_leak(self):
+        # With the FWD filter on, an older-than-forwarder store can never be
+        # charged with a violation (the paper's Fig. 3c suppression).
+        older = make_store(3, addr_ready=50)
+        bad = make_resolution(
+            kind=ForwardKind.FORWARD,
+            forwarder=make_store(5, addr_ready=5),
+            data_ready=21,
+            violated=True,
+            violation_store_commit=older,
+            violation_store_detect=older,
+        )
+        with pytest.raises(SimInvariantError) as excinfo:
+            self.run_check(bad, exec_cycle=20, fwd=True)
+        assert check_of(excinfo) == "fwd-filter-leak"
+
+    def test_phantom_violation_store(self):
+        bad = make_resolution(violation_store_commit=make_store(0, addr_ready=50))
+        with pytest.raises(SimInvariantError) as excinfo:
+            self.run_check(bad)
+        assert check_of(excinfo) == "phantom-violation-store"
+
+    def test_real_resolve_load_passes_checker(self):
+        chk = checker()
+        stores = [make_store(0, addr_ready=5), make_store(1, addr_ready=8)]
+        result = resolve_load(stores, 0x1000, 8, 20, 5, True, checker=chk)
+        assert result.kind is ForwardKind.FORWARD
+        assert chk.checks_run == 1
+
+
+class TestFinalize:
+    def stats(self, **overrides):
+        fields = dict(committed_uops=1000, cycles=400, loads=200, stores=100, branches=90)
+        fields.update(overrides)
+        return PipelineStats(**fields)
+
+    def test_commit_count_mismatch(self):
+        with pytest.raises(SimInvariantError) as excinfo:
+            checker().finalize(self.stats(), expected_committed=999)
+        assert check_of(excinfo) == "commit-count"
+
+    def test_no_cycles(self):
+        with pytest.raises(SimInvariantError) as excinfo:
+            checker().finalize(self.stats(cycles=0), expected_committed=1000)
+        assert check_of(excinfo) == "no-cycles"
+
+    def test_class_count(self):
+        with pytest.raises(SimInvariantError) as excinfo:
+            checker().finalize(self.stats(loads=950), expected_committed=1000)
+        assert check_of(excinfo) == "class-count"
+
+    def test_consistent_stats_pass(self):
+        checker().finalize(self.stats(), expected_committed=1000)
+
+
+class TestEndToEnd:
+    def test_checked_simulation_is_clean_and_identical(self):
+        checked = simulate("511.povray", "phast", num_ops=2500, check_invariants=True)
+        unchecked = simulate("511.povray", "phast", num_ops=2500)
+        assert checked.pipeline == unchecked.pipeline
+        assert checked.mdp == unchecked.mdp
+
+    def test_env_flag_enables_checking(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        result = simulate("541.leela", "store-sets", num_ops=2000)
+        assert result.pipeline.committed_uops > 0
+
+    @pytest.mark.parametrize("predictor", ["ideal", "nosq", "always-speculate"])
+    def test_every_predictor_family_passes(self, predictor):
+        result = simulate("505.mcf", predictor, num_ops=2000, check_invariants=True)
+        assert result.pipeline.cycles > 0
+
+    def test_checked_run_with_nondefault_core(self):
+        config = CoreConfig().with_forwarding_filter(False)
+        result = simulate(
+            "511.povray", "phast", config=config, num_ops=2000, check_invariants=True
+        )
+        assert result.pipeline.cycles > 0

@@ -37,6 +37,16 @@ class TestSuiteRoster:
         with pytest.raises(KeyError):
             workload("999.nonexistent")
 
+    def test_seed_override(self):
+        default = workload("511.povray")
+        reseeded = workload("511.povray", seed=12345)
+        assert reseeded.seed == 12345
+        assert reseeded.name == default.name
+        # The roster profile itself is untouched by the override.
+        assert workload("511.povray").seed == default.seed
+        # Passing the profile's own seed returns the canonical profile.
+        assert workload("511.povray", seed=default.seed) is default
+
     def test_unique_seeds(self):
         seeds = [profile.seed for profile in SPEC_PROFILES.values()]
         assert len(seeds) == len(set(seeds))

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Wall-clock guard for the zero-probe pipeline hot path.
+
+The probe/event bus must be free when nobody listens: with no optional
+probes attached the pipeline is required to stay within a few percent of
+the pre-refactor loop. This script measures the seed workload
+(``511.povray`` under PHAST) and compares against a *committed* baseline
+(``benchmarks/perf_baseline.json``), so CI fails loudly if a change makes
+the zero-probe pipeline more than ``--threshold`` slower (default 10%).
+
+Raw seconds are machine-dependent, so the comparison is *normalised*: a
+fixed pure-Python calibration kernel (dict churn + integer compares, the
+same work profile as the scheduler loop) is timed alongside the simulation,
+and the check compares ``sim_seconds / calib_seconds`` ratios. A faster or
+slower machine moves both numbers together; only a genuine hot-path
+regression moves the ratio.
+
+Usage::
+
+    python benchmarks/perf_smoke.py --check         # compare vs baseline
+    python benchmarks/perf_smoke.py --update        # rewrite the baseline
+    python benchmarks/perf_smoke.py                 # measure and print only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).parent / "perf_baseline.json"
+
+WORKLOAD = "511.povray"
+PREDICTOR = "phast"
+NUM_OPS = 20000
+ROUNDS = 5
+
+
+def _calibrate() -> float:
+    """Best-of-N seconds for a fixed pure-Python scheduler-like kernel."""
+
+    def kernel() -> int:
+        booked: dict = {}
+        top = 0
+        for i in range(300000):
+            slot = i & 2047
+            count = booked.get(slot, 0) + 1
+            booked[slot] = count
+            if count > top:
+                top = count
+        return top
+
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        kernel()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure_sim() -> float:
+    """Best-of-N seconds for one zero-probe pipeline run (trace pre-built)."""
+    from repro.core.config import CoreConfig
+    from repro.core.pipeline import Pipeline
+    from repro.sim.simulator import get_trace, make_predictor
+
+    trace = get_trace(WORKLOAD, NUM_OPS)
+    best = float("inf")
+    for _ in range(ROUNDS):
+        pipeline = Pipeline(
+            CoreConfig(), make_predictor(PREDICTOR), check_invariants=False
+        )
+        start = time.perf_counter()
+        pipeline.run(trace)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure() -> dict:
+    calib = _calibrate()
+    sim = _measure_sim()
+    return {
+        "workload": WORKLOAD,
+        "predictor": PREDICTOR,
+        "num_ops": NUM_OPS,
+        "sim_seconds": round(sim, 4),
+        "calib_seconds": round(calib, 4),
+        "normalized": round(sim / calib, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true", help="fail on regression")
+    parser.add_argument("--update", action="store_true", help="rewrite the baseline")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="maximum allowed normalised slowdown (fraction, default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    current = measure()
+    print(
+        f"measured: {current['sim_seconds']:.3f}s sim / "
+        f"{current['calib_seconds']:.3f}s calib "
+        f"(normalized {current['normalized']:.3f})"
+    )
+
+    if args.update:
+        BASELINE_PATH.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    if not args.check:
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print("no committed baseline; run with --update first", file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    slowdown = current["normalized"] / baseline["normalized"] - 1.0
+    print(
+        f"baseline normalized {baseline['normalized']:.3f} -> "
+        f"slowdown {slowdown * 100.0:+.1f}% (threshold {args.threshold * 100.0:.0f}%)"
+    )
+    if slowdown > args.threshold:
+        print("FAIL: zero-probe pipeline regressed past the threshold", file=sys.stderr)
+        return 1
+    print("OK: zero-probe pipeline within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,3 +79,36 @@ def records_to_csv(records: List[Dict[str, object]]) -> str:
             cells.append("" if value is None else str(value))
         lines.append(",".join(cells))
     return "\n".join(lines) + "\n"
+
+
+def intervals_to_records(result: SimResult) -> List[Dict[str, object]]:
+    """One flat record per interval window, tagged with the run's identity.
+
+    Requires a result produced with interval metrics enabled
+    (``simulate(..., interval_ops=N)`` or ``repro probe``); raises
+    ``ValueError`` otherwise so a missing probe doesn't silently export
+    nothing.
+    """
+    if result.intervals is None:
+        raise ValueError(
+            f"{result.workload}/{result.predictor} carries no interval metrics; "
+            "run with interval_ops set (e.g. simulate(..., interval_ops=2000))"
+        )
+    records = []
+    for window in result.intervals:
+        record: Dict[str, object] = {
+            "workload": result.workload,
+            "predictor": result.predictor,
+            "core": result.core,
+        }
+        record.update(window.to_dict())
+        records.append(record)
+    return records
+
+
+def intervals_to_csv(results: Iterable[SimResult]) -> str:
+    """Per-interval CSV across one or more results (plotting-ready)."""
+    records: List[Dict[str, object]] = []
+    for result in results:
+        records.extend(intervals_to_records(result))
+    return records_to_csv(records)

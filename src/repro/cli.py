@@ -8,6 +8,8 @@ Commands:
 * ``sweep`` — fault-tolerant resumable sweep: per-cell worker processes,
   timeouts, retries, a durable result store and a failure manifest
   (``--resume`` to continue a killed campaign, ``--status`` to inspect it).
+* ``probe`` — simulate one pair with interval metrics enabled and print the
+  per-window IPC / violation-MPKI / occupancy table (``--json`` to export).
 * ``workloads`` — list the synthetic SPEC CPU 2017-like profiles.
 * ``predictors`` — list the predictor registry with storage budgets.
 * ``table2`` — print the reproduced Table II (configurations/storage/energy).
@@ -16,12 +18,14 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
 
-from repro.analysis.export import dump_results
+from repro.analysis.export import dump_results, intervals_to_records
 from repro.analysis.report import format_table
+from repro.common.atomicio import atomic_write_text
 from repro.common.stats import geometric_mean
 from repro.core.config import GENERATIONS, CoreConfig
 from repro.harness.executor import ProcessCellExecutor
@@ -29,7 +33,8 @@ from repro.harness.store import ResultStore
 from repro.harness.sweep import SweepRunner, build_cells
 from repro.mdp.storage import format_table2
 from repro.sim.experiment import ExperimentGrid
-from repro.sim.simulator import DEFAULT_NUM_OPS, PREDICTOR_FACTORIES, simulate
+from repro.sim.intervals import DEFAULT_INTERVAL_OPS
+from repro.sim.simulator import PREDICTOR_FACTORIES, default_num_ops, simulate
 from repro.workloads.spec2017 import SPEC_PROFILES, spec_suite, workload
 
 #: Default durable store location; flags override, env overrides the default.
@@ -66,6 +71,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"correct_waits={stats.correct_waits}  forwarded={stats.forwarded_loads}  "
         f"partial={stats.partial_loads}"
     )
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    result = simulate(
+        workload(args.workload, seed=args.seed),
+        args.predictor,
+        config=_core_config(args.core),
+        num_ops=args.num_ops,
+        interval_ops=args.interval_ops,
+    )
+    rows = []
+    for window in result.intervals:
+        ops = f"{window.start_op}-{window.end_op}" + ("*" if window.partial else "")
+        rows.append(
+            [
+                window.index,
+                ops,
+                window.cycles,
+                f"{window.ipc:.3f}",
+                f"{window.violation_mpki:.3f}",
+                f"{window.branch_mpki:.3f}",
+                f"{window.occupancy:.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["window", "ops", "cycles", "ipc", "viol_mpki", "br_mpki", "rob_occ"],
+            rows,
+            title=(
+                f"{args.workload}/{args.predictor} per-{args.interval_ops}-op "
+                f"intervals ({args.core}, {args.num_ops} ops; * = partial window)"
+            ),
+        )
+    )
+    print(result.summary())
+    if args.json:
+        records = intervals_to_records(result)
+        atomic_write_text(args.json, json.dumps(records, indent=2) + "\n")
+        print(f"wrote {len(records)} interval records to {args.json}")
     return 0
 
 
@@ -194,11 +239,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="PHAST (HPCA 2024) reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    # Resolved at parser-build time (not import time) so REPRO_TRACE_OPS set
+    # by a wrapper script before main() is honoured.
+    num_ops_default = default_num_ops()
 
     run = sub.add_parser("run", help="simulate one workload/predictor pair")
     run.add_argument("workload")
     run.add_argument("predictor", choices=sorted(PREDICTOR_FACTORIES))
-    run.add_argument("--num-ops", type=int, default=DEFAULT_NUM_OPS)
+    run.add_argument("--num-ops", type=int, default=num_ops_default)
     run.add_argument("--core", default="alderlake", choices=sorted(GENERATIONS))
     run.add_argument(
         "--seed", type=int, default=None, help="override the workload trace seed"
@@ -210,11 +258,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(func=_cmd_run)
 
+    probe = sub.add_parser(
+        "probe",
+        help="per-interval IPC/MPKI/occupancy windows for one pair",
+    )
+    probe.add_argument("workload")
+    probe.add_argument("predictor", choices=sorted(PREDICTOR_FACTORIES))
+    probe.add_argument("--num-ops", type=int, default=num_ops_default)
+    probe.add_argument(
+        "--interval-ops",
+        type=int,
+        default=DEFAULT_INTERVAL_OPS,
+        help="committed micro-ops per metrics window",
+    )
+    probe.add_argument("--core", default="alderlake", choices=sorted(GENERATIONS))
+    probe.add_argument(
+        "--seed", type=int, default=None, help="override the workload trace seed"
+    )
+    probe.add_argument(
+        "--json", default=None, help="also write interval records to this path"
+    )
+    probe.set_defaults(func=_cmd_probe)
+
     suite = sub.add_parser("suite", help="predictor roster over the suite")
     suite.add_argument(
         "--predictors", default="store-sets,nosq,mdp-tage,mdp-tage-s,phast"
     )
-    suite.add_argument("--num-ops", type=int, default=DEFAULT_NUM_OPS)
+    suite.add_argument("--num-ops", type=int, default=num_ops_default)
     suite.add_argument("--subset", type=int, default=None)
     suite.add_argument("--core", default="alderlake", choices=sorted(GENERATIONS))
     suite.add_argument(
@@ -229,7 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--predictors", default="store-sets,nosq,mdp-tage,mdp-tage-s,phast,ideal"
     )
-    sweep.add_argument("--num-ops", type=int, default=DEFAULT_NUM_OPS)
+    sweep.add_argument("--num-ops", type=int, default=num_ops_default)
     sweep.add_argument("--subset", type=int, default=None)
     sweep.add_argument("--core", default="alderlake", choices=sorted(GENERATIONS))
     sweep.add_argument("--seed", type=int, default=None)
@@ -289,7 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument(
         "--predictors", default="store-sets,nosq,mdp-tage,mdp-tage-s,phast,ideal"
     )
-    export.add_argument("--num-ops", type=int, default=DEFAULT_NUM_OPS)
+    export.add_argument("--num-ops", type=int, default=num_ops_default)
     export.add_argument("--subset", type=int, default=None)
     export.add_argument("--core", default="alderlake", choices=sorted(GENERATIONS))
     export.set_defaults(func=_cmd_export)

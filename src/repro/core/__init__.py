@@ -6,11 +6,17 @@ execute / complete / commit cycles under register dependences, structural
 limits (ROB/IQ/LQ/SQ+SB occupancy, dispatch and commit width, execution
 ports), memory latencies, MDP-imposed wait edges, branch redirect stalls, and
 lazy memory-order-violation squashes with replay.
+
+Structurally the model is a set of stage components (:mod:`repro.core.stages`)
+collaborating over a shared :class:`~repro.core.context.SimContext`, with all
+observation — statistics, invariant checking, MDP training, interval metrics —
+attached as probes on a typed event bus (:mod:`repro.core.probes`).
 """
 
 from repro.core.config import CoreConfig, GENERATIONS
 from repro.core.lsq import ForwardKind, LoadResolution, StoreRecord, resolve_load
 from repro.core.pipeline import Pipeline, PipelineStats
+from repro.core.probes import Probe, ProbeBus, ProbeEvent
 
 __all__ = [
     "CoreConfig",
@@ -21,4 +27,7 @@ __all__ = [
     "resolve_load",
     "Pipeline",
     "PipelineStats",
+    "Probe",
+    "ProbeBus",
+    "ProbeEvent",
 ]

@@ -1,4 +1,4 @@
-"""Trace-driven out-of-order pipeline timing model.
+"""Trace-driven out-of-order pipeline timing model (orchestrator).
 
 Micro-ops are processed in program order; each receives dispatch / issue /
 execute / complete / commit cycles under:
@@ -23,33 +23,64 @@ address resolves.
 Wrong-path work is not simulated; its cost appears as the redirect/squash
 penalties plus a re-executed-micro-op counter (DESIGN.md §1 records this
 fidelity trade).
+
+The scheduling itself lives in the stage components
+(:mod:`repro.core.stages`) operating on a shared per-run
+:class:`~repro.core.context.SimContext`; everything *observational* —
+statistics, invariant checking, MDP training, interval metrics — subscribes
+to the typed probe bus (:mod:`repro.core.probes`). ``Pipeline`` here only
+wires stages to the bus and drives the program-order loop.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Optional, Type
 
 from repro.core.config import CoreConfig
-from repro.core.lsq import (
-    ForwardKind,
-    StoreRecord,
-    multi_store_suppliers,
-    resolve_load,
+
+# Re-exported for backwards compatibility: these structural helpers lived
+# here before the stage split and tests/extensions import them from this
+# module.
+from repro.core.context import (  # noqa: F401
+    SimContext,
+    _PortPool,
+    _StoreWindow,
+    _WidthCursor,
+)
+from repro.core.lsq import ForwardKind
+from repro.core.probes import (
+    BranchResolved,
+    DependencePredicted,
+    LoadCommitted,
+    LoadResolved,
+    MultiStoreLoad,
+    OpCommitted,
+    OpDispatched,
+    Probe,
+    ProbeBus,
+    ProbeEvent,
+    RunFinished,
+    Squash,
+    Violation,
+    WrongPathLoad,
+)
+from repro.core.stages import (
+    BranchStage,
+    CommitStage,
+    DispatchStage,
+    ExecuteStage,
+    IssueStage,
+    MemoryStage,
+    SquashUnit,
+    StoreStage,
 )
 from repro.frontend.branch_predictors import BranchPredictor
 from repro.frontend.history import GlobalHistory
 from repro.frontend.tage import TAGEPredictor
-from repro.isa.microop import MicroOp, OpKind
+from repro.isa.microop import OpKind
 from repro.isa.trace import Trace
-from repro.mdp.base import (
-    LoadCommitInfo,
-    LoadDispatchInfo,
-    MDPredictor,
-    StoreDispatchInfo,
-    ViolationInfo,
-)
+from repro.mdp.base import MDPredictor, MDPTrainingProbe
 from repro.memory.hierarchy import MemoryHierarchy
 
 if TYPE_CHECKING:  # import cycle guard: repro.sim.__init__ imports this module
@@ -101,132 +132,121 @@ class PipelineStats:
         return self.branch_mispredicts * 1000.0 / max(1, self.committed_uops)
 
 
-class _WidthCursor:
-    """Allocates slots of at most ``width`` events per cycle, in order."""
+class StatsProbe(Probe):
+    """Accumulates :class:`PipelineStats` from bus events.
 
-    __slots__ = ("width", "cycle", "count")
-
-    def __init__(self, width: int) -> None:
-        self.width = width
-        self.cycle = 0
-        self.count = 0
-
-    def allocate(self, earliest: int) -> int:
-        """Return the cycle of the next slot at or after ``earliest``."""
-        if earliest > self.cycle:
-            self.cycle = earliest
-            self.count = 1
-            return earliest
-        if self.count < self.width:
-            self.count += 1
-            return self.cycle
-        self.cycle += 1
-        self.count = 1
-        return self.cycle
-
-
-class _PortPool:
-    """Slot table for one execution-port class.
-
-    Books up to ``ports`` issues per cycle. Unlike a next-free-cycle greedy
-    tracker, a later-processed op can claim an *earlier* unused slot — which
-    is what an out-of-order scheduler does: an op that becomes ready early
-    must not queue behind an older op that books a far-future slot (e.g. a
-    store whose address register resolves after a cache miss).
+    Every counter gates on the event's ``measuring`` flag, so warm-up ops
+    (which execute, train predictors and warm caches) stay out of every
+    statistic — same contract as the old inline counting.
     """
 
-    __slots__ = ("ports", "_booked")
+    __slots__ = ("stats", "_rob_entries", "_dispatch_width")
 
-    def __init__(self, ports: int) -> None:
-        self.ports = ports
-        self._booked: Dict[int, int] = {}
+    def __init__(self, stats: PipelineStats, config: CoreConfig) -> None:
+        self.stats = stats
+        self._rob_entries = config.rob_entries
+        self._dispatch_width = config.dispatch_width
 
-    def allocate(self, ready: int, busy_cycles: int = 1) -> int:
-        """Book the earliest slot at or after ``ready``; returns issue cycle."""
-        booked = self._booked
-        cycle = ready
-        if busy_cycles == 1:
-            while booked.get(cycle, 0) >= self.ports:
-                cycle += 1
-            booked[cycle] = booked.get(cycle, 0) + 1
-            return cycle
-        while True:
-            if all(
-                booked.get(cycle + offset, 0) < self.ports
-                for offset in range(busy_cycles)
-            ):
-                for offset in range(busy_cycles):
-                    slot = cycle + offset
-                    booked[slot] = booked.get(slot, 0) + 1
-                return cycle
-            cycle += 1
+    def subscriptions(self) -> Mapping[Type[ProbeEvent], Callable]:
+        return {
+            LoadResolved: self._on_load_resolved,
+            MultiStoreLoad: self._on_multi_store,
+            DependencePredicted: self._on_dependence_predicted,
+            Violation: self._on_violation,
+            Squash: self._on_squash,
+            WrongPathLoad: self._on_wrong_path_load,
+            BranchResolved: self._on_branch_resolved,
+            LoadCommitted: self._on_load_committed,
+            OpCommitted: self._on_op_committed,
+            RunFinished: self._on_run_finished,
+        }
 
+    def _on_op_committed(self, event: OpCommitted) -> None:
+        if event.measuring:
+            stats = self.stats
+            stats.committed_uops += 1
+            kind = event.kind
+            if kind is OpKind.LOAD:
+                stats.loads += 1
+            elif kind is OpKind.STORE:
+                stats.stores += 1
+            elif kind is OpKind.BRANCH:
+                stats.branches += 1
 
-class _StoreWindow:
-    """The in-flight store window (SQ + SB) with an address-granule index."""
+    def _on_load_resolved(self, event: LoadResolved) -> None:
+        # Counted per execution attempt: a squashed-and-replayed load
+        # resolves (and is counted) once per attempt.
+        if event.measuring:
+            kind = event.resolution.kind
+            if kind is ForwardKind.CACHE:
+                self.stats.cache_loads += 1
+            elif kind is ForwardKind.FORWARD:
+                self.stats.forwarded_loads += 1
+            else:
+                self.stats.partial_loads += 1
 
-    GRANULE_SHIFT = 3  # 8-byte granules; the generator emits aligned accesses
+    def _on_multi_store(self, event: MultiStoreLoad) -> None:
+        if event.measuring:
+            self.stats.multi_store_loads += 1
+            if event.writers_inorder:
+                self.stats.multi_store_inorder += 1
 
-    def __init__(self, capacity: int) -> None:
-        self._capacity = capacity
-        self._records: Deque[StoreRecord] = deque()
-        self._by_number: Dict[int, StoreRecord] = {}
-        self._by_seq: Dict[int, StoreRecord] = {}
-        self._by_granule: Dict[int, List[StoreRecord]] = {}
+    def _on_dependence_predicted(self, event: DependencePredicted) -> None:
+        if event.measuring:
+            self.stats.dependences_predicted += 1
 
-    def append(self, record: StoreRecord) -> None:
-        self._records.append(record)
-        self._by_number[record.store_number] = record
-        self._by_seq[record.seq] = record
-        first = record.address >> self.GRANULE_SHIFT
-        last = (record.end - 1) >> self.GRANULE_SHIFT
-        for granule in range(first, last + 1):
-            self._by_granule.setdefault(granule, []).append(record)
-        while len(self._records) > self._capacity:
-            self._evict(self._records.popleft())
+    def _on_violation(self, event: Violation) -> None:
+        if event.measuring:
+            if event.phantom:
+                self.stats.wrong_path_trainings += 1
+            else:
+                self.stats.violations += 1
 
-    def _evict(self, record: StoreRecord) -> None:
-        del self._by_number[record.store_number]
-        self._by_seq.pop(record.seq, None)
-        first = record.address >> self.GRANULE_SHIFT
-        last = (record.end - 1) >> self.GRANULE_SHIFT
-        for granule in range(first, last + 1):
-            bucket = self._by_granule.get(granule)
-            if bucket:
-                bucket.remove(record)
-                if not bucket:
-                    del self._by_granule[granule]
+    def _on_squash(self, event: Squash) -> None:
+        if event.measuring:
+            # The re-execution cost model: everything dispatched between the
+            # load's first attempt and the squash is thrown away, bounded by
+            # the ROB.
+            self.stats.reexecuted_uops += min(
+                self._rob_entries,
+                self._dispatch_width
+                * max(0, event.squash_cycle - event.attempt_dispatch_cycle),
+            )
 
-    def by_number(self, store_number: int) -> Optional[StoreRecord]:
-        return self._by_number.get(store_number)
+    def _on_wrong_path_load(self, event: WrongPathLoad) -> None:
+        if event.measuring:
+            self.stats.wrong_path_loads += 1
 
-    def by_seq(self, seq: int) -> Optional[StoreRecord]:
-        return self._by_seq.get(seq)
+    def _on_branch_resolved(self, event: BranchResolved) -> None:
+        if event.measuring and event.mispredicted:
+            self.stats.branch_mispredicts += 1
 
-    def candidates(self, address: int, size: int) -> List[StoreRecord]:
-        """Stores possibly overlapping [address, address+size), oldest first."""
-        first = address >> self.GRANULE_SHIFT
-        last = (address + size - 1) >> self.GRANULE_SHIFT
-        if first == last:
-            found = list(self._by_granule.get(first, ()))
-        else:
-            seen: Dict[int, StoreRecord] = {}
-            for granule in range(first, last + 1):
-                for record in self._by_granule.get(granule, ()):
-                    seen[record.seq] = record
-            found = list(seen.values())
-        found.sort(key=lambda record: record.seq)
-        return found
+    def _on_load_committed(self, event: LoadCommitted) -> None:
+        if event.measuring:
+            info = event.info
+            if info.waited_correct:
+                self.stats.correct_waits += 1
+            if info.false_positive:
+                self.stats.false_positives += 1
 
-    def all_records(self) -> List[StoreRecord]:
-        return list(self._records)
-
-    def __len__(self) -> int:
-        return len(self._records)
+    def _on_run_finished(self, event: RunFinished) -> None:
+        self.stats.cycles = max(
+            1, event.last_commit_cycle - event.warmup_end_cycle
+        )
 
 
 class Pipeline:
-    """One core running one trace with one memory dependence predictor."""
+    """One core running one trace with one memory dependence predictor.
+
+    Built-in probes — :class:`StatsProbe`, the predictor's
+    :class:`~repro.mdp.base.MDPTrainingProbe` and (when enabled) the
+    :class:`~repro.sim.invariants.InvariantProbe` — are attached at
+    construction; MDP training in particular is simulation *semantics*, not
+    optional observation. Additional observers attach via ``probes=[...]``
+    or :meth:`attach`, and "zero optional probes" costs nothing on the hot
+    path: event types without subscribers are pre-resolved to ``None`` at
+    ``run()`` entry and never constructed.
+    """
 
     def __init__(
         self,
@@ -235,6 +255,8 @@ class Pipeline:
         branch_predictor: Optional[BranchPredictor] = None,
         hierarchy: Optional[MemoryHierarchy] = None,
         check_invariants: Optional[bool] = None,
+        probes: Optional[Iterable[Probe]] = None,
+        train_predictor: bool = True,
     ) -> None:
         self.config = config
         self.predictor = predictor
@@ -242,23 +264,36 @@ class Pipeline:
         self.hierarchy = hierarchy or MemoryHierarchy(config.hierarchy)
         self.history = GlobalHistory()
         self.stats = PipelineStats()
+        self.bus = ProbeBus()
+        self.bus.attach(StatsProbe(self.stats, config))
+        if train_predictor:
+            self.bus.attach(MDPTrainingProbe(predictor))
         # Imported lazily: repro.sim.__init__ (transitively) imports this
         # module, so a top-level import of repro.sim.invariants would cycle.
-        from repro.sim.invariants import InvariantChecker, invariants_enabled
+        from repro.sim.invariants import (
+            InvariantChecker,
+            InvariantProbe,
+            invariants_enabled,
+        )
 
         # None defers to the REPRO_CHECK_INVARIANTS environment knob; an
         # explicit bool wins (CLI --check-invariants, harness workers).
         enabled = invariants_enabled() if check_invariants is None else check_invariants
-        self.invariants: Optional["InvariantChecker"] = (
-            InvariantChecker(
+        self.invariants: Optional["InvariantChecker"] = None
+        if enabled:
+            self.invariants = InvariantChecker(
                 rob_entries=config.rob_entries,
                 iq_entries=config.iq_entries,
                 lq_entries=config.lq_entries,
                 sq_entries=config.sq_entries,
             )
-            if enabled
-            else None
-        )
+            self.bus.attach(InvariantProbe(self.invariants, self.stats))
+        for probe in probes or ():
+            self.bus.attach(probe)
+
+    def attach(self, probe: Probe) -> Probe:
+        """Attach an additional probe to this pipeline's bus."""
+        return self.bus.attach(probe)
 
     # ------------------------------------------------------------------ run --
 
@@ -274,495 +309,79 @@ class Pipeline:
         — but are excluded from every counter and from the cycle count, the
         paper's SimPoint-style steady-state methodology (Sec. V).
         """
-        config = self.config
-        stats = self.stats
-        history = self.history
-        predictor = self.predictor
-        checker = self.invariants
-        l1d_latency = config.hierarchy.l1d.hit_latency
-        d2i = config.dispatch_to_issue_latency
-        fwd_filter = config.forwarding_filter
-
-        dispatch = _WidthCursor(config.dispatch_width)
-        commit = _WidthCursor(config.commit_width)
-        drain = _WidthCursor(config.store_drain_per_cycle)
-        ports = {kind: _PortPool(count) for kind, count in config.ports.items()}
-
-        rob = config.rob_entries
-        iq = config.iq_entries
-        lq = config.lq_entries
-        sq = config.sq_entries
-        commit_ring = [0] * rob  # commit cycle of the op `rob` slots back
-        issue_ring = [0] * iq  # issue cycle of the op `iq` slots back
-        load_ring = [0] * lq  # commit cycle of the load `lq` loads back
-        store_ring = [0] * sq  # drain cycle of the store `sq` stores back
-
-        reg_ready = [0] * config.num_arch_regs
-        window = _StoreWindow(capacity=sq + 32)
-
-        frontend_ready = 0
-        load_count = 0
-        store_count = 0
-        last_commit = 0
-        last_fetch_line = -1
-        # Wrong-path replay memory: (branch pc, outcome) -> trace index of
-        # the first op that followed that outcome. On a misprediction, the
-        # ops after the *other* outcome are replayed as phantoms.
-        wrong_path_depth = config.wrong_path_depth
-        wrong_path_after: Dict[Tuple[int, bool], int] = {}
-
         total = len(trace) if max_ops is None else min(max_ops, len(trace))
         if warmup_ops < 0 or warmup_ops >= total:
-            raise ValueError(
-                f"warmup_ops must be in [0, {total}), got {warmup_ops}"
-            )
-        warmup_end_cycle = 0
+            raise ValueError(f"warmup_ops must be in [0, {total}), got {warmup_ops}")
+
+        ctx = SimContext(
+            config=self.config,
+            hierarchy=self.hierarchy,
+            history=self.history,
+            predictor=self.predictor,
+            branch_predictor=self.branch_predictor,
+            checker=self.invariants,
+            trace=trace,
+            total=total,
+            warmup_ops=warmup_ops,
+        )
+        ctx.bind(self.bus)
+
+        dispatch_stage = DispatchStage(ctx)
+        issue_stage = IssueStage(ctx)
+        squash_unit = SquashUnit(ctx)
+        memory_stage = MemoryStage(ctx, issue_stage, squash_unit)
+        store_stage = StoreStage(ctx, issue_stage)
+        branch_stage = BranchStage(ctx, issue_stage, memory_stage)
+        execute_stage = ExecuteStage(ctx, issue_stage)
+        commit_stage = CommitStage(ctx)
+
+        # Bound methods hoisted out of the loop; the loop body below is the
+        # per-op hot path.
+        process_dispatch = dispatch_stage.process
+        process_load = memory_stage.process
+        process_store = store_stage.process
+        process_branch = branch_stage.process
+        process_execute = execute_stage.process
+        retire = commit_stage.retire
+        load_kind = OpKind.LOAD
+        store_kind = OpKind.STORE
+        branch_kind = OpKind.BRANCH
+
         for index in range(total):
             op = trace[index]
             kind = op.kind
             measuring = index >= warmup_ops
-
-            # ---- fetch + dispatch ----------------------------------------------
-            earliest = max(frontend_ready, commit_ring[index % rob], issue_ring[index % iq])
-            fetch_line = op.pc >> 6
-            if fetch_line != last_fetch_line:
-                last_fetch_line = fetch_line
-                earliest = max(earliest, self.hierarchy.fetch_access(op.pc, earliest))
-            if kind is OpKind.LOAD:
-                earliest = max(earliest, load_ring[load_count % lq])
-            elif kind is OpKind.STORE:
-                earliest = max(earliest, store_ring[store_count % sq])
-            dispatch_cycle = dispatch.allocate(earliest)
-            if checker is not None:
-                # The rings still hold the freeing cycles of the ops being
-                # displaced — occupancy bounds are checkable right here.
-                checker.observe_dispatch(
-                    index,
-                    dispatch_cycle,
-                    commit_ring[index % rob],
-                    issue_ring[index % iq],
+            dispatch_cycle, ready_to_issue, snapshot = process_dispatch(
+                op, index, kind, measuring
+            )
+            if kind is load_kind:
+                issue, complete, commit_cycle = process_load(
+                    op, index, dispatch_cycle, ready_to_issue, snapshot, measuring
                 )
-                if kind is OpKind.LOAD:
-                    checker.observe_load_slot(
-                        index, dispatch_cycle, load_ring[load_count % lq]
-                    )
-                elif kind is OpKind.STORE:
-                    checker.observe_store_slot(
-                        index, dispatch_cycle, store_ring[store_count % sq]
-                    )
-            snapshot = history.snapshot()
-
-            operands = 0
-            for reg in op.src_regs:
-                ready = reg_ready[reg]
-                if ready > operands:
-                    operands = ready
-            ready_to_issue = max(dispatch_cycle + d2i, operands)
-
-            # ---- execute, by kind --------------------------------------------
-            if kind is OpKind.LOAD:
-                issue, complete, commit_cycle = self._run_load(
-                    op,
-                    index,
-                    dispatch_cycle,
-                    ready_to_issue,
-                    snapshot,
-                    window,
-                    ports[OpKind.LOAD],
-                    commit,
-                    dispatch,
-                    load_count,
-                    store_count,
-                    l1d_latency,
-                    fwd_filter,
-                    measuring,
+            elif kind is store_kind:
+                issue, complete, commit_cycle = process_store(
+                    op, index, dispatch_cycle, ready_to_issue, snapshot, measuring
                 )
-                load_ring[load_count % lq] = commit_cycle
-                load_count += 1
-                if op.dst_reg is not None:
-                    reg_ready[op.dst_reg] = complete
-                if measuring:
-                    stats.loads += 1
-
-            elif kind is OpKind.STORE:
-                addr_operands = operands
-                data_operands = 0
-                for reg in op.store_data_regs:
-                    ready = reg_ready[reg]
-                    if ready > data_operands:
-                        data_operands = ready
-                store_pred = predictor.on_store_dispatch(
-                    StoreDispatchInfo(
-                        pc=op.pc,
-                        seq=index,
-                        hist_snapshot=snapshot,
-                        store_number=store_count,
-                        history=history,
-                    )
+            elif kind is branch_kind:
+                issue, complete, commit_cycle = process_branch(
+                    op, index, dispatch_cycle, ready_to_issue, measuring
                 )
-                agu_ready = max(dispatch_cycle + d2i, addr_operands)
-                exec_floor = max(dispatch_cycle + d2i, data_operands)
-                if store_pred.is_dependence:
-                    # Store Sets serialises stores of a set: this store may not
-                    # execute before the previous store of its set.
-                    for dep_seq in store_pred.store_seqs:
-                        record = window.by_seq(dep_seq)
-                        if record is not None:
-                            agu_ready = max(agu_ready, record.exec_cycle + 1)
-                issue = ports[OpKind.STORE].allocate(agu_ready)
-                addr_ready = issue + 1
-                complete = max(addr_ready, exec_floor)
-                commit_cycle = commit.allocate(max(complete + 1, last_commit))
-                drain_cycle = drain.allocate(commit_cycle + 1)
-                record = StoreRecord(
-                    seq=index,
-                    pc=op.pc,
-                    address=op.mem.address,
-                    size=op.mem.size,
-                    store_number=store_count,
-                    addr_ready=addr_ready,
-                    exec_cycle=complete,
-                    drain_cycle=drain_cycle,
-                    hist_snapshot=snapshot,
-                )
-                if checker is not None:
-                    checker.observe_store_record(record)
-                window.append(record)
-                store_ring[store_count % sq] = drain_cycle
-                store_count += 1
-                if measuring:
-                    stats.stores += 1
-
-            elif kind is OpKind.BRANCH:
-                issue = ports[OpKind.BRANCH].allocate(ready_to_issue)
-                complete = issue + config.latencies[OpKind.BRANCH]
-                branch = op.branch
-                mispredicted = self.branch_predictor.observe(
-                    op.pc, branch.kind, branch.taken, branch.target
-                )
-                if measuring:
-                    stats.branches += 1
-                    if mispredicted:
-                        stats.branch_mispredicts += 1
-                if mispredicted:
-                    frontend_ready = max(
-                        frontend_ready, complete + config.branch_redirect_penalty
-                    )
-                    if wrong_path_depth:
-                        wrong_index = wrong_path_after.get((op.pc, not branch.taken))
-                        if wrong_index is not None:
-                            self._run_wrong_path(
-                                trace,
-                                wrong_index,
-                                wrong_path_depth,
-                                dispatch_cycle,
-                                window,
-                                store_count,
-                                l1d_latency,
-                                fwd_filter,
-                                measuring,
-                            )
-                if wrong_path_depth:
-                    wrong_path_after.setdefault((op.pc, branch.taken), index + 1)
-                history.record(op.pc, branch)
-                commit_cycle = commit.allocate(max(complete + 1, last_commit))
-
             else:  # ALU / MUL / DIV / FP / NOP
-                latency = config.latencies[kind]
-                busy = latency if kind is OpKind.DIV else 1  # DIV unpipelined
-                issue = ports[kind].allocate(ready_to_issue, busy_cycles=busy)
-                complete = issue + latency
-                if op.dst_reg is not None:
-                    reg_ready[op.dst_reg] = complete
-                commit_cycle = commit.allocate(max(complete + 1, last_commit))
+                issue, complete, commit_cycle = process_execute(
+                    op, kind, dispatch_cycle, ready_to_issue
+                )
+            retire(index, kind, dispatch_cycle, issue, complete, commit_cycle,
+                   measuring)
 
-            # ---- retire bookkeeping -------------------------------------------
-            if checker is not None:
-                checker.observe_commit(index, commit_cycle, complete)
-            commit_ring[index % rob] = commit_cycle
-            issue_ring[index % iq] = issue
-            last_commit = max(last_commit, commit_cycle)
-            if measuring:
-                stats.committed_uops += 1
-            elif index == warmup_ops - 1:
-                warmup_end_cycle = last_commit
-
-        stats.cycles = max(1, last_commit - warmup_end_cycle)
-        if checker is not None:
-            checker.finalize(stats, total - warmup_ops)
-        return stats
-
-    # -------------------------------------------------------- wrong path --
-
-    def _run_wrong_path(
-        self,
-        trace: Trace,
-        start_index: int,
-        depth: int,
-        cycle: int,
-        window: "_StoreWindow",
-        store_count: int,
-        l1d_latency: int,
-        fwd_filter: bool,
-        measuring: bool,
-    ) -> None:
-        """Replay ops from the branch's other outcome as phantoms.
-
-        Phantom loads touch the caches (pollution and accidental prefetch)
-        and query the memory dependence predictor; when one conflicts with an
-        in-flight store, predictors that train *at detection* learn the
-        wrong-path dependence — exactly the pollution the paper says PHAST's
-        at-commit training avoids (Sec. IV-A1). Phantoms never commit, write,
-        or enter the branch history (it is repaired on squash).
-        """
-        predictor = self.predictor
-        stats = self.stats
-        end = min(len(trace), start_index + depth)
-        for phantom_index in range(start_index, end):
-            op = trace[phantom_index]
-            # Branches on the wrong path follow whatever the recorded
-            # occurrence did (the front end keeps predicting); only loads
-            # have observable side effects here.
-            if not op.is_load:
-                continue
-            mem = op.mem
-            self.hierarchy.load_access(op.pc, mem.address, cycle)
-            prediction = predictor.on_load_dispatch(
-                LoadDispatchInfo(
-                    pc=op.pc,
-                    seq=-phantom_index - 1,  # phantom ids never collide
-                    hist_snapshot=self.history.snapshot(),
-                    store_count=store_count,
-                    history=self.history,
+        emit_finished = self.bus.resolve(RunFinished)
+        if emit_finished is not None:
+            emit_finished(
+                RunFinished(
+                    total,
+                    total - warmup_ops,
+                    warmup_ops,
+                    ctx.last_commit,
+                    ctx.warmup_end_cycle,
                 )
             )
-            if measuring:
-                stats.wrong_path_loads += 1
-            if predictor.trains_at_commit:
-                continue  # squashed before commit: never trained (PHAST)
-            candidates = window.candidates(mem.address, mem.size)
-            resolution = resolve_load(
-                candidates,
-                mem.address,
-                mem.size,
-                cycle,
-                l1d_latency,
-                fwd_filter,
-                checker=self.invariants,
-            )
-            if resolution.violated:
-                training_store = resolution.violation_store_detect
-                predictor.on_violation(
-                    ViolationInfo(
-                        load_pc=op.pc,
-                        load_seq=-phantom_index - 1,
-                        load_snapshot=self.history.snapshot(),
-                        load_store_count=store_count,
-                        store_pc=training_store.pc,
-                        store_seq=training_store.seq,
-                        store_snapshot=training_store.hist_snapshot,
-                        store_number=training_store.store_number,
-                        history=self.history,
-                    )
-                )
-                if measuring:
-                    stats.wrong_path_trainings += 1
-
-    # ------------------------------------------------------------- the load --
-
-    def _run_load(
-        self,
-        op: MicroOp,
-        index: int,
-        dispatch_cycle: int,
-        ready_to_issue: int,
-        snapshot: int,
-        window: _StoreWindow,
-        load_ports: _PortPool,
-        commit: _WidthCursor,
-        dispatch: _WidthCursor,
-        load_count: int,
-        store_count: int,
-        l1d_latency: int,
-        fwd_filter: bool,
-        measuring: bool = True,
-    ) -> Tuple[int, int, int]:
-        """Process one load, including violation squash + replay.
-
-        Returns ``(issue, complete, commit_cycle)`` of the final (committing)
-        execution.
-        """
-        config = self.config
-        stats = self.stats
-        predictor = self.predictor
-        history = self.history
-        mem = op.mem
-        candidates = window.candidates(mem.address, mem.size)
-
-        # Oracle ground truth for the ideal predictor and for commit feedback:
-        # youngest older store still in flight at the load's unconstrained
-        # execute estimate.
-        naive_exec = ready_to_issue + 1
-        oracle_store: Optional[StoreRecord] = None
-        oracle_multi = False
-        visible = [s for s in candidates if s.drain_cycle > naive_exec]
-        if visible:
-            oracle_store = visible[-1]
-            if len(visible) > 1:
-                suppliers = multi_store_suppliers(visible, mem.address, mem.size)
-                oracle_multi = len(suppliers) >= 2
-                if oracle_multi and measuring:
-                    stats.multi_store_loads += 1
-                    # Fig. 4's second metric: do the load's writers execute in
-                    # (program) order? Measured over the suppliers only.
-                    execs = [s.exec_cycle for s in suppliers]
-                    if measuring and execs == sorted(execs):
-                        stats.multi_store_inorder += 1
-
-        was_violated = False
-        attempt_dispatch = dispatch_cycle
-        attempt_ready = ready_to_issue
-        while True:
-            prediction = predictor.on_load_dispatch(
-                LoadDispatchInfo(
-                    pc=op.pc,
-                    seq=index,
-                    hist_snapshot=snapshot,
-                    store_count=store_count,
-                    history=history,
-                    oracle_store_number=(
-                        oracle_store.store_number if oracle_store else None
-                    ),
-                    oracle_multi_store=oracle_multi,
-                )
-            )
-
-            # A predicted-dependent load delays issue just long enough to
-            # execute after the store's *address* resolves (Sec. I: "the load
-            # waits at the issue stage until the conflicting store computes
-            # its target address"); forwarding then supplies the data, and
-            # the LSQ timing accounts for late store data itself.
-            wait_targets: List[StoreRecord] = []
-            issue_ready = attempt_ready
-            if prediction.is_dependence:
-                if measuring:
-                    stats.dependences_predicted += 1
-                if prediction.wait_all_older:
-                    for record in window.all_records():
-                        issue_ready = max(issue_ready, record.addr_ready - 1)
-                        wait_targets.append(record)
-                for distance in prediction.distances:
-                    target = window.by_number(store_count - 1 - distance)
-                    if target is not None:
-                        issue_ready = max(issue_ready, target.addr_ready - 1)
-                        wait_targets.append(target)
-                for seq in prediction.store_seqs:
-                    record = window.by_seq(seq)
-                    if record is not None:
-                        issue_ready = max(issue_ready, record.addr_ready - 1)
-                        wait_targets.append(record)
-
-            issue = load_ports.allocate(issue_ready)
-            exec_cycle = issue + 1  # AGU
-            resolution = resolve_load(
-                candidates,
-                mem.address,
-                mem.size,
-                exec_cycle,
-                l1d_latency,
-                fwd_filter,
-                checker=self.invariants,
-            )
-            if resolution.kind is ForwardKind.CACHE:
-                complete = self.hierarchy.load_access(op.pc, mem.address, exec_cycle)
-                if measuring:
-                    stats.cache_loads += 1
-            elif resolution.kind is ForwardKind.FORWARD:
-                complete = resolution.data_ready
-                if measuring:
-                    stats.forwarded_loads += 1
-            else:
-                complete = resolution.data_ready
-                if measuring:
-                    stats.partial_loads += 1
-
-            commit_cycle = commit.allocate(max(complete + 1, 0))
-
-            if not resolution.violated:
-                break
-
-            # ---- memory-order violation: lazy squash at commit, then replay --
-            was_violated = True
-            if measuring:
-                stats.violations += 1
-            training_store = (
-                resolution.violation_store_commit
-                if predictor.trains_at_commit
-                else resolution.violation_store_detect
-            )
-            predictor.on_violation(
-                ViolationInfo(
-                    load_pc=op.pc,
-                    load_seq=index,
-                    load_snapshot=snapshot,
-                    load_store_count=store_count,
-                    store_pc=training_store.pc,
-                    store_seq=training_store.seq,
-                    store_snapshot=training_store.hist_snapshot,
-                    store_number=training_store.store_number,
-                    history=history,
-                )
-            )
-            if config.violation_squash == "eager":
-                # Squash as soon as the conflicting store resolves and finds
-                # the mis-speculated load in the LQ.
-                detection_cycle = max(exec_cycle, training_store.addr_ready)
-                squash_cycle = detection_cycle + config.violation_penalty
-            else:
-                squash_cycle = commit_cycle + config.violation_penalty
-            if measuring:
-                stats.reexecuted_uops += min(
-                    config.rob_entries,
-                    config.dispatch_width * max(0, squash_cycle - attempt_dispatch),
-                )
-            attempt_dispatch = dispatch.allocate(squash_cycle)
-            attempt_ready = max(
-                attempt_dispatch + config.dispatch_to_issue_latency,
-                ready_to_issue,
-            )
-
-        # ---- commit-time feedback ---------------------------------------------
-        # Ground truth is the oracle dependence (youngest conflicting store at
-        # the load's unconstrained execute estimate), not the post-wait window:
-        # a correctly-waited load whose forwarder drained into the cache during
-        # the wait still waited for the right store.
-        actual = resolution.true_store if resolution.true_store is not None else oracle_store
-        delayed = issue_ready > attempt_ready if prediction.is_dependence else False
-        waited_correct = (
-            prediction.is_dependence
-            and actual is not None
-            and any(target.seq == actual.seq for target in wait_targets)
-        )
-        false_positive = prediction.is_dependence and delayed and not waited_correct
-        if measuring:
-            if waited_correct:
-                stats.correct_waits += 1
-            if false_positive:
-                stats.false_positives += 1
-        predicted_number = wait_targets[0].store_number if wait_targets else None
-        predictor.on_load_commit(
-            LoadCommitInfo(
-                pc=op.pc,
-                seq=index,
-                hist_snapshot=snapshot,
-                store_count=store_count,
-                prediction=prediction,
-                predicted_store_number=predicted_number,
-                actual_store_number=actual.store_number if actual else None,
-                waited_correct=waited_correct,
-                false_positive=false_positive,
-                violated=was_violated,
-                history=history,
-            )
-        )
-        return issue, complete, commit_cycle
+        return self.stats

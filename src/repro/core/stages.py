@@ -1,0 +1,631 @@
+"""Pipeline stage components: dispatch, issue, memory, store, branch, commit.
+
+Each stage is a small object operating on the shared
+:class:`~repro.core.context.SimContext`; ``Pipeline.run`` wires them
+together per trace. Stages do the *scheduling* (cycle assignment) and emit
+:mod:`repro.core.probes` events at the same sequence points where the
+monolithic loop used to mutate statistics or call the invariant checker —
+observation is entirely the subscribers' business.
+
+Semantics are bit-identical to the pre-split loop; the headline benchmarks
+(`benchmarks/test_headline_results.py`) and the committed perf baseline
+(`benchmarks/perf_smoke.py`) guard that equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.context import SimContext
+from repro.core.lsq import ForwardKind, StoreRecord, multi_store_suppliers, resolve_load
+from repro.core.probes import (
+    BranchResolved,
+    DependencePredicted,
+    IntervalBoundary,
+    LoadCommitted,
+    LoadResolved,
+    MultiStoreLoad,
+    OpCommitted,
+    OpDispatched,
+    Squash,
+    StoreRecorded,
+    Violation,
+    WrongPathLoad,
+)
+from repro.isa.microop import MicroOp, OpKind
+from repro.mdp.base import (
+    LoadCommitInfo,
+    LoadDispatchInfo,
+    StoreDispatchInfo,
+    ViolationInfo,
+)
+
+
+class DispatchStage:
+    """Fetch + dispatch: claims the op's dispatch slot under structural limits."""
+
+    __slots__ = ("ctx",)
+
+    def __init__(self, ctx: SimContext) -> None:
+        self.ctx = ctx
+
+    def process(
+        self, op: MicroOp, index: int, kind: OpKind, measuring: bool
+    ) -> Tuple[int, int, int]:
+        """Returns ``(dispatch_cycle, ready_to_issue, history_snapshot)``."""
+        ctx = self.ctx
+        rob_free = ctx.commit_ring[index % ctx.rob]
+        iq_free = ctx.issue_ring[index % ctx.iq]
+        earliest = ctx.frontend_ready
+        if rob_free > earliest:
+            earliest = rob_free
+        if iq_free > earliest:
+            earliest = iq_free
+        fetch_line = op.pc >> 6
+        if fetch_line != ctx.last_fetch_line:
+            ctx.last_fetch_line = fetch_line
+            fetched = ctx.hierarchy.fetch_access(op.pc, earliest)
+            if fetched > earliest:
+                earliest = fetched
+        slot_free = 0
+        if kind is OpKind.LOAD:
+            slot_free = ctx.load_ring[ctx.load_count % ctx.lq]
+            if slot_free > earliest:
+                earliest = slot_free
+        elif kind is OpKind.STORE:
+            slot_free = ctx.store_ring[ctx.store_count % ctx.sq]
+            if slot_free > earliest:
+                earliest = slot_free
+        dispatch_cycle = ctx.dispatch.allocate(earliest)
+        emit = ctx.emit_dispatched
+        if emit is not None:
+            emit(
+                OpDispatched(
+                    index, kind, dispatch_cycle, rob_free, iq_free, slot_free,
+                    measuring,
+                )
+            )
+        snapshot = ctx.history.snapshot()
+
+        reg_ready = ctx.reg_ready
+        operands = 0
+        for reg in op.src_regs:
+            ready = reg_ready[reg]
+            if ready > operands:
+                operands = ready
+        ready_to_issue = dispatch_cycle + ctx.d2i
+        if operands > ready_to_issue:
+            ready_to_issue = operands
+        return dispatch_cycle, ready_to_issue, snapshot
+
+
+class IssueStage:
+    """Execution-port arbitration: books issue slots per port class."""
+
+    __slots__ = ("ports",)
+
+    def __init__(self, ctx: SimContext) -> None:
+        self.ports = ctx.ports
+
+    def port(self, kind: OpKind):
+        return self.ports[kind]
+
+    def allocate(self, kind: OpKind, ready: int, busy_cycles: int = 1) -> int:
+        return self.ports[kind].allocate(ready, busy_cycles)
+
+
+class SquashUnit:
+    """Computes squash/replay timing for a mis-speculated load."""
+
+    __slots__ = ("ctx",)
+
+    def __init__(self, ctx: SimContext) -> None:
+        self.ctx = ctx
+
+    def squash(
+        self,
+        index: int,
+        pc: int,
+        exec_cycle: int,
+        commit_cycle: int,
+        attempt_dispatch: int,
+        ready_to_issue: int,
+        training_store: StoreRecord,
+        measuring: bool,
+    ) -> Tuple[int, int]:
+        """Squash one load attempt; returns the replay's (dispatch, ready)."""
+        ctx = self.ctx
+        config = ctx.config
+        if config.violation_squash == "eager":
+            # Squash as soon as the conflicting store resolves and finds
+            # the mis-speculated load in the LQ.
+            detection_cycle = max(exec_cycle, training_store.addr_ready)
+            squash_cycle = detection_cycle + config.violation_penalty
+        else:
+            squash_cycle = commit_cycle + config.violation_penalty
+        replay_dispatch = ctx.dispatch.allocate(squash_cycle)
+        emit = ctx.emit_squash
+        if emit is not None:
+            emit(
+                Squash(
+                    index, pc, squash_cycle, attempt_dispatch, replay_dispatch,
+                    measuring,
+                )
+            )
+        replay_ready = max(replay_dispatch + ctx.d2i, ready_to_issue)
+        return replay_dispatch, replay_ready
+
+
+class MemoryStage:
+    """Loads: disambiguation, MDP wait edges, violation squash + replay."""
+
+    __slots__ = ("ctx", "issue_stage", "squash_unit")
+
+    def __init__(
+        self, ctx: SimContext, issue_stage: IssueStage, squash_unit: SquashUnit
+    ) -> None:
+        self.ctx = ctx
+        self.issue_stage = issue_stage
+        self.squash_unit = squash_unit
+
+    def process(
+        self,
+        op: MicroOp,
+        index: int,
+        dispatch_cycle: int,
+        ready_to_issue: int,
+        snapshot: int,
+        measuring: bool,
+    ) -> Tuple[int, int, int]:
+        """Process one load, including violation squash + replay.
+
+        Returns ``(issue, complete, commit_cycle)`` of the final (committing)
+        execution.
+        """
+        ctx = self.ctx
+        predictor = ctx.predictor
+        history = ctx.history
+        window = ctx.window
+        load_ports = self.issue_stage.ports[OpKind.LOAD]
+        commit = ctx.commit
+        checker = ctx.checker
+        l1d_latency = ctx.l1d_latency
+        fwd_filter = ctx.fwd_filter
+        store_count = ctx.store_count
+        mem = op.mem
+        candidates = window.candidates(mem.address, mem.size)
+
+        # Oracle ground truth for the ideal predictor and for commit feedback:
+        # youngest older store still in flight at the load's unconstrained
+        # execute estimate.
+        naive_exec = ready_to_issue + 1
+        oracle_store = None
+        oracle_multi = False
+        visible = [s for s in candidates if s.drain_cycle > naive_exec]
+        if visible:
+            oracle_store = visible[-1]
+            if len(visible) > 1:
+                suppliers = multi_store_suppliers(visible, mem.address, mem.size)
+                oracle_multi = len(suppliers) >= 2
+                if oracle_multi and (ctx.emit_multi_store is not None):
+                    # Fig. 4's second metric: do the load's writers execute
+                    # in (program) order? Measured over the suppliers only.
+                    execs = [s.exec_cycle for s in suppliers]
+                    ctx.emit_multi_store(
+                        MultiStoreLoad(index, op.pc, execs == sorted(execs), measuring)
+                    )
+
+        was_violated = False
+        attempt_dispatch = dispatch_cycle
+        attempt_ready = ready_to_issue
+        while True:
+            prediction = predictor.on_load_dispatch(
+                LoadDispatchInfo(
+                    pc=op.pc,
+                    seq=index,
+                    hist_snapshot=snapshot,
+                    store_count=store_count,
+                    history=history,
+                    oracle_store_number=(
+                        oracle_store.store_number if oracle_store else None
+                    ),
+                    oracle_multi_store=oracle_multi,
+                )
+            )
+
+            # A predicted-dependent load delays issue just long enough to
+            # execute after the store's *address* resolves (Sec. I: "the load
+            # waits at the issue stage until the conflicting store computes
+            # its target address"); forwarding then supplies the data, and
+            # the LSQ timing accounts for late store data itself.
+            wait_targets = []
+            issue_ready = attempt_ready
+            if prediction.is_dependence:
+                if prediction.wait_all_older:
+                    for record in window.all_records():
+                        issue_ready = max(issue_ready, record.addr_ready - 1)
+                        wait_targets.append(record)
+                for distance in prediction.distances:
+                    target = window.by_number(store_count - 1 - distance)
+                    if target is not None:
+                        issue_ready = max(issue_ready, target.addr_ready - 1)
+                        wait_targets.append(target)
+                for seq in prediction.store_seqs:
+                    record = window.by_seq(seq)
+                    if record is not None:
+                        issue_ready = max(issue_ready, record.addr_ready - 1)
+                        wait_targets.append(record)
+                if ctx.emit_dep_predicted is not None:
+                    ctx.emit_dep_predicted(
+                        DependencePredicted(
+                            index, op.pc, prediction, tuple(wait_targets), measuring
+                        )
+                    )
+
+            issue = load_ports.allocate(issue_ready)
+            exec_cycle = issue + 1  # AGU
+            resolution = resolve_load(
+                candidates,
+                mem.address,
+                mem.size,
+                exec_cycle,
+                l1d_latency,
+                fwd_filter,
+                checker=checker,
+            )
+            if resolution.kind is ForwardKind.CACHE:
+                complete = ctx.hierarchy.load_access(op.pc, mem.address, exec_cycle)
+            else:
+                complete = resolution.data_ready
+            if ctx.emit_load_resolved is not None:
+                ctx.emit_load_resolved(
+                    LoadResolved(index, op.pc, resolution, exec_cycle, complete,
+                                 measuring)
+                )
+
+            commit_cycle = commit.allocate(max(complete + 1, 0))
+
+            if not resolution.violated:
+                break
+
+            # ---- memory-order violation: lazy squash at commit, then replay --
+            was_violated = True
+            training_store = (
+                resolution.violation_store_commit
+                if predictor.trains_at_commit
+                else resolution.violation_store_detect
+            )
+            info = ViolationInfo(
+                load_pc=op.pc,
+                load_seq=index,
+                load_snapshot=snapshot,
+                load_store_count=store_count,
+                store_pc=training_store.pc,
+                store_seq=training_store.seq,
+                store_snapshot=training_store.hist_snapshot,
+                store_number=training_store.store_number,
+                history=history,
+            )
+            if ctx.emit_violation is not None:
+                ctx.emit_violation(Violation(index, op.pc, info, False, measuring))
+            attempt_dispatch, attempt_ready = self.squash_unit.squash(
+                index,
+                op.pc,
+                exec_cycle,
+                commit_cycle,
+                attempt_dispatch,
+                ready_to_issue,
+                training_store,
+                measuring,
+            )
+
+        # ---- commit-time feedback -------------------------------------------
+        # Ground truth is the oracle dependence (youngest conflicting store at
+        # the load's unconstrained execute estimate), not the post-wait window:
+        # a correctly-waited load whose forwarder drained into the cache during
+        # the wait still waited for the right store.
+        actual = (
+            resolution.true_store if resolution.true_store is not None else oracle_store
+        )
+        delayed = issue_ready > attempt_ready if prediction.is_dependence else False
+        waited_correct = (
+            prediction.is_dependence
+            and actual is not None
+            and any(target.seq == actual.seq for target in wait_targets)
+        )
+        false_positive = prediction.is_dependence and delayed and not waited_correct
+        predicted_number = wait_targets[0].store_number if wait_targets else None
+        if ctx.emit_load_committed is not None:
+            ctx.emit_load_committed(
+                LoadCommitted(
+                    index,
+                    LoadCommitInfo(
+                        pc=op.pc,
+                        seq=index,
+                        hist_snapshot=snapshot,
+                        store_count=store_count,
+                        prediction=prediction,
+                        predicted_store_number=predicted_number,
+                        actual_store_number=actual.store_number if actual else None,
+                        waited_correct=waited_correct,
+                        false_positive=false_positive,
+                        violated=was_violated,
+                        history=history,
+                    ),
+                    measuring,
+                )
+            )
+
+        ctx.load_ring[ctx.load_count % ctx.lq] = commit_cycle
+        ctx.load_count += 1
+        if op.dst_reg is not None:
+            ctx.reg_ready[op.dst_reg] = complete
+        return issue, complete, commit_cycle
+
+    # -------------------------------------------------------- wrong path --
+
+    def run_wrong_path(
+        self, start_index: int, depth: int, cycle: int, measuring: bool
+    ) -> None:
+        """Replay ops from the branch's other outcome as phantoms.
+
+        Phantom loads touch the caches (pollution and accidental prefetch)
+        and query the memory dependence predictor; when one conflicts with an
+        in-flight store, predictors that train *at detection* learn the
+        wrong-path dependence — exactly the pollution the paper says PHAST's
+        at-commit training avoids (Sec. IV-A1). Phantoms never commit, write,
+        or enter the branch history (it is repaired on squash).
+        """
+        ctx = self.ctx
+        predictor = ctx.predictor
+        trace = ctx.trace
+        window = ctx.window
+        store_count = ctx.store_count
+        end = min(len(trace), start_index + depth)
+        for phantom_index in range(start_index, end):
+            op = trace[phantom_index]
+            # Branches on the wrong path follow whatever the recorded
+            # occurrence did (the front end keeps predicting); only loads
+            # have observable side effects here.
+            if not op.is_load:
+                continue
+            mem = op.mem
+            ctx.hierarchy.load_access(op.pc, mem.address, cycle)
+            predictor.on_load_dispatch(
+                LoadDispatchInfo(
+                    pc=op.pc,
+                    seq=-phantom_index - 1,  # phantom ids never collide
+                    hist_snapshot=ctx.history.snapshot(),
+                    store_count=store_count,
+                    history=ctx.history,
+                )
+            )
+            if ctx.emit_wrong_path_load is not None:
+                ctx.emit_wrong_path_load(WrongPathLoad(phantom_index, op.pc, measuring))
+            if predictor.trains_at_commit:
+                continue  # squashed before commit: never trained (PHAST)
+            candidates = window.candidates(mem.address, mem.size)
+            resolution = resolve_load(
+                candidates,
+                mem.address,
+                mem.size,
+                cycle,
+                ctx.l1d_latency,
+                ctx.fwd_filter,
+                checker=ctx.checker,
+            )
+            if resolution.violated:
+                training_store = resolution.violation_store_detect
+                info = ViolationInfo(
+                    load_pc=op.pc,
+                    load_seq=-phantom_index - 1,
+                    load_snapshot=ctx.history.snapshot(),
+                    load_store_count=store_count,
+                    store_pc=training_store.pc,
+                    store_seq=training_store.seq,
+                    store_snapshot=training_store.hist_snapshot,
+                    store_number=training_store.store_number,
+                    history=ctx.history,
+                )
+                if ctx.emit_violation is not None:
+                    ctx.emit_violation(
+                        Violation(phantom_index, op.pc, info, True, measuring)
+                    )
+
+
+class StoreStage:
+    """Stores: AGU scheduling, Store Sets serialisation, window insertion."""
+
+    __slots__ = ("ctx", "store_ports")
+
+    def __init__(self, ctx: SimContext, issue_stage: IssueStage) -> None:
+        self.ctx = ctx
+        self.store_ports = issue_stage.port(OpKind.STORE)
+
+    def process(
+        self,
+        op: MicroOp,
+        index: int,
+        dispatch_cycle: int,
+        ready_to_issue: int,
+        snapshot: int,
+        measuring: bool,
+    ) -> Tuple[int, int, int]:
+        ctx = self.ctx
+        reg_ready = ctx.reg_ready
+        window = ctx.window
+        store_count = ctx.store_count
+        data_operands = 0
+        for reg in op.store_data_regs:
+            ready = reg_ready[reg]
+            if ready > data_operands:
+                data_operands = ready
+        store_pred = ctx.predictor.on_store_dispatch(
+            StoreDispatchInfo(
+                pc=op.pc,
+                seq=index,
+                hist_snapshot=snapshot,
+                store_number=store_count,
+                history=ctx.history,
+            )
+        )
+        agu_ready = ready_to_issue
+        exec_floor = max(dispatch_cycle + ctx.d2i, data_operands)
+        if store_pred.is_dependence:
+            # Store Sets serialises stores of a set: this store may not
+            # execute before the previous store of its set.
+            for dep_seq in store_pred.store_seqs:
+                record = window.by_seq(dep_seq)
+                if record is not None:
+                    agu_ready = max(agu_ready, record.exec_cycle + 1)
+        issue = self.store_ports.allocate(agu_ready)
+        addr_ready = issue + 1
+        complete = max(addr_ready, exec_floor)
+        commit_cycle = ctx.commit.allocate(max(complete + 1, ctx.last_commit))
+        drain_cycle = ctx.drain.allocate(commit_cycle + 1)
+        record = StoreRecord(
+            seq=index,
+            pc=op.pc,
+            address=op.mem.address,
+            size=op.mem.size,
+            store_number=store_count,
+            addr_ready=addr_ready,
+            exec_cycle=complete,
+            drain_cycle=drain_cycle,
+            hist_snapshot=snapshot,
+        )
+        if ctx.emit_store_recorded is not None:
+            ctx.emit_store_recorded(StoreRecorded(index, record, measuring))
+        window.append(record)
+        ctx.store_ring[store_count % ctx.sq] = drain_cycle
+        ctx.store_count += 1
+        return issue, complete, commit_cycle
+
+
+class BranchStage:
+    """Branches: front-end prediction, redirects, wrong-path replay."""
+
+    __slots__ = ("ctx", "memory_stage", "branch_ports", "latency",
+                 "redirect_penalty")
+
+    def __init__(
+        self, ctx: SimContext, issue_stage: IssueStage, memory_stage: MemoryStage
+    ) -> None:
+        self.ctx = ctx
+        self.memory_stage = memory_stage
+        self.branch_ports = issue_stage.port(OpKind.BRANCH)
+        self.latency = ctx.config.latencies[OpKind.BRANCH]
+        self.redirect_penalty = ctx.config.branch_redirect_penalty
+
+    def process(
+        self,
+        op: MicroOp,
+        index: int,
+        dispatch_cycle: int,
+        ready_to_issue: int,
+        measuring: bool,
+    ) -> Tuple[int, int, int]:
+        ctx = self.ctx
+        issue = self.branch_ports.allocate(ready_to_issue)
+        complete = issue + self.latency
+        branch = op.branch
+        mispredicted = ctx.branch_predictor.observe(
+            op.pc, branch.kind, branch.taken, branch.target
+        )
+        if ctx.emit_branch_resolved is not None:
+            ctx.emit_branch_resolved(
+                BranchResolved(index, op.pc, branch.taken, mispredicted, measuring)
+            )
+        wrong_path_depth = ctx.wrong_path_depth
+        if mispredicted:
+            redirect = complete + self.redirect_penalty
+            if redirect > ctx.frontend_ready:
+                ctx.frontend_ready = redirect
+            if wrong_path_depth:
+                wrong_index = ctx.wrong_path_after.get((op.pc, not branch.taken))
+                if wrong_index is not None:
+                    self.memory_stage.run_wrong_path(
+                        wrong_index, wrong_path_depth, dispatch_cycle, measuring
+                    )
+        if wrong_path_depth:
+            ctx.wrong_path_after.setdefault((op.pc, branch.taken), index + 1)
+        ctx.history.record(op.pc, branch)
+        commit_cycle = ctx.commit.allocate(max(complete + 1, ctx.last_commit))
+        return issue, complete, commit_cycle
+
+
+class ExecuteStage:
+    """ALU / MUL / DIV / FP / NOP: fixed-latency execution."""
+
+    __slots__ = ("ctx", "issue_stage", "latencies")
+
+    def __init__(self, ctx: SimContext, issue_stage: IssueStage) -> None:
+        self.ctx = ctx
+        self.issue_stage = issue_stage
+        self.latencies = ctx.config.latencies
+
+    def process(
+        self, op: MicroOp, kind: OpKind, dispatch_cycle: int, ready_to_issue: int
+    ) -> Tuple[int, int, int]:
+        ctx = self.ctx
+        latency = self.latencies[kind]
+        busy = latency if kind is OpKind.DIV else 1  # DIV unpipelined
+        issue = self.issue_stage.ports[kind].allocate(ready_to_issue, busy_cycles=busy)
+        complete = issue + latency
+        if op.dst_reg is not None:
+            ctx.reg_ready[op.dst_reg] = complete
+        commit_cycle = ctx.commit.allocate(max(complete + 1, ctx.last_commit))
+        return issue, complete, commit_cycle
+
+
+class CommitStage:
+    """Retire bookkeeping: rings, retirement watermark, interval boundaries."""
+
+    __slots__ = ("ctx",)
+
+    def __init__(self, ctx: SimContext) -> None:
+        self.ctx = ctx
+
+    def retire(
+        self,
+        index: int,
+        kind: OpKind,
+        dispatch_cycle: int,
+        issue: int,
+        complete: int,
+        commit_cycle: int,
+        measuring: bool,
+    ) -> None:
+        ctx = self.ctx
+        ctx.commit_ring[index % ctx.rob] = commit_cycle
+        ctx.issue_ring[index % ctx.iq] = issue
+        if commit_cycle > ctx.last_commit:
+            ctx.last_commit = commit_cycle
+        emit = ctx.emit_op_committed
+        if emit is not None:
+            emit(
+                OpCommitted(
+                    index, kind, dispatch_cycle, complete, commit_cycle, measuring
+                )
+            )
+        if measuring:
+            if ctx.emit_interval is not None:
+                ctx.interval_op_count += 1
+                if ctx.interval_op_count >= ctx.interval_ops:
+                    end_cycle = ctx.last_commit
+                    ctx.emit_interval(
+                        IntervalBoundary(
+                            ctx.interval_index,
+                            ctx.interval_start_op,
+                            index,
+                            ctx.interval_start_cycle,
+                            end_cycle,
+                        )
+                    )
+                    ctx.interval_index += 1
+                    ctx.interval_op_count = 0
+                    ctx.interval_start_cycle = end_cycle
+                    ctx.interval_start_op = index + 1
+        elif index == ctx.warmup_ops - 1:
+            ctx.warmup_end_cycle = ctx.last_commit
+            ctx.interval_start_cycle = ctx.last_commit

@@ -13,6 +13,13 @@ still fails, while completed cells land in the crash-safe
 ``workers`` subprocesses in flight, per-cell timeouts enforced with
 ``proc.kill()``, and retry backoff expressed as "not before" timestamps so
 waiting cells never block a worker slot.
+
+Workers additionally stream *heartbeats*: an interval-metrics probe
+(:mod:`repro.sim.intervals`) on the simulation's probe bus forwards each
+completed per-``REPRO_HEARTBEAT_OPS`` window over the pipe. The parent
+stashes the most recent window per cell, so when a cell hangs and is killed
+(or crashes), its failure manifest records the last interval it completed —
+"died at op ~14000 with IPC collapsing" instead of just "timeout".
 """
 
 from __future__ import annotations
@@ -87,11 +94,21 @@ class CellOutcome:
         return self.result is not None
 
 
-def _simulate_cell(spec: CellSpec, check_invariants: bool) -> SimResult:
+def _simulate_cell(
+    spec: CellSpec,
+    check_invariants: bool,
+    on_heartbeat: Optional[Callable] = None,
+) -> SimResult:
     """Run one cell in-process (the worker body; importable for tests)."""
+    from repro.sim.intervals import IntervalMetricsProbe, heartbeat_interval_ops
     from repro.sim.simulator import simulate
     from repro.workloads.spec2017 import workload
 
+    probes = []
+    if on_heartbeat is not None:
+        hb_ops = heartbeat_interval_ops()
+        if hb_ops > 0:
+            probes.append(IntervalMetricsProbe(hb_ops, on_window=on_heartbeat))
     profile = workload(spec.workload, seed=spec.seed)
     return simulate(
         profile,
@@ -99,15 +116,23 @@ def _simulate_cell(spec: CellSpec, check_invariants: bool) -> SimResult:
         config=spec.config,
         num_ops=spec.num_ops or None,
         check_invariants=check_invariants or None,
+        probes=probes,
     )
 
 
 def _cell_worker(conn, spec: CellSpec, check_invariants: bool) -> None:
-    """Subprocess entry point: simulate, send a tagged message, exit."""
+    """Subprocess entry point: simulate, send a tagged message, exit.
+
+    Completed interval windows are streamed as ``("heartbeat", window_dict)``
+    messages ahead of the final tagged message.
+    """
     from repro.sim.invariants import SimInvariantError
 
+    def heartbeat(window) -> None:
+        conn.send(("heartbeat", window.to_dict()))
+
     try:
-        result = _simulate_cell(spec, check_invariants)
+        result = _simulate_cell(spec, check_invariants, on_heartbeat=heartbeat)
         conn.send(("ok", result.to_record()))
     except SimInvariantError as exc:
         conn.send(("invariant", {"message": str(exc), "detail": exc.to_dict()}))
@@ -138,7 +163,8 @@ _TAG_KINDS = {
 class _Running:
     """Bookkeeping for one in-flight worker process."""
 
-    __slots__ = ("index", "spec", "attempt", "proc", "conn", "deadline", "started")
+    __slots__ = ("index", "spec", "attempt", "proc", "conn", "deadline",
+                 "started", "last_interval")
 
     def __init__(self, index, spec, attempt, proc, conn, deadline, started):
         self.index = index
@@ -148,6 +174,9 @@ class _Running:
         self.conn = conn
         self.deadline = deadline
         self.started = started
+        # Most recent ("heartbeat", window_dict) payload; lands in the
+        # failure manifest if the cell times out or dies.
+        self.last_interval = None
 
 
 class ProcessCellExecutor:
@@ -206,14 +235,29 @@ class ProcessCellExecutor:
             started=now,
         )
 
-    def _reap(self, entry: _Running) -> Tuple[Optional[SimResult], Optional[CellFailure]]:
-        """Collect a finished (readable or dead) worker; classify the outcome."""
-        message = None
+    def _drain(self, entry: _Running) -> Optional[Tuple[str, object]]:
+        """Read pending pipe messages, stashing heartbeats.
+
+        Returns the first non-heartbeat (final) message, or None if the
+        worker has nothing final to say yet (or the pipe hit EOF).
+        """
         try:
-            if entry.conn.poll(0):
+            while entry.conn.poll(0):
                 message = entry.conn.recv()
+                if message[0] == "heartbeat":
+                    entry.last_interval = message[1]
+                else:
+                    return message
         except (EOFError, OSError):
-            message = None
+            return None
+        return None
+
+    def _reap(
+        self, entry: _Running, message: Optional[Tuple[str, object]] = None
+    ) -> Tuple[Optional[SimResult], Optional[CellFailure]]:
+        """Collect a finished (readable or dead) worker; classify the outcome."""
+        if message is None:
+            message = self._drain(entry)
         entry.proc.join(5)
         entry.conn.close()
         elapsed = time.monotonic() - entry.started
@@ -243,6 +287,7 @@ class ProcessCellExecutor:
         return None, self._failure(entry, kind, reason, elapsed)
 
     def _kill_timed_out(self, entry: _Running) -> CellFailure:
+        self._drain(entry)  # salvage any last heartbeats before killing
         entry.proc.kill()
         entry.proc.join(5)
         entry.conn.close()
@@ -262,6 +307,9 @@ class ProcessCellExecutor:
         elapsed: float,
         detail=None,
     ) -> CellFailure:
+        if entry.last_interval is not None:
+            detail = dict(detail or {})
+            detail["last_interval"] = entry.last_interval
         return CellFailure(
             kind=kind,
             message=message,
@@ -360,8 +408,11 @@ class ProcessCellExecutor:
             now = time.monotonic()
             still_running: List[_Running] = []
             for entry in running:
-                if entry.conn in ready or not entry.proc.is_alive():
-                    result, failure = self._reap(entry)
+                # A readable pipe may only carry heartbeats; drain first and
+                # reap only on a final message or a dead worker.
+                final = self._drain(entry) if entry.conn in ready else None
+                if final is not None or not entry.proc.is_alive():
+                    result, failure = self._reap(entry, final)
                     settle(entry.index, entry.spec, entry.attempt, result, failure)
                 elif now >= entry.deadline:
                     failure = self._kill_timed_out(entry)

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Mapping, Optional, Tuple, Type
 
+from repro.core.probes import LoadCommitted, Probe, ProbeEvent, Violation
 from repro.frontend.history import GlobalHistory
 
 
@@ -56,7 +57,13 @@ class Prediction:
 NO_DEPENDENCE = Prediction()
 
 
-@dataclass(frozen=True)
+# The info records below are constructed on the pipeline's hot path (several
+# per load), so they are slotted, non-frozen dataclasses: plain attribute
+# stores in __init__ instead of frozen's object.__setattr__ round trips.
+# Predictors must treat them as read-only.
+
+
+@dataclass(slots=True)
 class LoadDispatchInfo:
     """A load at dispatch/decode, as seen by the predictor."""
 
@@ -69,7 +76,7 @@ class LoadDispatchInfo:
     oracle_multi_store: bool = False  # load's bytes come from >1 store
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class StoreDispatchInfo:
     """A store at dispatch/decode."""
 
@@ -80,7 +87,7 @@ class StoreDispatchInfo:
     history: GlobalHistory
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ViolationInfo:
     """A detected true dependence that the load speculated past."""
 
@@ -112,7 +119,7 @@ class ViolationInfo:
         return self.divergent_distance + 1
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class LoadCommitInfo:
     """Ground truth delivered when a load retires."""
 
@@ -179,3 +186,32 @@ class MDPredictor(abc.ABC):
 
     def reset_stats(self) -> None:
         self.stats = MDPStats()
+
+
+class MDPTrainingProbe(Probe):
+    """Routes the bus's training events into a predictor.
+
+    ``Pipeline`` attaches one of these for its predictor by default — MDP
+    training is part of the simulation's semantics, not optional
+    observation, and the bus's synchronous in-order delivery keeps the
+    training sequence points identical to the old inline calls. Detach it
+    (``Pipeline(..., train_predictor=False)``) and the predictor never
+    learns from violations or commit feedback.
+    """
+
+    __slots__ = ("predictor",)
+
+    def __init__(self, predictor: "MDPredictor") -> None:
+        self.predictor = predictor
+
+    def subscriptions(self) -> Mapping[Type[ProbeEvent], Callable]:
+        return {
+            Violation: self._on_violation,
+            LoadCommitted: self._on_load_committed,
+        }
+
+    def _on_violation(self, event: Violation) -> None:
+        self.predictor.on_violation(event.info)
+
+    def _on_load_committed(self, event: LoadCommitted) -> None:
+        self.predictor.on_load_commit(event.info)

@@ -1,13 +1,15 @@
 """Simulation orchestration: one-call runs, metrics, and experiment grids."""
 
+from repro.sim.experiment import ExperimentGrid, normalize_to_ideal
+from repro.sim.intervals import IntervalMetricsProbe, IntervalWindow
 from repro.sim.metrics import SimResult
 from repro.sim.simulator import (
-    DEFAULT_NUM_OPS,
     PREDICTOR_FACTORIES,
+    default_num_ops,
+    default_warmup_ops,
     make_predictor,
     simulate,
 )
-from repro.sim.experiment import ExperimentGrid, normalize_to_ideal
 
 __all__ = [
     "SimResult",
@@ -15,6 +17,20 @@ __all__ = [
     "make_predictor",
     "PREDICTOR_FACTORIES",
     "DEFAULT_NUM_OPS",
+    "default_num_ops",
+    "default_warmup_ops",
+    "IntervalWindow",
+    "IntervalMetricsProbe",
     "ExperimentGrid",
     "normalize_to_ideal",
 ]
+
+
+def __getattr__(name: str) -> int:
+    # PEP 562 passthrough: keep the legacy constant importable from here
+    # while resolving the environment at access time (see repro.sim.simulator).
+    if name in ("DEFAULT_NUM_OPS", "DEFAULT_WARMUP_OPS"):
+        from repro.sim import simulator
+
+        return getattr(simulator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

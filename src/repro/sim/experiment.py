@@ -25,7 +25,7 @@ from repro.harness.store import ResultStore, cell_key
 from repro.mdp.base import MDPredictor
 from repro.sim.invariants import SimInvariantError
 from repro.sim.metrics import SimResult
-from repro.sim.simulator import DEFAULT_NUM_OPS, make_predictor, simulate
+from repro.sim.simulator import default_num_ops, make_predictor, simulate
 from repro.workloads.spec2017 import workload
 
 
@@ -52,7 +52,7 @@ class ExperimentGrid:
         num_ops: Optional[int] = None,
         store: Optional[ResultStore] = None,
     ) -> None:
-        self.num_ops = num_ops or DEFAULT_NUM_OPS
+        self.num_ops = num_ops or default_num_ops()
         self.store = store
         self._cache: Dict[str, SimResult] = {}
         #: Failures recorded by tolerant suite runs (cleared per run_suite).

@@ -30,7 +30,17 @@ use it without an import cycle.
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Mapping, Optional, Sequence, Type
+
+from repro.core.probes import (
+    OpCommitted,
+    OpDispatched,
+    Probe,
+    ProbeEvent,
+    RunFinished,
+    StoreRecorded,
+)
+from repro.isa.microop import OpKind
 
 #: Environment knob: any value other than ""/"0"/"false"/"no" enables
 #: invariant checking in every pipeline built afterwards.
@@ -370,3 +380,60 @@ class InvariantChecker:
                 branches=stats.branches,
                 committed=stats.committed_uops,
             )
+
+
+class InvariantProbe(Probe):
+    """Bus adapter: drives an :class:`InvariantChecker` from probe events.
+
+    The pipeline attaches one when invariant checking is enabled; the
+    checker's per-event hooks fire at the same sequence points as the old
+    inline calls (dispatch, store-record insertion, retirement, end of run).
+    The LSQ-level ``check_load_resolution`` hook is *not* bus-driven — it
+    runs inside :func:`repro.core.lsq.resolve_load`, which receives the
+    checker directly.
+
+    ``stats`` is the run's :class:`~repro.core.pipeline.PipelineStats`; the
+    stats probe must be attached *before* this probe so the end-of-run
+    aggregate checks see the final cycle count.
+    """
+
+    __slots__ = ("checker", "stats")
+
+    def __init__(self, checker: InvariantChecker, stats: object) -> None:
+        self.checker = checker
+        self.stats = stats
+
+    def subscriptions(self) -> Mapping[Type[ProbeEvent], Callable]:
+        return {
+            OpDispatched: self._on_dispatched,
+            StoreRecorded: self._on_store_recorded,
+            OpCommitted: self._on_committed,
+            RunFinished: self._on_run_finished,
+        }
+
+    def _on_dispatched(self, event: OpDispatched) -> None:
+        checker = self.checker
+        checker.observe_dispatch(
+            event.index,
+            event.dispatch_cycle,
+            event.rob_free_cycle,
+            event.iq_free_cycle,
+        )
+        if event.kind is OpKind.LOAD:
+            checker.observe_load_slot(
+                event.index, event.dispatch_cycle, event.slot_free_cycle
+            )
+        elif event.kind is OpKind.STORE:
+            checker.observe_store_slot(
+                event.index, event.dispatch_cycle, event.slot_free_cycle
+            )
+
+    def _on_store_recorded(self, event: StoreRecorded) -> None:
+        self.checker.observe_store_record(event.record)
+
+    def _on_committed(self, event: OpCommitted) -> None:
+        self.checker.observe_commit(event.index, event.commit_cycle,
+                                    event.complete_cycle)
+
+    def _on_run_finished(self, event: RunFinished) -> None:
+        self.checker.finalize(self.stats, event.measured_ops)

@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, fields
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.pipeline import PipelineStats
 from repro.mdp.base import MDPStats
+from repro.sim.intervals import IntervalWindow
 
 
 def _stats_from_dict(cls, payload: Dict[str, object]):
@@ -25,6 +26,9 @@ class SimResult:
     pipeline: PipelineStats
     mdp: MDPStats
     paths_tracked: Optional[int] = None  # unlimited predictors only
+    #: Windowed metrics, present when the run attached an interval probe
+    #: (``simulate(..., interval_ops=N)``); None otherwise.
+    intervals: Optional[Tuple[IntervalWindow, ...]] = None
 
     @property
     def ipc(self) -> float:
@@ -59,7 +63,7 @@ class SimResult:
 
     def to_record(self) -> Dict[str, object]:
         """Flatten into a JSON-safe dict (the durable-store/export format)."""
-        return {
+        record = {
             "workload": self.workload,
             "predictor": self.predictor,
             "core": self.core,
@@ -71,10 +75,14 @@ class SimResult:
             "pipeline": asdict(self.pipeline),
             "mdp": asdict(self.mdp),
         }
+        if self.intervals is not None:
+            record["intervals"] = [window.to_dict() for window in self.intervals]
+        return record
 
     @classmethod
     def from_record(cls, record: Dict[str, object]) -> "SimResult":
         """Inverse of :meth:`to_record` (derived metrics are recomputed)."""
+        intervals = record.get("intervals")
         return cls(
             workload=str(record["workload"]),
             predictor=str(record["predictor"]),
@@ -82,4 +90,9 @@ class SimResult:
             pipeline=_stats_from_dict(PipelineStats, dict(record["pipeline"])),
             mdp=_stats_from_dict(MDPStats, dict(record["mdp"])),
             paths_tracked=record.get("paths_tracked"),
+            intervals=(
+                tuple(IntervalWindow.from_dict(window) for window in intervals)
+                if intervals is not None
+                else None
+            ),
         )

@@ -18,7 +18,7 @@ from repro.core.config import CoreConfig
 from repro.harness.store import ResultStore, cell_key
 from repro.mdp.base import MDPredictor
 from repro.sim.metrics import SimResult
-from repro.sim.simulator import DEFAULT_NUM_OPS, make_predictor, simulate
+from repro.sim.simulator import default_num_ops, make_predictor, simulate
 from repro.workloads.generator import WorkloadProfile
 from repro.workloads.spec2017 import workload
 
@@ -127,7 +127,7 @@ def replicate(
             replica,
             predictor_factory(),
             config,
-            num_ops or DEFAULT_NUM_OPS,
+            num_ops or default_num_ops(),
             store,
         )
         samples.append(metric(result))
@@ -148,7 +148,7 @@ def replicated_speedup(
     small mean speedups detectable with few replicas.
     """
     samples = []
-    length = num_ops or DEFAULT_NUM_OPS
+    length = num_ops or default_num_ops()
     for replica in seed_replicas(profile, replicas):
         new = _replica_result(replica, make_predictor(predictor), None, length, store)
         base = _replica_result(replica, make_predictor(baseline), None, length, store)

@@ -4,19 +4,26 @@
 Alder Lake-like core, the TAGE front end and the named predictor, runs the
 pipeline and returns a :class:`~repro.sim.metrics.SimResult`.
 
-Trace length defaults to :data:`DEFAULT_NUM_OPS` and can be raised globally
+Trace length defaults to :func:`default_num_ops` and can be raised globally
 with the ``REPRO_TRACE_OPS`` environment variable for higher-fidelity runs
 (the paper simulates 100M-instruction intervals; these profiles are
-stationary, so tens of thousands of micro-ops reach steady state).
+stationary, so tens of thousands of micro-ops reach steady state). The
+environment is read at *call* time, so overrides set after import — by
+harness worker subprocesses, or tests via ``monkeypatch.setenv`` — take
+effect; the legacy ``DEFAULT_NUM_OPS``/``DEFAULT_WARMUP_OPS`` module
+attributes resolve dynamically via PEP 562 for the same reason (but a
+``from ... import DEFAULT_NUM_OPS`` still freezes the value at the import
+site — prefer the functions).
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, Optional, Tuple, Union
 
 from repro.core.config import CoreConfig
 from repro.core.pipeline import Pipeline
+from repro.core.probes import Probe
 from repro.frontend.branch_predictors import BranchPredictor
 from repro.frontend.tage import TAGEPredictor
 from repro.isa.trace import Trace
@@ -35,16 +42,33 @@ from repro.mdp.unlimited import (
     UnlimitedNoSQPredictor,
     UnlimitedPHASTPredictor,
 )
+from repro.sim.intervals import IntervalMetricsProbe
 from repro.sim.metrics import SimResult
 from repro.workloads.generator import WorkloadProfile, build_trace
 from repro.workloads.spec2017 import workload
 
-#: Default dynamic trace length; override with REPRO_TRACE_OPS.
-DEFAULT_NUM_OPS: int = int(os.environ.get("REPRO_TRACE_OPS", "30000"))
+_FALLBACK_NUM_OPS = 30000
+_FALLBACK_WARMUP_OPS = 0
 
-#: Default warm-up exclusion (ops whose statistics are discarded);
-#: override with REPRO_WARMUP_OPS for steady-state measurements.
-DEFAULT_WARMUP_OPS: int = int(os.environ.get("REPRO_WARMUP_OPS", "0"))
+
+def default_num_ops() -> int:
+    """Default dynamic trace length (REPRO_TRACE_OPS, read at call time)."""
+    return int(os.environ.get("REPRO_TRACE_OPS", str(_FALLBACK_NUM_OPS)))
+
+
+def default_warmup_ops() -> int:
+    """Default warm-up exclusion (REPRO_WARMUP_OPS, read at call time)."""
+    return int(os.environ.get("REPRO_WARMUP_OPS", str(_FALLBACK_WARMUP_OPS)))
+
+
+def __getattr__(name: str) -> int:
+    # PEP 562: the legacy module-level constants, resolved per access so the
+    # environment is never frozen at import time.
+    if name == "DEFAULT_NUM_OPS":
+        return default_num_ops()
+    if name == "DEFAULT_WARMUP_OPS":
+        return default_warmup_ops()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Named predictor factories (fresh instance per call).
 PREDICTOR_FACTORIES: Dict[str, Callable[[], MDPredictor]] = {
@@ -103,6 +127,8 @@ def simulate(
     branch_predictor: Optional[BranchPredictor] = None,
     warmup_ops: Optional[int] = None,
     check_invariants: Optional[bool] = None,
+    probes: Optional[Iterable[Probe]] = None,
+    interval_ops: Optional[int] = None,
 ) -> SimResult:
     """Run one (workload, predictor, core) simulation and return its result.
 
@@ -111,20 +137,31 @@ def simulate(
 
     ``check_invariants`` enables the simulator's self-checks
     (:mod:`repro.sim.invariants`); None defers to REPRO_CHECK_INVARIANTS.
+
+    ``probes`` attaches additional observers to the pipeline's probe bus.
+    ``interval_ops`` additionally attaches an
+    :class:`~repro.sim.intervals.IntervalMetricsProbe` and surfaces its
+    windows on ``SimResult.intervals``.
     """
     core_config = config or CoreConfig()
     if isinstance(predictor, str):
         predictor = make_predictor(predictor)
-    trace = get_trace(profile, num_ops or DEFAULT_NUM_OPS)
+    trace = get_trace(profile, num_ops or default_num_ops())
+    interval_probe: Optional[IntervalMetricsProbe] = None
+    all_probes = list(probes or ())
+    if interval_ops is not None:
+        interval_probe = IntervalMetricsProbe(interval_ops)
+        all_probes.append(interval_probe)
     pipeline = Pipeline(
         config=core_config,
         predictor=predictor,
         branch_predictor=branch_predictor or TAGEPredictor(),
         check_invariants=check_invariants,
+        probes=all_probes,
     )
     stats = pipeline.run(
         trace,
-        warmup_ops=DEFAULT_WARMUP_OPS if warmup_ops is None else warmup_ops,
+        warmup_ops=default_warmup_ops() if warmup_ops is None else warmup_ops,
     )
     paths = getattr(predictor, "paths_tracked", None)
     return SimResult(
@@ -134,4 +171,5 @@ def simulate(
         pipeline=stats,
         mdp=predictor.stats,
         paths_tracked=paths,
+        intervals=tuple(interval_probe.windows) if interval_probe else None,
     )

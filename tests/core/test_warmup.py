@@ -33,13 +33,106 @@ class TestWarmupSemantics:
         with pytest.raises(ValueError):
             pipeline.run(trace, warmup_ops=100)
         with pytest.raises(ValueError):
+            pipeline.run(trace, warmup_ops=101)
+        with pytest.raises(ValueError):
             pipeline.run(trace, warmup_ops=-1)
+
+    def test_warmup_bounds_respect_max_ops(self):
+        """The valid warm-up range is [0, processed ops), not trace length."""
+        trace = Trace(alu_block(1000))
+        pipeline = Pipeline(CoreConfig(), AlwaysSpeculatePredictor())
+        with pytest.raises(ValueError):
+            pipeline.run(trace, max_ops=200, warmup_ops=200)
+        stats = Pipeline(CoreConfig(), AlwaysSpeculatePredictor()).run(
+            trace, max_ops=200, warmup_ops=199
+        )
+        assert stats.committed_uops == 1
+
+    def test_warmup_of_all_but_one_op(self):
+        trace = Trace(alu_block(300))
+        stats = Pipeline(CoreConfig(), AlwaysSpeculatePredictor()).run(
+            trace, warmup_ops=299
+        )
+        assert stats.committed_uops == 1
+        assert stats.cycles >= 1
 
     def test_zero_warmup_is_default_behaviour(self):
         trace = Trace(alu_block(500))
         a = Pipeline(CoreConfig(), AlwaysSpeculatePredictor()).run(trace)
         b = Pipeline(CoreConfig(), AlwaysSpeculatePredictor()).run(trace, warmup_ops=0)
         assert a.cycles == b.cycles and a.committed_uops == b.committed_uops
+
+
+class TestWarmupCounterExclusion:
+    """Warm-up ops must be invisible to *every* PipelineStats counter."""
+
+    #: All integer event counters on PipelineStats (cycles is a span, not a
+    #: count, and is asserted separately).
+    COUNTERS = [
+        "committed_uops",
+        "loads",
+        "stores",
+        "branches",
+        "branch_mispredicts",
+        "violations",
+        "false_positives",
+        "correct_waits",
+        "dependences_predicted",
+        "forwarded_loads",
+        "partial_loads",
+        "cache_loads",
+        "multi_store_loads",
+        "multi_store_inorder",
+        "reexecuted_uops",
+        "wrong_path_loads",
+        "wrong_path_trainings",
+    ]
+
+    def test_counters_zero_when_activity_is_all_warmup(self):
+        """Memory/branch activity confined to the warm-up region leaves every
+        memory/branch counter at zero; only the ALU tail is measured."""
+        busy = overtaking_conflict_ops(20)
+        tail = alu_block(64, pc_base=0x9000)
+        stats = Pipeline(CoreConfig(), AlwaysSpeculatePredictor()).run(
+            Trace(busy + tail), warmup_ops=len(busy)
+        )
+        assert stats.committed_uops == len(tail)
+        for counter in self.COUNTERS:
+            if counter == "committed_uops":
+                continue
+            assert getattr(stats, counter) == 0, counter
+
+    def test_counters_match_stats_fields_exactly(self):
+        """The exclusion list above covers every int field on PipelineStats,
+        so a newly added counter cannot silently skip warm-up gating."""
+        from dataclasses import fields
+
+        from repro.core.pipeline import PipelineStats
+
+        int_fields = {f.name for f in fields(PipelineStats)} - {"cycles"}
+        assert int_fields == set(self.COUNTERS)
+
+    def test_warmup_still_trains_the_predictor(self):
+        """Warm-up ops are excluded from stats but must still reach the
+        predictor's training hooks (that is the point of warming up)."""
+
+        class CountingPredictor(AlwaysSpeculatePredictor):
+            def __init__(self):
+                super().__init__()
+                self.trainings = 0
+
+            def on_violation(self, info):
+                self.trainings += 1
+                super().on_violation(info)
+
+        busy = overtaking_conflict_ops(20)
+        tail = alu_block(64, pc_base=0x9000)
+        predictor = CountingPredictor()
+        stats = Pipeline(CoreConfig(), predictor).run(
+            Trace(busy + tail), warmup_ops=len(busy)
+        )
+        assert stats.violations == 0  # all violations land in warm-up
+        assert predictor.trainings > 0  # ...but still trained the predictor
 
 
 class TestSteadyState:

@@ -187,6 +187,77 @@ def _mixed_worker(conn, spec, check_invariants):
     _ok_worker(conn, spec, check_invariants)
 
 
+def _window_payload(index):
+    from repro.sim.intervals import IntervalWindow
+
+    return IntervalWindow(
+        index=index,
+        start_op=index * 1000,
+        end_op=index * 1000 + 999,
+        cycles=1500,
+        committed_uops=1000,
+    ).to_dict()
+
+
+def _heartbeat_then_hang_worker(conn, spec, check_invariants):
+    for index in range(3):
+        conn.send(("heartbeat", _window_payload(index)))
+    time.sleep(60)
+
+
+def _heartbeat_then_ok_worker(conn, spec, check_invariants):
+    for index in range(2):
+        conn.send(("heartbeat", _window_payload(index)))
+    conn.send(("ok", _result_for(spec).to_record()))
+    conn.close()
+
+
+def _heartbeat_then_crash_worker(conn, spec, check_invariants):
+    conn.send(("heartbeat", _window_payload(0)))
+    os._exit(9)
+
+
+class TestHeartbeats:
+    """Interval heartbeats: progress forensics for hung/killed cells."""
+
+    def test_timeout_failure_records_last_interval(self):
+        outcome = executor(
+            _heartbeat_then_hang_worker, timeout=0.5, retries=0
+        ).run_one(SPEC)
+        assert outcome.failure.kind is FailureKind.TIMEOUT
+        last = outcome.failure.detail["last_interval"]
+        assert last["index"] == 2  # the third (latest) window wins
+        assert last["end_op"] == 2999
+
+    def test_heartbeats_do_not_break_the_success_path(self):
+        outcome = executor(_heartbeat_then_ok_worker).run_one(SPEC)
+        assert outcome.ok
+        assert outcome.result.workload == "w"
+        assert outcome.attempts == 1
+
+    def test_heartbeats_alone_never_reap_a_live_worker(self):
+        """A ready pipe carrying only heartbeats must not be mistaken for a
+        finished worker (that would misclassify a healthy cell)."""
+        outcome = executor(
+            _heartbeat_then_ok_worker, timeout=10.0, workers=2
+        ).run_many([SPEC])[0]
+        assert outcome.ok
+
+    def test_crash_failure_keeps_salvaged_interval(self):
+        outcome = executor(_heartbeat_then_crash_worker, retries=0).run_one(SPEC)
+        assert outcome.failure.kind is FailureKind.CRASH
+        assert outcome.failure.detail["last_interval"]["index"] == 0
+
+    def test_manifest_round_trips_last_interval(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = CellSpec(workload="hung", predictor="p")
+        executor(_heartbeat_then_hang_worker, timeout=0.5, retries=0).run_many(
+            [spec], store=store
+        )
+        failure = store.get_failure(spec.key())
+        assert failure.detail["last_interval"]["index"] == 2
+
+
 class TestKnobs:
     def test_backoff_delay_doubles_and_caps(self):
         assert backoff_delay(0, 0.5, 30.0) == 0.5

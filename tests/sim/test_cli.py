@@ -68,6 +68,68 @@ class TestCommands:
         ) == 0
         assert "IPC=" in capsys.readouterr().out
 
+    def test_num_ops_default_tracks_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_OPS", "4321")
+        args = build_parser().parse_args(["run", "511.povray", "phast"])
+        assert args.num_ops == 4321
+
+
+class TestProbe:
+    def test_prints_interval_table(self, capsys):
+        assert main(
+            [
+                "probe",
+                "511.povray",
+                "phast",
+                "--num-ops",
+                "6000",
+                "--interval-ops",
+                "2000",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "viol_mpki" in output and "rob_occ" in output
+        assert "0-1999" in output and "4000-5999" in output
+        assert "IPC=" in output  # aggregate summary still printed
+
+    def test_partial_window_marked(self, capsys):
+        assert main(
+            [
+                "probe",
+                "511.povray",
+                "phast",
+                "--num-ops",
+                "5000",
+                "--interval-ops",
+                "2000",
+            ]
+        ) == 0
+        assert "4000-4999*" in capsys.readouterr().out
+
+    def test_json_export(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "intervals.json"
+        assert main(
+            [
+                "probe",
+                "511.povray",
+                "phast",
+                "--num-ops",
+                "6000",
+                "--json",
+                str(path),
+            ]
+        ) == 0
+        records = json.loads(path.read_text())
+        assert len(records) == 3
+        assert records[0]["workload"] == "511.povray"
+        assert "ipc" in records[0] and "violation_mpki" in records[0]
+
+    def test_rejects_unknown_predictor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["probe", "511.povray", "nonsense"])
+
 
 class TestSweep:
     def sweep(self, tmp_path, *extra):

@@ -1,0 +1,73 @@
+"""Every PREDICTOR_FACTORIES entry must build genuinely fresh instances.
+
+A factory that returns a shared instance (or two instances aliasing the same
+table object) leaks training state between experiment cells: cell N's result
+then depends on which cells ran before it, which silently breaks sweep
+memoisation, seed replication and the fault-tolerant harness's retry path.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.pipeline import Pipeline
+from repro.isa.trace import Trace
+from repro.sim.simulator import PREDICTOR_FACTORIES, make_predictor
+from tests.core.test_pipeline import overtaking_conflict_ops
+
+MUTABLE_TYPES = (dict, list, set, deque, bytearray)
+
+
+def _reachable_mutables(obj, seen=None):
+    """ids of every mutable container reachable from an instance's state."""
+    if seen is None:
+        seen = set()
+    if id(obj) in seen:
+        return set()
+    seen.add(id(obj))
+    found = set()
+    if isinstance(obj, MUTABLE_TYPES):
+        found.add(id(obj))
+        values = obj.values() if isinstance(obj, dict) else obj
+        for value in values:
+            found |= _reachable_mutables(value, seen)
+        return found
+    state = getattr(obj, "__dict__", None)
+    if state:
+        for value in state.values():
+            found |= _reachable_mutables(value, seen)
+    for slot_attr in getattr(type(obj), "__slots__", ()):
+        value = getattr(obj, slot_attr, None)
+        if value is not None:
+            found |= _reachable_mutables(value, seen)
+    return found
+
+
+@pytest.mark.parametrize("name", sorted(PREDICTOR_FACTORIES))
+def test_factory_returns_distinct_instances(name):
+    a = PREDICTOR_FACTORIES[name]()
+    b = PREDICTOR_FACTORIES[name]()
+    assert a is not b
+
+
+@pytest.mark.parametrize("name", sorted(PREDICTOR_FACTORIES))
+def test_instances_share_no_mutable_state(name):
+    a = PREDICTOR_FACTORIES[name]()
+    b = PREDICTOR_FACTORIES[name]()
+    shared = _reachable_mutables(a) & _reachable_mutables(b)
+    assert not shared, f"{name}: instances alias {len(shared)} mutable object(s)"
+
+
+def test_trained_instance_does_not_contaminate_fresh_one():
+    """Behavioural check: heavy training on one instance leaves a second,
+    later-built instance behaving exactly like a brand-new predictor."""
+    trace_ops = overtaking_conflict_ops(30)
+    trained = make_predictor("phast")
+    Pipeline(CoreConfig(), trained).run(Trace(list(trace_ops)))
+
+    fresh_after = make_predictor("phast")
+    control = make_predictor("phast")
+    after = Pipeline(CoreConfig(), fresh_after).run(Trace(list(trace_ops)))
+    baseline = Pipeline(CoreConfig(), control).run(Trace(list(trace_ops)))
+    assert after == baseline

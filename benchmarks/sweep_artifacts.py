@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""Measure what the compiled trace artifact store actually buys.
+
+Two measurements, reported honestly and written to
+``benchmarks/results/sweep_artifacts.json``:
+
+1. **Codec microbenchmark** — seconds to (a) regenerate a trace with
+   ``build_trace``, (b) load it from the binary artifact codec, and
+   (c) parse the text serialization, on the same trace. The artifact
+   store's value is (a) vs (b): every sweep worker that loads instead of
+   rebuilding saves the difference.
+
+2. **Cold vs. warm sweep** — wall-clock for the same (workloads ×
+   predictor) sweep run twice with spawn-started workers (cold caches in
+   every child): first against an empty trace store (the precompile pass
+   builds every artifact), then against the populated store (workers load
+   artifacts, zero rebuilds). The delta is bounded by trace-build time as
+   a fraction of total sweep time — simulation dominates, so expect a
+   modest end-to-end win even when the codec speedup is large. The run
+   asserts zero rebuilds on the warm pass, which is the property the CI
+   guard relies on.
+
+Usage::
+
+    python benchmarks/sweep_artifacts.py            # measure and print
+    python benchmarks/sweep_artifacts.py --check    # also enforce floors
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+RESULTS_PATH = Path(__file__).parent / "results" / "sweep_artifacts.json"
+
+CODEC_WORKLOAD = "511.povray"
+CODEC_OPS = 50000
+CODEC_ROUNDS = 5
+
+SWEEP_WORKLOADS = ["508.namd", "525.x264_1", "502.gcc_2"]
+SWEEP_PREDICTOR = "ideal"
+SWEEP_OPS = 100000
+SWEEP_ROUNDS = 3
+
+
+def _best_of(rounds, fn):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure_codec() -> dict:
+    from repro.isa.serialize import (
+        dumps_trace,
+        dumps_trace_binary,
+        loads_trace,
+        loads_trace_binary,
+    )
+    from repro.workloads.generator import build_trace
+    from repro.workloads.spec2017 import workload
+
+    profile = workload(CODEC_WORKLOAD)
+    build_s, trace = _best_of(CODEC_ROUNDS, lambda: build_trace(profile, CODEC_OPS))
+    blob = dumps_trace_binary(trace)
+    text = dumps_trace(trace)
+
+    binary_s, from_binary = _best_of(CODEC_ROUNDS, lambda: loads_trace_binary(blob))
+    text_s, from_text = _best_of(CODEC_ROUNDS, lambda: loads_trace(text))
+
+    # The codec is only useful if replaying it cannot change results.
+    assert list(from_binary.ops) == list(trace.ops), "binary round-trip drifted"
+    assert [op.describe() for op in from_text.ops] == [
+        op.describe() for op in trace.ops
+    ], "text round-trip drifted"
+
+    return {
+        "workload": CODEC_WORKLOAD,
+        "num_ops": CODEC_OPS,
+        "build_seconds": round(build_s, 4),
+        "binary_load_seconds": round(binary_s, 4),
+        "text_load_seconds": round(text_s, 4),
+        "binary_vs_build_speedup": round(build_s / binary_s, 2),
+        "binary_vs_text_speedup": round(text_s / binary_s, 2),
+        "binary_bytes": len(blob),
+        "text_bytes": len(text),
+    }
+
+
+def _run_sweep(result_root: Path, trace_store) -> tuple:
+    from repro.harness.executor import ProcessCellExecutor
+    from repro.harness.store import ResultStore
+    from repro.harness.sweep import SweepRunner, build_cells
+    from repro.sim.simulator import clear_trace_cache
+
+    clear_trace_cache()  # the parent LRU must not leak between passes
+    runner = SweepRunner(
+        ResultStore(result_root),
+        ProcessCellExecutor(timeout=600.0, retries=0, workers=1),
+        trace_store=trace_store,
+    )
+    cells = build_cells(
+        SWEEP_WORKLOADS, [SWEEP_PREDICTOR], num_ops=SWEEP_OPS, seed=1
+    )
+    start = time.perf_counter()
+    report = runner.run(cells, resume=False)
+    elapsed = time.perf_counter() - start
+    if report.failed:
+        raise RuntimeError(f"sweep failed: {report.summary()}")
+    return elapsed, report
+
+
+def measure_sweep(tmp: Path) -> dict:
+    from repro.isa.artifacts import TraceStore
+
+    # Spawn-started workers have cold caches: both passes pay full process
+    # start-up, so the delta isolates build-vs-load of the input traces.
+    os.environ["REPRO_SWEEP_MP"] = "spawn"
+    os.environ["REPRO_HEARTBEAT_OPS"] = "0"
+
+    # Best-of-N on both sides: run-to-run simulation variance is comparable
+    # to the expected delta, and a single cold/warm pair is too noisy to
+    # report. Every cold round gets a fresh (empty) trace store; every warm
+    # round reuses the store the first cold round populated.
+    warm_store = TraceStore(tmp / "traces-cold-0")
+    cold_s = float("inf")
+    cold = None
+    for round_index in range(SWEEP_ROUNDS):
+        elapsed, report = _run_sweep(
+            tmp / f"cold-{round_index}",
+            TraceStore(tmp / f"traces-cold-{round_index}"),
+        )
+        if elapsed < cold_s:
+            cold_s, cold = elapsed, report
+    warm_s = float("inf")
+    warm = None
+    for round_index in range(SWEEP_ROUNDS):
+        elapsed, report = _run_sweep(tmp / f"warm-{round_index}", warm_store)
+        if elapsed < warm_s:
+            warm_s, warm = elapsed, report
+        assert report.trace_rebuilds == 0, (
+            f"warm sweep rebuilt {report.trace_rebuilds} traces despite the store"
+        )
+
+    return {
+        "workloads": SWEEP_WORKLOADS,
+        "predictor": SWEEP_PREDICTOR,
+        "num_ops": SWEEP_OPS,
+        "rounds": SWEEP_ROUNDS,
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "warm_speedup": round(cold_s / warm_s, 3),
+        "cold_precompiled": cold.precompiled,
+        "warm_precompiled": warm.precompiled,
+        "warm_trace_rebuilds": warm.trace_rebuilds,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless the codec beats regeneration by --codec-floor",
+    )
+    parser.add_argument(
+        "--codec-floor",
+        type=float,
+        default=2.0,
+        help="minimum binary-load-vs-build speedup (default 2.0x)",
+    )
+    parser.add_argument(
+        "--skip-sweep",
+        action="store_true",
+        help="measure only the codec (the sweep takes a few minutes)",
+    )
+    args = parser.parse_args(argv)
+
+    results = {"codec": measure_codec()}
+    codec = results["codec"]
+    print(
+        f"codec ({codec['workload']}, {codec['num_ops']} ops): "
+        f"build {codec['build_seconds']:.3f}s, "
+        f"binary load {codec['binary_load_seconds']:.3f}s "
+        f"({codec['binary_vs_build_speedup']:.1f}x faster than rebuilding), "
+        f"text load {codec['text_load_seconds']:.3f}s; "
+        f"binary is {codec['text_bytes'] / codec['binary_bytes']:.1f}x "
+        f"smaller than text"
+    )
+
+    if not args.skip_sweep:
+        tmp = Path(tempfile.mkdtemp(prefix="repro-sweep-bench-"))
+        try:
+            results["sweep"] = measure_sweep(tmp)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        sweep = results["sweep"]
+        print(
+            f"sweep ({len(sweep['workloads'])} workloads x "
+            f"{sweep['predictor']}, {sweep['num_ops']} ops, spawn workers): "
+            f"cold {sweep['cold_seconds']:.2f}s -> "
+            f"warm {sweep['warm_seconds']:.2f}s "
+            f"({sweep['warm_speedup']:.2f}x, "
+            f"{sweep['warm_trace_rebuilds']} rebuilds on the warm pass)"
+        )
+
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"results written to {RESULTS_PATH}")
+
+    if args.check:
+        speedup = codec["binary_vs_build_speedup"]
+        if speedup < args.codec_floor:
+            print(
+                f"FAIL: binary load only {speedup:.2f}x faster than "
+                f"rebuilding (floor {args.codec_floor:.1f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: codec speedup {speedup:.2f}x >= {args.codec_floor:.1f}x floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,14 +35,28 @@ from repro.mdp import (
 )
 from repro.sim.experiment import ExperimentGrid, normalize_to_ideal
 from repro.sim.metrics import SimResult
-from repro.sim.simulator import PREDICTOR_FACTORIES, make_predictor, simulate
+from repro.sim.simulator import (
+    PREDICTOR_FACTORIES,
+    available_predictors,
+    make_predictor,
+    register_predictor,
+    run_spec,
+    simulate,
+    unregister_predictor,
+)
+from repro.sim.spec import RunSpec
 from repro.workloads.spec2017 import SPEC_PROFILES, spec_suite, workload
 
 __version__ = "1.0.0"
 
 __all__ = [
     "simulate",
+    "run_spec",
+    "RunSpec",
     "make_predictor",
+    "register_predictor",
+    "unregister_predictor",
+    "available_predictors",
     "PREDICTOR_FACTORIES",
     "SimResult",
     "ExperimentGrid",

@@ -10,6 +10,8 @@ Commands:
   (``--resume`` to continue a killed campaign, ``--status`` to inspect it).
 * ``probe`` — simulate one pair with interval metrics enabled and print the
   per-window IPC / violation-MPKI / occupancy table (``--json`` to export).
+* ``trace`` — manage the compiled trace artifact store
+  (``trace compile`` / ``trace ls`` / ``trace verify``).
 * ``workloads`` — list the synthetic SPEC CPU 2017-like profiles.
 * ``predictors`` — list the predictor registry with storage budgets.
 * ``table2`` — print the reproduced Table II (configurations/storage/energy).
@@ -31,15 +33,29 @@ from repro.core.config import GENERATIONS, CoreConfig
 from repro.harness.executor import ProcessCellExecutor
 from repro.harness.store import ResultStore
 from repro.harness.sweep import SweepRunner, build_cells
+from repro.isa.artifacts import ENV_TRACE_STORE, TraceStore
 from repro.mdp.storage import format_table2
 from repro.sim.experiment import ExperimentGrid
 from repro.sim.intervals import DEFAULT_INTERVAL_OPS
-from repro.sim.simulator import PREDICTOR_FACTORIES, default_num_ops, simulate
+from repro.sim.simulator import (
+    available_predictors,
+    default_num_ops,
+    make_predictor,
+    simulate,
+)
 from repro.workloads.spec2017 import SPEC_PROFILES, spec_suite, workload
 
 #: Default durable store location; flags override, env overrides the default.
 ENV_STORE = "REPRO_RESULT_STORE"
 DEFAULT_STORE = ".repro-store"
+
+
+def _default_trace_store() -> str:
+    """$REPRO_TRACE_STORE, else ``traces/`` under the default result store."""
+    explicit = os.environ.get(ENV_TRACE_STORE)
+    if explicit:
+        return explicit
+    return os.path.join(os.environ.get(ENV_STORE, DEFAULT_STORE), "traces")
 
 
 def _core_config(name: str) -> CoreConfig:
@@ -118,7 +134,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     workloads = spec_suite(subset=args.subset)
     predictors: List[str] = args.predictors.split(",")
     for name in predictors:
-        if name not in PREDICTOR_FACTORIES:
+        if name not in available_predictors():
             raise SystemExit(f"unknown predictor {name!r}")
     grid = ExperimentGrid(num_ops=args.num_ops)
     config = _core_config(args.core)
@@ -158,8 +174,8 @@ def _cmd_workloads(_: argparse.Namespace) -> int:
 
 def _cmd_predictors(_: argparse.Namespace) -> int:
     rows = []
-    for name in sorted(PREDICTOR_FACTORIES):
-        predictor = PREDICTOR_FACTORIES[name]()
+    for name in available_predictors():
+        predictor = make_predictor(name)
         kb = predictor.storage_kb()
         rows.append([name, f"{kb:.2f}" if kb else "-", type(predictor).__name__])
     print(format_table(["predictor", "KB", "class"], rows))
@@ -175,7 +191,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
     workloads = spec_suite(subset=args.subset)
     predictors = args.predictors.split(",")
     for name in predictors:
-        if name not in PREDICTOR_FACTORIES:
+        if name not in available_predictors():
             raise SystemExit(f"unknown predictor {name!r}")
     grid = ExperimentGrid(num_ops=args.num_ops)
     config = _core_config(args.core)
@@ -189,11 +205,97 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_compile(args: argparse.Namespace) -> int:
+    store = TraceStore(args.store)
+    names = args.workloads.split(",") if args.workloads else spec_suite(args.subset)
+    for name in names:
+        if name not in SPEC_PROFILES:
+            raise SystemExit(f"unknown workload {name!r}")
+    built = loaded = 0
+    for name in names:
+        profile = workload(name, seed=args.seed)
+        _, was_built = store.compile(profile, args.num_ops)
+        built += was_built
+        loaded += not was_built
+    # A fresh compile pass defines the new "zero rebuilds" baseline.
+    store.clear_rebuilds()
+    print(
+        f"trace store: {store.root} — compiled {built}, "
+        f"already stored {loaded} ({args.num_ops} ops each)"
+    )
+    return 0
+
+
+def _cmd_trace_ls(args: argparse.Namespace) -> int:
+    store = TraceStore(args.store)
+    entries = store.entries()
+    rows = [
+        [
+            str(entry.get("workload")),
+            entry.get("seed"),
+            entry.get("num_ops"),
+            entry.get("generator_version"),
+            entry.get("bytes"),
+            str(entry.get("key"))[:12],
+        ]
+        for entry in entries
+    ]
+    print(
+        format_table(
+            ["workload", "seed", "num_ops", "gen", "bytes", "digest"],
+            rows,
+            title=f"{store.root}: {len(entries)} artifacts, "
+            f"{store.rebuild_count()} rebuild markers",
+        )
+    )
+    return 0
+
+
+def _cmd_trace_verify(args: argparse.Namespace) -> int:
+    store = TraceStore(args.store)
+    problems = store.verify()
+    checked = len(store.entries())
+    if args.deep:
+        # Regenerate each trace from its profile and compare op-for-op: the
+        # strongest guarantee that replaying artifacts cannot change results.
+        from repro.workloads.generator import GENERATOR_VERSION, build_trace
+
+        for entry in store.entries():
+            name, seed = str(entry.get("workload")), entry.get("seed")
+            num_ops = entry.get("num_ops")
+            digest = str(entry.get("key"))[:12]
+            if entry.get("generator_version") != GENERATOR_VERSION:
+                problems.append(
+                    f"{digest}: generator {entry.get('generator_version')} != "
+                    f"current {GENERATOR_VERSION} (stale artifact)"
+                )
+                continue
+            if name not in SPEC_PROFILES:
+                problems.append(f"{digest}: unknown workload {name!r}")
+                continue
+            from repro.isa.artifacts import TraceKey
+
+            stored = store.load(TraceKey(digest=str(entry["key"]), describe=entry))
+            if stored is None:
+                continue  # already reported by the shallow pass
+            fresh = build_trace(workload(name, seed=seed), int(num_ops))
+            if list(stored.ops) != list(fresh.ops):
+                problems.append(f"{digest}: ops differ from a fresh build")
+    for problem in problems:
+        print(f"PROBLEM {problem}")
+    mode = "deep" if args.deep else "shallow"
+    print(
+        f"trace store: {store.root} — verified {checked} artifacts "
+        f"({mode}), {len(problems)} problems"
+    )
+    return 1 if problems else 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     workloads = spec_suite(subset=args.subset)
     predictors = args.predictors.split(",")
     for name in predictors:
-        if name not in PREDICTOR_FACTORIES:
+        if name not in available_predictors():
             raise SystemExit(f"unknown predictor {name!r}")
     cells = build_cells(
         workloads,
@@ -245,7 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="simulate one workload/predictor pair")
     run.add_argument("workload")
-    run.add_argument("predictor", choices=sorted(PREDICTOR_FACTORIES))
+    run.add_argument("predictor", choices=available_predictors())
     run.add_argument("--num-ops", type=int, default=num_ops_default)
     run.add_argument("--core", default="alderlake", choices=sorted(GENERATIONS))
     run.add_argument(
@@ -263,7 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-interval IPC/MPKI/occupancy windows for one pair",
     )
     probe.add_argument("workload")
-    probe.add_argument("predictor", choices=sorted(PREDICTOR_FACTORIES))
+    probe.add_argument("predictor", choices=available_predictors())
     probe.add_argument("--num-ops", type=int, default=num_ops_default)
     probe.add_argument(
         "--interval-ops",
@@ -344,6 +446,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--check-invariants", action="store_true")
     sweep.set_defaults(func=_cmd_sweep)
+
+    trace = sub.add_parser(
+        "trace",
+        help="manage the compiled trace artifact store",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_store_default = _default_trace_store()
+
+    compile_cmd = trace_sub.add_parser(
+        "compile",
+        help="compile workload traces into binary artifacts (and reset the "
+        "rebuild-marker baseline)",
+    )
+    compile_cmd.add_argument(
+        "--store",
+        default=trace_store_default,
+        help=f"trace store directory (default ${ENV_TRACE_STORE} or "
+        f"{DEFAULT_STORE}/traces)",
+    )
+    compile_cmd.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workload names (default: the whole suite)",
+    )
+    compile_cmd.add_argument("--subset", type=int, default=None)
+    compile_cmd.add_argument("--num-ops", type=int, default=num_ops_default)
+    compile_cmd.add_argument("--seed", type=int, default=None)
+    compile_cmd.set_defaults(func=_cmd_trace_compile)
+
+    ls_cmd = trace_sub.add_parser("ls", help="list stored trace artifacts")
+    ls_cmd.add_argument("--store", default=trace_store_default)
+    ls_cmd.set_defaults(func=_cmd_trace_ls)
+
+    verify_cmd = trace_sub.add_parser(
+        "verify",
+        help="check every artifact decodes cleanly (--deep: also regenerate "
+        "and compare op-for-op); exit 1 on problems",
+    )
+    verify_cmd.add_argument("--store", default=trace_store_default)
+    verify_cmd.add_argument("--deep", action="store_true")
+    verify_cmd.set_defaults(func=_cmd_trace_verify)
 
     workloads = sub.add_parser("workloads", help="list workload profiles")
     workloads.set_defaults(func=_cmd_workloads)

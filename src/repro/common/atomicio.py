@@ -17,10 +17,8 @@ from pathlib import Path
 from typing import Optional, Union
 
 
-def atomic_write_text(
-    path: Union[str, Path], text: str, encoding: str = "utf-8"
-) -> Path:
-    """Write ``text`` to ``path`` atomically; returns the resolved path.
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically; returns the resolved path.
 
     The temp file lives in the destination directory (same filesystem, so
     the final ``os.replace`` is atomic) and is fsynced before the rename;
@@ -32,8 +30,8 @@ def atomic_write_text(
         dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
     )
     try:
-        with os.fdopen(fd, "w", encoding=encoding) as stream:
-            stream.write(text)
+        with os.fdopen(fd, "wb") as stream:
+            stream.write(data)
             stream.flush()
             os.fsync(stream.fileno())
         os.replace(tmp_name, path)
@@ -44,6 +42,13 @@ def atomic_write_text(
             pass
         raise
     return path
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> Path:
+    """Write ``text`` to ``path`` atomically (see :func:`atomic_write_bytes`)."""
+    return atomic_write_bytes(path, text.encode(encoding))
 
 
 def atomic_write_json(

@@ -45,6 +45,11 @@ from repro.sim.metrics import SimResult
 ENV_TIMEOUT = "REPRO_SWEEP_TIMEOUT"
 ENV_RETRIES = "REPRO_SWEEP_RETRIES"
 ENV_WORKERS = "REPRO_SWEEP_WORKERS"
+#: Multiprocessing start method ("fork", "spawn", "forkserver"). The default
+#: is fork where available; spawn-started workers begin with a cold
+#: in-process trace cache, so they exercise the on-disk artifact path — the
+#: CI zero-rebuild guard sets this deliberately.
+ENV_MP = "REPRO_SWEEP_MP"
 
 
 def default_timeout() -> float:
@@ -61,13 +66,21 @@ def default_workers() -> int:
 
 @dataclass(frozen=True)
 class CellSpec:
-    """One sweep cell: everything needed to run it in a fresh process."""
+    """One sweep cell: everything needed to run it in a fresh process.
+
+    ``trace_dir`` points the worker at a trace artifact store to load its
+    input trace from instead of rebuilding it (see
+    :mod:`repro.isa.artifacts`). It affects only *how* the cell executes,
+    so it does not participate in :meth:`key` — existing result stores stay
+    valid.
+    """
 
     workload: str
     predictor: str
     config: CoreConfig = field(default_factory=CoreConfig)
     num_ops: int = 0
     seed: Optional[int] = None
+    trace_dir: Optional[str] = None
 
     def key(self) -> CellKey:
         return cell_key(
@@ -76,6 +89,20 @@ class CellSpec:
 
     def describe(self) -> Dict[str, object]:
         return dict(self.key().describe)
+
+    def run_spec(self, check_invariants: Optional[bool] = None):
+        """This cell as a canonical :class:`~repro.sim.spec.RunSpec`."""
+        from repro.sim.spec import RunSpec
+
+        return RunSpec(
+            workload=self.workload,
+            predictor=self.predictor,
+            config=self.config,
+            num_ops=self.num_ops or None,
+            seed=self.seed,
+            check_invariants=check_invariants,
+            trace_dir=self.trace_dir,
+        )
 
 
 @dataclass
@@ -101,22 +128,17 @@ def _simulate_cell(
 ) -> SimResult:
     """Run one cell in-process (the worker body; importable for tests)."""
     from repro.sim.intervals import IntervalMetricsProbe, heartbeat_interval_ops
-    from repro.sim.simulator import simulate
-    from repro.workloads.spec2017 import workload
+    from repro.sim.simulator import run_spec
 
     probes = []
     if on_heartbeat is not None:
         hb_ops = heartbeat_interval_ops()
         if hb_ops > 0:
             probes.append(IntervalMetricsProbe(hb_ops, on_window=on_heartbeat))
-    profile = workload(spec.workload, seed=spec.seed)
-    return simulate(
-        profile,
-        spec.predictor,
-        config=spec.config,
-        num_ops=spec.num_ops or None,
-        check_invariants=check_invariants or None,
-        probes=probes,
+    return run_spec(
+        spec.run_spec(check_invariants=check_invariants or None).with_overrides(
+            probes=tuple(probes)
+        )
     )
 
 
@@ -208,10 +230,14 @@ class ProcessCellExecutor:
         self.check_invariants = check_invariants
         self.worker = worker
         if mp_context is None:
-            try:
-                mp_context = get_context("fork")
-            except ValueError:  # platforms without fork
-                mp_context = get_context()
+            method = os.environ.get(ENV_MP)
+            if method:
+                mp_context = get_context(method)
+            else:
+                try:
+                    mp_context = get_context("fork")
+                except ValueError:  # platforms without fork
+                    mp_context = get_context()
         self.mp = mp_context
 
     # --------------------------------------------------------- lifecycle --

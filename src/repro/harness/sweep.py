@@ -7,17 +7,25 @@ store already holds, runs the rest under process isolation, and finishes
 *with whatever succeeded* — failures become a machine-readable manifest
 (``<store>/failure_manifest.json``), never an abort. ``repro sweep`` is the
 CLI face of this module.
+
+Before fanning out, the runner *precompiles* every distinct input trace the
+pending cells need into a :class:`~repro.isa.artifacts.TraceStore` under
+``<store>/traces``, so worker processes load a compiled artifact instead of
+each regenerating the same trace. The report's ``trace_rebuilds`` counts
+workers that fell through to ``build_trace`` anyway — nonzero means the
+precompile pass and the workers disagreed about a trace key.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.config import CoreConfig
 from repro.harness.executor import CellOutcome, CellSpec, ProcessCellExecutor
 from repro.harness.failures import CellFailure
 from repro.harness.store import ResultStore, StoreStatus
+from repro.isa.artifacts import TraceStore
 from repro.sim.metrics import SimResult
 
 
@@ -27,6 +35,7 @@ def build_cells(
     config: Optional[CoreConfig] = None,
     num_ops: int = 0,
     seed: Optional[int] = None,
+    trace_dir: Optional[str] = None,
 ) -> List[CellSpec]:
     """Expand a (workload × predictor) grid into sweep cells."""
     core = config or CoreConfig()
@@ -37,6 +46,7 @@ def build_cells(
             config=core,
             num_ops=num_ops,
             seed=seed,
+            trace_dir=trace_dir,
         )
         for workload in workloads
         for predictor in predictors
@@ -45,9 +55,17 @@ def build_cells(
 
 @dataclass
 class SweepReport:
-    """Everything a sweep produced, successes and failures alike."""
+    """Everything a sweep produced, successes and failures alike.
+
+    ``trace_rebuilds`` is the number of lazy trace builds workers performed
+    during this run despite the artifact store (None when the sweep ran
+    without one); ``precompiled`` is the number of traces the precompile
+    pass actually built (loads of already-stored artifacts don't count).
+    """
 
     outcomes: List[CellOutcome]
+    trace_rebuilds: Optional[int] = None
+    precompiled: int = 0
 
     @property
     def results(self) -> Dict[tuple, SimResult]:
@@ -80,23 +98,67 @@ class SweepReport:
 
     def summary(self) -> str:
         total = len(self.outcomes)
-        return (
+        text = (
             f"sweep: {total} cells — ok={self.completed} "
             f"(cached={self.cached}, simulated={self.simulated}) "
             f"failed={self.failed}"
         )
+        if self.trace_rebuilds is not None:
+            text += f" trace-rebuilds={self.trace_rebuilds}"
+        return text
 
 
 class SweepRunner:
-    """Resumable fault-tolerant sweep over a cell population."""
+    """Resumable fault-tolerant sweep over a cell population.
+
+    ``trace_store`` is the artifact store traces are precompiled into
+    (default: ``<result store>/traces``); ``precompile=False`` restores the
+    legacy rebuild-in-every-worker behaviour.
+    """
 
     def __init__(
         self,
         store: ResultStore,
         executor: Optional[ProcessCellExecutor] = None,
+        trace_store: Optional[TraceStore] = None,
+        precompile: bool = True,
     ) -> None:
         self.store = store
         self.executor = executor or ProcessCellExecutor()
+        self.trace_store = trace_store or TraceStore(self.store.root / "traces")
+        self.precompile = precompile
+
+    def _precompile(self, cells: Sequence[CellSpec], resume: bool) -> int:
+        """Compile every distinct trace the pending cells need; returns builds.
+
+        Cells whose results are already durable don't need their trace.
+        Unknown workload names (e.g. synthetic cells in tests) are skipped —
+        the worker will report the real error with full context.
+        """
+        from repro.sim.simulator import default_num_ops, get_trace
+        from repro.workloads.spec2017 import workload
+
+        pending = [
+            cell
+            for cell in cells
+            if not (resume and self.store.contains(cell.key()))
+        ]
+        unique: Dict[tuple, CellSpec] = {}
+        for cell in pending:
+            unique.setdefault((cell.workload, cell.seed, cell.num_ops), cell)
+        built = 0
+        for (name, seed, num_ops), _ in unique.items():
+            try:
+                profile = workload(name, seed=seed)
+            except KeyError:
+                continue
+            ops = num_ops or default_num_ops()
+            _, was_built = self.trace_store.compile(profile, ops)
+            built += was_built
+            # Warm the parent's in-process cache too: fork-started workers
+            # inherit it and skip even the artifact read.
+            get_trace(profile, ops, store=self.trace_store)
+        return built
 
     def run(
         self,
@@ -112,10 +174,24 @@ class SweepRunner:
         exactly the finished set. The failure manifest is (re)written at the
         end of every run — empty when everything succeeded.
         """
+        precompiled = 0
+        rebuilds = None
+        if self.precompile:
+            precompiled = self._precompile(cells, resume=resume)
+            trace_dir = str(self.trace_store.root)
+            cells = [
+                cell if cell.trace_dir else replace(cell, trace_dir=trace_dir)
+                for cell in cells
+            ]
+            rebuilds_before = self.trace_store.rebuild_count()
         outcomes = self.executor.run_many(
             cells, store=self.store, resume=resume, progress=progress
         )
-        report = SweepReport(outcomes=outcomes)
+        if self.precompile:
+            rebuilds = self.trace_store.rebuild_count() - rebuilds_before
+        report = SweepReport(
+            outcomes=outcomes, trace_rebuilds=rebuilds, precompiled=precompiled
+        )
         self.store.write_manifest(
             report.failures,
             extra={
@@ -123,6 +199,8 @@ class SweepRunner:
                 "completed": report.completed,
                 "cached": report.cached,
                 "simulated": report.simulated,
+                "precompiled_traces": precompiled,
+                "trace_rebuilds": rebuilds,
             },
         )
         return report

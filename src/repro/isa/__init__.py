@@ -6,12 +6,25 @@ model needs â€” register dependences, memory addresses/sizes, branch outcomes â€
 mirroring the paper's Sniper-fed instruction flow (Sec. V).
 """
 
+from repro.isa.artifacts import (
+    TraceKey,
+    TraceStore,
+    default_trace_store,
+    trace_key,
+)
 from repro.isa.microop import (
     BranchInfo,
     BranchKind,
     MemInfo,
     MicroOp,
     OpKind,
+)
+from repro.isa.serialize import (
+    TraceFormatError,
+    dump_trace,
+    dump_trace_binary,
+    load_trace,
+    load_trace_binary,
 )
 from repro.isa.trace import Trace, TraceStats
 
@@ -23,4 +36,13 @@ __all__ = [
     "OpKind",
     "Trace",
     "TraceStats",
+    "TraceFormatError",
+    "TraceKey",
+    "TraceStore",
+    "trace_key",
+    "default_trace_store",
+    "dump_trace",
+    "load_trace",
+    "dump_trace_binary",
+    "load_trace_binary",
 ]

@@ -1,0 +1,262 @@
+"""Content-addressed store of compiled trace artifacts.
+
+Workload traces are deterministic functions of ``(profile.name,
+profile.seed, num_ops, generator_version)``, so a trace built once can be
+persisted and replayed by any later process — in particular by sweep worker
+processes, whose in-memory caches start cold. Each artifact is a binary
+trace (:func:`repro.isa.serialize.dumps_trace_binary`) named by the SHA-256
+digest of its complete key, written via temp-file + atomic rename
+(:mod:`repro.common.atomicio`) so a killed writer can never leave a
+truncated artifact. Unreadable, corrupted, or version-mismatched artifacts
+read as cache *misses*, never as errors — the trace is simply rebuilt.
+
+Layout under the store root::
+
+    <root>/<digest>.rtb        binary trace artifact
+    <root>/<digest>.json       sidecar metadata (key fields, sizes) for `ls`
+    <root>/rebuilds/<unique>   one marker per lazy (non-precompiled) build
+
+Rebuild markers give cross-process observability without locking: every
+process that falls through to ``build_trace`` (instead of loading an
+artifact) drops one uniquely-named marker file. A sweep that precompiled
+all its traces must finish with zero new markers — the CI zero-rebuild
+guard asserts exactly that, catching silent cache-key drift.
+
+The generator version is part of the key, so bumping
+``repro.workloads.generator.GENERATOR_VERSION`` orphans stale artifacts
+instead of replaying them. (They are never deleted automatically; use
+``repro trace ls`` / manual cleanup.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.common.atomicio import atomic_write_bytes, atomic_write_json
+from repro.isa.serialize import (
+    BINARY_VERSION,
+    TraceFormatError,
+    dumps_trace_binary,
+    loads_trace_binary,
+)
+from repro.isa.trace import Trace
+
+#: Environment variable naming a directory to use as the process-wide
+#: default trace store (consulted by :func:`default_trace_store`).
+ENV_TRACE_STORE = "REPRO_TRACE_STORE"
+
+
+@dataclass(frozen=True)
+class TraceKey:
+    """Content-addressed identity of one compiled trace."""
+
+    digest: str
+    describe: Mapping[str, object]
+
+    @property
+    def short(self) -> str:
+        return self.digest[:12]
+
+
+def trace_key(profile, num_ops: int) -> TraceKey:
+    """Build the content-hash key of a compiled trace.
+
+    Keyed by everything that determines the generated micro-op sequence:
+    the profile's name and seed, the dynamic length, the generator version,
+    and the binary format version.
+    """
+    from repro.workloads.generator import GENERATOR_VERSION
+
+    if num_ops <= 0:
+        raise ValueError(f"num_ops must be positive, got {num_ops}")
+    describe: Dict[str, object] = {
+        "workload": profile.name,
+        "seed": profile.seed,
+        "num_ops": num_ops,
+        "generator_version": GENERATOR_VERSION,
+        "format_version": BINARY_VERSION,
+    }
+    blob = json.dumps(describe, sort_keys=True)
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return TraceKey(digest=digest, describe=describe)
+
+
+class TraceStore:
+    """Content-addressed, crash-safe store of compiled binary traces."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------- paths --
+
+    def trace_path(self, key: TraceKey) -> Path:
+        return self.root / f"{key.digest}.rtb"
+
+    def meta_path(self, key: TraceKey) -> Path:
+        return self.root / f"{key.digest}.json"
+
+    @property
+    def rebuilds_dir(self) -> Path:
+        return self.root / "rebuilds"
+
+    # ---------------------------------------------------------- load/save --
+
+    def load(self, key: TraceKey) -> Optional[Trace]:
+        """The stored trace, or None on miss — including every corruption mode.
+
+        A missing file, a truncated or bit-flipped artifact (CRC mismatch),
+        an incompatible format version, or an op count that contradicts the
+        key all read as misses: the caller rebuilds and rewrites the entry.
+        """
+        try:
+            data = self.trace_path(key).read_bytes()
+        except OSError:
+            return None
+        try:
+            trace = loads_trace_binary(data)
+        except TraceFormatError:
+            return None
+        if len(trace) != key.describe["num_ops"]:
+            return None
+        return trace
+
+    def save(self, key: TraceKey, trace: Trace) -> Path:
+        """Persist one compiled trace atomically, with a metadata sidecar."""
+        data = dumps_trace_binary(trace)
+        path = atomic_write_bytes(self.trace_path(key), data)
+        atomic_write_json(
+            self.meta_path(key),
+            {
+                "key": key.digest,
+                **dict(key.describe),
+                "bytes": len(data),
+            },
+        )
+        return path
+
+    def contains(self, key: TraceKey) -> bool:
+        return self.load(key) is not None
+
+    def compile(self, profile, num_ops: int) -> Tuple[Trace, bool]:
+        """The trace for ``(profile, num_ops)``, from disk or freshly built.
+
+        Returns ``(trace, built)`` where ``built`` is True when the store
+        had no usable artifact and the trace was generated (and persisted).
+        Unlike the lazy path in ``repro.sim.simulator.get_trace``, an
+        explicit compile does not drop a rebuild marker — precompilation is
+        the *expected* place for builds to happen.
+        """
+        from repro.workloads.generator import build_trace
+
+        key = trace_key(profile, num_ops)
+        trace = self.load(key)
+        if trace is not None:
+            return trace, False
+        trace = build_trace(profile, num_ops)
+        self.save(key, trace)
+        return trace, True
+
+    # ------------------------------------------------------------ rebuilds --
+
+    def record_rebuild(self, key: TraceKey) -> None:
+        """Drop one uniquely-named marker recording a lazy trace build.
+
+        ``mkstemp`` guarantees a distinct file per call, so concurrent
+        worker processes never race: the marker count is exactly the number
+        of builds that bypassed the artifact store.
+        """
+        self.rebuilds_dir.mkdir(parents=True, exist_ok=True)
+        fd, _ = tempfile.mkstemp(dir=str(self.rebuilds_dir), prefix=key.short + ".")
+        os.close(fd)
+
+    def rebuild_count(self) -> int:
+        try:
+            return sum(1 for entry in self.rebuilds_dir.iterdir() if entry.is_file())
+        except OSError:
+            return 0
+
+    def clear_rebuilds(self) -> None:
+        try:
+            for entry in self.rebuilds_dir.iterdir():
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------- survey --
+
+    def entries(self) -> List[Dict[str, object]]:
+        """Metadata sidecars of every artifact, sorted by workload/length."""
+        found: List[Dict[str, object]] = []
+        try:
+            meta_files = sorted(self.root.glob("*.json"))
+        except OSError:
+            return found
+        for meta_file in meta_files:
+            try:
+                entry = json.loads(meta_file.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(entry, dict) and "key" in entry:
+                found.append(entry)
+        found.sort(key=lambda e: (str(e.get("workload")), e.get("num_ops", 0)))
+        return found
+
+    def verify(self) -> List[str]:
+        """Decode every artifact; returns a list of problems (empty = clean).
+
+        Checks each ``.rtb`` against its CRC and its sidecar's op count, and
+        flags sidecars whose artifact is missing.
+        """
+        problems: List[str] = []
+        for entry in self.entries():
+            digest = str(entry["key"])
+            key = TraceKey(digest=digest, describe=entry)
+            path = self.trace_path(key)
+            try:
+                data = path.read_bytes()
+            except OSError:
+                problems.append(f"{digest[:12]}: artifact missing ({path.name})")
+                continue
+            try:
+                trace = loads_trace_binary(data)
+            except TraceFormatError as error:
+                problems.append(f"{digest[:12]}: {error}")
+                continue
+            if len(trace) != entry.get("num_ops"):
+                problems.append(
+                    f"{digest[:12]}: has {len(trace)} ops, "
+                    f"sidecar says {entry.get('num_ops')}"
+                )
+        return problems
+
+    # -------------------------------------------------------------- misc --
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.root.glob("*.rtb"))
+        except OSError:
+            return 0
+
+    def __repr__(self) -> str:
+        return f"TraceStore({str(self.root)!r})"
+
+
+def default_trace_store() -> Optional[TraceStore]:
+    """The store named by ``REPRO_TRACE_STORE``, or None when unset.
+
+    Resolved at call time (not import time) so tests and harness workers
+    can redirect the disk tier per process.
+    """
+    root = os.environ.get(ENV_TRACE_STORE)
+    if not root:
+        return None
+    return TraceStore(root)

@@ -77,12 +77,22 @@ class Cache:
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self.stats = CacheStats()
-        self._sets: List[_Set] = [
-            _Set(tags=[None] * config.ways, lru=LRUState(config.ways))
-            for _ in range(config.num_sets)
-        ]
+        # Sets materialise on first touch: a short simulation visits a small
+        # fraction of e.g. an L2's 16K sets, and eager allocation dominated
+        # process start-up (it was the single largest cost of spawning a
+        # sweep worker). An absent set behaves exactly like an all-invalid one.
+        self._sets: Dict[int, _Set] = {}
         # line address -> cycle at which the outstanding fill completes
         self._mshrs: Dict[int, int] = {}
+
+    def _get_set(self, index: int) -> _Set:
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = _Set(
+                tags=[None] * self.config.ways, lru=LRUState(self.config.ways)
+            )
+            self._sets[index] = cache_set
+        return cache_set
 
     # -- address decomposition ------------------------------------------------
 
@@ -97,12 +107,14 @@ class Cache:
     def probe(self, address: int) -> bool:
         """Tag check without any state change."""
         line = self.line_address(address)
-        cache_set = self._sets[self._set_index(line)]
-        return line in cache_set.tags
+        cache_set = self._sets.get(self._set_index(line))
+        return cache_set is not None and line in cache_set.tags
 
     def _touch(self, line: int) -> bool:
         """Look up ``line``; on hit promote LRU and return True."""
-        cache_set = self._sets[self._set_index(line)]
+        cache_set = self._sets.get(self._set_index(line))
+        if cache_set is None:
+            return False
         try:
             way = cache_set.tags.index(line)
         except ValueError:
@@ -113,7 +125,7 @@ class Cache:
     def fill(self, address: int) -> None:
         """Install the line holding ``address``, evicting the LRU way."""
         line = self.line_address(address)
-        cache_set = self._sets[self._set_index(line)]
+        cache_set = self._get_set(self._set_index(line))
         if line in cache_set.tags:
             cache_set.lru.touch(cache_set.tags.index(line))
             return

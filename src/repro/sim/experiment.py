@@ -21,12 +21,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from repro.common.stats import geometric_mean
 from repro.core.config import CoreConfig
 from repro.harness.failures import CellFailure, FailureKind
-from repro.harness.store import ResultStore, cell_key
+from repro.harness.store import ResultStore
 from repro.mdp.base import MDPredictor
 from repro.sim.invariants import SimInvariantError
 from repro.sim.metrics import SimResult
-from repro.sim.simulator import default_num_ops, make_predictor, simulate
-from repro.workloads.spec2017 import workload
+from repro.sim.simulator import default_num_ops, make_predictor, run_spec
+from repro.sim.spec import RunSpec
 
 
 def normalize_to_ideal(
@@ -74,9 +74,15 @@ class ExperimentGrid:
         the variant, e.g. ``"unlimited-nosq-h12"``). ``seed`` overrides the
         workload's trace seed (cell-for-cell failure reproduction).
         """
-        core = config or CoreConfig()
-        length = num_ops or self.num_ops
-        key = cell_key(workload_name, predictor, core, length, seed)
+        spec = RunSpec(
+            workload=workload_name,
+            predictor=predictor,
+            config=config or CoreConfig(),
+            num_ops=num_ops or self.num_ops,
+            seed=seed,
+            trace_dir=self._trace_dir(),
+        )
+        key = spec.key()
         hit = self._cache.get(key.digest)
         if hit is not None:
             return hit
@@ -88,16 +94,17 @@ class ExperimentGrid:
         instance = (
             predictor_factory() if predictor_factory else make_predictor(predictor)
         )
-        result = simulate(
-            workload(workload_name, seed=seed),
-            instance,
-            config=core,
-            num_ops=length,
-        )
+        result = run_spec(spec.with_overrides(predictor=instance))
         self._cache[key.digest] = result
         if self.store is not None:
             self.store.put(key, result)
         return result
+
+    def _trace_dir(self) -> Optional[str]:
+        """Compiled traces live beside the durable results, when there are any."""
+        if self.store is None:
+            return None
+        return str(self.store.root / "traces")
 
     def run_suite(
         self,

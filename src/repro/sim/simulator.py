@@ -19,13 +19,16 @@ site — prefer the functions).
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Callable, Dict, Iterable, Optional, Tuple, Union
 
+from repro.common.lru import CacheInfo, LRUCache
 from repro.core.config import CoreConfig
 from repro.core.pipeline import Pipeline
 from repro.core.probes import Probe
 from repro.frontend.branch_predictors import BranchPredictor
 from repro.frontend.tage import TAGEPredictor
+from repro.isa.artifacts import TraceStore, default_trace_store, trace_key
 from repro.isa.trace import Trace
 from repro.mdp.base import MDPredictor
 from repro.mdp.cht import CHTPredictor
@@ -44,6 +47,7 @@ from repro.mdp.unlimited import (
 )
 from repro.sim.intervals import IntervalMetricsProbe
 from repro.sim.metrics import SimResult
+from repro.sim.spec import RunSpec
 from repro.workloads.generator import WorkloadProfile, build_trace
 from repro.workloads.spec2017 import workload
 
@@ -70,26 +74,107 @@ def __getattr__(name: str) -> int:
         return default_warmup_ops()
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-#: Named predictor factories (fresh instance per call).
-PREDICTOR_FACTORIES: Dict[str, Callable[[], MDPredictor]] = {
-    "ideal": IdealPredictor,
-    "always-speculate": AlwaysSpeculatePredictor,
-    "always-wait": AlwaysWaitPredictor,
-    "store-sets": StoreSetsPredictor,
-    "store-vector": StoreVectorPredictor,
-    "cht": CHTPredictor,
-    "nosq": NoSQPredictor,
-    "mdp-tage": MDPTagePredictor,
-    "mdp-tage-s": MDPTagePredictor.tage_s,
-    "phast": PHASTPredictor,
-    "perceptron-mdp": PerceptronMDPredictor,
-    "omnipredictor": OmniPredictor,
-    "unlimited-phast": UnlimitedPHASTPredictor,
-    "unlimited-nosq": UnlimitedNoSQPredictor,
-    "unlimited-mdp-tage": UnlimitedMDPTagePredictor,
-}
+class _PredictorRegistry(Dict[str, Callable[[], MDPredictor]]):
+    """The predictor registry, with deprecation warnings on raw mutation.
 
-_TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
+    Reads (lookup, iteration, membership) behave exactly like a dict.
+    Writing through dict syntax still works but warns — use
+    :func:`register_predictor` / :func:`unregister_predictor` instead, which
+    validate the name and keep error messages consistent.
+    """
+
+    def _warn(self, how: str) -> None:
+        warnings.warn(
+            f"mutating PREDICTOR_FACTORIES via {how} is deprecated; "
+            "use register_predictor()/unregister_predictor()",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __setitem__(self, name, factory) -> None:
+        self._warn(f"PREDICTOR_FACTORIES[{name!r}] = ...")
+        super().__setitem__(name, factory)
+
+    def __delitem__(self, name) -> None:
+        self._warn(f"del PREDICTOR_FACTORIES[{name!r}]")
+        super().__delitem__(name)
+
+    def update(self, *args, **kwargs) -> None:
+        self._warn("update()")
+        super().update(*args, **kwargs)
+
+    def setdefault(self, name, default=None):
+        self._warn("setdefault()")
+        return super().setdefault(name, default)
+
+    def pop(self, *args):
+        self._warn("pop()")
+        return super().pop(*args)
+
+    def popitem(self):
+        self._warn("popitem()")
+        return super().popitem()
+
+    def clear(self) -> None:
+        self._warn("clear()")
+        super().clear()
+
+
+#: Named predictor factories (fresh instance per call). Read freely; mutate
+#: via register_predictor()/unregister_predictor().
+PREDICTOR_FACTORIES: Dict[str, Callable[[], MDPredictor]] = _PredictorRegistry(
+    {
+        "ideal": IdealPredictor,
+        "always-speculate": AlwaysSpeculatePredictor,
+        "always-wait": AlwaysWaitPredictor,
+        "store-sets": StoreSetsPredictor,
+        "store-vector": StoreVectorPredictor,
+        "cht": CHTPredictor,
+        "nosq": NoSQPredictor,
+        "mdp-tage": MDPTagePredictor,
+        "mdp-tage-s": MDPTagePredictor.tage_s,
+        "phast": PHASTPredictor,
+        "perceptron-mdp": PerceptronMDPredictor,
+        "omnipredictor": OmniPredictor,
+        "unlimited-phast": UnlimitedPHASTPredictor,
+        "unlimited-nosq": UnlimitedNoSQPredictor,
+        "unlimited-mdp-tage": UnlimitedMDPTagePredictor,
+    }
+)
+
+
+def register_predictor(
+    name: str,
+    factory: Callable[[], MDPredictor],
+    replace: bool = False,
+) -> None:
+    """Register a named predictor factory (fresh instance per call).
+
+    Registered names work everywhere a built-in name does: ``simulate``,
+    sweep cells, the CLI. Raises ``ValueError`` on a duplicate name unless
+    ``replace=True``; the factory must be a zero-argument callable (bind
+    parameters with ``functools.partial`` or a lambda).
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"predictor name must be a non-empty string, got {name!r}")
+    if not callable(factory):
+        raise TypeError(f"factory for {name!r} is not callable: {factory!r}")
+    if name in PREDICTOR_FACTORIES and not replace:
+        raise ValueError(
+            f"predictor {name!r} is already registered; pass replace=True "
+            "to override it"
+        )
+    dict.__setitem__(PREDICTOR_FACTORIES, name, factory)
+
+
+def unregister_predictor(name: str) -> None:
+    """Remove a registered predictor (KeyError if absent)."""
+    dict.__delitem__(PREDICTOR_FACTORIES, name)
+
+
+def available_predictors() -> Tuple[str, ...]:
+    """Sorted names of every registered predictor."""
+    return tuple(sorted(PREDICTOR_FACTORIES))
 
 
 def make_predictor(name: str) -> MDPredictor:
@@ -98,30 +183,104 @@ def make_predictor(name: str) -> MDPredictor:
         factory = PREDICTOR_FACTORIES[name]
     except KeyError:
         raise KeyError(
-            f"unknown predictor {name!r}; available: {', '.join(sorted(PREDICTOR_FACTORIES))}"
+            f"unknown predictor {name!r}; available: {', '.join(available_predictors())}"
         ) from None
     return factory()
 
 
-def get_trace(profile: Union[str, WorkloadProfile], num_ops: int) -> Trace:
-    """Build (or fetch from cache) the deterministic trace for a profile."""
+def _trace_cache_size() -> int:
+    return int(os.environ.get("REPRO_TRACE_CACHE_SIZE", "32"))
+
+
+#: In-process trace cache: tier 1 of the three-tier lookup. Bounded so a
+#: long-lived process sweeping many (profile, seed, num_ops) combinations
+#: cannot grow without limit. Capacity comes from REPRO_TRACE_CACHE_SIZE
+#: (read at import time; default 32 ≈ one full SPEC suite).
+_TRACE_CACHE: LRUCache = LRUCache(maxsize=max(1, _trace_cache_size()))
+
+
+def get_trace(
+    profile: Union[str, WorkloadProfile],
+    num_ops: int,
+    store: Optional[TraceStore] = None,
+) -> Trace:
+    """The deterministic trace for a profile, via the three-tier cache.
+
+    Tiers, in order: the in-process LRU (``trace_cache_info()``), the
+    on-disk artifact store (``store`` argument, else ``REPRO_TRACE_STORE``),
+    and finally ``build_trace``. A build that happens *despite* a store
+    being attached persists the new artifact and drops a rebuild marker —
+    the observable signal that precompilation missed this trace (see
+    :mod:`repro.isa.artifacts`).
+    """
     if isinstance(profile, str):
         profile = workload(profile)
     # The seed participates in the key: a --seed-overridden profile shares
     # its name with the default profile but is a different trace.
     key = (profile.name, profile.seed, num_ops)
-    if key not in _TRACE_CACHE:
-        _TRACE_CACHE[key] = build_trace(profile, num_ops)
-    return _TRACE_CACHE[key]
+    trace = _TRACE_CACHE.get(key)
+    if trace is not None:
+        return trace
+    if store is None:
+        store = default_trace_store()
+    if store is not None:
+        artifact_key = trace_key(profile, num_ops)
+        trace = store.load(artifact_key)
+        if trace is None:
+            trace = build_trace(profile, num_ops)
+            store.save(artifact_key, trace)
+            store.record_rebuild(artifact_key)
+    else:
+        trace = build_trace(profile, num_ops)
+    _TRACE_CACHE.put(key, trace)
+    return trace
 
 
 def clear_trace_cache() -> None:
     _TRACE_CACHE.clear()
 
 
+def trace_cache_info() -> CacheInfo:
+    """Hit/miss/occupancy counters of the in-process trace cache."""
+    return _TRACE_CACHE.info()
+
+
+def run_spec(spec: RunSpec) -> SimResult:
+    """Execute one :class:`~repro.sim.spec.RunSpec` and return its result."""
+    core_config = spec.resolved_config()
+    predictor = spec.predictor
+    if isinstance(predictor, str):
+        predictor = make_predictor(predictor)
+    store = TraceStore(spec.trace_dir) if spec.trace_dir else None
+    trace = get_trace(spec.resolved_profile(), spec.resolved_num_ops(), store=store)
+    interval_probe: Optional[IntervalMetricsProbe] = None
+    all_probes = list(spec.probes)
+    if spec.interval_ops is not None:
+        interval_probe = IntervalMetricsProbe(spec.interval_ops)
+        all_probes.append(interval_probe)
+    pipeline = Pipeline(
+        config=core_config,
+        predictor=predictor,
+        branch_predictor=spec.branch_predictor or TAGEPredictor(),
+        check_invariants=spec.check_invariants,
+        probes=all_probes,
+    )
+    stats = pipeline.run(trace, warmup_ops=spec.resolved_warmup_ops())
+    paths = getattr(predictor, "paths_tracked", None)
+    return SimResult(
+        workload=trace.name,
+        predictor=predictor.name,
+        core=core_config.name,
+        pipeline=stats,
+        mdp=predictor.stats,
+        paths_tracked=paths,
+        intervals=tuple(interval_probe.windows) if interval_probe else None,
+    )
+
+
 def simulate(
-    profile: Union[str, WorkloadProfile],
-    predictor: Union[str, MDPredictor],
+    workload: Union[RunSpec, str, WorkloadProfile],
+    predictor: Optional[Union[str, MDPredictor]] = None,
     config: Optional[CoreConfig] = None,
     num_ops: Optional[int] = None,
     branch_predictor: Optional[BranchPredictor] = None,
@@ -129,8 +288,18 @@ def simulate(
     check_invariants: Optional[bool] = None,
     probes: Optional[Iterable[Probe]] = None,
     interval_ops: Optional[int] = None,
+    seed: Optional[int] = None,
 ) -> SimResult:
     """Run one (workload, predictor, core) simulation and return its result.
+
+    The canonical form takes a single :class:`~repro.sim.spec.RunSpec`::
+
+        simulate(RunSpec("511.povray", "phast", num_ops=50_000))
+
+    The legacy kwargs form (``simulate("511.povray", "phast", ...)``) is a
+    thin shim that packs its arguments into a ``RunSpec`` — it produces
+    bit-identical results and is kept for convenience, but new code (and
+    anything that needs a cache key) should build the spec directly.
 
     ``warmup_ops`` micro-ops execute (training predictors and warming caches)
     but are excluded from every statistic — the steady-state methodology.
@@ -143,33 +312,26 @@ def simulate(
     :class:`~repro.sim.intervals.IntervalMetricsProbe` and surfaces its
     windows on ``SimResult.intervals``.
     """
-    core_config = config or CoreConfig()
-    if isinstance(predictor, str):
-        predictor = make_predictor(predictor)
-    trace = get_trace(profile, num_ops or default_num_ops())
-    interval_probe: Optional[IntervalMetricsProbe] = None
-    all_probes = list(probes or ())
-    if interval_ops is not None:
-        interval_probe = IntervalMetricsProbe(interval_ops)
-        all_probes.append(interval_probe)
-    pipeline = Pipeline(
-        config=core_config,
-        predictor=predictor,
-        branch_predictor=branch_predictor or TAGEPredictor(),
-        check_invariants=check_invariants,
-        probes=all_probes,
-    )
-    stats = pipeline.run(
-        trace,
-        warmup_ops=default_warmup_ops() if warmup_ops is None else warmup_ops,
-    )
-    paths = getattr(predictor, "paths_tracked", None)
-    return SimResult(
-        workload=trace.name,
-        predictor=predictor.name,
-        core=core_config.name,
-        pipeline=stats,
-        mdp=predictor.stats,
-        paths_tracked=paths,
-        intervals=tuple(interval_probe.windows) if interval_probe else None,
+    if isinstance(workload, RunSpec):
+        if predictor is not None:
+            raise TypeError(
+                "simulate(spec) takes no further arguments; use "
+                "spec.with_overrides(...) to vary a RunSpec"
+            )
+        return run_spec(workload)
+    if predictor is None:
+        raise TypeError("simulate() missing required argument: 'predictor'")
+    return run_spec(
+        RunSpec(
+            workload=workload,
+            predictor=predictor,
+            config=config,
+            num_ops=num_ops,
+            warmup_ops=warmup_ops,
+            seed=seed,
+            check_invariants=check_invariants,
+            probes=tuple(probes or ()),
+            interval_ops=interval_ops,
+            branch_predictor=branch_predictor,
+        )
     )

@@ -1,0 +1,162 @@
+"""The canonical description of one simulation run.
+
+``simulate()`` historically took nine loose parameters; the harness's
+``CellSpec`` duplicated five of them; the result-store key and the trace
+artifact key each re-derived their fields independently. :class:`RunSpec`
+unifies them: one frozen dataclass that the sim API executes directly
+(``simulate(spec)``), the harness ships to worker processes, and both
+content-hash keys (:func:`RunSpec.key` for the result store,
+:func:`RunSpec.trace_key` for the trace artifact store) derive from — so
+the three can never silently disagree about what a "run" is.
+
+Identity vs. execution: only ``workload``, ``predictor``, ``config``,
+``num_ops`` and ``seed`` participate in the result-store key. The remaining
+fields (warmup, probes, invariant checking, interval metrics,
+``trace_dir``) affect *how* a run executes or what it observes, not which
+cell it is — matching the pre-existing ``cell_key`` semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple, Union
+
+from repro.core.config import CoreConfig
+from repro.core.probes import Probe
+from repro.frontend.branch_predictors import BranchPredictor
+from repro.mdp.base import MDPredictor
+from repro.workloads.generator import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to run (and identify) one simulation.
+
+    Attributes:
+        workload: profile name (e.g. ``"511.povray"``) or a full
+            :class:`~repro.workloads.generator.WorkloadProfile`.
+        predictor: registry name (e.g. ``"phast"``) or a predictor instance.
+            Instances make the spec non-picklable and non-cacheable by name;
+            prefer names plus :func:`repro.sim.simulator.register_predictor`.
+        config: core configuration; None means the default
+            :class:`~repro.core.config.CoreConfig`.
+        num_ops: dynamic trace length; None defers to
+            :func:`repro.sim.simulator.default_num_ops` at run time.
+        warmup_ops: ops excluded from statistics; None defers to
+            :func:`repro.sim.simulator.default_warmup_ops` at run time.
+        seed: workload seed override (None = the profile's own seed).
+        check_invariants: enable simulator self-checks; None defers to
+            ``REPRO_CHECK_INVARIANTS``.
+        probes: extra observers attached to the pipeline's probe bus.
+        interval_ops: window size for interval metrics (None = off).
+        branch_predictor: front-end override (None = a fresh TAGE).
+        trace_dir: directory of a trace artifact store to consult before
+            building the trace (None = ``REPRO_TRACE_STORE`` or no store).
+    """
+
+    workload: Union[str, WorkloadProfile]
+    predictor: Union[str, MDPredictor]
+    config: Optional[CoreConfig] = None
+    num_ops: Optional[int] = None
+    warmup_ops: Optional[int] = None
+    seed: Optional[int] = None
+    check_invariants: Optional[bool] = None
+    probes: Tuple[Probe, ...] = ()
+    interval_ops: Optional[int] = None
+    branch_predictor: Optional[BranchPredictor] = None
+    trace_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.probes, tuple):
+            object.__setattr__(self, "probes", tuple(self.probes))
+        if self.num_ops is not None and self.num_ops <= 0:
+            raise ValueError(f"num_ops must be positive, got {self.num_ops}")
+        if self.warmup_ops is not None and self.warmup_ops < 0:
+            raise ValueError(f"warmup_ops must be >= 0, got {self.warmup_ops}")
+
+    # -------------------------------------------------------- resolution --
+
+    @property
+    def workload_name(self) -> str:
+        if isinstance(self.workload, str):
+            return self.workload
+        return self.workload.name
+
+    @property
+    def predictor_label(self) -> str:
+        """The registry/cache label for the predictor.
+
+        For instances this is the object's ``name`` — callers sweeping
+        parameter variants must encode the variant in the label themselves
+        (as ``ExperimentGrid`` already requires).
+        """
+        if isinstance(self.predictor, str):
+            return self.predictor
+        return self.predictor.name
+
+    def resolved_config(self) -> CoreConfig:
+        return self.config or CoreConfig()
+
+    def resolved_profile(self) -> WorkloadProfile:
+        """The concrete workload profile, with any seed override applied."""
+        if isinstance(self.workload, str):
+            from repro.workloads.spec2017 import workload
+
+            return workload(self.workload, seed=self.seed)
+        profile = self.workload
+        if self.seed is not None and self.seed != profile.seed:
+            return replace(profile, seed=self.seed)
+        return profile
+
+    def resolved_num_ops(self) -> int:
+        from repro.sim.simulator import default_num_ops
+
+        return self.num_ops or default_num_ops()
+
+    def resolved_warmup_ops(self) -> int:
+        from repro.sim.simulator import default_warmup_ops
+
+        return (
+            default_warmup_ops() if self.warmup_ops is None else self.warmup_ops
+        )
+
+    # --------------------------------------------------------------- keys --
+
+    def key(self):
+        """Result-store identity of this run (a ``CellKey``).
+
+        Matches the digests the harness has always produced: ``num_ops`` is
+        keyed *raw* (0 = "the default at run time"), so existing on-disk
+        stores stay valid.
+        """
+        # Imported here: the harness layer sits above sim, but the key
+        # schema lives with the store that owns the on-disk format.
+        from repro.harness.store import cell_key
+
+        return cell_key(
+            self.workload_name,
+            self.predictor_label,
+            self.resolved_config(),
+            self.num_ops or 0,
+            self.seed,
+        )
+
+    def trace_key(self):
+        """Artifact-store identity of this run's input trace (a ``TraceKey``).
+
+        Unlike :meth:`key`, the trace key uses the *resolved* op count —
+        the artifact is the concrete byte sequence, so "the default at run
+        time" must be pinned to a number.
+        """
+        from repro.isa.artifacts import trace_key
+
+        return trace_key(self.resolved_profile(), self.resolved_num_ops())
+
+    # -------------------------------------------------------------- misc --
+
+    def with_overrides(self, **changes) -> "RunSpec":
+        """A copy with the given fields replaced (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+    def describe(self) -> dict:
+        return dict(self.key().describe)

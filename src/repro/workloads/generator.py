@@ -29,6 +29,12 @@ from repro.workloads.motifs import (
     StoreSetStress,
 )
 
+#: Bump whenever a change to the generator (motif layout, RNG draws, op
+#: emission) alters the trace produced for an existing (profile, num_ops)
+#: pair. The trace artifact store keys on this, so stale on-disk artifacts
+#: from an older generator are ignored rather than silently replayed.
+GENERATOR_VERSION = "1"
+
 #: Motif registry: profile specs name motifs by these keys.
 MOTIF_REGISTRY: Dict[str, Type[Motif]] = {
     "filler": ComputeFiller,

@@ -1,10 +1,10 @@
-"""Tests for the LRU replacement state."""
+"""Tests for the LRU replacement state and the bounded LRU cache."""
 
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.common.lru import LRUState
+from repro.common.lru import LRUCache, LRUState
 
 
 class TestLRUState:
@@ -62,3 +62,76 @@ class TestLRUState:
         for way in range(ways):
             lru.touch(way)
             assert lru.victim() != lru.most_recent()
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", 42) == 42
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # promote: b is now LRU
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert len(cache) == 2
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh: b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_counters(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("nope")
+        info = cache.info()
+        assert (info.hits, info.misses) == (1, 1)
+        assert (info.maxsize, info.currsize) == (2, 1)
+
+    def test_peek_does_not_promote_or_count(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        info = cache.info()
+        assert (info.hits, info.misses) == (0, 0)
+        cache.put("c", 3)  # "a" is still LRU despite the peek
+        assert "a" not in cache
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.info().hits == 1
+
+    def test_iteration_order_is_lru_to_mru(self):
+        cache = LRUCache(maxsize=3)
+        for key in ("a", "b", "c"):
+            cache.put(key, key)
+        cache.get("a")
+        assert list(cache) == ["b", "c", "a"]
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+    @given(st.integers(1, 5), st.lists(st.integers(0, 9), max_size=80))
+    def test_never_exceeds_capacity(self, maxsize, keys):
+        cache = LRUCache(maxsize=maxsize)
+        for key in keys:
+            cache.put(key, key * 2)
+            assert len(cache) <= maxsize
+            assert cache.get(key) == key * 2

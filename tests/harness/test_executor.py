@@ -90,6 +90,31 @@ def executor(worker, **kwargs):
 SPEC = CellSpec(workload="w", predictor="p", num_ops=100)
 
 
+class TestCellRunSpec:
+    def test_fields_map_onto_run_spec(self):
+        cell = CellSpec(
+            workload="511.povray", predictor="phast", num_ops=500, seed=2,
+            trace_dir="/tmp/traces",
+        )
+        spec = cell.run_spec(check_invariants=True)
+        assert spec.workload == "511.povray"
+        assert spec.predictor == "phast"
+        assert spec.config is cell.config
+        assert spec.num_ops == 500
+        assert spec.seed == 2
+        assert spec.check_invariants is True
+        assert spec.trace_dir == "/tmp/traces"
+
+    def test_zero_num_ops_defers_to_default(self):
+        # CellSpec uses 0 for "default length"; RunSpec uses None.
+        spec = CellSpec(workload="w", predictor="p", num_ops=0).run_spec()
+        assert spec.num_ops is None
+
+    def test_cell_and_run_spec_agree_on_the_store_key(self):
+        cell = CellSpec(workload="511.povray", predictor="phast", num_ops=500)
+        assert cell.run_spec().key() == cell.key()
+
+
 class TestOutcomes:
     def test_success(self):
         outcome = executor(_ok_worker).run_one(SPEC)

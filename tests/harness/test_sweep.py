@@ -115,3 +115,71 @@ class TestSweepRuns:
         sweeps.run(cells, progress=seen.append)
         assert len(seen) == 4
         assert all(outcome.cached for outcome in seen[2:])
+
+
+class TestTracePrecompile:
+    def real_runner(self, tmp_path, precompile=True):
+        return SweepRunner(
+            ResultStore(tmp_path / "store"),
+            ProcessCellExecutor(timeout=120.0, retries=0),
+            precompile=precompile,
+        )
+
+    def test_precompile_populates_trace_store(self, tmp_path):
+        sweeps = self.real_runner(tmp_path)
+        cells = build_cells(
+            ["511.povray"], ["ideal", "store-sets"], num_ops=400, seed=3
+        )
+        report = sweeps.run(cells)
+        assert report.completed == 2
+        # Two cells share one (workload, seed, num_ops): one compiled trace.
+        assert report.precompiled == 1
+        assert len(sweeps.trace_store) == 1
+        assert report.trace_rebuilds == 0
+        assert "trace-rebuilds=0" in report.summary()
+        manifest = sweeps.store.read_manifest()
+        assert manifest["precompiled_traces"] == 1
+        assert manifest["trace_rebuilds"] == 0
+
+    def test_second_run_compiles_nothing(self, tmp_path):
+        sweeps = self.real_runner(tmp_path)
+        cells = build_cells(["511.povray"], ["ideal"], num_ops=400, seed=3)
+        sweeps.run(cells)
+        again = self.real_runner(tmp_path).run(cells, resume=False)
+        assert again.precompiled == 0  # artifact already stored
+
+    def test_spawn_workers_load_artifacts_with_zero_rebuilds(
+        self, tmp_path, monkeypatch
+    ):
+        # spawn-started workers have cold in-process caches, so a zero
+        # rebuild count proves they really loaded the compiled artifacts.
+        monkeypatch.setenv("REPRO_SWEEP_MP", "spawn")
+        sweeps = self.real_runner(tmp_path)
+        cells = build_cells(["511.povray"], ["ideal"], num_ops=420, seed=3)
+        report = sweeps.run(cells)
+        assert report.completed == 1
+        assert report.trace_rebuilds == 0
+
+    def test_spawn_workers_without_artifacts_record_rebuilds(
+        self, tmp_path, monkeypatch
+    ):
+        # Negative control for the zero-rebuild guard: with precompilation
+        # off and an empty store, every worker falls through to build_trace
+        # and drops a marker.
+        monkeypatch.setenv("REPRO_SWEEP_MP", "spawn")
+        sweeps = self.real_runner(tmp_path, precompile=False)
+        cells = build_cells(
+            ["511.povray"], ["ideal"], num_ops=430, seed=3,
+            trace_dir=str(sweeps.trace_store.root),
+        )
+        report = sweeps.run(cells)
+        assert report.completed == 1
+        assert report.trace_rebuilds is None  # runner didn't precompile
+        assert sweeps.trace_store.rebuild_count() == 1
+
+    def test_synthetic_workloads_skip_precompile(self, tmp_path):
+        # Unknown workload names can't be compiled; the sweep must still run.
+        sweeps = runner(tmp_path, _ok_worker)
+        report = sweeps.run(build_cells(["a"], ["x"]))
+        assert report.completed == 1
+        assert report.precompiled == 0

@@ -7,9 +7,95 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.isa.microop import BranchInfo, BranchKind, MemInfo, MicroOp, OpKind
-from repro.isa.serialize import dump_trace, dumps_trace, load_trace, loads_trace
+from repro.isa.serialize import (
+    BINARY_MAGIC,
+    TraceFormatError,
+    dump_trace,
+    dump_trace_binary,
+    dumps_trace,
+    dumps_trace_binary,
+    load_trace,
+    load_trace_binary,
+    loads_trace,
+    loads_trace_binary,
+)
 from repro.isa.trace import Trace
 from repro.sim.simulator import get_trace
+
+_PCS = st.integers(4, 2**32).map(lambda x: x * 4)
+_REGS = st.integers(0, 255)
+_ALL_SIZES = st.sampled_from([1, 2, 4, 8, 16, 32, 64])
+_PLAIN_KINDS = [OpKind.ALU, OpKind.MUL, OpKind.DIV, OpKind.FP, OpKind.NOP]
+
+
+def _plain_op(pc, kind, dst, srcs):
+    return MicroOp(pc=pc, kind=kind, dst_reg=dst, src_regs=tuple(srcs))
+
+
+def _load_op(pc, dst, srcs, addr, size):
+    return MicroOp(
+        pc=pc,
+        kind=OpKind.LOAD,
+        dst_reg=dst,
+        src_regs=tuple(srcs),
+        mem=MemInfo(address=addr, size=size),
+    )
+
+
+def _store_op(pc, addr_srcs, data_srcs, addr, size):
+    return MicroOp(
+        pc=pc,
+        kind=OpKind.STORE,
+        src_regs=tuple(addr_srcs),
+        store_data_regs=tuple(data_srcs),
+        mem=MemInfo(address=addr, size=size),
+    )
+
+
+def _branch_op(pc, kind, taken, target):
+    return MicroOp(
+        pc=pc,
+        kind=OpKind.BRANCH,
+        branch=BranchInfo(kind=kind, taken=taken, target=target),
+    )
+
+
+#: Every OpKind (and inside BRANCH, every BranchKind) is reachable here, so
+#: the round-trip properties below cover the full wire vocabulary.
+any_microop = st.one_of(
+    st.builds(
+        _plain_op,
+        _PCS,
+        st.sampled_from(_PLAIN_KINDS),
+        st.one_of(st.none(), _REGS),
+        st.lists(_REGS, max_size=4),
+    ),
+    st.builds(
+        _load_op,
+        _PCS,
+        st.one_of(st.none(), _REGS),
+        st.lists(_REGS, max_size=3),
+        st.integers(0, 2**48),
+        _ALL_SIZES,
+    ),
+    st.builds(
+        _store_op,
+        _PCS,
+        st.lists(_REGS, max_size=3),
+        st.lists(_REGS, max_size=3),
+        st.integers(0, 2**48),
+        _ALL_SIZES,
+    ),
+    st.builds(
+        _branch_op,
+        _PCS,
+        st.sampled_from(list(BranchKind)),
+        st.booleans(),
+        st.integers(0, 2**48),
+    ),
+)
+
+op_lists = st.lists(any_microop, min_size=1, max_size=30)
 
 
 def sample_trace():
@@ -121,3 +207,95 @@ class TestPropertyRoundTrip:
         trace = Trace(ops, name="fuzz")
         restored = loads_trace(dumps_trace(trace))
         assert [op.describe() for op in restored] == [op.describe() for op in ops]
+
+
+class TestBinaryRoundTrip:
+    def test_sample_roundtrip(self):
+        trace = sample_trace()
+        restored = loads_trace_binary(dumps_trace_binary(trace))
+        assert restored.name == "sample"
+        assert list(restored.ops) == list(trace.ops)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.rtb"
+        dump_trace_binary(sample_trace(), path)
+        restored = load_trace_binary(path)
+        assert list(restored.ops) == list(sample_trace().ops)
+
+    def test_stream_roundtrip(self):
+        buffer = io.BytesIO()
+        dump_trace_binary(sample_trace(), buffer)
+        buffer.seek(0)
+        assert len(load_trace_binary(buffer)) == 7
+
+    def test_generated_workload_roundtrip(self):
+        trace = get_trace("511.povray", 1500)
+        restored = loads_trace_binary(dumps_trace_binary(trace))
+        assert restored.name == "511.povray"
+        assert list(restored.ops) == list(trace.ops)
+
+    def test_duplicate_ops_share_pool_entries(self):
+        op = MicroOp(pc=0x400, kind=OpKind.ALU, dst_reg=1, src_regs=(2,))
+        trace = Trace([op, op, op], name="dup")
+        restored = loads_trace_binary(dumps_trace_binary(trace))
+        assert restored.ops[0] is restored.ops[1] is restored.ops[2]
+
+    @given(op_lists)
+    def test_all_variants_binary_roundtrip(self, ops):
+        trace = Trace(ops, name="fuzz-bin")
+        restored = loads_trace_binary(dumps_trace_binary(trace))
+        assert list(restored.ops) == list(ops)
+
+    @given(op_lists)
+    def test_binary_matches_text_codec(self, ops):
+        trace = Trace(ops, name="xcodec")
+        from_text = loads_trace(dumps_trace(trace))
+        from_binary = loads_trace_binary(dumps_trace_binary(trace))
+        assert [op.describe() for op in from_binary] == [
+            op.describe() for op in from_text
+        ]
+
+    def test_out_of_range_register_rejected_at_encode(self):
+        op = MicroOp(pc=0x400, kind=OpKind.ALU, dst_reg=1, src_regs=(70_000,))
+        with pytest.raises(TraceFormatError):
+            dumps_trace_binary(Trace([op], name="bad"))
+
+
+class TestBinaryCorruption:
+    def _blob(self):
+        return dumps_trace_binary(sample_trace())
+
+    def test_empty_input(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace_binary(b"")
+
+    def test_bad_magic(self):
+        blob = self._blob()
+        with pytest.raises(TraceFormatError, match="magic"):
+            loads_trace_binary(b"XXXX" + blob[4:])
+
+    def test_unknown_version(self):
+        blob = bytearray(self._blob())
+        blob[4] = 0xFF  # little-endian version field follows the magic
+        with pytest.raises(TraceFormatError, match="version"):
+            loads_trace_binary(bytes(blob))
+
+    def test_truncated_header(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace_binary(BINARY_MAGIC + b"\x01\x00")
+
+    def test_truncated_payload(self):
+        blob = self._blob()
+        for cut in (len(blob) // 2, len(blob) - 1):
+            with pytest.raises(TraceFormatError):
+                loads_trace_binary(blob[:cut])
+
+    def test_payload_bit_flip_fails_crc(self):
+        blob = bytearray(self._blob())
+        blob[-3] ^= 0x40
+        with pytest.raises(TraceFormatError):
+            loads_trace_binary(bytes(blob))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_trace_binary(self._blob() + b"\x00")

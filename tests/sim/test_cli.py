@@ -179,3 +179,79 @@ class TestSweep:
                     str(tmp_path / "store"),
                 ]
             )
+
+
+class TestTrace:
+    def compile(self, tmp_path, *extra):
+        return main(
+            [
+                "trace",
+                "compile",
+                "--workloads",
+                "511.povray",
+                "--num-ops",
+                "800",
+                "--store",
+                str(tmp_path / "traces"),
+                *extra,
+            ]
+        )
+
+    def test_compile_then_recompile_loads(self, tmp_path, capsys):
+        assert self.compile(tmp_path) == 0
+        assert "compiled 1, already stored 0" in capsys.readouterr().out
+        assert self.compile(tmp_path) == 0
+        assert "compiled 0, already stored 1" in capsys.readouterr().out
+
+    def test_compile_rejects_unknown_workload(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "trace",
+                    "compile",
+                    "--workloads",
+                    "999.bogus",
+                    "--store",
+                    str(tmp_path / "traces"),
+                ]
+            )
+
+    def test_ls_lists_artifacts(self, tmp_path, capsys):
+        self.compile(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "ls", "--store", str(tmp_path / "traces")]) == 0
+        output = capsys.readouterr().out
+        assert "511.povray" in output
+        assert "1 artifacts" in output
+        assert "0 rebuild markers" in output
+
+    def test_verify_clean_store(self, tmp_path, capsys):
+        self.compile(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "verify", "--store", str(tmp_path / "traces")]) == 0
+        assert "0 problems" in capsys.readouterr().out
+
+    def test_deep_verify_clean_store(self, tmp_path, capsys):
+        self.compile(tmp_path)
+        capsys.readouterr()
+        assert (
+            main(["trace", "verify", "--deep", "--store", str(tmp_path / "traces")])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "(deep)" in output and "0 problems" in output
+
+    def test_verify_reports_corruption(self, tmp_path, capsys):
+        self.compile(tmp_path)
+        capsys.readouterr()
+        artifact = next((tmp_path / "traces").glob("*.rtb"))
+        blob = bytearray(artifact.read_bytes())
+        blob[-1] ^= 0x01
+        artifact.write_bytes(bytes(blob))
+        assert main(["trace", "verify", "--store", str(tmp_path / "traces")]) == 1
+        output = capsys.readouterr().out
+        assert "PROBLEM" in output and "1 problems" in output
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])

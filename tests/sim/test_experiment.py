@@ -10,7 +10,7 @@ from repro.harness.failures import FailureKind
 from repro.harness.store import ResultStore
 from repro.mdp.unlimited import UnlimitedNoSQPredictor
 from repro.sim.experiment import ExperimentGrid, normalize_to_ideal
-from repro.sim.simulator import simulate as real_simulate
+from repro.sim.simulator import run_spec as real_run_spec
 
 
 @pytest.fixture()
@@ -76,7 +76,7 @@ class TestDurableStore:
         def boom(*args, **kwargs):
             raise AssertionError("cell should have come from the durable store")
 
-        monkeypatch.setattr(experiment_module, "simulate", boom)
+        monkeypatch.setattr(experiment_module, "run_spec", boom)
         second = ExperimentGrid(num_ops=2500, store=store)
         assert second.run("511.povray", "phast") == result
 
@@ -90,17 +90,17 @@ class TestDurableStore:
 
 
 class TestTolerantSuites:
-    def flaky_simulate(self, broken_workload):
-        def wrapper(profile, *args, **kwargs):
-            if profile.name == broken_workload:
+    def flaky_run_spec(self, broken_workload):
+        def wrapper(spec):
+            if spec.workload_name == broken_workload:
                 raise RuntimeError("seeded cell failure")
-            return real_simulate(profile, *args, **kwargs)
+            return real_run_spec(spec)
 
         return wrapper
 
     def test_tolerant_suite_survives_a_failing_cell(self, monkeypatch, tmp_path):
         monkeypatch.setattr(
-            experiment_module, "simulate", self.flaky_simulate("541.leela")
+            experiment_module, "run_spec", self.flaky_run_spec("541.leela")
         )
         store = ResultStore(tmp_path / "store")
         grid = ExperimentGrid(num_ops=2500, store=store)
@@ -116,7 +116,7 @@ class TestTolerantSuites:
 
     def test_strict_suite_still_raises(self, monkeypatch):
         monkeypatch.setattr(
-            experiment_module, "simulate", self.flaky_simulate("541.leela")
+            experiment_module, "run_spec", self.flaky_run_spec("541.leela")
         )
         grid = ExperimentGrid(num_ops=2500)
         with pytest.raises(RuntimeError):

@@ -2,15 +2,23 @@
 
 import pytest
 
-from repro.core.config import GENERATIONS, CoreConfig
+from repro.core.config import GENERATIONS
+from repro.isa.artifacts import TraceStore, trace_key
+from repro.mdp.ideal import IdealPredictor
 from repro.mdp.phast import PHASTPredictor
+from repro.sim import simulator
 from repro.sim.simulator import (
     PREDICTOR_FACTORIES,
+    available_predictors,
     clear_trace_cache,
     get_trace,
     make_predictor,
+    register_predictor,
     simulate,
+    trace_cache_info,
+    unregister_predictor,
 )
+from repro.sim.spec import RunSpec
 from repro.workloads.spec2017 import workload
 
 
@@ -34,6 +42,63 @@ class TestRegistry:
         assert make_predictor("phast") is not make_predictor("phast")
 
 
+class TestRegistryAPI:
+    def test_register_and_unregister(self):
+        register_predictor("test-ideal", IdealPredictor)
+        try:
+            assert "test-ideal" in available_predictors()
+            assert isinstance(make_predictor("test-ideal"), IdealPredictor)
+        finally:
+            unregister_predictor("test-ideal")
+        assert "test-ideal" not in available_predictors()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_predictor("phast", IdealPredictor)
+
+    def test_replace_flag_allows_override(self):
+        original = PREDICTOR_FACTORIES["ideal"]
+        register_predictor("ideal", IdealPredictor, replace=True)
+        try:
+            assert isinstance(make_predictor("ideal"), IdealPredictor)
+        finally:
+            register_predictor("ideal", original, replace=True)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            register_predictor("", IdealPredictor)
+        with pytest.raises(TypeError):
+            register_predictor("not-callable", 42)
+        with pytest.raises(KeyError):
+            unregister_predictor("never-registered")
+
+    def test_available_predictors_sorted_tuple(self):
+        names = available_predictors()
+        assert isinstance(names, tuple)
+        assert list(names) == sorted(names)
+        assert set(names) == set(PREDICTOR_FACTORIES)
+
+    def test_direct_dict_write_warns(self):
+        with pytest.warns(DeprecationWarning, match="register_predictor"):
+            PREDICTOR_FACTORIES["test-direct"] = IdealPredictor
+        with pytest.warns(DeprecationWarning):
+            del PREDICTOR_FACTORIES["test-direct"]
+
+    def test_direct_dict_update_and_pop_warn(self):
+        with pytest.warns(DeprecationWarning):
+            PREDICTOR_FACTORIES.update({"test-upd": IdealPredictor})
+        with pytest.warns(DeprecationWarning):
+            PREDICTOR_FACTORIES.pop("test-upd")
+
+    def test_reads_do_not_warn(self, recwarn):
+        assert "phast" in PREDICTOR_FACTORIES
+        list(PREDICTOR_FACTORIES.items())
+        PREDICTOR_FACTORIES.get("phast")
+        assert not any(
+            isinstance(w.message, DeprecationWarning) for w in recwarn.list
+        )
+
+
 class TestTraceCache:
     def test_same_object_returned(self):
         a = get_trace("511.povray", 1000)
@@ -51,6 +116,70 @@ class TestTraceCache:
     def test_accepts_profile_object(self):
         trace = get_trace(workload("541.leela"), 800)
         assert trace.name == "541.leela"
+
+    def test_cache_info_counts_hits_and_misses(self):
+        clear_trace_cache()
+        before = trace_cache_info()
+        get_trace("511.povray", 900)   # miss
+        get_trace("511.povray", 900)   # hit
+        after = trace_cache_info()
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses + 1
+        assert after.maxsize >= 1
+        assert after.currsize >= 1
+
+    def test_cache_is_bounded(self, monkeypatch):
+        from repro.common.lru import LRUCache
+
+        monkeypatch.setattr(simulator, "_TRACE_CACHE", LRUCache(maxsize=2))
+        for ops in (700, 701, 702, 703):
+            get_trace("511.povray", ops)
+        assert trace_cache_info().currsize == 2
+        assert len(simulator._TRACE_CACHE) == 2
+
+
+class TestTraceStoreTier:
+    def test_miss_builds_and_persists(self, tmp_path):
+        clear_trace_cache()
+        store = TraceStore(tmp_path / "traces")
+        trace = get_trace("511.povray", 900, store=store)
+        key = trace_key(workload("511.povray"), 900)
+        assert store.trace_path(key).exists()
+        assert store.rebuild_count() == 1  # lazy build drops a marker
+        stored = store.load(key)
+        assert list(stored.ops) == list(trace.ops)
+
+    def test_artifact_hit_skips_build_and_marker(self, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        store.compile(workload("511.povray"), 900)
+        clear_trace_cache()
+        trace = get_trace("511.povray", 900, store=store)
+        assert trace.name == "511.povray"
+        assert store.rebuild_count() == 0
+
+    def test_env_store_used_when_no_explicit_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_STORE", str(tmp_path / "env-traces"))
+        clear_trace_cache()
+        get_trace("511.povray", 850)
+        assert len(TraceStore(tmp_path / "env-traces")) == 1
+
+    def test_simulation_from_artifact_is_bit_identical(self, tmp_path):
+        """Regression: a run whose trace came off disk must equal a fresh run."""
+        clear_trace_cache()
+        fresh = simulate(
+            "502.gcc_2", "phast", num_ops=2000, warmup_ops=0, seed=5
+        )
+        store = TraceStore(tmp_path / "traces")
+        store.compile(workload("502.gcc_2", seed=5), 2000)
+        clear_trace_cache()
+        from_artifact = simulate(
+            RunSpec(
+                workload="502.gcc_2", predictor="phast", num_ops=2000,
+                warmup_ops=0, seed=5, trace_dir=str(tmp_path / "traces"),
+            )
+        )
+        assert store.rebuild_count() == 0  # the artifact really was loaded
+        assert from_artifact.to_record() == fresh.to_record()
 
 
 class TestSimulate:

@@ -1,50 +1,74 @@
 #!/usr/bin/env python
-"""Wall-clock guard for the zero-probe pipeline hot path.
+"""Wall-clock guard for the pipeline hot path, with a committed trajectory.
 
-The probe/event bus must be free when nobody listens: with no optional
-probes attached the pipeline is required to stay within a few percent of
-the pre-refactor loop. This script measures the seed workload
-(``511.povray`` under PHAST) and compares against a *committed* baseline
-(``benchmarks/perf_baseline.json``), so CI fails loudly if a change makes
-the zero-probe pipeline more than ``--threshold`` slower (default 10%).
+Two committed artifacts gate the pipeline's throughput:
 
-Raw seconds are machine-dependent, so the comparison is *normalised*: a
+* ``benchmarks/perf_baseline.json`` — the original single-point guard: the
+  zero-probe pipeline on the seed workload (``511.povray`` under PHAST) must
+  stay within ``--threshold`` of the committed normalised time.
+* ``benchmarks/BENCH_pipeline.json`` — the performance *trajectory*: a small
+  workload x predictor matrix measured per optimisation pass and appended
+  with ``--record LABEL``. ``--check`` then enforces two ratios against the
+  committed entries: the PHAST hot cell (``511.povray/phast``) must be at
+  least ``--min-speedup`` (default 1.5x) faster than the first ("seed")
+  entry, and no cell may regress more than ``--regression`` (default 5%)
+  below the latest committed entry.
+
+Raw seconds are machine-dependent, so every comparison is *normalised*: a
 fixed pure-Python calibration kernel (dict churn + integer compares, the
 same work profile as the scheduler loop) is timed alongside the simulation,
-and the check compares ``sim_seconds / calib_seconds`` ratios. A faster or
-slower machine moves both numbers together; only a genuine hot-path
-regression moves the ratio.
+and checks compare ``sim_seconds / calib_seconds`` ratios (equivalently,
+ops per calibration-second for throughput). A faster or slower machine
+moves both numbers together; only a genuine hot-path change moves the ratio.
 
 Usage::
 
-    python benchmarks/perf_smoke.py --check         # compare vs baseline
-    python benchmarks/perf_smoke.py --update        # rewrite the baseline
     python benchmarks/perf_smoke.py                 # measure and print only
+    python benchmarks/perf_smoke.py --check         # compare vs baselines
+    python benchmarks/perf_smoke.py --update        # rewrite perf_baseline.json
+    python benchmarks/perf_smoke.py --record LABEL  # append to BENCH_pipeline.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import platform
+import statistics
 import sys
 import time
 from pathlib import Path
+from typing import Tuple
 
 BASELINE_PATH = Path(__file__).parent / "perf_baseline.json"
+TRAJECTORY_PATH = Path(__file__).parent / "BENCH_pipeline.json"
 
 WORKLOAD = "511.povray"
 PREDICTOR = "phast"
 NUM_OPS = 20000
 ROUNDS = 5
 
+#: The perf matrix: small enough for CI, wide enough to catch a predictor-
+#: or workload-specific regression the PHAST hot cell would miss.
+MATRIX_WORKLOADS = ("511.povray", "502.gcc_1", "541.leela")
+MATRIX_PREDICTORS = ("phast", "store-sets", "mdp-tage")
+MATRIX_NUM_OPS = 20000
+#: Best-of-5: the minimum is the closest observable to the true cost on a
+#: busy machine, and the 5% regression floor needs the estimator's noise to
+#: sit well under 5%. Best-of-2 measured with >20% cell-to-cell variance.
+MATRIX_ROUNDS = 5
 
-def _calibrate() -> float:
-    """Best-of-N seconds for a fixed pure-Python scheduler-like kernel."""
+#: The cell the tentpole speedup requirement applies to.
+HOT_CELL = f"{WORKLOAD}/{PREDICTOR}"
+
+
+def _kernel_once() -> float:
+    """One timed run of the fixed pure-Python scheduler-like kernel (~0.1s)."""
 
     def kernel() -> int:
         booked: dict = {}
         top = 0
-        for i in range(300000):
+        for i in range(1000000):
             slot = i & 2047
             count = booked.get(slot, 0) + 1
             booked[slot] = count
@@ -52,35 +76,48 @@ def _calibrate() -> float:
                 top = count
         return top
 
-    best = float("inf")
-    for _ in range(3):
-        start = time.perf_counter()
-        kernel()
-        best = min(best, time.perf_counter() - start)
-    return best
+    start = time.perf_counter()
+    kernel()
+    return time.perf_counter() - start
 
 
-def _measure_sim() -> float:
-    """Best-of-N seconds for one zero-probe pipeline run (trace pre-built)."""
+def _calibrate() -> float:
+    """Best-of-N seconds for the calibration kernel."""
+    return min(_kernel_once() for _ in range(5))
+
+
+def _time_run(workload: str, predictor: str, num_ops: int) -> float:
+    """Seconds for one zero-probe pipeline run (trace pre-built and cached)."""
     from repro.core.config import CoreConfig
     from repro.core.pipeline import Pipeline
     from repro.sim.simulator import get_trace, make_predictor
 
-    trace = get_trace(WORKLOAD, NUM_OPS)
-    best = float("inf")
-    for _ in range(ROUNDS):
-        pipeline = Pipeline(
-            CoreConfig(), make_predictor(PREDICTOR), check_invariants=False
-        )
-        start = time.perf_counter()
-        pipeline.run(trace)
-        best = min(best, time.perf_counter() - start)
-    return best
+    trace = get_trace(workload, num_ops)
+    pipeline = Pipeline(CoreConfig(), make_predictor(predictor), check_invariants=False)
+    start = time.perf_counter()
+    pipeline.run(trace)
+    return time.perf_counter() - start
+
+
+def _measure_cell(
+    workload: str, predictor: str, num_ops: int, rounds: int
+) -> Tuple[float, float]:
+    """Legacy single-cell measurement: ``(best_seconds, median_ratio)``."""
+    samples = []
+    for _ in range(rounds):
+        calib = _kernel_once()
+        seconds = _time_run(workload, predictor, num_ops)
+        samples.append((seconds, (num_ops / seconds) * calib))
+    return (
+        min(seconds for seconds, _ in samples),
+        statistics.median(ratio for _, ratio in samples),
+    )
 
 
 def measure() -> dict:
+    """The legacy single-point measurement (perf_baseline.json format)."""
     calib = _calibrate()
-    sim = _measure_sim()
+    sim, _ = _measure_cell(WORKLOAD, PREDICTOR, NUM_OPS, ROUNDS)
     return {
         "workload": WORKLOAD,
         "predictor": PREDICTOR,
@@ -91,47 +128,244 @@ def measure() -> dict:
     }
 
 
+def measure_matrix() -> dict:
+    """Measure the full workload x predictor matrix, calibration-normalised.
+
+    ``normalized_throughput`` is ops per calibration-second — the number the
+    trajectory checks compare, because it cancels machine speed to first
+    order (both the simulation and the calibration kernel are pure-Python
+    dict/int workloads). Two defences against noise on a shared machine:
+
+    * Each simulation run is paired with an *adjacent* calibration kernel
+      run and the per-round ratio is taken — a load burst that slows both
+      by the same factor cancels instead of being charged to the cell.
+    * Rounds are interleaved round-robin across the cells, so a burst that
+      outlives one round degrades one sample of many cells (rejected by the
+      per-cell median) rather than every sample of one cell.
+
+    Each cell reports the median ratio as ``normalized_throughput`` and the
+    worst round as ``normalized_floor`` — the conservative value committed
+    trajectory entries expose to the regression check.
+    """
+    calib = _calibrate()
+    keys = [
+        (workload, predictor)
+        for workload in MATRIX_WORKLOADS
+        for predictor in MATRIX_PREDICTORS
+    ]
+    samples: dict = {key: [] for key in keys}
+    for _ in range(MATRIX_ROUNDS):
+        for key in keys:
+            kernel = _kernel_once()
+            seconds = _time_run(key[0], key[1], MATRIX_NUM_OPS)
+            samples[key].append((seconds, (MATRIX_NUM_OPS / seconds) * kernel))
+    cells = {}
+    for (workload, predictor), cell_samples in samples.items():
+        seconds = min(sample[0] for sample in cell_samples)
+        ratios = [sample[1] for sample in cell_samples]
+        cells[f"{workload}/{predictor}"] = {
+            "sim_seconds": round(seconds, 4),
+            "ops_per_sec": round(MATRIX_NUM_OPS / seconds, 1),
+            "normalized_throughput": round(statistics.median(ratios), 1),
+            "normalized_floor": round(min(ratios), 1),
+        }
+    return {"calib_seconds": round(calib, 4), "num_ops": MATRIX_NUM_OPS, "cells": cells}
+
+
+def _load_trajectory() -> dict:
+    if TRAJECTORY_PATH.exists():
+        return json.loads(TRAJECTORY_PATH.read_text())
+    return {
+        "benchmark": "pipeline-hot-path",
+        "unit": "ops per calibration-second (normalized_throughput)",
+        "hot_cell": HOT_CELL,
+        "entries": [],
+    }
+
+
+def record(label: str) -> dict:
+    """Measure the matrix and append a trajectory entry under ``label``.
+
+    The matrix is measured twice and combined conservatively — per cell,
+    the *lower* median and the *lower* floor of the two passes — so a
+    lucky (quiet-machine) pass cannot commit reference values that later
+    honest measurements fail to reach.
+    """
+    first, second = measure_matrix(), measure_matrix()
+    matrix = {
+        "calib_seconds": min(first["calib_seconds"], second["calib_seconds"]),
+        "num_ops": first["num_ops"],
+        "cells": {},
+    }
+    for cell, a in first["cells"].items():
+        b = second["cells"][cell]
+        fast = a if a["sim_seconds"] <= b["sim_seconds"] else b
+        matrix["cells"][cell] = {
+            "sim_seconds": fast["sim_seconds"],
+            "ops_per_sec": fast["ops_per_sec"],
+            "normalized_throughput": min(
+                a["normalized_throughput"],
+                b["normalized_throughput"],
+            ),
+            "normalized_floor": min(a["normalized_floor"], b["normalized_floor"]),
+        }
+    trajectory = _load_trajectory()
+    entry = {
+        "label": label,
+        "python": platform.python_version(),
+        **matrix,
+    }
+    trajectory["entries"].append(entry)
+    TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return entry
+
+
+def _print_matrix(matrix: dict) -> None:
+    print(f"calibration: {matrix['calib_seconds']:.4f}s")
+    for cell, data in matrix["cells"].items():
+        print(
+            f"  {cell:<28} {data['sim_seconds']:8.3f}s "
+            f"{data['ops_per_sec']:>9.0f} ops/s "
+            f"(normalized {data['normalized_throughput']:>8.0f})"
+        )
+
+
+def check_trajectory(matrix: dict, min_speedup: float, regression: float) -> int:
+    """Enforce the trajectory ratios; returns a process exit code."""
+    if not TRAJECTORY_PATH.exists():
+        print("no committed BENCH_pipeline.json; run with --record seed", file=sys.stderr)
+        return 2
+    trajectory = json.loads(TRAJECTORY_PATH.read_text())
+    entries = trajectory.get("entries", [])
+    if not entries:
+        print("BENCH_pipeline.json has no entries; run with --record seed", file=sys.stderr)
+        return 2
+    seed_entry, latest = entries[0], entries[-1]
+    failures = []
+
+    current_hot = matrix["cells"][HOT_CELL]["normalized_throughput"]
+    seed_hot = seed_entry["cells"][HOT_CELL]["normalized_throughput"]
+    speedup = current_hot / seed_hot
+    print(
+        f"hot cell {HOT_CELL}: {speedup:.2f}x vs seed entry "
+        f"'{seed_entry['label']}' (required {min_speedup:.2f}x)"
+    )
+    if speedup < min_speedup:
+        failures.append(
+            f"{HOT_CELL} is only {speedup:.2f}x the seed entry "
+            f"(required {min_speedup:.2f}x)"
+        )
+
+    for cell, data in matrix["cells"].items():
+        committed = latest["cells"].get(cell)
+        if committed is None:
+            continue  # new cell: no regression reference yet
+        # Compare the fresh median against the committed entry's worst
+        # observed round (its floor): a genuine slowdown drags the whole
+        # ratio distribution below the old floor, while measurement noise
+        # alone leaves the median above it.
+        reference = committed.get(
+            "normalized_floor", committed["normalized_throughput"]
+        )
+        ratio = data["normalized_throughput"] / reference
+        marker = "" if ratio >= 1.0 - regression else "  <-- REGRESSION"
+        print(
+            f"  {cell:<28} {ratio:6.2f}x vs latest entry "
+            f"'{latest['label']}'{marker}"
+        )
+        if ratio < 1.0 - regression:
+            failures.append(
+                f"{cell} regressed to {ratio:.2f}x of entry '{latest['label']}' "
+                f"(floor {1.0 - regression:.2f}x)"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: trajectory ratios within budget")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--check", action="store_true", help="fail on regression")
-    parser.add_argument("--update", action="store_true", help="rewrite the baseline")
+    parser.add_argument("--update", action="store_true", help="rewrite perf_baseline.json")
+    parser.add_argument(
+        "--record",
+        metavar="LABEL",
+        help="measure the matrix and append a BENCH_pipeline.json entry",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
         default=0.10,
-        help="maximum allowed normalised slowdown (fraction, default 0.10)",
+        help="maximum allowed normalised slowdown vs perf_baseline.json "
+        "(fraction, default 0.10)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.5,
+        help="required hot-cell speedup vs the first trajectory entry "
+        "(default 1.5)",
+    )
+    parser.add_argument(
+        "--regression",
+        type=float,
+        default=0.05,
+        help="maximum allowed per-cell regression vs the latest trajectory "
+        "entry (fraction, default 0.05)",
     )
     args = parser.parse_args(argv)
 
-    current = measure()
-    print(
-        f"measured: {current['sim_seconds']:.3f}s sim / "
-        f"{current['calib_seconds']:.3f}s calib "
-        f"(normalized {current['normalized']:.3f})"
-    )
+    if args.record:
+        entry = record(args.record)
+        print(f"recorded trajectory entry '{args.record}' to {TRAJECTORY_PATH}")
+        _print_matrix(entry)
+        return 0
 
     if args.update:
+        current = measure()
         BASELINE_PATH.write_text(json.dumps(current, indent=2) + "\n")
         print(f"baseline written to {BASELINE_PATH}")
         return 0
 
     if not args.check:
+        matrix = measure_matrix()
+        _print_matrix(matrix)
         return 0
 
-    if not BASELINE_PATH.exists():
-        print("no committed baseline; run with --update first", file=sys.stderr)
-        return 2
-    baseline = json.loads(BASELINE_PATH.read_text())
-    slowdown = current["normalized"] / baseline["normalized"] - 1.0
-    print(
-        f"baseline normalized {baseline['normalized']:.3f} -> "
-        f"slowdown {slowdown * 100.0:+.1f}% (threshold {args.threshold * 100.0:.0f}%)"
-    )
-    if slowdown > args.threshold:
-        print("FAIL: zero-probe pipeline regressed past the threshold", file=sys.stderr)
-        return 1
-    print("OK: zero-probe pipeline within budget")
-    return 0
+    # --check: one matrix measurement feeds both guards. The legacy single
+    # point is the matrix's hot cell re-expressed as sim/calib seconds.
+    matrix = measure_matrix()
+    _print_matrix(matrix)
+
+    status = 0
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        hot_seconds = matrix["cells"][HOT_CELL]["sim_seconds"]
+        scale = NUM_OPS / MATRIX_NUM_OPS  # num_ops drift safety
+        normalized = hot_seconds * scale / matrix["calib_seconds"]
+        slowdown = normalized / baseline["normalized"] - 1.0
+        print(
+            f"baseline normalized {baseline['normalized']:.3f} -> "
+            f"slowdown {slowdown * 100.0:+.1f}% (threshold {args.threshold * 100.0:.0f}%)"
+        )
+        if slowdown > args.threshold:
+            print(
+                "FAIL: zero-probe pipeline regressed past the baseline threshold",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print("OK: zero-probe pipeline within baseline budget")
+    else:
+        print("no committed perf_baseline.json; run with --update first", file=sys.stderr)
+        status = 2
+
+    trajectory_status = check_trajectory(matrix, args.min_speedup, args.regression)
+    return max(status, trajectory_status)
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ from repro.common.bitops import (
     to_signed,
 )
 from repro.common.counters import SaturatingCounter
+from repro.common.env import EnvVarError, env_int
 from repro.common.lru import LRUState
 from repro.common.rng import DeterministicRNG
 from repro.common.stats import Histogram, RunningStat, geometric_mean
@@ -26,6 +27,8 @@ __all__ = [
     "pc_hash_tag",
     "to_signed",
     "SaturatingCounter",
+    "EnvVarError",
+    "env_int",
     "LRUState",
     "DeterministicRNG",
     "Histogram",

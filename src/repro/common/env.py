@@ -1,0 +1,40 @@
+"""Validated environment-variable parsing for the repro knobs.
+
+Every integer knob in the package (``REPRO_TRACE_OPS``, ``REPRO_WARMUP_OPS``,
+``REPRO_TRACE_CACHE_SIZE``, ``REPRO_HEARTBEAT_OPS``) is read through
+:func:`env_int` so that a typo such as ``REPRO_TRACE_OPS=10k`` fails fast with
+the variable name in the message instead of surfacing as a bare ``ValueError``
+deep inside a sweep worker (or, worse, being silently replaced by a default).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+
+class EnvVarError(ValueError):
+    """An environment knob is set to an unusable value."""
+
+
+def env_int(name: str, default: int, min_value: Optional[int] = None) -> int:
+    """Read integer knob ``name``, falling back to ``default`` when unset.
+
+    Unlike a bare ``int(os.environ.get(...))``, a set-but-invalid value is a
+    hard error naming the variable: silently substituting the default would
+    make a mistyped sweep run with the wrong trace length and produce
+    plausible-looking but wrong results.
+
+    ``min_value``, when given, is the smallest acceptable value (inclusive);
+    the *default* is not range-checked — it is the caller's own constant.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise EnvVarError(f"{name} must be an integer, got {raw!r}") from None
+    if min_value is not None and value < min_value:
+        raise EnvVarError(f"{name} must be >= {min_value}, got {value}")
+    return value

@@ -49,6 +49,14 @@ class LRUCache:
     def maxsize(self) -> int:
         return self._maxsize
 
+    def resize(self, maxsize: int) -> None:
+        """Change the capacity, evicting LRU entries if shrinking below size."""
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self._maxsize = maxsize
+        while len(self._data) > maxsize:
+            self._data.popitem(last=False)
+
     def get(self, key: Hashable, default: Optional[V] = None):
         """Return the cached value (promoting it), or ``default`` on a miss."""
         try:

@@ -13,11 +13,15 @@ stateless-between-runs and a ``Pipeline`` can be reused.
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
+from operator import attrgetter
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.config import CoreConfig
 from repro.core.lsq import StoreRecord
+
+_by_seq_key = attrgetter("seq")
 
 
 class _WidthCursor:
@@ -82,7 +86,16 @@ class _PortPool:
 
 
 class _StoreWindow:
-    """The in-flight store window (SQ + SB) with an address-granule index."""
+    """The in-flight store window (SQ + SB) with an address-granule index.
+
+    The granule buckets are maintained *incrementally sorted by ``seq``*:
+    the pipeline appends stores in program order, so insertion costs one
+    comparison (out-of-order appends, used by unit tests, fall back to a
+    bisect insert). The per-load ``candidates`` scan therefore never sorts
+    in the common single-granule case — it copies a ready bucket.
+    """
+
+    __slots__ = ("_capacity", "_records", "_by_number", "_by_seq", "_by_granule")
 
     GRANULE_SHIFT = 3  # 8-byte granules; the generator emits aligned accesses
 
@@ -94,15 +107,24 @@ class _StoreWindow:
         self._by_granule: Dict[int, List[StoreRecord]] = {}
 
     def append(self, record: StoreRecord) -> None:
-        self._records.append(record)
+        records = self._records
+        records.append(record)
         self._by_number[record.store_number] = record
         self._by_seq[record.seq] = record
+        by_granule = self._by_granule
         first = record.address >> self.GRANULE_SHIFT
         last = (record.end - 1) >> self.GRANULE_SHIFT
+        seq = record.seq
         for granule in range(first, last + 1):
-            self._by_granule.setdefault(granule, []).append(record)
-        while len(self._records) > self._capacity:
-            self._evict(self._records.popleft())
+            bucket = by_granule.get(granule)
+            if bucket is None:
+                by_granule[granule] = [record]
+            elif bucket[-1].seq <= seq:
+                bucket.append(record)
+            else:
+                insort(bucket, record, key=_by_seq_key)
+        while len(records) > self._capacity:
+            self._evict(records.popleft())
 
     def _evict(self, record: StoreRecord) -> None:
         del self._by_number[record.store_number]
@@ -112,7 +134,11 @@ class _StoreWindow:
         for granule in range(first, last + 1):
             bucket = self._by_granule.get(granule)
             if bucket:
-                bucket.remove(record)
+                # FIFO eviction: the evictee is always the bucket's oldest.
+                if bucket[0] is record:
+                    del bucket[0]
+                else:
+                    bucket.remove(record)
                 if not bucket:
                     del self._by_granule[granule]
 
@@ -127,14 +153,15 @@ class _StoreWindow:
         first = address >> self.GRANULE_SHIFT
         last = (address + size - 1) >> self.GRANULE_SHIFT
         if first == last:
-            found = list(self._by_granule.get(first, ()))
-        else:
-            seen: Dict[int, StoreRecord] = {}
-            for granule in range(first, last + 1):
-                for record in self._by_granule.get(granule, ()):
-                    seen[record.seq] = record
-            found = list(seen.values())
-        found.sort(key=lambda record: record.seq)
+            bucket = self._by_granule.get(first)
+            # Buckets are seq-ordered by construction: no sort needed.
+            return list(bucket) if bucket else []
+        seen: Dict[int, StoreRecord] = {}
+        for granule in range(first, last + 1):
+            for record in self._by_granule.get(granule, ()):
+                seen[record.seq] = record
+        found = list(seen.values())
+        found.sort(key=_by_seq_key)
         return found
 
     def all_records(self) -> List[StoreRecord]:

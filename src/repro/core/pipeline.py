@@ -117,11 +117,15 @@ class PipelineStats:
 
     @property
     def violation_mpki(self) -> float:
-        return self.violations * 1000.0 / max(1, self.committed_uops)
+        if not self.committed_uops:
+            return 0.0
+        return self.violations * 1000.0 / self.committed_uops
 
     @property
     def false_positive_mpki(self) -> float:
-        return self.false_positives * 1000.0 / max(1, self.committed_uops)
+        if not self.committed_uops:
+            return 0.0
+        return self.false_positives * 1000.0 / self.committed_uops
 
     @property
     def total_mdp_mpki(self) -> float:
@@ -129,7 +133,9 @@ class PipelineStats:
 
     @property
     def branch_mpki(self) -> float:
-        return self.branch_mispredicts * 1000.0 / max(1, self.committed_uops)
+        if not self.committed_uops:
+            return 0.0
+        return self.branch_mispredicts * 1000.0 / self.committed_uops
 
 
 class StatsProbe(Probe):

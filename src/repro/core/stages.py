@@ -7,7 +7,24 @@ together per trace. Stages do the *scheduling* (cycle assignment) and emit
 monolithic loop used to mutate statistics or call the invariant checker —
 observation is entirely the subscribers' business.
 
-Semantics are bit-identical to the pre-split loop; the headline benchmarks
+Hot-path discipline: everything that is constant for one run — config
+scalars, ring buffers, the store window, the predictor hooks, the
+pre-resolved probe emitters (``SimContext.bind`` runs before stages are
+constructed) — is snapshotted into stage attributes at construction, so the
+per-op code reads locals and slot attributes instead of chasing
+``self.ctx.x.y`` chains. Only genuinely mutable scalars (cycle watermarks,
+op counters, interval cursors) are read through ``ctx``.
+
+The per-load and per-store predictor hand-off reuses a single mutable
+:class:`~repro.mdp.base.LoadDispatchInfo` / ``StoreDispatchInfo`` record
+instead of allocating one per op — the records are documented transient
+(see :mod:`repro.mdp.base`): predictors must read them synchronously and
+never retain them. ``ViolationInfo``/``LoadCommitInfo`` ride on probe-bus
+events that arbitrary subscribers may keep, so those are still allocated
+fresh.
+
+Semantics are bit-identical to the pre-split loop; the golden fixture
+(`tests/core/test_hot_path_identity.py`), the headline benchmarks
 (`benchmarks/test_headline_results.py`) and the committed perf baseline
 (`benchmarks/perf_smoke.py`) guard that equivalence.
 """
@@ -44,18 +61,48 @@ from repro.mdp.base import (
 class DispatchStage:
     """Fetch + dispatch: claims the op's dispatch slot under structural limits."""
 
-    __slots__ = ("ctx",)
+    __slots__ = (
+        "ctx",
+        "commit_ring",
+        "issue_ring",
+        "load_ring",
+        "store_ring",
+        "rob",
+        "iq",
+        "lq",
+        "sq",
+        "d2i",
+        "reg_ready",
+        "allocate_dispatch",
+        "fetch_access",
+        "snapshot_of",
+        "emit_dispatched",
+    )
 
     def __init__(self, ctx: SimContext) -> None:
         self.ctx = ctx
+        self.commit_ring = ctx.commit_ring
+        self.issue_ring = ctx.issue_ring
+        self.load_ring = ctx.load_ring
+        self.store_ring = ctx.store_ring
+        self.rob = ctx.rob
+        self.iq = ctx.iq
+        self.lq = ctx.lq
+        self.sq = ctx.sq
+        self.d2i = ctx.d2i
+        self.reg_ready = ctx.reg_ready
+        self.allocate_dispatch = ctx.dispatch.allocate
+        self.fetch_access = ctx.hierarchy.fetch_access
+        self.snapshot_of = ctx.history.snapshot
+        self.emit_dispatched = ctx.emit_dispatched
 
     def process(
         self, op: MicroOp, index: int, kind: OpKind, measuring: bool
     ) -> Tuple[int, int, int]:
         """Returns ``(dispatch_cycle, ready_to_issue, history_snapshot)``."""
         ctx = self.ctx
-        rob_free = ctx.commit_ring[index % ctx.rob]
-        iq_free = ctx.issue_ring[index % ctx.iq]
+        rob_free = self.commit_ring[index % self.rob]
+        iq_free = self.issue_ring[index % self.iq]
         earliest = ctx.frontend_ready
         if rob_free > earliest:
             earliest = rob_free
@@ -64,20 +111,20 @@ class DispatchStage:
         fetch_line = op.pc >> 6
         if fetch_line != ctx.last_fetch_line:
             ctx.last_fetch_line = fetch_line
-            fetched = ctx.hierarchy.fetch_access(op.pc, earliest)
+            fetched = self.fetch_access(op.pc, earliest)
             if fetched > earliest:
                 earliest = fetched
         slot_free = 0
         if kind is OpKind.LOAD:
-            slot_free = ctx.load_ring[ctx.load_count % ctx.lq]
+            slot_free = self.load_ring[ctx.load_count % self.lq]
             if slot_free > earliest:
                 earliest = slot_free
         elif kind is OpKind.STORE:
-            slot_free = ctx.store_ring[ctx.store_count % ctx.sq]
+            slot_free = self.store_ring[ctx.store_count % self.sq]
             if slot_free > earliest:
                 earliest = slot_free
-        dispatch_cycle = ctx.dispatch.allocate(earliest)
-        emit = ctx.emit_dispatched
+        dispatch_cycle = self.allocate_dispatch(earliest)
+        emit = self.emit_dispatched
         if emit is not None:
             emit(
                 OpDispatched(
@@ -85,15 +132,15 @@ class DispatchStage:
                     measuring,
                 )
             )
-        snapshot = ctx.history.snapshot()
+        snapshot = self.snapshot_of()
 
-        reg_ready = ctx.reg_ready
+        reg_ready = self.reg_ready
         operands = 0
         for reg in op.src_regs:
             ready = reg_ready[reg]
             if ready > operands:
                 operands = ready
-        ready_to_issue = dispatch_cycle + ctx.d2i
+        ready_to_issue = dispatch_cycle + self.d2i
         if operands > ready_to_issue:
             ready_to_issue = operands
         return dispatch_cycle, ready_to_issue, snapshot
@@ -117,10 +164,16 @@ class IssueStage:
 class SquashUnit:
     """Computes squash/replay timing for a mis-speculated load."""
 
-    __slots__ = ("ctx",)
+    __slots__ = ("ctx", "d2i", "eager", "violation_penalty", "allocate_dispatch",
+                 "emit_squash")
 
     def __init__(self, ctx: SimContext) -> None:
         self.ctx = ctx
+        self.d2i = ctx.d2i
+        self.eager = ctx.config.violation_squash == "eager"
+        self.violation_penalty = ctx.config.violation_penalty
+        self.allocate_dispatch = ctx.dispatch.allocate
+        self.emit_squash = ctx.emit_squash
 
     def squash(
         self,
@@ -134,17 +187,15 @@ class SquashUnit:
         measuring: bool,
     ) -> Tuple[int, int]:
         """Squash one load attempt; returns the replay's (dispatch, ready)."""
-        ctx = self.ctx
-        config = ctx.config
-        if config.violation_squash == "eager":
+        if self.eager:
             # Squash as soon as the conflicting store resolves and finds
             # the mis-speculated load in the LQ.
             detection_cycle = max(exec_cycle, training_store.addr_ready)
-            squash_cycle = detection_cycle + config.violation_penalty
+            squash_cycle = detection_cycle + self.violation_penalty
         else:
-            squash_cycle = commit_cycle + config.violation_penalty
-        replay_dispatch = ctx.dispatch.allocate(squash_cycle)
-        emit = ctx.emit_squash
+            squash_cycle = commit_cycle + self.violation_penalty
+        replay_dispatch = self.allocate_dispatch(squash_cycle)
+        emit = self.emit_squash
         if emit is not None:
             emit(
                 Squash(
@@ -152,21 +203,72 @@ class SquashUnit:
                     measuring,
                 )
             )
-        replay_ready = max(replay_dispatch + ctx.d2i, ready_to_issue)
+        replay_ready = max(replay_dispatch + self.d2i, ready_to_issue)
         return replay_dispatch, replay_ready
 
 
 class MemoryStage:
     """Loads: disambiguation, MDP wait edges, violation squash + replay."""
 
-    __slots__ = ("ctx", "issue_stage", "squash_unit")
+    __slots__ = (
+        "ctx",
+        "squash_unit",
+        "history",
+        "window",
+        "candidates_of",
+        "window_by_number",
+        "window_by_seq",
+        "predict_load",
+        "trains_at_commit",
+        "allocate_load_port",
+        "allocate_commit",
+        "load_access",
+        "checker",
+        "l1d_latency",
+        "fwd_filter",
+        "lq",
+        "load_ring",
+        "reg_ready",
+        "dispatch_info",
+        "emit_multi_store",
+        "emit_dep_predicted",
+        "emit_load_resolved",
+        "emit_violation",
+        "emit_load_committed",
+        "emit_wrong_path_load",
+    )
 
     def __init__(
         self, ctx: SimContext, issue_stage: IssueStage, squash_unit: SquashUnit
     ) -> None:
         self.ctx = ctx
-        self.issue_stage = issue_stage
         self.squash_unit = squash_unit
+        self.history = ctx.history
+        self.window = ctx.window
+        self.candidates_of = ctx.window.candidates
+        self.window_by_number = ctx.window.by_number
+        self.window_by_seq = ctx.window.by_seq
+        self.predict_load = ctx.predictor.on_load_dispatch
+        self.trains_at_commit = ctx.predictor.trains_at_commit
+        self.allocate_load_port = issue_stage.ports[OpKind.LOAD].allocate
+        self.allocate_commit = ctx.commit.allocate
+        self.load_access = ctx.hierarchy.load_access
+        self.checker = ctx.checker
+        self.l1d_latency = ctx.l1d_latency
+        self.fwd_filter = ctx.fwd_filter
+        self.lq = ctx.lq
+        self.load_ring = ctx.load_ring
+        self.reg_ready = ctx.reg_ready
+        # The reusable per-load predictor hand-off record (see module doc).
+        self.dispatch_info = LoadDispatchInfo(
+            pc=0, seq=0, hist_snapshot=0, store_count=0, history=ctx.history
+        )
+        self.emit_multi_store = ctx.emit_multi_store
+        self.emit_dep_predicted = ctx.emit_dep_predicted
+        self.emit_load_resolved = ctx.emit_load_resolved
+        self.emit_violation = ctx.emit_violation
+        self.emit_load_committed = ctx.emit_load_committed
+        self.emit_wrong_path_load = ctx.emit_wrong_path_load
 
     def process(
         self,
@@ -183,55 +285,53 @@ class MemoryStage:
         execution.
         """
         ctx = self.ctx
-        predictor = ctx.predictor
-        history = ctx.history
-        window = ctx.window
-        load_ports = self.issue_stage.ports[OpKind.LOAD]
-        commit = ctx.commit
-        checker = ctx.checker
-        l1d_latency = ctx.l1d_latency
-        fwd_filter = ctx.fwd_filter
+        history = self.history
+        checker = self.checker
+        l1d_latency = self.l1d_latency
+        fwd_filter = self.fwd_filter
         store_count = ctx.store_count
+        pc = op.pc
         mem = op.mem
-        candidates = window.candidates(mem.address, mem.size)
+        address = mem.address
+        size = mem.size
+        candidates = self.candidates_of(address, size)
 
         # Oracle ground truth for the ideal predictor and for commit feedback:
         # youngest older store still in flight at the load's unconstrained
         # execute estimate.
-        naive_exec = ready_to_issue + 1
         oracle_store = None
         oracle_multi = False
-        visible = [s for s in candidates if s.drain_cycle > naive_exec]
-        if visible:
-            oracle_store = visible[-1]
-            if len(visible) > 1:
-                suppliers = multi_store_suppliers(visible, mem.address, mem.size)
-                oracle_multi = len(suppliers) >= 2
-                if oracle_multi and (ctx.emit_multi_store is not None):
-                    # Fig. 4's second metric: do the load's writers execute
-                    # in (program) order? Measured over the suppliers only.
-                    execs = [s.exec_cycle for s in suppliers]
-                    ctx.emit_multi_store(
-                        MultiStoreLoad(index, op.pc, execs == sorted(execs), measuring)
-                    )
+        if candidates:
+            naive_exec = ready_to_issue + 1
+            visible = [s for s in candidates if s.drain_cycle > naive_exec]
+            if visible:
+                oracle_store = visible[-1]
+                if len(visible) > 1:
+                    suppliers = multi_store_suppliers(visible, address, size)
+                    oracle_multi = len(suppliers) >= 2
+                    if oracle_multi and (self.emit_multi_store is not None):
+                        # Fig. 4's second metric: do the load's writers execute
+                        # in (program) order? Measured over the suppliers only.
+                        execs = [s.exec_cycle for s in suppliers]
+                        self.emit_multi_store(
+                            MultiStoreLoad(index, pc, execs == sorted(execs), measuring)
+                        )
+
+        info = self.dispatch_info
+        info.pc = pc
+        info.seq = index
+        info.hist_snapshot = snapshot
+        info.store_count = store_count
+        info.oracle_store_number = (
+            oracle_store.store_number if oracle_store is not None else None
+        )
+        info.oracle_multi_store = oracle_multi
 
         was_violated = False
         attempt_dispatch = dispatch_cycle
         attempt_ready = ready_to_issue
         while True:
-            prediction = predictor.on_load_dispatch(
-                LoadDispatchInfo(
-                    pc=op.pc,
-                    seq=index,
-                    hist_snapshot=snapshot,
-                    store_count=store_count,
-                    history=history,
-                    oracle_store_number=(
-                        oracle_store.store_number if oracle_store else None
-                    ),
-                    oracle_multi_store=oracle_multi,
-                )
-            )
+            prediction = self.predict_load(info)
 
             # A predicted-dependent load delays issue just long enough to
             # execute after the store's *address* resolves (Sec. I: "the load
@@ -242,48 +342,48 @@ class MemoryStage:
             issue_ready = attempt_ready
             if prediction.is_dependence:
                 if prediction.wait_all_older:
-                    for record in window.all_records():
+                    for record in self.window.all_records():
                         issue_ready = max(issue_ready, record.addr_ready - 1)
                         wait_targets.append(record)
                 for distance in prediction.distances:
-                    target = window.by_number(store_count - 1 - distance)
+                    target = self.window_by_number(store_count - 1 - distance)
                     if target is not None:
                         issue_ready = max(issue_ready, target.addr_ready - 1)
                         wait_targets.append(target)
                 for seq in prediction.store_seqs:
-                    record = window.by_seq(seq)
+                    record = self.window_by_seq(seq)
                     if record is not None:
                         issue_ready = max(issue_ready, record.addr_ready - 1)
                         wait_targets.append(record)
-                if ctx.emit_dep_predicted is not None:
-                    ctx.emit_dep_predicted(
+                if self.emit_dep_predicted is not None:
+                    self.emit_dep_predicted(
                         DependencePredicted(
-                            index, op.pc, prediction, tuple(wait_targets), measuring
+                            index, pc, prediction, tuple(wait_targets), measuring
                         )
                     )
 
-            issue = load_ports.allocate(issue_ready)
+            issue = self.allocate_load_port(issue_ready)
             exec_cycle = issue + 1  # AGU
             resolution = resolve_load(
                 candidates,
-                mem.address,
-                mem.size,
+                address,
+                size,
                 exec_cycle,
                 l1d_latency,
                 fwd_filter,
                 checker=checker,
             )
             if resolution.kind is ForwardKind.CACHE:
-                complete = ctx.hierarchy.load_access(op.pc, mem.address, exec_cycle)
+                complete = self.load_access(pc, address, exec_cycle)
             else:
                 complete = resolution.data_ready
-            if ctx.emit_load_resolved is not None:
-                ctx.emit_load_resolved(
-                    LoadResolved(index, op.pc, resolution, exec_cycle, complete,
+            if self.emit_load_resolved is not None:
+                self.emit_load_resolved(
+                    LoadResolved(index, pc, resolution, exec_cycle, complete,
                                  measuring)
                 )
 
-            commit_cycle = commit.allocate(max(complete + 1, 0))
+            commit_cycle = self.allocate_commit(max(complete + 1, 0))
 
             if not resolution.violated:
                 break
@@ -292,11 +392,11 @@ class MemoryStage:
             was_violated = True
             training_store = (
                 resolution.violation_store_commit
-                if predictor.trains_at_commit
+                if self.trains_at_commit
                 else resolution.violation_store_detect
             )
-            info = ViolationInfo(
-                load_pc=op.pc,
+            violation = ViolationInfo(
+                load_pc=pc,
                 load_seq=index,
                 load_snapshot=snapshot,
                 load_store_count=store_count,
@@ -306,11 +406,11 @@ class MemoryStage:
                 store_number=training_store.store_number,
                 history=history,
             )
-            if ctx.emit_violation is not None:
-                ctx.emit_violation(Violation(index, op.pc, info, False, measuring))
+            if self.emit_violation is not None:
+                self.emit_violation(Violation(index, pc, violation, False, measuring))
             attempt_dispatch, attempt_ready = self.squash_unit.squash(
                 index,
-                op.pc,
+                pc,
                 exec_cycle,
                 commit_cycle,
                 attempt_dispatch,
@@ -335,12 +435,12 @@ class MemoryStage:
         )
         false_positive = prediction.is_dependence and delayed and not waited_correct
         predicted_number = wait_targets[0].store_number if wait_targets else None
-        if ctx.emit_load_committed is not None:
-            ctx.emit_load_committed(
+        if self.emit_load_committed is not None:
+            self.emit_load_committed(
                 LoadCommitted(
                     index,
                     LoadCommitInfo(
-                        pc=op.pc,
+                        pc=pc,
                         seq=index,
                         hist_snapshot=snapshot,
                         store_count=store_count,
@@ -356,10 +456,10 @@ class MemoryStage:
                 )
             )
 
-        ctx.load_ring[ctx.load_count % ctx.lq] = commit_cycle
+        self.load_ring[ctx.load_count % self.lq] = commit_cycle
         ctx.load_count += 1
         if op.dst_reg is not None:
-            ctx.reg_ready[op.dst_reg] = complete
+            self.reg_ready[op.dst_reg] = complete
         return issue, complete, commit_cycle
 
     # -------------------------------------------------------- wrong path --
@@ -377,10 +477,10 @@ class MemoryStage:
         or enter the branch history (it is repaired on squash).
         """
         ctx = self.ctx
-        predictor = ctx.predictor
         trace = ctx.trace
-        window = ctx.window
+        history = self.history
         store_count = ctx.store_count
+        info = self.dispatch_info
         end = min(len(trace), start_index + depth)
         for phantom_index in range(start_index, end):
             op = trace[phantom_index]
@@ -390,57 +490,83 @@ class MemoryStage:
             if not op.is_load:
                 continue
             mem = op.mem
-            ctx.hierarchy.load_access(op.pc, mem.address, cycle)
-            predictor.on_load_dispatch(
-                LoadDispatchInfo(
-                    pc=op.pc,
-                    seq=-phantom_index - 1,  # phantom ids never collide
-                    hist_snapshot=ctx.history.snapshot(),
-                    store_count=store_count,
-                    history=ctx.history,
-                )
-            )
-            if ctx.emit_wrong_path_load is not None:
-                ctx.emit_wrong_path_load(WrongPathLoad(phantom_index, op.pc, measuring))
-            if predictor.trains_at_commit:
+            self.load_access(op.pc, mem.address, cycle)
+            info.pc = op.pc
+            info.seq = -phantom_index - 1  # phantom ids never collide
+            info.hist_snapshot = history.snapshot()
+            info.store_count = store_count
+            info.oracle_store_number = None
+            info.oracle_multi_store = False
+            self.predict_load(info)
+            if self.emit_wrong_path_load is not None:
+                self.emit_wrong_path_load(WrongPathLoad(phantom_index, op.pc, measuring))
+            if self.trains_at_commit:
                 continue  # squashed before commit: never trained (PHAST)
-            candidates = window.candidates(mem.address, mem.size)
+            candidates = self.candidates_of(mem.address, mem.size)
             resolution = resolve_load(
                 candidates,
                 mem.address,
                 mem.size,
                 cycle,
-                ctx.l1d_latency,
-                ctx.fwd_filter,
-                checker=ctx.checker,
+                self.l1d_latency,
+                self.fwd_filter,
+                checker=self.checker,
             )
             if resolution.violated:
                 training_store = resolution.violation_store_detect
-                info = ViolationInfo(
+                violation = ViolationInfo(
                     load_pc=op.pc,
                     load_seq=-phantom_index - 1,
-                    load_snapshot=ctx.history.snapshot(),
+                    load_snapshot=history.snapshot(),
                     load_store_count=store_count,
                     store_pc=training_store.pc,
                     store_seq=training_store.seq,
                     store_snapshot=training_store.hist_snapshot,
                     store_number=training_store.store_number,
-                    history=ctx.history,
+                    history=history,
                 )
-                if ctx.emit_violation is not None:
-                    ctx.emit_violation(
-                        Violation(phantom_index, op.pc, info, True, measuring)
+                if self.emit_violation is not None:
+                    self.emit_violation(
+                        Violation(phantom_index, op.pc, violation, True, measuring)
                     )
 
 
 class StoreStage:
     """Stores: AGU scheduling, Store Sets serialisation, window insertion."""
 
-    __slots__ = ("ctx", "store_ports")
+    __slots__ = (
+        "ctx",
+        "reg_ready",
+        "window_append",
+        "window_by_seq",
+        "predict_store",
+        "allocate_store_port",
+        "allocate_commit",
+        "allocate_drain",
+        "store_ring",
+        "sq",
+        "d2i",
+        "dispatch_info",
+        "emit_store_recorded",
+    )
 
     def __init__(self, ctx: SimContext, issue_stage: IssueStage) -> None:
         self.ctx = ctx
-        self.store_ports = issue_stage.port(OpKind.STORE)
+        self.reg_ready = ctx.reg_ready
+        self.window_append = ctx.window.append
+        self.window_by_seq = ctx.window.by_seq
+        self.predict_store = ctx.predictor.on_store_dispatch
+        self.allocate_store_port = issue_stage.ports[OpKind.STORE].allocate
+        self.allocate_commit = ctx.commit.allocate
+        self.allocate_drain = ctx.drain.allocate
+        self.store_ring = ctx.store_ring
+        self.sq = ctx.sq
+        self.d2i = ctx.d2i
+        # The reusable per-store predictor hand-off record (see module doc).
+        self.dispatch_info = StoreDispatchInfo(
+            pc=0, seq=0, hist_snapshot=0, store_number=0, history=ctx.history
+        )
+        self.emit_store_recorded = ctx.emit_store_recorded
 
     def process(
         self,
@@ -452,40 +578,37 @@ class StoreStage:
         measuring: bool,
     ) -> Tuple[int, int, int]:
         ctx = self.ctx
-        reg_ready = ctx.reg_ready
-        window = ctx.window
+        reg_ready = self.reg_ready
         store_count = ctx.store_count
+        pc = op.pc
         data_operands = 0
         for reg in op.store_data_regs:
             ready = reg_ready[reg]
             if ready > data_operands:
                 data_operands = ready
-        store_pred = ctx.predictor.on_store_dispatch(
-            StoreDispatchInfo(
-                pc=op.pc,
-                seq=index,
-                hist_snapshot=snapshot,
-                store_number=store_count,
-                history=ctx.history,
-            )
-        )
+        info = self.dispatch_info
+        info.pc = pc
+        info.seq = index
+        info.hist_snapshot = snapshot
+        info.store_number = store_count
+        store_pred = self.predict_store(info)
         agu_ready = ready_to_issue
-        exec_floor = max(dispatch_cycle + ctx.d2i, data_operands)
+        exec_floor = max(dispatch_cycle + self.d2i, data_operands)
         if store_pred.is_dependence:
             # Store Sets serialises stores of a set: this store may not
             # execute before the previous store of its set.
             for dep_seq in store_pred.store_seqs:
-                record = window.by_seq(dep_seq)
+                record = self.window_by_seq(dep_seq)
                 if record is not None:
                     agu_ready = max(agu_ready, record.exec_cycle + 1)
-        issue = self.store_ports.allocate(agu_ready)
+        issue = self.allocate_store_port(agu_ready)
         addr_ready = issue + 1
         complete = max(addr_ready, exec_floor)
-        commit_cycle = ctx.commit.allocate(max(complete + 1, ctx.last_commit))
-        drain_cycle = ctx.drain.allocate(commit_cycle + 1)
+        commit_cycle = self.allocate_commit(max(complete + 1, ctx.last_commit))
+        drain_cycle = self.allocate_drain(commit_cycle + 1)
         record = StoreRecord(
             seq=index,
-            pc=op.pc,
+            pc=pc,
             address=op.mem.address,
             size=op.mem.size,
             store_number=store_count,
@@ -494,10 +617,10 @@ class StoreStage:
             drain_cycle=drain_cycle,
             hist_snapshot=snapshot,
         )
-        if ctx.emit_store_recorded is not None:
-            ctx.emit_store_recorded(StoreRecorded(index, record, measuring))
-        window.append(record)
-        ctx.store_ring[store_count % ctx.sq] = drain_cycle
+        if self.emit_store_recorded is not None:
+            self.emit_store_recorded(StoreRecorded(index, record, measuring))
+        self.window_append(record)
+        self.store_ring[store_count % self.sq] = drain_cycle
         ctx.store_count += 1
         return issue, complete, commit_cycle
 
@@ -505,17 +628,25 @@ class StoreStage:
 class BranchStage:
     """Branches: front-end prediction, redirects, wrong-path replay."""
 
-    __slots__ = ("ctx", "memory_stage", "branch_ports", "latency",
-                 "redirect_penalty")
+    __slots__ = ("ctx", "memory_stage", "allocate_branch_port", "latency",
+                 "redirect_penalty", "observe", "record_history",
+                 "allocate_commit", "wrong_path_depth", "wrong_path_after",
+                 "emit_branch_resolved")
 
     def __init__(
         self, ctx: SimContext, issue_stage: IssueStage, memory_stage: MemoryStage
     ) -> None:
         self.ctx = ctx
         self.memory_stage = memory_stage
-        self.branch_ports = issue_stage.port(OpKind.BRANCH)
+        self.allocate_branch_port = issue_stage.ports[OpKind.BRANCH].allocate
         self.latency = ctx.config.latencies[OpKind.BRANCH]
         self.redirect_penalty = ctx.config.branch_redirect_penalty
+        self.observe = ctx.branch_predictor.observe
+        self.record_history = ctx.history.record
+        self.allocate_commit = ctx.commit.allocate
+        self.wrong_path_depth = ctx.wrong_path_depth
+        self.wrong_path_after = ctx.wrong_path_after
+        self.emit_branch_resolved = ctx.emit_branch_resolved
 
     def process(
         self,
@@ -526,65 +657,81 @@ class BranchStage:
         measuring: bool,
     ) -> Tuple[int, int, int]:
         ctx = self.ctx
-        issue = self.branch_ports.allocate(ready_to_issue)
+        issue = self.allocate_branch_port(ready_to_issue)
         complete = issue + self.latency
         branch = op.branch
-        mispredicted = ctx.branch_predictor.observe(
-            op.pc, branch.kind, branch.taken, branch.target
-        )
-        if ctx.emit_branch_resolved is not None:
-            ctx.emit_branch_resolved(
+        mispredicted = self.observe(op.pc, branch.kind, branch.taken, branch.target)
+        if self.emit_branch_resolved is not None:
+            self.emit_branch_resolved(
                 BranchResolved(index, op.pc, branch.taken, mispredicted, measuring)
             )
-        wrong_path_depth = ctx.wrong_path_depth
+        wrong_path_depth = self.wrong_path_depth
         if mispredicted:
             redirect = complete + self.redirect_penalty
             if redirect > ctx.frontend_ready:
                 ctx.frontend_ready = redirect
             if wrong_path_depth:
-                wrong_index = ctx.wrong_path_after.get((op.pc, not branch.taken))
+                wrong_index = self.wrong_path_after.get((op.pc, not branch.taken))
                 if wrong_index is not None:
                     self.memory_stage.run_wrong_path(
                         wrong_index, wrong_path_depth, dispatch_cycle, measuring
                     )
         if wrong_path_depth:
-            ctx.wrong_path_after.setdefault((op.pc, branch.taken), index + 1)
-        ctx.history.record(op.pc, branch)
-        commit_cycle = ctx.commit.allocate(max(complete + 1, ctx.last_commit))
+            self.wrong_path_after.setdefault((op.pc, branch.taken), index + 1)
+        self.record_history(op.pc, branch)
+        commit_cycle = self.allocate_commit(max(complete + 1, ctx.last_commit))
         return issue, complete, commit_cycle
 
 
 class ExecuteStage:
-    """ALU / MUL / DIV / FP / NOP: fixed-latency execution."""
+    """ALU / MUL / DIV / FP / NOP: fixed-latency execution.
 
-    __slots__ = ("ctx", "issue_stage", "latencies")
+    The per-kind port pool, latency and busy span are precomputed into one
+    dispatch table at construction — the hot path does a single dict lookup
+    per op instead of two (latency + port) plus an is-DIV test.
+    """
+
+    __slots__ = ("ctx", "reg_ready", "allocate_commit", "by_kind")
 
     def __init__(self, ctx: SimContext, issue_stage: IssueStage) -> None:
         self.ctx = ctx
-        self.issue_stage = issue_stage
-        self.latencies = ctx.config.latencies
+        self.reg_ready = ctx.reg_ready
+        self.allocate_commit = ctx.commit.allocate
+        self.by_kind = {}
+        for kind, latency in ctx.config.latencies.items():
+            pool = issue_stage.ports.get(kind)
+            if pool is None:
+                continue
+            busy = latency if kind is OpKind.DIV else 1  # DIV unpipelined
+            self.by_kind[kind] = (pool.allocate, latency, busy)
 
     def process(
         self, op: MicroOp, kind: OpKind, dispatch_cycle: int, ready_to_issue: int
     ) -> Tuple[int, int, int]:
         ctx = self.ctx
-        latency = self.latencies[kind]
-        busy = latency if kind is OpKind.DIV else 1  # DIV unpipelined
-        issue = self.issue_stage.ports[kind].allocate(ready_to_issue, busy_cycles=busy)
+        allocate_port, latency, busy = self.by_kind[kind]
+        issue = allocate_port(ready_to_issue, busy)
         complete = issue + latency
         if op.dst_reg is not None:
-            ctx.reg_ready[op.dst_reg] = complete
-        commit_cycle = ctx.commit.allocate(max(complete + 1, ctx.last_commit))
+            self.reg_ready[op.dst_reg] = complete
+        commit_cycle = self.allocate_commit(max(complete + 1, ctx.last_commit))
         return issue, complete, commit_cycle
 
 
 class CommitStage:
     """Retire bookkeeping: rings, retirement watermark, interval boundaries."""
 
-    __slots__ = ("ctx",)
+    __slots__ = ("ctx", "commit_ring", "issue_ring", "rob", "iq",
+                 "emit_op_committed", "emit_interval")
 
     def __init__(self, ctx: SimContext) -> None:
         self.ctx = ctx
+        self.commit_ring = ctx.commit_ring
+        self.issue_ring = ctx.issue_ring
+        self.rob = ctx.rob
+        self.iq = ctx.iq
+        self.emit_op_committed = ctx.emit_op_committed
+        self.emit_interval = ctx.emit_interval
 
     def retire(
         self,
@@ -597,11 +744,11 @@ class CommitStage:
         measuring: bool,
     ) -> None:
         ctx = self.ctx
-        ctx.commit_ring[index % ctx.rob] = commit_cycle
-        ctx.issue_ring[index % ctx.iq] = issue
+        self.commit_ring[index % self.rob] = commit_cycle
+        self.issue_ring[index % self.iq] = issue
         if commit_cycle > ctx.last_commit:
             ctx.last_commit = commit_cycle
-        emit = ctx.emit_op_committed
+        emit = self.emit_op_committed
         if emit is not None:
             emit(
                 OpCommitted(
@@ -609,11 +756,11 @@ class CommitStage:
                 )
             )
         if measuring:
-            if ctx.emit_interval is not None:
+            if self.emit_interval is not None:
                 ctx.interval_op_count += 1
                 if ctx.interval_op_count >= ctx.interval_ops:
                     end_cycle = ctx.last_commit
-                    ctx.emit_interval(
+                    self.emit_interval(
                         IntervalBoundary(
                             ctx.interval_index,
                             ctx.interval_start_op,

@@ -21,6 +21,7 @@ from repro.common.bitops import mask
 from repro.common.counters import SignedSaturatingCounter
 from repro.common.rng import DeterministicRNG
 from repro.frontend.branch_predictors import BranchPredictor
+from repro.isa.microop import BranchKind
 
 
 def geometric_history_lengths(minimum: int, maximum: int, count: int) -> List[int]:
@@ -52,7 +53,7 @@ class FoldedHistory:
     shifted in, in O(1) per update.
     """
 
-    __slots__ = ("length", "width", "value", "_out_pos")
+    __slots__ = ("length", "width", "value", "_out_pos", "_mask")
 
     def __init__(self, length: int, width: int) -> None:
         if length <= 0 or width <= 0:
@@ -61,14 +62,18 @@ class FoldedHistory:
         self.width = width
         self.value = 0
         self._out_pos = length % width
+        self._mask = mask(width)
 
     def update(self, new_bit: int, outgoing_bit: int) -> None:
-        """Shift ``new_bit`` in and ``outgoing_bit`` (history[length-1]) out."""
-        self.value = ((self.value << 1) | (new_bit & 1)) & mask(self.width)
-        self.value ^= (self.value >> self.width) & 1  # carry wraparound
-        self.value ^= (outgoing_bit & 1) << self._out_pos
-        self.value ^= self.value >> self.width << self.width  # re-mask
-        self.value &= mask(self.width)
+        """Shift ``new_bit`` in and ``outgoing_bit`` (history[length-1]) out.
+
+        The shifted-in value is masked to ``width`` bits *before* the outgoing
+        bit is XORed back at ``length % width`` — the XOR cannot leave the
+        masked range, so a single mask suffices.
+        """
+        self.value = (((self.value << 1) | (new_bit & 1)) & self._mask) ^ (
+            (outgoing_bit & 1) << self._out_pos
+        )
 
 
 @dataclass
@@ -102,6 +107,8 @@ class TAGEPredictor(BranchPredictor):
         self._lengths = geometric_history_lengths(min_history, max_history, num_tables)
         self._index_bits = table_index_bits
         self._tag_bits = tag_bits
+        self._index_mask = mask(table_index_bits)
+        self._tag_mask = mask(tag_bits)
         self._useful_max = (1 << useful_bits) - 1
         self._useful_bits = useful_bits
         self._reset_period = reset_period
@@ -114,7 +121,12 @@ class TAGEPredictor(BranchPredictor):
             [TageEntry() for _ in range(1 << table_index_bits)]
             for _ in self._lengths
         ]
-        self._history: List[int] = [0] * (max(self._lengths) + 1)
+        # Global history as a fixed circular buffer: ``_history[(head + i) %
+        # len]`` is history bit ``i`` (0 = youngest). A plain list with
+        # ``insert(0)`` costs O(max_history) per branch; the cursor is O(1).
+        self._hist_size = max(self._lengths) + 1
+        self._history: List[int] = [0] * self._hist_size
+        self._hist_head = 0
         self._folded_index = [
             FoldedHistory(length, table_index_bits) for length in self._lengths
         ]
@@ -134,12 +146,12 @@ class TAGEPredictor(BranchPredictor):
     def _table_index(self, pc: int, table: int) -> int:
         return (
             pc ^ (pc >> (self._index_bits - table)) ^ self._folded_index[table].value
-        ) & mask(self._index_bits)
+        ) & self._index_mask
 
     def _table_tag(self, pc: int, table: int) -> int:
         return (
             pc ^ self._folded_tag0[table].value ^ (self._folded_tag1[table].value << 1)
-        ) & mask(self._tag_bits)
+        ) & self._tag_mask
 
     def _lookup(self, pc: int) -> Tuple[Optional[int], Optional[int]]:
         """Return (provider_table, alternate_table), longest-history match first."""
@@ -162,8 +174,10 @@ class TAGEPredictor(BranchPredictor):
 
     # -- BranchPredictor interface -------------------------------------------
 
-    def predict(self, pc: int) -> bool:
-        provider, alternate = self._lookup(pc)
+    def _final_prediction(
+        self, pc: int, provider: Optional[int], alternate: Optional[int]
+    ) -> bool:
+        """The TAGE prediction given an already-computed :meth:`_lookup`."""
         if provider is None:
             return self._bimodal_prediction(pc)
         entry = self._tables[provider][self._table_index(pc, provider)]
@@ -174,10 +188,19 @@ class TAGEPredictor(BranchPredictor):
             return self._bimodal_prediction(pc)
         return entry.counter.is_positive
 
-    def update(self, pc: int, taken: bool) -> None:
+    def predict(self, pc: int) -> bool:
         provider, alternate = self._lookup(pc)
-        final_prediction = self.predict(pc)
+        return self._final_prediction(pc, provider, alternate)
 
+    def _train(
+        self,
+        pc: int,
+        taken: bool,
+        provider: Optional[int],
+        alternate: Optional[int],
+        final_prediction: bool,
+    ) -> None:
+        """The update sequence given an already-computed lookup + prediction."""
         if provider is not None:
             entry = self._tables[provider][self._table_index(pc, provider)]
             provider_prediction = entry.counter.is_positive
@@ -209,6 +232,27 @@ class TAGEPredictor(BranchPredictor):
         if self._branch_count % self._reset_period == 0:
             self._reset_useful()
 
+    def update(self, pc: int, taken: bool) -> None:
+        provider, alternate = self._lookup(pc)
+        final_prediction = self._final_prediction(pc, provider, alternate)
+        self._train(pc, taken, provider, alternate, final_prediction)
+
+    def observe(self, pc: int, kind, taken: bool, target: int) -> bool:
+        """Predict-then-train with the table search shared between the two.
+
+        The base-class ``observe`` calls ``predict`` then ``update``, which
+        re-runs the tagged-table search (and ``update`` historically re-ran it
+        a third time for its own ``predict``). Nothing mutates between the
+        two phases, so one :meth:`_lookup` serves both — bit-identical, one
+        search per conditional branch instead of three.
+        """
+        if kind is BranchKind.CONDITIONAL:
+            provider, alternate = self._lookup(pc)
+            final_prediction = self._final_prediction(pc, provider, alternate)
+            self._train(pc, taken, provider, alternate, final_prediction)
+            return final_prediction != taken
+        return super().observe(pc, kind, taken, target)
+
     # -- internals -----------------------------------------------------------
 
     def _allocate(self, pc: int, taken: bool, start_table: int) -> None:
@@ -236,13 +280,20 @@ class TAGEPredictor(BranchPredictor):
 
     def _shift_history(self, pc: int, taken: bool) -> None:
         new_bit = int(taken) ^ (pc & 1)
+        history = self._history
+        head = self._hist_head
+        size = self._hist_size
+        folded_index = self._folded_index
+        folded_tag0 = self._folded_tag0
+        folded_tag1 = self._folded_tag1
         for table, length in enumerate(self._lengths):
-            outgoing = self._history[length - 1]
-            self._folded_index[table].update(new_bit, outgoing)
-            self._folded_tag0[table].update(new_bit, outgoing)
-            self._folded_tag1[table].update(new_bit, outgoing)
-        self._history.insert(0, new_bit)
-        self._history.pop()
+            outgoing = history[(head + length - 1) % size]
+            folded_index[table].update(new_bit, outgoing)
+            folded_tag0[table].update(new_bit, outgoing)
+            folded_tag1[table].update(new_bit, outgoing)
+        head = (head - 1) % size
+        history[head] = new_bit
+        self._hist_head = head
 
     def _reset_useful(self) -> None:
         for table_entries in self._tables:

@@ -57,10 +57,20 @@ class Prediction:
 NO_DEPENDENCE = Prediction()
 
 
-# The info records below are constructed on the pipeline's hot path (several
-# per load), so they are slotted, non-frozen dataclasses: plain attribute
+# The info records below are slotted, non-frozen dataclasses: plain attribute
 # stores in __init__ instead of frozen's object.__setattr__ round trips.
-# Predictors must treat them as read-only.
+#
+# Reuse contract (hot-path allocation discipline):
+#
+# * ``LoadDispatchInfo`` and ``StoreDispatchInfo`` are *transient*: the
+#   pipeline owns a single mutable instance of each and rewrites its fields
+#   for every dispatching op (``repro.core.stages``). Predictors must read
+#   them synchronously inside the hook and must NOT retain a reference or
+#   mutate them — copy any field they need past the call.
+# * ``ViolationInfo`` and ``LoadCommitInfo`` ride on probe-bus events
+#   (``Violation`` / ``LoadCommitted``) whose subscribers may legitimately
+#   keep them, so the pipeline allocates those fresh per event; they stay
+#   valid indefinitely but are still read-only by convention.
 
 
 @dataclass(slots=True)

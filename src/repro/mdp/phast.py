@@ -21,6 +21,15 @@ The cost-effective organisation (Sec. IV-B, Table II): eight 4-way tables of
 and 2-bit LRU — 14.5 KB total. History entries carry a type bit, a taken bit
 and the 5 low bits of the destination actually taken; the PC hashes are
 ``PC ^ PC>>2 ^ PC>>5`` (index) and the 3/7-offset variant (tag).
+
+Folding is *incremental*, like the hardware's circular history registers:
+one :class:`~repro.mdp.tables.ChunkedFoldedHistory` per non-zero ladder
+length slides forward as divergent branches retire (lazy catch-up against
+the master log between queries), so a lookup reads eight ready fold values
+instead of re-folding up to 32 chunks per table. Queries at a *stale*
+snapshot (commit-time training after younger branches already retired) fall
+back to the reference :func:`~repro.mdp.tables.fold_window` without touching
+the rolling state; both paths are provably the same function of the window.
 """
 
 from __future__ import annotations
@@ -37,7 +46,12 @@ from repro.mdp.base import (
     Prediction,
     ViolationInfo,
 )
-from repro.mdp.tables import PredictionEntry, SetAssocTable, fold_window
+from repro.mdp.tables import (
+    ChunkedFoldedHistory,
+    PredictionEntry,
+    SetAssocTable,
+    fold_window,
+)
 
 #: The paper's geometric-like ladder of history lengths (Sec. IV-B).
 DEFAULT_HISTORY_LENGTHS: Tuple[int, ...] = (0, 2, 4, 6, 8, 12, 16, 32)
@@ -74,27 +88,87 @@ class PHASTPredictor(MDPredictor):
         self._max_distance = (1 << distance_bits) - 1
         self._target_bits = target_bits
         self._index_bits = ceil_log2(sets_per_table)
+        self._index_mask = mask(self._index_bits)
+        self._tag_mask = mask(tag_bits)
+        self._fold_width = self._index_bits + tag_bits
         self._tables: List[SetAssocTable] = [
             SetAssocTable(sets_per_table, ways) for _ in self._lengths
         ]
         # load seq -> (table position, entry) that provided the prediction
         self._pending: Dict[int, Tuple[int, PredictionEntry]] = {}
+        # Rolling folds, one per non-zero ladder length, kept in sync with the
+        # adopted history log up to master position `_synced`.
+        self._hist: Optional[GlobalHistory] = None
+        self._synced = 0
+        self._folds: Dict[int, ChunkedFoldedHistory] = {}
+        self._fold_list: List[ChunkedFoldedHistory] = []
+        # PC hash memo: load PCs repeat heavily, the hashes are pure.
+        self._pc_keys: Dict[int, Tuple[int, int]] = {}
 
     # -- hashing (Sec. IV-B) -----------------------------------------------------
+
+    def _hash_pc(self, pc: int) -> Tuple[int, int]:
+        keys = self._pc_keys.get(pc)
+        if keys is None:
+            keys = (
+                pc_hash_index(pc, self._index_bits),
+                pc_hash_tag(pc, self._tag_bits),
+            )
+            self._pc_keys[pc] = keys
+        return keys
+
+    def _adopt(self, history: GlobalHistory, snapshot: int) -> None:
+        """Seed the rolling folds from ``history`` at ``snapshot``."""
+        self._hist = history
+        self._synced = snapshot
+        self._folds = {}
+        target_bits = self._target_bits
+        view = history.divergent
+        for length in self._lengths:
+            if length == 0:
+                continue
+            fold = ChunkedFoldedHistory(length, HISTORY_CHUNK_BITS, self._fold_width)
+            for record in view.window(snapshot, length):
+                fold.push(record.encode(target_bits))
+            self._folds[length] = fold
+        self._fold_list = list(self._folds.values())
+
+    def _fold_at(self, history: GlobalHistory, snapshot: int, length: int) -> int:
+        """Fold of the last ``length`` divergent records before ``snapshot``."""
+        if history is not self._hist:
+            self._adopt(history, snapshot)
+        if snapshot == self._synced:
+            return self._folds[length].value
+        if snapshot > self._synced:
+            records = history.divergent.records_in_master_range(self._synced, snapshot)
+            if records:
+                target_bits = self._target_bits
+                folds = self._fold_list
+                for record in records:
+                    chunk = record.encode(target_bits)
+                    for fold in folds:
+                        fold.push(chunk)
+            self._synced = snapshot
+            return self._folds[length].value
+        # Stale snapshot (commit-time training after younger branches already
+        # retired): reference fold, rolling state untouched.
+        window = history.divergent.window(snapshot, length)
+        return fold_window(
+            encode_window(window, self._target_bits), HISTORY_CHUNK_BITS, self._fold_width
+        )
 
     def _keys(
         self, pc: int, history: GlobalHistory, snapshot: int, length: int
     ) -> Tuple[int, int]:
         """Index and tag for a lookup of history length ``length``."""
-        index = pc_hash_index(pc, self._index_bits)
-        tag = pc_hash_tag(pc, self._tag_bits)
+        index, tag = self._hash_pc(pc)
         if length > 0:
-            window = history.divergent.window(snapshot, length)
-            chunks = encode_window(window, self._target_bits)
-            folded = fold_window(chunks, HISTORY_CHUNK_BITS, self._index_bits + self._tag_bits)
-            index ^= folded & mask(self._index_bits)
+            folded = self._fold_at(history, snapshot, length)
+            # The fold is index_bits + tag_bits wide, so both XOR terms are
+            # already in range: no re-masking needed.
+            index ^= folded & self._index_mask
             tag ^= folded >> self._index_bits
-        return index & mask(self._index_bits), tag & mask(self._tag_bits)
+        return index, tag
 
     def training_length(self, required: int) -> int:
         """Truncate the required N+1 onto the ladder (largest length <= it)."""
@@ -112,12 +186,25 @@ class PHASTPredictor(MDPredictor):
         """Search every table; take the longest confident match (Sec. IV-A3)."""
         self.stats.load_predictions += 1
         self.stats.table_reads += len(self._tables)
+        lengths = self._lengths
+        tables = self._tables
+        history = load.history
+        snapshot = load.hist_snapshot
+        index0, tag0 = self._hash_pc(load.pc)
+        fold_at = self._fold_at
+        index_mask = self._index_mask
+        index_bits = self._index_bits
         best: Optional[Tuple[int, PredictionEntry]] = None
-        for position in range(len(self._lengths) - 1, -1, -1):
-            index, tag = self._keys(
-                load.pc, load.history, load.hist_snapshot, self._lengths[position]
-            )
-            entry = self._tables[position].lookup(index, tag)
+        for position in range(len(lengths) - 1, -1, -1):
+            length = lengths[position]
+            if length > 0:
+                folded = fold_at(history, snapshot, length)
+                index = index0 ^ (folded & index_mask)
+                tag = tag0 ^ (folded >> index_bits)
+            else:
+                index = index0
+                tag = tag0
+            entry = tables[position].lookup(index, tag)
             if entry is not None and entry.confidence > 0:
                 best = (position, entry)
                 break

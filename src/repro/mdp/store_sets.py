@@ -50,8 +50,10 @@ class StoreSetsPredictor(MDPredictor):
     ) -> None:
         super().__init__()
         self._ssit_entries = ssit_entries
+        self._ssit_shift = ceil_log2(ssit_entries)
         self._lfst_entries = lfst_entries
         self._ssid_bits = ssid_bits
+        self._ssid_mask = mask(ssid_bits)
         self._store_id_bits = store_id_bits
         self._reset_interval = reset_interval
 
@@ -63,7 +65,7 @@ class StoreSetsPredictor(MDPredictor):
     # -- indexing --------------------------------------------------------------
 
     def _ssit_index(self, pc: int) -> int:
-        return (pc ^ (pc >> ceil_log2(self._ssit_entries))) % self._ssit_entries
+        return (pc ^ (pc >> self._ssit_shift)) % self._ssit_entries
 
     def _lfst_index(self, ssid: int) -> int:
         return ssid % self._lfst_entries
@@ -76,7 +78,7 @@ class StoreSetsPredictor(MDPredictor):
 
     def _allocate_ssid(self) -> int:
         ssid = self._next_ssid
-        self._next_ssid = (self._next_ssid + 1) & mask(self._ssid_bits)
+        self._next_ssid = (self._next_ssid + 1) & self._ssid_mask
         return ssid
 
     # -- predictor interface -----------------------------------------------------

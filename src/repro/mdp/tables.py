@@ -123,9 +123,26 @@ def fold_window(chunks: Sequence[int], chunk_bits: int, width: int) -> int:
 
 
 class ChunkedFoldedHistory:
-    """Incrementally maintained :func:`fold_window` over a sliding window."""
+    """Incrementally maintained :func:`fold_window` over a sliding window.
 
-    __slots__ = ("length", "chunk_bits", "width", "value", "_window")
+    ``push`` is on the per-branch hot path of every folded-history predictor,
+    so the two circular rotations are inlined with their amounts (and the
+    complementary shifts and masks) precomputed at construction.
+    """
+
+    __slots__ = (
+        "length",
+        "chunk_bits",
+        "width",
+        "value",
+        "_window",
+        "_chunk_mask",
+        "_width_mask",
+        "_rot_in",
+        "_rot_in_c",
+        "_rot_out",
+        "_rot_out_c",
+    )
 
     def __init__(self, length: int, chunk_bits: int, width: int) -> None:
         if length <= 0 or chunk_bits <= 0 or width <= 0:
@@ -135,16 +152,30 @@ class ChunkedFoldedHistory:
         self.width = width
         self.value = 0
         self._window: Deque[int] = deque([0] * length, maxlen=length)
+        self._chunk_mask = mask(chunk_bits)
+        self._width_mask = mask(width)
+        self._rot_in = chunk_bits % width  # rotation of the running fold
+        self._rot_in_c = width - self._rot_in
+        self._rot_out = (chunk_bits * length) % width  # rotation of the evictee
+        self._rot_out_c = width - self._rot_out
 
     def push(self, chunk: int) -> None:
         """Slide the window by one entry."""
-        chunk &= mask(self.chunk_bits)
-        outgoing = self._window[0]
-        self._window.append(chunk)
-        rotated = _rotate(self.value, self.chunk_bits, self.width)
-        rotated ^= chunk
-        rotated ^= _rotate(outgoing, self.chunk_bits * self.length, self.width)
-        self.value = rotated & mask(self.width)
+        chunk &= self._chunk_mask
+        window = self._window
+        outgoing = window[0]
+        window.append(chunk)
+        width_mask = self._width_mask
+        value = self.value
+        rot_in = self._rot_in
+        if rot_in:
+            value = ((value << rot_in) | (value >> self._rot_in_c)) & width_mask
+        value ^= chunk
+        rot_out = self._rot_out
+        outgoing &= width_mask
+        if rot_out:
+            outgoing = ((outgoing << rot_out) | (outgoing >> self._rot_out_c)) & width_mask
+        self.value = (value ^ outgoing) & width_mask
 
     def window(self) -> Tuple[int, ...]:
         return tuple(self._window)

@@ -24,10 +24,10 @@ window's cycles — no per-cycle sampling needed.
 
 from __future__ import annotations
 
-import os
 from dataclasses import asdict, dataclass, fields
 from typing import Callable, Dict, List, Mapping, Optional, Type
 
+from repro.common.env import env_int
 from repro.core.probes import (
     BranchResolved,
     IntervalBoundary,
@@ -46,13 +46,10 @@ DEFAULT_INTERVAL_OPS = 2000
 def heartbeat_interval_ops() -> int:
     """Heartbeat window size (committed ops), resolved at call time.
 
-    ``REPRO_HEARTBEAT_OPS=0`` (or negative) disables worker heartbeats.
+    ``REPRO_HEARTBEAT_OPS=0`` disables worker heartbeats. A malformed value
+    is a hard error (it used to fall back silently, which hid typos).
     """
-    try:
-        value = int(os.environ.get(HEARTBEAT_ENV, str(DEFAULT_INTERVAL_OPS)))
-    except ValueError:
-        return DEFAULT_INTERVAL_OPS
-    return max(0, value)
+    return env_int(HEARTBEAT_ENV, DEFAULT_INTERVAL_OPS, min_value=0)
 
 
 @dataclass
@@ -75,11 +72,15 @@ class IntervalWindow:
 
     @property
     def violation_mpki(self) -> float:
-        return self.violations * 1000.0 / max(1, self.committed_uops)
+        if not self.committed_uops:
+            return 0.0
+        return self.violations * 1000.0 / self.committed_uops
 
     @property
     def branch_mpki(self) -> float:
-        return self.branch_mispredicts * 1000.0 / max(1, self.committed_uops)
+        if not self.committed_uops:
+            return 0.0
+        return self.branch_mispredicts * 1000.0 / self.committed_uops
 
     @property
     def occupancy(self) -> float:

@@ -22,6 +22,7 @@ import os
 import warnings
 from typing import Callable, Dict, Iterable, Optional, Tuple, Union
 
+from repro.common.env import env_int
 from repro.common.lru import CacheInfo, LRUCache
 from repro.core.config import CoreConfig
 from repro.core.pipeline import Pipeline
@@ -57,12 +58,12 @@ _FALLBACK_WARMUP_OPS = 0
 
 def default_num_ops() -> int:
     """Default dynamic trace length (REPRO_TRACE_OPS, read at call time)."""
-    return int(os.environ.get("REPRO_TRACE_OPS", str(_FALLBACK_NUM_OPS)))
+    return env_int("REPRO_TRACE_OPS", _FALLBACK_NUM_OPS, min_value=1)
 
 
 def default_warmup_ops() -> int:
     """Default warm-up exclusion (REPRO_WARMUP_OPS, read at call time)."""
-    return int(os.environ.get("REPRO_WARMUP_OPS", str(_FALLBACK_WARMUP_OPS)))
+    return env_int("REPRO_WARMUP_OPS", _FALLBACK_WARMUP_OPS, min_value=0)
 
 
 def __getattr__(name: str) -> int:
@@ -189,14 +190,15 @@ def make_predictor(name: str) -> MDPredictor:
 
 
 def _trace_cache_size() -> int:
-    return int(os.environ.get("REPRO_TRACE_CACHE_SIZE", "32"))
+    return env_int("REPRO_TRACE_CACHE_SIZE", 32, min_value=1)
 
 
 #: In-process trace cache: tier 1 of the three-tier lookup. Bounded so a
 #: long-lived process sweeping many (profile, seed, num_ops) combinations
 #: cannot grow without limit. Capacity comes from REPRO_TRACE_CACHE_SIZE
-#: (read at import time; default 32 ≈ one full SPEC suite).
-_TRACE_CACHE: LRUCache = LRUCache(maxsize=max(1, _trace_cache_size()))
+#: (default 32 ≈ one full SPEC suite), re-read on every ``get_trace`` so a
+#: mid-process change takes effect — shrinking evicts LRU entries eagerly.
+_TRACE_CACHE: LRUCache = LRUCache(maxsize=_trace_cache_size())
 
 
 def get_trace(
@@ -215,6 +217,11 @@ def get_trace(
     """
     if isinstance(profile, str):
         profile = workload(profile)
+    # REPRO_TRACE_CACHE_SIZE is honoured at call time, not frozen at import:
+    # a harness that tightens the cap mid-process sheds entries immediately.
+    size = _trace_cache_size()
+    if size != _TRACE_CACHE.maxsize:
+        _TRACE_CACHE.resize(size)
     # The seed participates in the key: a --seed-overridden profile shares
     # its name with the default profile but is a different trace.
     key = (profile.name, profile.seed, num_ops)

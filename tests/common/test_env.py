@@ -1,0 +1,91 @@
+"""Tests for the validated environment-knob helper."""
+
+import pytest
+
+from repro.common.env import EnvVarError, env_int
+
+
+def test_unset_returns_default(monkeypatch):
+    monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+    assert env_int("REPRO_TEST_KNOB", 42) == 42
+
+
+def test_set_value_parsed(monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_KNOB", "7")
+    assert env_int("REPRO_TEST_KNOB", 42) == 7
+
+
+def test_negative_allowed_without_min(monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_KNOB", "-3")
+    assert env_int("REPRO_TEST_KNOB", 42) == -3
+
+
+def test_non_integer_names_variable(monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_KNOB", "10k")
+    with pytest.raises(EnvVarError, match="REPRO_TEST_KNOB"):
+        env_int("REPRO_TEST_KNOB", 42)
+
+
+def test_below_min_names_variable(monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_KNOB", "0")
+    with pytest.raises(EnvVarError, match="REPRO_TEST_KNOB.*>= 1"):
+        env_int("REPRO_TEST_KNOB", 42, min_value=1)
+
+
+def test_min_is_inclusive(monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_KNOB", "1")
+    assert env_int("REPRO_TEST_KNOB", 42, min_value=1) == 1
+
+
+def test_envvarerror_is_valueerror():
+    # Callers that guarded the old bare int() with ValueError still work.
+    assert issubclass(EnvVarError, ValueError)
+
+
+def test_default_is_not_range_checked(monkeypatch):
+    monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+    assert env_int("REPRO_TEST_KNOB", 0, min_value=1) == 0
+
+
+class TestWiredKnobs:
+    """The simulator/interval knobs reject malformed values at call time."""
+
+    def test_trace_ops(self, monkeypatch):
+        from repro.sim.simulator import default_num_ops
+
+        monkeypatch.setenv("REPRO_TRACE_OPS", "lots")
+        with pytest.raises(EnvVarError, match="REPRO_TRACE_OPS"):
+            default_num_ops()
+        monkeypatch.setenv("REPRO_TRACE_OPS", "0")
+        with pytest.raises(EnvVarError, match="REPRO_TRACE_OPS"):
+            default_num_ops()
+        monkeypatch.setenv("REPRO_TRACE_OPS", "1234")
+        assert default_num_ops() == 1234
+
+    def test_warmup_ops(self, monkeypatch):
+        from repro.sim.simulator import default_warmup_ops
+
+        monkeypatch.setenv("REPRO_WARMUP_OPS", "-1")
+        with pytest.raises(EnvVarError, match="REPRO_WARMUP_OPS"):
+            default_warmup_ops()
+        monkeypatch.setenv("REPRO_WARMUP_OPS", "0")
+        assert default_warmup_ops() == 0
+
+    def test_trace_cache_size(self, monkeypatch):
+        from repro.sim.simulator import _trace_cache_size
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE_SIZE", "big")
+        with pytest.raises(EnvVarError, match="REPRO_TRACE_CACHE_SIZE"):
+            _trace_cache_size()
+        monkeypatch.setenv("REPRO_TRACE_CACHE_SIZE", "0")
+        with pytest.raises(EnvVarError, match="REPRO_TRACE_CACHE_SIZE"):
+            _trace_cache_size()
+
+    def test_heartbeat_ops(self, monkeypatch):
+        from repro.sim.intervals import heartbeat_interval_ops
+
+        monkeypatch.setenv("REPRO_HEARTBEAT_OPS", "soon")
+        with pytest.raises(EnvVarError, match="REPRO_HEARTBEAT_OPS"):
+            heartbeat_interval_ops()
+        monkeypatch.setenv("REPRO_HEARTBEAT_OPS", "0")
+        assert heartbeat_interval_ops() == 0

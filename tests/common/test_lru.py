@@ -128,6 +128,31 @@ class TestLRUCache:
         with pytest.raises(ValueError):
             LRUCache(maxsize=0)
 
+    def test_resize_shrink_evicts_lru(self):
+        cache = LRUCache(maxsize=4)
+        for key in ("a", "b", "c", "d"):
+            cache.put(key, key)
+        cache.get("a")  # promote: LRU order is now b, c, d, a
+        cache.resize(2)
+        assert cache.maxsize == 2
+        assert list(cache) == ["d", "a"]
+
+    def test_resize_grow_keeps_entries(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.resize(5)
+        assert cache.maxsize == 5
+        assert len(cache) == 2
+        cache.put("c", 3)
+        cache.put("d", 4)
+        assert "a" in cache  # no eviction until the new capacity is reached
+
+    def test_resize_invalid(self):
+        cache = LRUCache(maxsize=2)
+        with pytest.raises(ValueError):
+            cache.resize(0)
+
     @given(st.integers(1, 5), st.lists(st.integers(0, 9), max_size=80))
     def test_never_exceeds_capacity(self, maxsize, keys):
         cache = LRUCache(maxsize=maxsize)

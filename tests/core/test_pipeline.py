@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import CoreConfig
-from repro.core.pipeline import Pipeline, _PortPool, _WidthCursor
+from repro.core.pipeline import Pipeline, PipelineStats, _PortPool, _WidthCursor
 from repro.frontend.branch_predictors import AlwaysTakenPredictor
 from repro.isa.trace import Trace
 from repro.mdp.ideal import AlwaysSpeculatePredictor, AlwaysWaitPredictor, IdealPredictor
@@ -80,6 +80,59 @@ class TestBasicTiming:
         pipeline = Pipeline(CoreConfig(), AlwaysSpeculatePredictor())
         stats = pipeline.run(Trace(alu_block(100)), max_ops=10)
         assert stats.committed_uops == 10
+
+
+class TestDegenerateStats:
+    """Zero-commit consistency: every derived rate reads 0.0, like ``ipc``.
+
+    The MPKI properties used to divide by ``max(1, committed_uops)`` while
+    ``ipc`` guarded with ``if self.cycles``, so a zero-op stats record could
+    report nonzero misses-per-kilo-op over zero committed ops.
+    """
+
+    def test_fresh_stats_rates_are_zero(self):
+        stats = PipelineStats()
+        assert stats.ipc == 0.0
+        assert stats.violation_mpki == 0.0
+        assert stats.false_positive_mpki == 0.0
+        assert stats.total_mdp_mpki == 0.0
+        assert stats.branch_mpki == 0.0
+
+    def test_zero_commit_with_nonzero_events(self):
+        # Events without commits (e.g. a window cut before any measured
+        # commit) must not divide by the max(1, ...) stand-in denominator.
+        stats = PipelineStats(violations=3, false_positives=2, branch_mispredicts=5)
+        assert stats.violation_mpki == 0.0
+        assert stats.false_positive_mpki == 0.0
+        assert stats.branch_mpki == 0.0
+
+    def test_interval_window_zero_commit(self):
+        from repro.sim.intervals import IntervalWindow
+
+        window = IntervalWindow(
+            index=0,
+            start_op=0,
+            end_op=-1,
+            cycles=10,
+            committed_uops=0,
+            violations=4,
+            branch_mispredicts=4,
+        )
+        assert window.ipc == 0.0
+        assert window.violation_mpki == 0.0
+        assert window.branch_mpki == 0.0
+
+    def test_empty_trace_still_rejected(self):
+        # An empty run cannot silently produce the degenerate stats: the
+        # pipeline refuses it (warmup 0 >= total 0), as test_warmup pins.
+        pipeline = Pipeline(CoreConfig(), AlwaysSpeculatePredictor())
+        with pytest.raises(ValueError):
+            pipeline.run(Trace([]))
+
+    def test_nonzero_commit_unchanged(self):
+        stats = PipelineStats(committed_uops=2000, violations=3, branch_mispredicts=8)
+        assert stats.violation_mpki == pytest.approx(1.5)
+        assert stats.branch_mpki == pytest.approx(4.0)
 
 
 class TestBranchHandling:

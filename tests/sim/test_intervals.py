@@ -132,9 +132,15 @@ class TestHeartbeatKnob:
         assert heartbeat_interval_ops() == 500
         monkeypatch.setenv(HEARTBEAT_ENV, "0")
         assert heartbeat_interval_ops() == 0
-        monkeypatch.setenv(HEARTBEAT_ENV, "-3")
-        assert heartbeat_interval_ops() == 0
 
-    def test_garbage_falls_back_to_default(self, monkeypatch):
+    def test_negative_rejected(self, monkeypatch):
+        monkeypatch.setenv(HEARTBEAT_ENV, "-3")
+        with pytest.raises(ValueError, match=HEARTBEAT_ENV):
+            heartbeat_interval_ops()
+
+    def test_garbage_rejected_with_variable_name(self, monkeypatch):
+        # A typo used to be silently replaced by the default; now it is a
+        # hard error naming the knob.
         monkeypatch.setenv(HEARTBEAT_ENV, "soon")
-        assert heartbeat_interval_ops() == DEFAULT_INTERVAL_OPS
+        with pytest.raises(ValueError, match=HEARTBEAT_ENV):
+            heartbeat_interval_ops()

@@ -131,11 +131,34 @@ class TestTraceCache:
     def test_cache_is_bounded(self, monkeypatch):
         from repro.common.lru import LRUCache
 
+        monkeypatch.setenv("REPRO_TRACE_CACHE_SIZE", "2")
         monkeypatch.setattr(simulator, "_TRACE_CACHE", LRUCache(maxsize=2))
         for ops in (700, 701, 702, 703):
             get_trace("511.povray", ops)
         assert trace_cache_info().currsize == 2
         assert len(simulator._TRACE_CACHE) == 2
+
+    def test_cache_size_honoured_mid_process(self, monkeypatch):
+        # REPRO_TRACE_CACHE_SIZE is re-read on every get_trace, so changing
+        # it after import (or after other lookups) takes effect immediately;
+        # shrinking evicts the least recently used traces eagerly.
+        from repro.common.lru import LRUCache
+
+        monkeypatch.setattr(simulator, "_TRACE_CACHE", LRUCache(maxsize=4))
+        monkeypatch.setenv("REPRO_TRACE_CACHE_SIZE", "4")
+        for ops in (710, 711, 712, 713):
+            get_trace("511.povray", ops)
+        assert trace_cache_info().currsize == 4
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE_SIZE", "2")
+        kept = get_trace("511.povray", 713)  # resizes, then hits
+        assert trace_cache_info().maxsize == 2
+        assert trace_cache_info().currsize == 2
+        assert get_trace("511.povray", 713) is kept  # MRU survived the shrink
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE_SIZE", "8")
+        get_trace("511.povray", 714)
+        assert trace_cache_info().maxsize == 8
 
 
 class TestTraceStoreTier:

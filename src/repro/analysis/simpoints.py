@@ -26,11 +26,11 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.config import CoreConfig
-from repro.core.pipeline import Pipeline
-from repro.frontend.tage import TAGEPredictor
+from repro.isa.artifacts import TraceStore
 from repro.isa.trace import Trace
 from repro.mdp.base import MDPredictor
-from repro.sim.simulator import get_trace, make_predictor
+from repro.sim.simulator import build_pipeline, get_trace
+from repro.sim.spec import RunSpec
 from repro.workloads.generator import WorkloadProfile
 
 #: Dimensionality of the hashed PC-frequency vectors.
@@ -127,11 +127,24 @@ class SimPointResult:
         return self.total_ops / max(1, self.simulated_ops)
 
 
+def _point_spec(spec: RunSpec) -> RunSpec:
+    """A copy of ``spec`` whose predictor state is fresh for one point.
+
+    String predictors are instantiated per pipeline by the registry anyway;
+    an *instance* predictor would otherwise carry training state from one
+    representative into the next, which is not the SimPoint methodology
+    (each checkpointed interval starts from its own warmed state).
+    """
+    if isinstance(spec.predictor, str):
+        return spec
+    return spec.with_overrides(predictor=type(spec.predictor)())
+
+
 def simulate_simpoints(
-    profile: Union[str, WorkloadProfile],
-    predictor: Union[str, MDPredictor],
-    total_ops: int,
-    interval_ops: int,
+    profile: Union[RunSpec, str, WorkloadProfile],
+    predictor: Optional[Union[str, MDPredictor]] = None,
+    total_ops: Optional[int] = None,
+    interval_ops: Optional[int] = None,
     max_clusters: int = 5,
     warmup_fraction: float = 0.2,
     config: Optional[CoreConfig] = None,
@@ -139,14 +152,50 @@ def simulate_simpoints(
 ) -> SimPointResult:
     """Estimate IPC from SimPoint representatives instead of the full trace.
 
+    The canonical form takes a :class:`~repro.sim.spec.RunSpec` (workload,
+    predictor, core, trace length and trace store all come from the spec)::
+
+        simulate_simpoints(RunSpec("502.gcc", "phast", num_ops=100_000),
+                           interval_ops=2_000)
+
+    The legacy form ``simulate_simpoints(profile, predictor, total_ops,
+    interval_ops, ...)`` packs its arguments into a spec and behaves
+    identically. ``seed`` seeds the k-means clustering in both forms.
+
     Each representative interval is simulated with a leading warm-up region
     (the previous ``warmup_fraction`` of an interval, when available) whose
     statistics are discarded — mirroring how SimPoint users warm
-    microarchitectural state before each checkpoint.
+    microarchitectural state before each checkpoint. For warming from
+    functionally-warmed checkpoints instead of cold leads — plus error
+    bars and parallel interval fan-out — see ``repro.sampling.run_sampled``.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError(f"warmup_fraction out of range: {warmup_fraction}")
-    trace = get_trace(profile, total_ops)
+    if isinstance(profile, RunSpec):
+        if predictor is not None or config is not None:
+            raise TypeError(
+                "simulate_simpoints(spec, ...) takes predictor and config "
+                "from the spec; use spec.with_overrides(...) to vary them"
+            )
+        spec = profile
+        if total_ops is not None:
+            spec = spec.with_overrides(num_ops=total_ops)
+        if interval_ops is None:
+            interval_ops = spec.interval_ops
+        if interval_ops is None:
+            raise TypeError("simulate_simpoints() requires interval_ops")
+    else:
+        if predictor is None or total_ops is None or interval_ops is None:
+            raise TypeError(
+                "simulate_simpoints() requires predictor, total_ops and "
+                "interval_ops (or a RunSpec)"
+            )
+        spec = RunSpec(
+            workload=profile, predictor=predictor, config=config, num_ops=total_ops
+        )
+
+    store = TraceStore(spec.trace_dir) if spec.trace_dir else None
+    trace = get_trace(spec.resolved_profile(), spec.resolved_num_ops(), store=store)
     points = choose_simpoints(trace, interval_ops, max_clusters, seed=seed)
 
     point_ipcs: List[float] = []
@@ -156,13 +205,7 @@ def simulate_simpoints(
         start = point.interval_index * interval_ops
         lead = min(warmup, start)
         window = trace.slice(start - lead, start + interval_ops)
-        if isinstance(predictor, str):
-            instance = make_predictor(predictor)
-        else:
-            instance = type(predictor)()  # fresh state per point
-        pipeline = Pipeline(
-            config or CoreConfig(), instance, branch_predictor=TAGEPredictor()
-        )
+        pipeline, _ = build_pipeline(_point_spec(spec))
         stats = pipeline.run(window, warmup_ops=lead)
         point_ipcs.append(stats.ipc)
         simulated += len(window)
@@ -173,5 +216,5 @@ def simulate_simpoints(
         points=tuple(points),
         point_ipcs=tuple(point_ipcs),
         simulated_ops=simulated,
-        total_ops=total_ops,
+        total_ops=spec.resolved_num_ops(),
     )

@@ -10,6 +10,9 @@ Commands:
   (``--resume`` to continue a killed campaign, ``--status`` to inspect it).
 * ``probe`` — simulate one pair with interval metrics enabled and print the
   per-window IPC / violation-MPKI / occupancy table (``--json`` to export).
+* ``sample`` — checkpointed sampled run (``repro.sampling``): functional
+  warming to SimPoint representatives, detailed interval runs (optionally
+  fanned out across workers), weighted estimate with 95% sampling CIs.
 * ``trace`` — manage the compiled trace artifact store
   (``trace compile`` / ``trace ls`` / ``trace verify``).
 * ``workloads`` — list the synthetic SPEC CPU 2017-like profiles.
@@ -33,10 +36,16 @@ from repro.core.config import GENERATIONS, CoreConfig
 from repro.harness.executor import ProcessCellExecutor
 from repro.harness.store import ResultStore
 from repro.harness.sweep import SweepRunner, build_cells
-from repro.isa.artifacts import ENV_TRACE_STORE, TraceStore
+from repro.isa.artifacts import ENV_TRACE_STORE, CheckpointStore, TraceStore
 from repro.mdp.storage import format_table2
+from repro.sampling import (
+    default_sample_interval_ops,
+    default_sample_warmup_ops,
+    run_sampled,
+)
 from repro.sim.experiment import ExperimentGrid
 from repro.sim.intervals import DEFAULT_INTERVAL_OPS
+from repro.sim.spec import RunSpec
 from repro.sim.simulator import (
     available_predictors,
     default_num_ops,
@@ -335,6 +344,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sample(args: argparse.Namespace) -> int:
+    spec = RunSpec(
+        workload=args.workload,
+        predictor=args.predictor,
+        config=_core_config(args.core),
+        num_ops=args.num_ops,
+        seed=args.seed,
+        check_invariants=True if args.check_invariants else None,
+        trace_dir=args.trace_store,
+    )
+    interval_ops = (
+        default_sample_interval_ops()
+        if args.interval_ops is None
+        else args.interval_ops
+    )
+    warmup_ops = (
+        default_sample_warmup_ops() if args.warmup_ops is None else args.warmup_ops
+    )
+    result = run_sampled(
+        spec,
+        interval_ops=interval_ops,
+        warmup_ops=warmup_ops,
+        max_clusters=args.clusters,
+        seed=args.cluster_seed,
+        checkpoint_store=CheckpointStore(args.checkpoint_store),
+        workers=args.workers,
+    )
+    sampling = result.sampling
+    print(result.summary())
+    print(
+        f"ipc={sampling.ipc:.4f} ±{sampling.ipc_ci95:.4f}  "
+        f"violation_mpki={sampling.violation_mpki:.3f} "
+        f"±{sampling.violation_mpki_ci95:.3f}  (95% sampling CI)"
+    )
+    print(
+        f"intervals: {sampling.num_representatives} representatives of "
+        f"{sampling.num_intervals} x {sampling.interval_ops} ops "
+        f"(+{sampling.warmup_ops}-op detailed lead each); "
+        f"detail fraction {sampling.detail_fraction:.4f}"
+    )
+    print(
+        f"checkpoints: reused={sampling.checkpoints_reused} "
+        f"warmed={sampling.checkpoints_warmed} store={args.checkpoint_store}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -446,6 +502,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--check-invariants", action="store_true")
     sweep.set_defaults(func=_cmd_sweep)
+
+    sample = sub.add_parser(
+        "sample",
+        help="checkpointed sampled run: functional warming + representative "
+        "intervals with sampling-error bars",
+    )
+    sample.add_argument("workload")
+    sample.add_argument("predictor", choices=available_predictors())
+    sample.add_argument("--num-ops", type=int, default=num_ops_default)
+    sample.add_argument("--core", default="alderlake", choices=sorted(GENERATIONS))
+    sample.add_argument(
+        "--seed", type=int, default=None, help="override the workload trace seed"
+    )
+    sample.add_argument(
+        "--interval-ops",
+        type=int,
+        default=None,
+        help="measured ops per representative ($REPRO_SAMPLE_INTERVAL_OPS)",
+    )
+    sample.add_argument(
+        "--warmup-ops",
+        type=int,
+        default=None,
+        help="detailed-warmup lead per interval ($REPRO_SAMPLE_WARMUP_OPS)",
+    )
+    sample.add_argument(
+        "--clusters",
+        type=int,
+        default=5,
+        help="maximum SimPoint clusters (= representative intervals)",
+    )
+    sample.add_argument(
+        "--cluster-seed", type=int, default=0, help="k-means clustering seed"
+    )
+    sample.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the interval fan-out (1 = inline)",
+    )
+    sample.add_argument(
+        "--trace-store",
+        default=_default_trace_store(),
+        help="trace artifact store directory ($REPRO_TRACE_STORE)",
+    )
+    sample.add_argument(
+        "--checkpoint-store",
+        default=os.path.join(os.environ.get(ENV_STORE, DEFAULT_STORE), "checkpoints"),
+        help="checkpoint artifact store directory",
+    )
+    sample.add_argument("--check-invariants", action="store_true")
+    sample.set_defaults(func=_cmd_sample)
 
     trace = sub.add_parser(
         "trace",

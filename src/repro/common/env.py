@@ -1,10 +1,17 @@
 """Validated environment-variable parsing for the repro knobs.
 
 Every integer knob in the package (``REPRO_TRACE_OPS``, ``REPRO_WARMUP_OPS``,
-``REPRO_TRACE_CACHE_SIZE``, ``REPRO_HEARTBEAT_OPS``) is read through
+``REPRO_TRACE_CACHE_SIZE``, ``REPRO_HEARTBEAT_OPS``,
+``REPRO_SAMPLE_INTERVAL_OPS``, ``REPRO_SAMPLE_WARMUP_OPS``) is read through
 :func:`env_int` so that a typo such as ``REPRO_TRACE_OPS=10k`` fails fast with
 the variable name in the message instead of surfacing as a bare ``ValueError``
 deep inside a sweep worker (or, worse, being silently replaced by a default).
+
+The sampling pair shapes checkpointed sampled runs (``repro sample``,
+:mod:`repro.sampling`): ``REPRO_SAMPLE_INTERVAL_OPS`` is the measured
+interval length per SimPoint representative, ``REPRO_SAMPLE_WARMUP_OPS`` the
+detailed-warmup lead replayed in front of each interval before measurement
+starts. Both are resolved at call time, like every other knob here.
 """
 
 from __future__ import annotations

@@ -241,6 +241,146 @@ class StatsProbe(Probe):
         )
 
 
+class PipelineRun:
+    """One in-progress trace execution: ``begin()`` -> ``advance()`` -> ``finish()``.
+
+    ``Pipeline.run`` is simply ``begin`` + one full ``advance`` + ``finish``;
+    the segmented form exists so callers can pause the program-order loop at
+    an arbitrary op index — the checkpointed-sampling subsystem
+    (:mod:`repro.sampling`) snapshots machine state between ``advance`` calls
+    and resumes a restored run bit-identically.
+
+    Stage objects are built *lazily* on the first ``advance`` call, not at
+    ``begin``: stages snapshot context structures (rings, the store window,
+    predictor hooks) into their own slots at construction, so a restore that
+    swaps those structures wholesale must happen after ``begin`` but before
+    the first advance. The restored run then binds its stages to the restored
+    state exactly as a fresh run binds to fresh state.
+    """
+
+    __slots__ = ("pipeline", "trace", "ctx", "next_index", "_stages")
+
+    def __init__(
+        self, pipeline: "Pipeline", trace: Trace, total: int, warmup_ops: int
+    ) -> None:
+        self.pipeline = pipeline
+        self.trace = trace
+        self.next_index = 0
+        self._stages = None
+        ctx = SimContext(
+            config=pipeline.config,
+            hierarchy=pipeline.hierarchy,
+            history=pipeline.history,
+            predictor=pipeline.predictor,
+            branch_predictor=pipeline.branch_predictor,
+            checker=pipeline.invariants,
+            trace=trace,
+            total=total,
+            warmup_ops=warmup_ops,
+        )
+        ctx.bind(pipeline.bus)
+        self.ctx = ctx
+
+    def _build_stages(self) -> None:
+        ctx = self.ctx
+        dispatch_stage = DispatchStage(ctx)
+        issue_stage = IssueStage(ctx)
+        squash_unit = SquashUnit(ctx)
+        memory_stage = MemoryStage(ctx, issue_stage, squash_unit)
+        store_stage = StoreStage(ctx, issue_stage)
+        branch_stage = BranchStage(ctx, issue_stage, memory_stage)
+        execute_stage = ExecuteStage(ctx, issue_stage)
+        commit_stage = CommitStage(ctx)
+        self._stages = (
+            dispatch_stage.process,
+            memory_stage.process,
+            store_stage.process,
+            branch_stage.process,
+            execute_stage.process,
+            commit_stage.retire,
+        )
+
+    def advance(self, until: Optional[int] = None) -> int:
+        """Process ops up to (but excluding) index ``until``; returns the cursor.
+
+        ``None`` runs to the end of the (possibly ``max_ops``-capped) trace.
+        Calling with ``until <= next_index`` is a no-op, so drivers can clamp
+        freely.
+        """
+        ctx = self.ctx
+        total = ctx.total
+        stop = total if until is None else min(until, total)
+        start = self.next_index
+        if stop <= start:
+            return start
+        if self._stages is None:
+            self._build_stages()
+
+        # Bound methods hoisted out of the loop; the loop body below is the
+        # per-op hot path.
+        (
+            process_dispatch,
+            process_load,
+            process_store,
+            process_branch,
+            process_execute,
+            retire,
+        ) = self._stages
+        trace = self.trace
+        warmup_ops = ctx.warmup_ops
+        load_kind = OpKind.LOAD
+        store_kind = OpKind.STORE
+        branch_kind = OpKind.BRANCH
+
+        for index in range(start, stop):
+            op = trace[index]
+            kind = op.kind
+            measuring = index >= warmup_ops
+            dispatch_cycle, ready_to_issue, snapshot = process_dispatch(
+                op, index, kind, measuring
+            )
+            if kind is load_kind:
+                issue, complete, commit_cycle = process_load(
+                    op, index, dispatch_cycle, ready_to_issue, snapshot, measuring
+                )
+            elif kind is store_kind:
+                issue, complete, commit_cycle = process_store(
+                    op, index, dispatch_cycle, ready_to_issue, snapshot, measuring
+                )
+            elif kind is branch_kind:
+                issue, complete, commit_cycle = process_branch(
+                    op, index, dispatch_cycle, ready_to_issue, measuring
+                )
+            else:  # ALU / MUL / DIV / FP / NOP
+                issue, complete, commit_cycle = process_execute(
+                    op, kind, dispatch_cycle, ready_to_issue
+                )
+            retire(index, kind, dispatch_cycle, issue, complete, commit_cycle,
+                   measuring)
+        self.next_index = stop
+        return stop
+
+    @property
+    def done(self) -> bool:
+        return self.next_index >= self.ctx.total
+
+    def finish(self) -> PipelineStats:
+        """Emit ``RunFinished`` and return the pipeline's statistics."""
+        ctx = self.ctx
+        emit_finished = self.pipeline.bus.resolve(RunFinished)
+        if emit_finished is not None:
+            emit_finished(
+                RunFinished(
+                    ctx.total,
+                    ctx.total - ctx.warmup_ops,
+                    ctx.warmup_ops,
+                    ctx.last_commit,
+                    ctx.warmup_end_cycle,
+                )
+            )
+        return self.pipeline.stats
+
+
 class Pipeline:
     """One core running one trace with one memory dependence predictor.
 
@@ -303,6 +443,23 @@ class Pipeline:
 
     # ------------------------------------------------------------------ run --
 
+    def begin(
+        self,
+        trace: Trace,
+        max_ops: Optional[int] = None,
+        warmup_ops: int = 0,
+    ) -> PipelineRun:
+        """Start (but do not advance) a run; returns its :class:`PipelineRun`.
+
+        The handle's context is built and bound to the bus here; stages are
+        constructed on the first ``advance``, so checkpoint restore can swap
+        context structures in between (see :class:`PipelineRun`).
+        """
+        total = len(trace) if max_ops is None else min(max_ops, len(trace))
+        if warmup_ops < 0 or warmup_ops >= total:
+            raise ValueError(f"warmup_ops must be in [0, {total}), got {warmup_ops}")
+        return PipelineRun(self, trace, total, warmup_ops)
+
     def run(
         self,
         trace: Trace,
@@ -315,79 +472,6 @@ class Pipeline:
         — but are excluded from every counter and from the cycle count, the
         paper's SimPoint-style steady-state methodology (Sec. V).
         """
-        total = len(trace) if max_ops is None else min(max_ops, len(trace))
-        if warmup_ops < 0 or warmup_ops >= total:
-            raise ValueError(f"warmup_ops must be in [0, {total}), got {warmup_ops}")
-
-        ctx = SimContext(
-            config=self.config,
-            hierarchy=self.hierarchy,
-            history=self.history,
-            predictor=self.predictor,
-            branch_predictor=self.branch_predictor,
-            checker=self.invariants,
-            trace=trace,
-            total=total,
-            warmup_ops=warmup_ops,
-        )
-        ctx.bind(self.bus)
-
-        dispatch_stage = DispatchStage(ctx)
-        issue_stage = IssueStage(ctx)
-        squash_unit = SquashUnit(ctx)
-        memory_stage = MemoryStage(ctx, issue_stage, squash_unit)
-        store_stage = StoreStage(ctx, issue_stage)
-        branch_stage = BranchStage(ctx, issue_stage, memory_stage)
-        execute_stage = ExecuteStage(ctx, issue_stage)
-        commit_stage = CommitStage(ctx)
-
-        # Bound methods hoisted out of the loop; the loop body below is the
-        # per-op hot path.
-        process_dispatch = dispatch_stage.process
-        process_load = memory_stage.process
-        process_store = store_stage.process
-        process_branch = branch_stage.process
-        process_execute = execute_stage.process
-        retire = commit_stage.retire
-        load_kind = OpKind.LOAD
-        store_kind = OpKind.STORE
-        branch_kind = OpKind.BRANCH
-
-        for index in range(total):
-            op = trace[index]
-            kind = op.kind
-            measuring = index >= warmup_ops
-            dispatch_cycle, ready_to_issue, snapshot = process_dispatch(
-                op, index, kind, measuring
-            )
-            if kind is load_kind:
-                issue, complete, commit_cycle = process_load(
-                    op, index, dispatch_cycle, ready_to_issue, snapshot, measuring
-                )
-            elif kind is store_kind:
-                issue, complete, commit_cycle = process_store(
-                    op, index, dispatch_cycle, ready_to_issue, snapshot, measuring
-                )
-            elif kind is branch_kind:
-                issue, complete, commit_cycle = process_branch(
-                    op, index, dispatch_cycle, ready_to_issue, measuring
-                )
-            else:  # ALU / MUL / DIV / FP / NOP
-                issue, complete, commit_cycle = process_execute(
-                    op, kind, dispatch_cycle, ready_to_issue
-                )
-            retire(index, kind, dispatch_cycle, issue, complete, commit_cycle,
-                   measuring)
-
-        emit_finished = self.bus.resolve(RunFinished)
-        if emit_finished is not None:
-            emit_finished(
-                RunFinished(
-                    total,
-                    total - warmup_ops,
-                    warmup_ops,
-                    ctx.last_commit,
-                    ctx.warmup_end_cycle,
-                )
-            )
-        return self.stats
+        handle = self.begin(trace, max_ops=max_ops, warmup_ops=warmup_ops)
+        handle.advance()
+        return handle.finish()

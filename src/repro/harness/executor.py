@@ -20,6 +20,15 @@ completed per-``REPRO_HEARTBEAT_OPS`` window over the pipe. The parent
 stashes the most recent window per cell, so when a cell hangs and is killed
 (or crashes), its failure manifest records the last interval it completed —
 "died at op ~14000 with IPC collapsing" instead of just "timeout".
+
+The executor is job-generic: the default worker simulates a
+:class:`CellSpec`, but any picklable job works with a custom ``worker=``
+callable of the same ``(conn, job, check_invariants)`` shape that sends the
+same tagged messages (``("ok", SimResult.to_record())`` on success). A job
+only needs ``describe()`` (for failure manifests); ``key()`` is required
+only when a ``store`` is passed to ``run_many``. ``repro.sampling`` uses
+this to fan checkpoint-restored interval runs out across workers without a
+parallel scheduler of its own.
 """
 
 from __future__ import annotations
@@ -363,6 +372,10 @@ class ProcessCellExecutor:
         durable are returned as cache hits without spawning a worker; fresh
         results and final failures are persisted as they complete, so a
         killed sweep resumes from its last finished cell.
+
+        ``specs`` may be any picklable jobs (not just :class:`CellSpec`)
+        when a matching custom ``worker=`` was given at construction;
+        without a ``store`` only ``describe()`` is required of them.
         """
         outcomes: Dict[int, CellOutcome] = {}
         pending: List[Tuple[int, CellSpec, int, float]] = []  # (idx, spec, attempt, not_before)

@@ -250,6 +250,111 @@ class TraceStore:
         return f"TraceStore({str(self.root)!r})"
 
 
+def checkpoint_key(
+    run_describe: Mapping[str, object],
+    trace_digest: str,
+    op_index: int,
+    format_version: int,
+    semantics_version: int,
+) -> TraceKey:
+    """Content-hash key of one machine-state checkpoint.
+
+    Keyed by everything that determines the warmed state: the run identity
+    (a :meth:`repro.sim.spec.RunSpec.describe` mapping — predictor, core
+    config, branch predictor, seed), the compiled trace's content digest,
+    the op index the checkpoint pauses at, the checkpoint *format* version
+    and the functional-warming *semantics* version. Bumping either version
+    orphans stale checkpoints as misses instead of resuming them wrongly —
+    same discipline as ``GENERATOR_VERSION`` for traces.
+
+    Returns a :class:`TraceKey`; the type is a plain (digest, describe)
+    pair and addresses checkpoint artifacts the same way it addresses
+    traces.
+    """
+    if op_index < 0:
+        raise ValueError(f"op_index must be >= 0, got {op_index}")
+    describe: Dict[str, object] = {
+        "kind": "checkpoint",
+        "run": dict(run_describe),
+        "trace_digest": trace_digest,
+        "op_index": op_index,
+        "format_version": format_version,
+        "semantics_version": semantics_version,
+    }
+    blob = json.dumps(describe, sort_keys=True)
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return TraceKey(digest=digest, describe=describe)
+
+
+class CheckpointStore:
+    """Content-addressed, crash-safe store of machine-state checkpoints.
+
+    Same contract as :class:`TraceStore`, but the payload is opaque bytes:
+    this module stays codec-agnostic (and pickle-free) — encoding and
+    decoding, including corruption-as-miss validation of the payload
+    itself, belong to :mod:`repro.sampling.checkpoint`. This layer only
+    guarantees atomic writes and missing/unreadable-file-as-miss reads.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def checkpoint_path(self, key: TraceKey) -> Path:
+        return self.root / f"{key.digest}.ckpt"
+
+    def meta_path(self, key: TraceKey) -> Path:
+        return self.root / f"{key.digest}.ckpt.json"
+
+    def load(self, key: TraceKey) -> Optional[bytes]:
+        """The stored artifact bytes, or None when missing/unreadable."""
+        try:
+            return self.checkpoint_path(key).read_bytes()
+        except OSError:
+            return None
+
+    def save(self, key: TraceKey, data: bytes) -> Path:
+        """Persist one encoded checkpoint atomically, with a sidecar."""
+        path = atomic_write_bytes(self.checkpoint_path(key), data)
+        atomic_write_json(
+            self.meta_path(key),
+            {
+                "key": key.digest,
+                **dict(key.describe),
+                "bytes": len(data),
+            },
+        )
+        return path
+
+    def contains(self, key: TraceKey) -> bool:
+        return self.checkpoint_path(key).is_file()
+
+    def entries(self) -> List[Dict[str, object]]:
+        """Metadata sidecars of every checkpoint, sorted by trace/op index."""
+        found: List[Dict[str, object]] = []
+        try:
+            meta_files = sorted(self.root.glob("*.ckpt.json"))
+        except OSError:
+            return found
+        for meta_file in meta_files:
+            try:
+                entry = json.loads(meta_file.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(entry, dict) and "key" in entry:
+                found.append(entry)
+        found.sort(key=lambda e: (str(e.get("trace_digest")), e.get("op_index", 0)))
+        return found
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.root.glob("*.ckpt"))
+        except OSError:
+            return 0
+
+    def __repr__(self) -> str:
+        return f"CheckpointStore({str(self.root)!r})"
+
+
 def default_trace_store() -> Optional[TraceStore]:
     """The store named by ``REPRO_TRACE_STORE``, or None when unset.
 

@@ -25,6 +25,7 @@ SQ allocation index (Sec. IV-A4).
 from __future__ import annotations
 
 import abc
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Tuple, Type
 
@@ -196,6 +197,22 @@ class MDPredictor(abc.ABC):
 
     def reset_stats(self) -> None:
         self.stats = MDPStats()
+
+    def checkpoint_digest(self) -> int:
+        """Cheap semantic digest of predictor state (restore self-check).
+
+        The default covers the predictor's identity and access counters —
+        every hook bumps a counter, so a restore that loses training shows a
+        different digest. Subclasses with cheap table summaries may extend
+        this, but must stay O(1)-ish: it runs once per checkpoint.
+        """
+        stats = self.stats
+        blob = (
+            f"{type(self).__name__}:{self.name}:{stats.load_predictions}:"
+            f"{stats.dependences_predicted}:{stats.trainings}:"
+            f"{stats.table_reads}:{stats.table_writes}"
+        )
+        return zlib.crc32(blob.encode("ascii"))
 
 
 class MDPTrainingProbe(Probe):

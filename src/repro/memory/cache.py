@@ -13,6 +13,7 @@ class only models its own array and miss-status-holding registers (MSHRs):
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -161,6 +162,35 @@ class Cache:
     def register_fill(self, line: int, ready_cycle: int) -> None:
         """Record an in-flight fill for MSHR merging."""
         self._mshrs[line] = ready_cycle
+
+    def reset_transients(self) -> None:
+        """Drop cycle-stamped transient state (outstanding MSHR fills).
+
+        Checkpoint restore rebases the clock to 0; an MSHR entry carrying a
+        fill-completion cycle from the donor run's timeline would otherwise
+        block its line far into the restored run. Tag/LRU state — the part
+        worth warming — is untouched.
+        """
+        self._mshrs.clear()
+
+    def checkpoint_digest(self) -> int:
+        """Cheap semantic digest of the array state (restore self-check).
+
+        Covers the populated set count, the live tag population and the
+        access counters — enough to catch a checkpoint codec that silently
+        drops or miswires a level, without hashing every tag.
+        """
+        tags = sum(
+            1
+            for cache_set in self._sets.values()
+            for tag in cache_set.tags
+            if tag is not None
+        )
+        blob = (
+            f"{self.config.name}:{len(self._sets)}:{tags}:"
+            f"{self.stats.accesses}:{self.stats.hits}:{self.stats.misses}"
+        )
+        return zlib.crc32(blob.encode("ascii"))
 
     # -- the main timing entry point ---------------------------------------------
 

@@ -9,6 +9,7 @@ level that provided them.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -78,6 +79,26 @@ class MemoryHierarchy:
     @property
     def levels(self) -> List[Cache]:
         return [self.l1d, self.l2, self.l3]
+
+    def reset_transients(self) -> None:
+        """Clear cycle-stamped transients (MSHRs) at every level.
+
+        Called on checkpoint restore: the restored run starts its clock at 0,
+        so outstanding-fill completion cycles from the donor timeline must
+        not survive. Tags, LRU, prefetcher training and statistics do.
+        """
+        for cache in (self.l1i, self.l1d, self.l2, self.l3):
+            cache.reset_transients()
+
+    def checkpoint_digest(self) -> int:
+        """Combined per-level digest (see ``Cache.checkpoint_digest``)."""
+        digest = 0
+        for cache in (self.l1i, self.l1d, self.l2, self.l3):
+            digest = zlib.crc32(
+                cache.checkpoint_digest().to_bytes(4, "little"), digest
+            )
+        blob = f"{self.stats.loads}:{self.stats.stores}:{self.stats.prefetches}"
+        return zlib.crc32(blob.encode("ascii"), digest)
 
     def fetch_access(self, pc: int, cycle: int) -> int:
         """Instruction fetch: L1I backed by the shared L2/L3.

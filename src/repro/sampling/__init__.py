@@ -1,0 +1,54 @@
+"""Checkpointed sampled simulation.
+
+The paper simulates SimPoint-selected 100M-instruction intervals; full
+detailed simulation at that length is what this package buys back:
+
+* :mod:`repro.sampling.warming` — functional warming: fast-forward a trace
+  updating only architectural/predictor state (caches, branch history,
+  TAGE, MDP tables, the store window), no timing model;
+* :mod:`repro.sampling.checkpoint` — the versioned, CRC-guarded machine
+  state codec (``RCKP``), in the style of :mod:`repro.isa.serialize`;
+* :mod:`repro.sampling.state` — capture/restore of full machine state with
+  the bit-identity contract: a detailed run snapshotted at op *k* and
+  resumed produces exactly the statistics of the uninterrupted run;
+* :mod:`repro.sampling.sampled` — the interval scheduler: BBV clustering
+  picks representatives (:mod:`repro.analysis.simpoints`), one warmed
+  checkpoint per representative (content-addressed in a
+  :class:`repro.isa.artifacts.CheckpointStore`), detailed interval runs
+  fanned out through the harness executor, and weighted aggregation with
+  a stratified sampling-error bound on IPC.
+"""
+
+from repro.sampling.checkpoint import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    CheckpointFormatError,
+    decode_checkpoint,
+    encode_checkpoint,
+)
+from repro.sampling.sampled import (
+    SAMPLE_INTERVAL_ENV,
+    SAMPLE_WARMUP_ENV,
+    default_sample_interval_ops,
+    default_sample_warmup_ops,
+    run_sampled,
+)
+from repro.sampling.state import MachineState, capture_state, restore_run
+from repro.sampling.warming import FunctionalWarmer
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointFormatError",
+    "FunctionalWarmer",
+    "MachineState",
+    "SAMPLE_INTERVAL_ENV",
+    "SAMPLE_WARMUP_ENV",
+    "capture_state",
+    "decode_checkpoint",
+    "default_sample_interval_ops",
+    "default_sample_warmup_ops",
+    "encode_checkpoint",
+    "restore_run",
+    "run_sampled",
+]

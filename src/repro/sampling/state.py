@@ -1,0 +1,248 @@
+"""Capture and restore of full machine state, with a bit-identity contract.
+
+``capture_state`` collects everything a paused :class:`~repro.core.pipeline.
+PipelineRun` would need to continue — the component objects (predictor,
+branch predictor, memory hierarchy, branch history), the accumulated
+statistics, the invariant checker's cursor, the structural scheduling state
+(cursors, rings, port bookings, the in-flight store window) and the state of
+any checkpoint-aware probes — into one :class:`MachineState` tree.
+
+The tree is *referenced*, not copied: isolation comes from the codec
+(:mod:`repro.sampling.checkpoint`), which pickles the whole tree in one
+pass. A single pickle is load-bearing twice over: it snapshots the state
+without mutating the donor run, and it preserves intra-tree shared
+references — PHAST and the pipeline must keep sharing one ``GlobalHistory``
+after restore, or history snapshots diverge silently.
+
+``restore_run`` rebuilds a :class:`~repro.core.pipeline.Pipeline` around the
+restored components and returns a :class:`~repro.core.pipeline.PipelineRun`
+positioned at the captured op index. Restore happens in a precise order:
+
+1. the restored components are passed into ``Pipeline.__init__`` so the
+   built-in probes (stats, MDP training, invariants) bind to them;
+2. statistics and checker state are written *into* the objects those probes
+   captured at construction (the probes hold references, not values);
+3. ``Pipeline.begin`` builds and binds a fresh context, whose structural
+   fields are then overwritten wholesale — legal because stage objects are
+   built lazily on the first ``advance`` (see ``PipelineRun``).
+
+The contract, enforced by ``tests/sampling``: a detailed run snapshotted at
+any op and resumed through the codec produces bit-identical
+``PipelineStats``/``MDPStats``/interval windows vs the uninterrupted run,
+for every registered predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import CoreConfig
+from repro.core.pipeline import Pipeline, PipelineRun, PipelineStats
+from repro.core.probes import Probe
+from repro.frontend.branch_predictors import BranchPredictor
+from repro.frontend.history import GlobalHistory
+from repro.isa.trace import Trace
+from repro.mdp.base import MDPredictor
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sampling.checkpoint import CheckpointFormatError
+
+#: Context fields a checkpoint may carry. Detailed checkpoints carry all of
+#: them; functional checkpoints carry only the architectural subset (fresh
+#: zeros are the *correct* timing state when the clock rebases to 0).
+_CTX_FIELDS = (
+    # structural scheduling state
+    "dispatch",
+    "commit",
+    "drain",
+    "ports",
+    "commit_ring",
+    "issue_ring",
+    "load_ring",
+    "store_ring",
+    "reg_ready",
+    "window",
+    # progress counters
+    "load_count",
+    "store_count",
+    "frontend_ready",
+    "last_commit",
+    "last_fetch_line",
+    "wrong_path_after",
+    "warmup_end_cycle",
+    # interval-boundary cursors
+    "interval_index",
+    "interval_op_count",
+    "interval_start_cycle",
+    "interval_start_op",
+)
+
+
+def _probe_id(probe: Probe) -> str:
+    cls = type(probe)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+@dataclass
+class MachineState:
+    """One checkpoint's payload: components + counters + scheduling state.
+
+    ``mode`` records how the state was produced: ``"detailed"`` states came
+    from a paused detailed run and resume bit-identically; ``"functional"``
+    states came from :class:`~repro.sampling.warming.FunctionalWarmer` and
+    carry warmed architectural state over a fresh (cycle-0) timing state.
+    """
+
+    mode: str
+    trace_name: str
+    trace_len: int
+    op_index: int
+    total: int
+    warmup_ops: int
+    config: CoreConfig
+    predictor: MDPredictor
+    branch_predictor: BranchPredictor
+    hierarchy: MemoryHierarchy
+    history: GlobalHistory
+    stats: PipelineStats
+    checker_state: Optional[Dict[str, Any]]
+    ctx_struct: Dict[str, Any]
+    probe_states: List[Tuple[str, Any]]
+    digests: Dict[str, int]
+
+
+def component_digests(
+    history: GlobalHistory, hierarchy: MemoryHierarchy, predictor: MDPredictor
+) -> Dict[str, int]:
+    """The per-structure self-check digests embedded in every checkpoint."""
+    return {
+        "history": history.checkpoint_digest(),
+        "hierarchy": hierarchy.checkpoint_digest(),
+        "predictor": predictor.checkpoint_digest(),
+    }
+
+
+def capture_state(run: PipelineRun) -> MachineState:
+    """Snapshot a paused detailed run (no mutation; see module docstring).
+
+    The returned tree aliases live objects — pass it straight to
+    :func:`~repro.sampling.checkpoint.encode_checkpoint`; do not keep it
+    across further ``advance`` calls.
+    """
+    pipeline = run.pipeline
+    ctx = run.ctx
+    probe_states: List[Tuple[str, Any]] = []
+    for probe in pipeline.bus.probes:
+        getter = getattr(probe, "checkpoint_state", None)
+        if getter is not None:
+            probe_states.append((_probe_id(probe), getter()))
+    checker_state = (
+        dict(pipeline.invariants.__dict__) if pipeline.invariants is not None else None
+    )
+    return MachineState(
+        mode="detailed",
+        trace_name=run.trace.name,
+        trace_len=len(run.trace),
+        op_index=run.next_index,
+        total=ctx.total,
+        warmup_ops=ctx.warmup_ops,
+        config=pipeline.config,
+        predictor=pipeline.predictor,
+        branch_predictor=pipeline.branch_predictor,
+        hierarchy=pipeline.hierarchy,
+        history=pipeline.history,
+        stats=pipeline.stats,
+        checker_state=checker_state,
+        ctx_struct={name: getattr(ctx, name) for name in _CTX_FIELDS},
+        probe_states=probe_states,
+        digests=component_digests(
+            pipeline.history, pipeline.hierarchy, pipeline.predictor
+        ),
+    )
+
+
+def restore_run(
+    state: MachineState,
+    trace: Trace,
+    probes: Sequence[Probe] = (),
+    check_invariants: Optional[bool] = None,
+    total: Optional[int] = None,
+    warmup_ops: Optional[int] = None,
+    verify_digests: bool = True,
+) -> PipelineRun:
+    """Rebuild a runnable pipeline from a decoded checkpoint.
+
+    ``trace`` must be the same trace the checkpoint was taken on (validated
+    by name and length). ``total``/``warmup_ops`` default to the captured
+    run geometry — the detailed-resume case; the sampled scheduler overrides
+    both to point a functional checkpoint at one measured interval.
+
+    ``probes`` are attached to the new pipeline's bus; any probe exposing
+    the checkpoint-state protocol (``checkpoint_state()`` /
+    ``restore_checkpoint_state(state)``) is re-seeded from the captured
+    probe states, matched by class and attachment order.
+
+    ``check_invariants=None`` mirrors the donor: the checker is enabled iff
+    the donor ran with one (its cursor state is restored), keeping resumed
+    self-checks meaningful rather than starting a checker mid-stream that
+    never saw the prefix.
+    """
+    if trace.name != state.trace_name or len(trace) != state.trace_len:
+        raise CheckpointFormatError(
+            f"checkpoint was taken on trace {state.trace_name!r} "
+            f"({state.trace_len} ops), got {trace.name!r} ({len(trace)} ops)"
+        )
+    if verify_digests:
+        found = component_digests(state.history, state.hierarchy, state.predictor)
+        if found != state.digests:
+            drifted = sorted(
+                name for name in found if found[name] != state.digests.get(name)
+            )
+            raise CheckpointFormatError(
+                f"restored component state fails its self-check: {', '.join(drifted)}"
+            )
+    if check_invariants is None:
+        check_invariants = state.checker_state is not None
+
+    pipeline = Pipeline(
+        config=state.config,
+        predictor=state.predictor,
+        branch_predictor=state.branch_predictor,
+        hierarchy=state.hierarchy,
+        check_invariants=check_invariants,
+        probes=probes,
+    )
+    # The pipeline made itself a fresh history; the restored one replaces it
+    # before ``begin`` snapshots it into the run context.
+    pipeline.history = state.history
+    # Stats and checker state restore *in place*: StatsProbe/InvariantProbe
+    # captured these objects in Pipeline.__init__.
+    for field in dataclass_fields(PipelineStats):
+        setattr(pipeline.stats, field.name, getattr(state.stats, field.name))
+    if pipeline.invariants is not None and state.checker_state is not None:
+        pipeline.invariants.__dict__.update(state.checker_state)
+
+    # Re-seed checkpoint-aware probes, matched by class then attachment order.
+    saved: Dict[str, List[Any]] = {}
+    for probe_id, payload in state.probe_states:
+        saved.setdefault(probe_id, []).append(payload)
+    for probe in pipeline.bus.probes:
+        setter = getattr(probe, "restore_checkpoint_state", None)
+        if setter is None:
+            continue
+        queue = saved.get(_probe_id(probe))
+        if queue:
+            setter(queue.pop(0))
+
+    run = pipeline.begin(
+        trace,
+        max_ops=state.total if total is None else total,
+        warmup_ops=state.warmup_ops if warmup_ops is None else warmup_ops,
+    )
+    ctx = run.ctx
+    struct = state.ctx_struct
+    for name in _CTX_FIELDS:
+        if name in struct:
+            setattr(ctx, name, struct[name])
+    run.next_index = state.op_index
+    return run

@@ -182,6 +182,38 @@ class IntervalMetricsProbe(Probe):
             partial=True,
         )
 
+    # --------------------------------------------------- checkpoint protocol --
+
+    def checkpoint_state(self) -> Dict[str, object]:
+        """Snapshot the probe's accumulators (checkpointed-sampling protocol).
+
+        A probe exposing ``checkpoint_state``/``restore_checkpoint_state``
+        survives a mid-run machine-state snapshot: ``repro.sampling``
+        captures this payload with the rest of the machine and re-seeds a
+        same-class probe on restore, so a resumed run's interval windows are
+        bit-identical to an uninterrupted run's. ``on_window`` callbacks are
+        deliberately not captured — they are process-local wiring.
+        """
+        return {
+            "windows": [window.to_dict() for window in self.windows],
+            "committed": self._committed,
+            "violations": self._violations,
+            "mispredicts": self._mispredicts,
+            "residency": self._residency,
+            "last_op": self._last_op,
+        }
+
+    def restore_checkpoint_state(self, state: Mapping[str, object]) -> None:
+        """Inverse of :meth:`checkpoint_state`."""
+        self.windows = [
+            IntervalWindow.from_dict(window) for window in state["windows"]
+        ]
+        self._committed = state["committed"]
+        self._violations = state["violations"]
+        self._mispredicts = state["mispredicts"]
+        self._residency = state["residency"]
+        self._last_op = state["last_op"]
+
     # ------------------------------------------------------------- helpers --
 
     def _cut(

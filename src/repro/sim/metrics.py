@@ -17,6 +17,44 @@ def _stats_from_dict(cls, payload: Dict[str, object]):
 
 
 @dataclass(frozen=True)
+class SamplingSummary:
+    """How a sampled estimate was produced, and how tight it is.
+
+    Attached to a :class:`SimResult` by ``repro.sampling.run_sampled``: the
+    headline metrics there are *estimates* aggregated from SimPoint
+    representative intervals, and this record carries the sampling geometry
+    plus 95% sampling-error half-widths so a consumer can tell an exact
+    measurement from an estimated one (``SimResult.sampling is None`` vs
+    not) and judge whether a delta clears the error bars.
+    """
+
+    interval_ops: int  # ops per measured interval
+    warmup_ops: int  # detailed-warmup lead replayed before each interval
+    total_ops: int  # ops the estimate stands for (the whole trace)
+    simulated_ops: int  # ops actually measured in detail
+    num_intervals: int  # intervals the trace was cut into
+    num_representatives: int  # clusters / measured representatives
+    ipc: float  # weighted-mean IPC estimate
+    ipc_ci95: float  # 95% sampling CI half-width on the IPC estimate
+    violation_mpki: float
+    violation_mpki_ci95: float
+    checkpoints_warmed: int  # functional-warming passes paid this run
+    checkpoints_reused: int  # representatives served from the checkpoint store
+
+    @property
+    def detail_fraction(self) -> float:
+        """Fraction of the trace simulated in detail (the speedup lever)."""
+        return self.simulated_ops / self.total_ops if self.total_ops else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SamplingSummary":
+        return _stats_from_dict(cls, dict(payload))
+
+
+@dataclass(frozen=True)
 class SimResult:
     """Everything measured from one (workload, predictor, core) run."""
 
@@ -29,6 +67,9 @@ class SimResult:
     #: Windowed metrics, present when the run attached an interval probe
     #: (``simulate(..., interval_ops=N)``); None otherwise.
     intervals: Optional[Tuple[IntervalWindow, ...]] = None
+    #: Sampling provenance + error bounds when this result is a sampled
+    #: estimate (``repro.sampling.run_sampled``); None for exact runs.
+    sampling: Optional[SamplingSummary] = None
 
     @property
     def ipc(self) -> float:
@@ -77,12 +118,15 @@ class SimResult:
         }
         if self.intervals is not None:
             record["intervals"] = [window.to_dict() for window in self.intervals]
+        if self.sampling is not None:
+            record["sampling"] = self.sampling.to_dict()
         return record
 
     @classmethod
     def from_record(cls, record: Dict[str, object]) -> "SimResult":
         """Inverse of :meth:`to_record` (derived metrics are recomputed)."""
         intervals = record.get("intervals")
+        sampling = record.get("sampling")
         return cls(
             workload=str(record["workload"]),
             predictor=str(record["predictor"]),
@@ -94,5 +138,8 @@ class SimResult:
                 tuple(IntervalWindow.from_dict(window) for window in intervals)
                 if intervals is not None
                 else None
+            ),
+            sampling=(
+                SamplingSummary.from_dict(sampling) if sampling is not None else None
             ),
         )

@@ -67,6 +67,73 @@ class ReplicatedMetric:
         return f"{self.name}: {self.mean:.4f} ± {self.ci95_half_width:.4f} (n={len(self.samples)})"
 
 
+@dataclass(frozen=True)
+class WeightedMetric:
+    """Weighted mean + sampling CI over stratified representatives.
+
+    This is the aggregation side of checkpointed sampled simulation
+    (:mod:`repro.sampling`): each SimPoint representative contributes one
+    measurement ``x_k`` with its cluster weight ``w_k`` (the fraction of
+    intervals its cluster covers). The estimate is ``Σ ŵ_k·x_k`` with
+    weights normalised to 1.
+
+    The error model treats the representatives as independent draws with a
+    common within-population variance, estimated by the reliability-weighted
+    sample variance ``s² = Σ ŵ_k (x_k − mean)² / (1 − Σ ŵ_k²)``; the
+    variance of the weighted mean is then ``Σ ŵ_k² · s²``. This is
+    *conservative* for SimPoint weights — between-cluster spread inflates
+    ``s²`` relative to the true within-cluster sampling error — so the
+    reported 95% interval is an upper bound on the sampling uncertainty,
+    which is the safe direction for an error bar on a reproduction claim.
+    """
+
+    name: str
+    values: Sequence[float]
+    weights: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("a weighted metric needs at least one value")
+        if len(self.values) != len(self.weights):
+            raise ValueError(
+                f"{len(self.values)} values but {len(self.weights)} weights"
+            )
+        if any(weight < 0 for weight in self.weights):
+            raise ValueError("weights must be non-negative")
+        if sum(self.weights) <= 0:
+            raise ValueError("weights must not sum to zero")
+
+    @property
+    def _normalized(self) -> List[float]:
+        total = sum(self.weights)
+        return [weight / total for weight in self.weights]
+
+    @property
+    def mean(self) -> float:
+        return sum(w * x for w, x in zip(self._normalized, self.values))
+
+    @property
+    def ci95_half_width(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        normalized = self._normalized
+        effective = 1.0 - sum(w * w for w in normalized)
+        if effective <= 0.0:  # one representative carries all the weight
+            return 0.0
+        mean = self.mean
+        variance = (
+            sum(w * (x - mean) ** 2 for w, x in zip(normalized, self.values))
+            / effective
+        )
+        return Z_95 * math.sqrt(sum(w * w for w in normalized) * variance)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.mean:.4f} ± {self.ci95_half_width:.4f} "
+            f"(k={len(self.values)})"
+        )
+
+
 def seed_replicas(
     profile: Union[str, WorkloadProfile], count: int
 ) -> List[WorkloadProfile]:

@@ -252,16 +252,27 @@ def trace_cache_info() -> CacheInfo:
     return _TRACE_CACHE.info()
 
 
-def run_spec(spec: RunSpec) -> SimResult:
-    """Execute one :class:`~repro.sim.spec.RunSpec` and return its result."""
+def build_pipeline(
+    spec: RunSpec, extra_probes: Iterable[Probe] = ()
+) -> Tuple[Pipeline, Optional[IntervalMetricsProbe]]:
+    """Construct the :class:`Pipeline` a :class:`RunSpec` describes.
+
+    Resolves the core config, instantiates a string predictor through the
+    registry, wires the spec's probes (plus ``extra_probes``), and — when
+    ``spec.interval_ops`` is set — attaches an
+    :class:`~repro.sim.intervals.IntervalMetricsProbe`, returned alongside
+    the pipeline so the caller can harvest its windows. This is the single
+    spec-to-pipeline translation shared by :func:`run_spec`, the SimPoint
+    driver (:mod:`repro.analysis.simpoints`) and the sampled-simulation
+    interval workers (:mod:`repro.sampling.sampled`).
+    """
     core_config = spec.resolved_config()
     predictor = spec.predictor
     if isinstance(predictor, str):
         predictor = make_predictor(predictor)
-    store = TraceStore(spec.trace_dir) if spec.trace_dir else None
-    trace = get_trace(spec.resolved_profile(), spec.resolved_num_ops(), store=store)
     interval_probe: Optional[IntervalMetricsProbe] = None
     all_probes = list(spec.probes)
+    all_probes.extend(extra_probes)
     if spec.interval_ops is not None:
         interval_probe = IntervalMetricsProbe(spec.interval_ops)
         all_probes.append(interval_probe)
@@ -272,12 +283,21 @@ def run_spec(spec: RunSpec) -> SimResult:
         check_invariants=spec.check_invariants,
         probes=all_probes,
     )
+    return pipeline, interval_probe
+
+
+def run_spec(spec: RunSpec) -> SimResult:
+    """Execute one :class:`~repro.sim.spec.RunSpec` and return its result."""
+    store = TraceStore(spec.trace_dir) if spec.trace_dir else None
+    trace = get_trace(spec.resolved_profile(), spec.resolved_num_ops(), store=store)
+    pipeline, interval_probe = build_pipeline(spec)
     stats = pipeline.run(trace, warmup_ops=spec.resolved_warmup_ops())
+    predictor = pipeline.predictor
     paths = getattr(predictor, "paths_tracked", None)
     return SimResult(
         workload=trace.name,
         predictor=predictor.name,
-        core=core_config.name,
+        core=pipeline.config.name,
         pipeline=stats,
         mdp=predictor.stats,
         paths_tracked=paths,

@@ -1,0 +1,71 @@
+"""Checkpoint artifact store: content addressing, versioned keys, sidecars."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.isa.artifacts import CheckpointStore, checkpoint_key
+
+RUN = {"workload": "502.gcc_1", "predictor": "phast", "num_ops": 10_000}
+DIGEST = "ab" * 32
+
+
+def test_key_is_deterministic_and_content_addressed():
+    key = checkpoint_key(RUN, DIGEST, 4000, 1, 1)
+    again = checkpoint_key(dict(RUN), DIGEST, 4000, 1, 1)
+    assert key.digest == again.digest
+    assert key.describe["kind"] == "checkpoint"
+    assert key.describe["op_index"] == 4000
+
+
+@pytest.mark.parametrize(
+    "variation",
+    [
+        dict(run={**RUN, "predictor": "nosq"}),
+        dict(digest="cd" * 32),
+        dict(op_index=6000),
+        dict(format_version=2),
+        dict(semantics_version=2),
+    ],
+)
+def test_any_identity_field_changes_the_key(variation):
+    base = checkpoint_key(RUN, DIGEST, 4000, 1, 1)
+    varied = checkpoint_key(
+        variation.get("run", RUN),
+        variation.get("digest", DIGEST),
+        variation.get("op_index", 4000),
+        variation.get("format_version", 1),
+        variation.get("semantics_version", 1),
+    )
+    assert varied.digest != base.digest
+
+
+def test_negative_op_index_rejected():
+    with pytest.raises(ValueError, match="op_index"):
+        checkpoint_key(RUN, DIGEST, -1, 1, 1)
+
+
+def test_store_round_trip_and_sidecar(tmp_path):
+    store = CheckpointStore(tmp_path)
+    key = checkpoint_key(RUN, DIGEST, 4000, 1, 1)
+    assert store.load(key) is None
+    assert not store.contains(key)
+    store.save(key, b"\x00payload")
+    assert store.contains(key)
+    assert store.load(key) == b"\x00payload"
+    assert len(store) == 1
+    sidecar = json.loads(store.meta_path(key).read_text())
+    assert sidecar["op_index"] == 4000
+    assert sidecar["bytes"] == 8
+    (entry,) = store.entries()
+    assert entry["op_index"] == 4000
+
+
+def test_entries_sorted_by_trace_then_op(tmp_path):
+    store = CheckpointStore(tmp_path)
+    for digest, op_index in [(DIGEST, 8000), ("cd" * 32, 2000), (DIGEST, 1000)]:
+        store.save(checkpoint_key(RUN, digest, op_index, 1, 1), b"x")
+    order = [(e["trace_digest"], e["op_index"]) for e in store.entries()]
+    assert order == sorted(order)

@@ -1,0 +1,108 @@
+"""Checkpoint-resume bit-identity: the sampling subsystem's core contract.
+
+A detailed run paused at an arbitrary op, snapshotted through the full
+encode/decode codec and resumed in a *new* pipeline must finish with
+exactly the statistics of an uninterrupted run — for every registered
+predictor, including interval windows and the MDP counters. Anything less
+means sampled results silently diverge from detailed ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.pipeline import Pipeline
+from repro.frontend.tage import TAGEPredictor
+from repro.sampling.checkpoint import (
+    CheckpointFormatError,
+    decode_checkpoint,
+    encode_checkpoint,
+)
+from repro.sampling.state import capture_state, restore_run
+from repro.sim.intervals import IntervalMetricsProbe
+from repro.sim.simulator import available_predictors, get_trace, make_predictor
+
+OPS = 2500
+WARMUP = 300
+PAUSE = 1111  # mid-run, not on any interval boundary
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return get_trace("502.gcc_1", OPS)
+
+
+def _checkpointed_stats(trace, name: str, check_invariants: bool = True):
+    pipeline = Pipeline(
+        CoreConfig(),
+        make_predictor(name),
+        branch_predictor=TAGEPredictor(),
+        check_invariants=check_invariants,
+    )
+    run = pipeline.begin(trace, warmup_ops=WARMUP)
+    run.advance(PAUSE)
+    state = decode_checkpoint(encode_checkpoint(capture_state(run)))
+    resumed = restore_run(state, trace)
+    resumed.advance()
+    return resumed.finish(), asdict(resumed.pipeline.predictor.stats)
+
+
+@pytest.mark.parametrize("name", available_predictors())
+def test_resume_is_bit_identical_for_every_predictor(trace, name):
+    reference = Pipeline(
+        CoreConfig(),
+        make_predictor(name),
+        branch_predictor=TAGEPredictor(),
+        check_invariants=True,
+    )
+    ref_stats = reference.run(trace, warmup_ops=WARMUP)
+    resumed_stats, resumed_mdp = _checkpointed_stats(trace, name)
+    assert asdict(resumed_stats) == asdict(ref_stats)
+    assert resumed_mdp == asdict(reference.predictor.stats)
+
+
+def test_resume_preserves_interval_windows(trace):
+    def run_with_probe(resume: bool):
+        probe = IntervalMetricsProbe(interval_ops=500)
+        pipeline = Pipeline(
+            CoreConfig(),
+            make_predictor("phast"),
+            branch_predictor=TAGEPredictor(),
+            probes=[probe],
+        )
+        run = pipeline.begin(trace, warmup_ops=WARMUP)
+        if resume:
+            run.advance(PAUSE)
+            state = decode_checkpoint(encode_checkpoint(capture_state(run)))
+            fresh_probe = IntervalMetricsProbe(interval_ops=500)
+            run = restore_run(state, trace, probes=[fresh_probe])
+            probe = fresh_probe
+        run.advance()
+        run.finish()
+        return [window.to_dict() for window in probe.windows]
+
+    assert run_with_probe(resume=True) == run_with_probe(resume=False)
+
+
+def test_restore_rejects_mismatched_trace(trace):
+    pipeline = Pipeline(CoreConfig(), make_predictor("store-sets"))
+    run = pipeline.begin(trace, warmup_ops=WARMUP)
+    run.advance(PAUSE)
+    state = capture_state(run)
+    other = get_trace("541.leela", OPS)
+    with pytest.raises(CheckpointFormatError, match="trace"):
+        restore_run(state, other)
+
+
+def test_restore_verifies_component_digests(trace):
+    pipeline = Pipeline(CoreConfig(), make_predictor("store-sets"))
+    run = pipeline.begin(trace, warmup_ops=WARMUP)
+    run.advance(PAUSE)
+    state = capture_state(run)
+    state.digests["predictor"] ^= 1  # simulate post-capture drift
+    with pytest.raises(CheckpointFormatError, match="predictor"):
+        restore_run(state, trace)
+    restore_run(state, trace, verify_digests=False)  # opt-out path still works

@@ -4,6 +4,7 @@ import pytest
 
 from repro.sim.replication import (
     ReplicatedMetric,
+    WeightedMetric,
     replicate,
     replicated_speedup,
     seed_replicas,
@@ -87,3 +88,45 @@ class TestReplicate:
             "511.povray", "phast", "always-speculate", replicas=2, num_ops=2500
         )
         assert metric.mean > 0  # PHAST beats blind speculation on every seed
+
+
+class TestWeightedMetric:
+    def test_mean_is_weight_normalised(self):
+        metric = WeightedMetric("ipc", [1.0, 3.0], [1.0, 3.0])
+        assert metric.mean == pytest.approx(2.5)  # (1*1 + 3*3) / 4
+
+    def test_equal_weights_reduce_to_plain_mean(self):
+        metric = WeightedMetric("ipc", [1.0, 2.0, 3.0], [0.25, 0.25, 0.25])
+        assert metric.mean == pytest.approx(2.0)
+
+    def test_single_value_has_zero_ci(self):
+        metric = WeightedMetric("ipc", [1.5], [1.0])
+        assert metric.mean == pytest.approx(1.5)
+        assert metric.ci95_half_width == 0.0
+
+    def test_identical_values_have_zero_ci(self):
+        metric = WeightedMetric("ipc", [2.0, 2.0, 2.0], [0.5, 0.3, 0.2])
+        assert metric.ci95_half_width == pytest.approx(0.0)
+
+    def test_spread_widens_ci(self):
+        tight = WeightedMetric("ipc", [1.0, 1.1, 0.9], [1, 1, 1])
+        wide = WeightedMetric("ipc", [1.0, 2.0, 0.1], [1, 1, 1])
+        assert wide.ci95_half_width > tight.ci95_half_width > 0
+
+    def test_dominant_weight_pulls_the_mean(self):
+        metric = WeightedMetric("ipc", [1.0, 5.0], [0.99, 0.01])
+        assert metric.mean < 1.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedMetric("ipc", [], [])
+        with pytest.raises(ValueError):
+            WeightedMetric("ipc", [1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            WeightedMetric("ipc", [1.0], [-1.0])
+        with pytest.raises(ValueError):
+            WeightedMetric("ipc", [1.0, 2.0], [0.0, 0.0])
+
+    def test_str_rendering(self):
+        text = str(WeightedMetric("ipc", [1.0, 2.0], [1.0, 1.0]))
+        assert "ipc" in text and "±" in text and "k=2" in text

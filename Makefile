@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-long figures clean loc
+.PHONY: install test bench bench-long figures chaos clean loc
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -19,8 +19,12 @@ bench-long:
 figures: bench
 	@echo "figure tables written to benchmarks/results/"
 
+chaos:
+	$(PYTHON) -m repro chaos --subset 2 --predictors store-sets,phast \
+		--num-ops 2000 --rate 0.2 --seed 51 --store .chaos-store
+
 clean:
-	rm -rf benchmarks/results .pytest_cache .benchmarks
+	rm -rf benchmarks/results .pytest_cache .benchmarks .chaos-store
 	find . -name __pycache__ -type d -exec rm -rf {} +
 
 loc:

@@ -15,6 +15,9 @@ Commands:
   fanned out across workers), weighted estimate with 95% sampling CIs.
 * ``trace`` — manage the compiled trace artifact store
   (``trace compile`` / ``trace ls`` / ``trace verify``).
+* ``chaos`` — deterministic fault-injection soak: run a sweep twice (clean,
+  then under a seeded :class:`~repro.harness.chaos.FaultPlan`) and gate on
+  completion, fault classification, and bit-identical surviving results.
 * ``workloads`` — list the synthetic SPEC CPU 2017-like profiles.
 * ``predictors`` — list the predictor registry with storage budgets.
 * ``table2`` — print the reproduced Table II (configurations/storage/energy).
@@ -33,6 +36,7 @@ from repro.analysis.report import format_table
 from repro.common.atomicio import atomic_write_text
 from repro.common.stats import geometric_mean
 from repro.core.config import GENERATIONS, CoreConfig
+from repro.harness.chaos import FaultPlan
 from repro.harness.executor import ProcessCellExecutor
 from repro.harness.store import ResultStore
 from repro.harness.sweep import SweepRunner, build_cells
@@ -321,6 +325,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             retries=args.retries,
             workers=args.workers,
             check_invariants=args.check_invariants,
+            jitter_seed=args.jitter_seed,
+            breaker_threshold=args.breaker_threshold,
         ),
     )
 
@@ -338,10 +344,102 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             print(f"  {outcome.failure.summary()}")
 
-    report = runner.run(cells, resume=not args.no_resume, progress=progress)
+    report = runner.run(
+        cells,
+        resume=not args.no_resume,
+        progress=progress,
+        deadline=args.deadline,
+        quarantine=args.quarantine,
+    )
     print(report.summary())
     print(f"failure manifest: {store.manifest_path}")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Twin-sweep chaos soak: clean baseline vs. seeded fault injection.
+
+    The gate passes when (1) the chaos sweep completes every cell (no lost
+    results), (2) every injected worker fault was classified into exactly
+    the FailureKind it simulates, and (3) every surviving chaos result is
+    bit-identical to its fault-free twin.
+    """
+    workloads = spec_suite(subset=args.subset)
+    predictors = args.predictors.split(",")
+    for name in predictors:
+        if name not in available_predictors():
+            raise SystemExit(f"unknown predictor {name!r}")
+
+    if args.plan:
+        plan = FaultPlan.load(args.plan)
+    else:
+        plan = FaultPlan.transient(
+            args.rate, seed=args.seed, max_faults=args.max_faults
+        )
+    config = _core_config(args.core)
+
+    def sweep(store_root: str, fault_plan) -> object:
+        cells = build_cells(
+            workloads,
+            predictors,
+            config=config,
+            num_ops=args.num_ops,
+            seed=args.seed_trace,
+        )
+        runner = SweepRunner(
+            ResultStore(store_root),
+            ProcessCellExecutor(
+                timeout=args.timeout,
+                retries=args.retries,
+                workers=args.workers,
+                backoff_base=args.backoff_base,
+                jitter_seed=plan.seed,
+            ),
+        )
+        return runner.run(cells, fault_plan=fault_plan)
+
+    total = len(workloads) * len(predictors)
+    print(
+        f"chaos soak: {total} cells, plan seed={plan.seed} "
+        f"total-rate={plan.total_rate:.2f}"
+    )
+    baseline = sweep(os.path.join(args.store, "baseline"), None)
+    print(f"baseline  {baseline.summary()}")
+    chaotic = sweep(os.path.join(args.store, "chaos"), plan)
+    print(f"chaos     {chaotic.summary()}")
+    summary = chaotic.chaos.summary()
+    print(f"injected: {summary['injected']} faults — {summary['by_site']}")
+
+    problems = list(chaotic.chaos.verify())
+    lost = total - chaotic.completed - chaotic.failed
+    if lost:
+        problems.append(f"{lost} cell(s) lost: neither a result nor a failure")
+    if chaotic.failed:
+        problems.append(
+            f"{chaotic.failed} cell(s) failed under chaos "
+            "(transient plans must complete after retries)"
+        )
+    mismatched = 0
+    for key, clean_result in baseline.results.items():
+        survivor = chaotic.results.get(key)
+        if survivor is None:
+            continue
+        if survivor.to_record() != clean_result.to_record():
+            mismatched += 1
+            problems.append(f"{key[0]}/{key[1]}: result differs from baseline")
+    survivors = len(chaotic.results)
+    print(
+        f"bit-identity: {survivors - mismatched}/{survivors} surviving "
+        f"cells identical to the fault-free baseline"
+    )
+    for problem in problems:
+        print(f"PROBLEM {problem}")
+    verdict = "PASS" if not problems else "FAIL"
+    print(
+        f"chaos soak: {verdict} ({total} cells, {summary['injected']} faults "
+        f"injected, {len(problems)} problems)"
+    )
+    return 1 if problems else 0
 
 
 def _cmd_sample(args: argparse.Namespace) -> int:
@@ -500,8 +598,96 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report completed/failed/pending counts without running",
     )
+    sweep.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="campaign wall-clock budget in seconds: cells still running or "
+        "pending when it expires are cut cleanly (kind 'deadline', still "
+        "pending on the next resume)",
+    )
+    sweep.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="skip cells with a durable failure record from a prior run "
+        "instead of re-judging them (kind 'quarantined')",
+    )
+    sweep.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        help="per-workload circuit breaker: after N final failures with no "
+        "successes, skip the workload's remaining cells",
+    )
+    sweep.add_argument(
+        "--jitter-seed",
+        type=int,
+        default=None,
+        help="apply seeded equal-jitter to retry backoff (deterministic "
+        "per cell and attempt)",
+    )
     sweep.add_argument("--check-invariants", action="store_true")
     sweep.set_defaults(func=_cmd_sweep)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection soak: clean sweep, chaos sweep, then gate on "
+        "completion + classification + bit-identical results (exit 1 on "
+        "any problem)",
+    )
+    chaos.add_argument("--predictors", default="store-sets,phast")
+    chaos.add_argument("--num-ops", type=int, default=num_ops_default)
+    chaos.add_argument("--subset", type=int, default=2)
+    chaos.add_argument("--core", default="alderlake", choices=sorted(GENERATIONS))
+    chaos.add_argument(
+        "--rate",
+        type=float,
+        default=0.2,
+        help="total transient fault rate for the generated plan "
+        "(ignored with --plan)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (ignored with --plan)"
+    )
+    chaos.add_argument(
+        "--max-faults",
+        type=int,
+        default=None,
+        help="cap on total injected faults (ignored with --plan)",
+    )
+    chaos.add_argument(
+        "--plan",
+        default=None,
+        help="JSON FaultPlan file; overrides --rate/--seed/--max-faults",
+    )
+    chaos.add_argument(
+        "--seed-trace",
+        type=int,
+        default=None,
+        help="override every workload's trace seed",
+    )
+    chaos.add_argument(
+        "--store",
+        default=os.path.join(os.environ.get(ENV_STORE, DEFAULT_STORE), "chaos-soak"),
+        help="soak root; baseline/ and chaos/ stores are created under it",
+    )
+    chaos.add_argument("--timeout", type=float, default=30.0)
+    chaos.add_argument(
+        "--retries",
+        type=int,
+        default=4,
+        help="retries per cell — must exceed the fault depth a transient "
+        "plan can stack on one cell",
+    )
+    chaos.add_argument("--workers", type=int, default=None)
+    chaos.add_argument(
+        "--backoff-base",
+        type=float,
+        default=0.05,
+        help="retry backoff base in seconds (small: injected faults are "
+        "not real infrastructure weather)",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     sample = sub.add_parser(
         "sample",

@@ -6,6 +6,13 @@ or the complete new file — never a truncated mix. Every durable artefact in
 the repository (result-store entries, failure manifests, exported JSON)
 goes through :func:`atomic_write_text` so a killed process cannot corrupt
 on-disk state.
+
+Because every durable write funnels through :func:`atomic_write_bytes`, it
+is also the single choke point for *fault injection*: the chaos harness
+(:mod:`repro.harness.chaos`) installs a process-wide write hook here to
+simulate disk-full (``ENOSPC``), slow I/O, and bit-flip corruption of
+stored artifacts without monkeypatching any store class. Production code
+never installs a hook; the default is a plain passthrough.
 """
 
 from __future__ import annotations
@@ -14,7 +21,33 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Optional, Union
+
+#: Optional fault-injection hook called with ``(path, data)`` before every
+#: atomic write. It may raise ``OSError`` (simulating ENOSPC/EIO — the write
+#: never happens), sleep (slow I/O), or return replacement bytes (bit-flip
+#: corruption: the *corrupted* bytes are durably written). Returning ``None``
+#: leaves ``data`` untouched. Install via :func:`set_write_fault_hook`.
+WriteFaultHook = Callable[[Path, bytes], Optional[bytes]]
+
+_write_fault_hook: Optional[WriteFaultHook] = None
+
+
+def set_write_fault_hook(hook: Optional[WriteFaultHook]) -> Optional[WriteFaultHook]:
+    """Install (or, with ``None``, clear) the write fault hook.
+
+    Returns the previously installed hook so callers can restore it; the
+    chaos engine uses this to scope injection to one campaign.
+    """
+    global _write_fault_hook
+    previous = _write_fault_hook
+    _write_fault_hook = hook
+    return previous
+
+
+def write_fault_hook() -> Optional[WriteFaultHook]:
+    """The currently installed write fault hook (None in production)."""
+    return _write_fault_hook
 
 
 def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
@@ -25,6 +58,10 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
     on any failure the temp file is removed and no partial ``path`` exists.
     """
     path = Path(path)
+    if _write_fault_hook is not None:
+        replacement = _write_fault_hook(path, data)
+        if replacement is not None:
+            data = replacement
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(
         dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"

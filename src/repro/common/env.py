@@ -2,10 +2,13 @@
 
 Every integer knob in the package (``REPRO_TRACE_OPS``, ``REPRO_WARMUP_OPS``,
 ``REPRO_TRACE_CACHE_SIZE``, ``REPRO_HEARTBEAT_OPS``,
-``REPRO_SAMPLE_INTERVAL_OPS``, ``REPRO_SAMPLE_WARMUP_OPS``) is read through
-:func:`env_int` so that a typo such as ``REPRO_TRACE_OPS=10k`` fails fast with
-the variable name in the message instead of surfacing as a bare ``ValueError``
-deep inside a sweep worker (or, worse, being silently replaced by a default).
+``REPRO_SAMPLE_INTERVAL_OPS``, ``REPRO_SAMPLE_WARMUP_OPS``, and the sweep
+knobs ``REPRO_SWEEP_RETRIES``/``REPRO_SWEEP_WORKERS``) is read through
+:func:`env_int` — and the float knob ``REPRO_SWEEP_TIMEOUT`` through
+:func:`env_float` — so that a typo such as ``REPRO_TRACE_OPS=10k`` fails fast
+with the variable name in the message instead of surfacing as a bare
+``ValueError`` deep inside a sweep worker (or, worse, being silently replaced
+by a default).
 
 The sampling pair shapes checkpointed sampled runs (``repro sample``,
 :mod:`repro.sampling`): ``REPRO_SAMPLE_INTERVAL_OPS`` is the measured
@@ -42,6 +45,30 @@ def env_int(name: str, default: int, min_value: Optional[int] = None) -> int:
         value = int(raw)
     except ValueError:
         raise EnvVarError(f"{name} must be an integer, got {raw!r}") from None
+    if min_value is not None and value < min_value:
+        raise EnvVarError(f"{name} must be >= {min_value}, got {value}")
+    return value
+
+
+def env_float(
+    name: str, default: float, min_value: Optional[float] = None
+) -> float:
+    """Read float knob ``name``, falling back to ``default`` when unset.
+
+    Same contract as :func:`env_int`: a set-but-unparsable value raises
+    :class:`EnvVarError` naming the variable, and ``min_value`` (inclusive)
+    range-checks the parsed value but never the caller's default. NaN is
+    rejected outright — no knob means anything useful as NaN.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise EnvVarError(f"{name} must be a number, got {raw!r}") from None
+    if value != value:  # NaN
+        raise EnvVarError(f"{name} must be a number, got {raw!r}")
     if min_value is not None and value < min_value:
         raise EnvVarError(f"{name} must be >= {min_value}, got {value}")
     return value

@@ -11,8 +11,12 @@ benchmark suite:
 * :mod:`repro.harness.sweep` — campaign orchestration: resume, status,
   graceful degradation with a machine-readable failure manifest.
 * :mod:`repro.harness.failures` — the failure taxonomy shared by all three.
+* :mod:`repro.harness.chaos` — seeded deterministic fault injection
+  (worker hangs/crashes/OOM kills, ENOSPC/slow/bit-flip writes) and the
+  journal that proves each injected fault was classified correctly.
 """
 
+from repro.harness.chaos import ChaosEngine, FaultPlan
 from repro.harness.executor import (
     CellOutcome,
     CellSpec,
@@ -20,10 +24,12 @@ from repro.harness.executor import (
 )
 from repro.harness.failures import (
     CellFailure,
+    EPHEMERAL_KINDS,
     FailureKind,
     TRANSIENT_KINDS,
     backoff_delay,
     classify_exitcode,
+    jitter_fraction,
 )
 from repro.harness.store import (
     CellKey,
@@ -39,7 +45,10 @@ __all__ = [
     "CellKey",
     "CellOutcome",
     "CellSpec",
+    "ChaosEngine",
+    "EPHEMERAL_KINDS",
     "FailureKind",
+    "FaultPlan",
     "ProcessCellExecutor",
     "ResultStore",
     "StoreStatus",
@@ -51,4 +60,5 @@ __all__ = [
     "cell_key",
     "classify_exitcode",
     "config_fingerprint",
+    "jitter_fraction",
 ]

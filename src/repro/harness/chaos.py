@@ -1,0 +1,452 @@
+"""Seeded, deterministic fault injection for the sweep/artifact stack.
+
+The harness's failure paths — retry/backoff, exit-code classification,
+corruption-as-miss store reads, resumable sweeps — are easy to believe in
+and hard to *prove*: they only run when something goes wrong. This module
+makes things go wrong on purpose, reproducibly:
+
+* A :class:`FaultPlan` names per-site injection **rates**, a **seed**, and a
+  **scope** (``max_faults``). Every injection decision is a pure function of
+  ``(seed, site, cell identity, attempt)`` — never of scheduling order — so
+  the same plan over the same cells injects the same faults, whatever the
+  worker count or machine load.
+* A :class:`ChaosEngine` threads the plan through the two injection points:
+  worker processes (hangs, signal crashes, OOM kills, in-cell exceptions —
+  decided in the *parent*, executed by a wrapper worker, so the parent holds
+  a complete journal of what it injected) and durable writes (the
+  :func:`repro.common.atomicio.set_write_fault_hook` choke point: ``ENOSPC``,
+  slow I/O, bit-flip corruption of stored artifacts).
+* The engine's journal supports the campaign-level *verification* that the
+  chaos soak gate needs: every injected worker fault must be classified into
+  exactly the :class:`~repro.harness.failures.FailureKind` it simulates
+  (:meth:`ChaosEngine.verify` returns the mismatches), and a sweep under a
+  transient plan must finish bit-identical to its fault-free twin.
+
+``repro chaos`` (the CLI) runs that twin-sweep soak; ``SweepRunner.run(...,
+fault_plan=...)`` activates injection on any campaign.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, List, Mapping, Optional
+
+from repro.common.atomicio import set_write_fault_hook
+from repro.harness.failures import FailureKind
+
+#: Injection sites for worker-process faults, with the FailureKind each one
+#: must be classified as by the parent (the contract `verify()` checks).
+_WORKER_SITES = {
+    "worker.hang": FailureKind.TIMEOUT,
+    "worker.crash": FailureKind.CRASH,
+    "worker.oom": FailureKind.OOM,
+    "worker.exception": FailureKind.ERROR,
+    "worker.poison": FailureKind.ERROR,
+}
+
+#: Injection sites at the durable-write choke point. These have no expected
+#: FailureKind — their contract is behavioural (degraded write, slow write,
+#: or corruption that later reads as a cache miss) and is asserted by the
+#: chaos test suite rather than per-event.
+_WRITE_SITES = ("write.enospc", "write.slow", "write.corrupt")
+
+_RATE_FIELDS = {
+    "worker.hang": "hang_rate",
+    "worker.crash": "crash_rate",
+    "worker.oom": "oom_rate",
+    "worker.exception": "exception_rate",
+    "worker.poison": "poison_rate",
+    "write.enospc": "enospc_rate",
+    "write.slow": "slow_write_rate",
+    "write.corrupt": "corrupt_rate",
+}
+
+
+def _draw(seed: int, site: str, token: str, attempt: Optional[int]) -> float:
+    """Deterministic uniform draw in [0, 1) for one (site, identity, attempt)."""
+    blob = json.dumps([seed, site, token, attempt])
+    digest = hashlib.sha256(blob.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Rates + seed + scope of a deterministic fault-injection campaign.
+
+    Rates are per-decision probabilities: worker rates apply per (cell,
+    attempt) — except ``poison_rate``, which is per *cell* (a poisoned cell
+    fails every attempt, exercising retry exhaustion and quarantine) — and
+    write rates apply per (path, nth write to that path). ``max_faults``
+    bounds the total number of injections; once spent, the engine goes
+    quiet (the one decision that is order-dependent, by design — it is a
+    safety scope, not part of the reproducible schedule).
+    """
+
+    seed: int = 0
+    hang_rate: float = 0.0
+    crash_rate: float = 0.0
+    oom_rate: float = 0.0
+    exception_rate: float = 0.0
+    poison_rate: float = 0.0
+    enospc_rate: float = 0.0
+    slow_write_rate: float = 0.0
+    slow_write_seconds: float = 0.02
+    corrupt_rate: float = 0.0
+    max_faults: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS.values():
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.slow_write_seconds < 0:
+            raise ValueError(
+                f"slow_write_seconds must be >= 0, got {self.slow_write_seconds}"
+            )
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError(f"max_faults must be >= 0, got {self.max_faults}")
+
+    @property
+    def total_rate(self) -> float:
+        """Sum of every injection rate (the headline "≥20%" number)."""
+        return sum(getattr(self, name) for name in _RATE_FIELDS.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {', '.join(unknown)}")
+        return cls(**{key: payload[key] for key in payload})
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Read a plan from a JSON file (the ``repro chaos --plan`` format)."""
+        with open(path, "r", encoding="utf-8") as stream:
+            payload = json.load(stream)
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path}: fault plan must be a JSON object")
+        return cls.from_dict(payload)
+
+    @classmethod
+    def transient(
+        cls, rate: float, seed: int = 0, max_faults: Optional[int] = None
+    ) -> "FaultPlan":
+        """A plan of only *recoverable* faults, totalling ``rate``.
+
+        Splits the budget across hangs (cheapest share — each one costs a
+        full per-cell timeout), signal crashes, OOM kills, disk-full writes
+        and artifact bit-flips. A sweep with enough retries under this plan
+        must complete every cell bit-identical to a fault-free run — the
+        chaos soak gate.
+        """
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        return cls(
+            seed=seed,
+            hang_rate=rate * 0.10,
+            crash_rate=rate * 0.30,
+            oom_rate=rate * 0.15,
+            enospc_rate=rate * 0.20,
+            corrupt_rate=rate * 0.25,
+            max_faults=max_faults,
+        )
+
+
+@dataclass(frozen=True)
+class FaultDirective:
+    """One decided worker fault, shipped to the wrapper worker.
+
+    Picklable under any multiprocessing start method: plain strings and
+    numbers only. ``expect`` is the FailureKind value the parent must end
+    up classifying this fault as.
+    """
+
+    site: str
+    expect: str
+    signum: int = 0
+    seconds: float = 3600.0
+    message: str = ""
+
+
+@dataclass
+class FaultEvent:
+    """Journal entry for one injected fault (and what came of it)."""
+
+    site: str
+    token: str
+    attempt: Optional[int] = None
+    expect: Optional[str] = None
+    observed: Optional[str] = None
+    path: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {key: value for key, value in asdict(self).items() if value is not None}
+
+
+def _job_token(job) -> str:
+    """Stable identity of a cell/job for fault decisions and the journal."""
+    return json.dumps(job.describe(), sort_keys=True, default=str)
+
+
+class ChaosEngine:
+    """Executes one :class:`FaultPlan`: decides, injects, journals, verifies.
+
+    The parent process owns the engine; worker faults are *decided* here
+    (so the journal is complete) and merely *executed* by
+    :func:`_chaos_worker` in the subprocess. Write faults fire through the
+    :mod:`repro.common.atomicio` hook while :meth:`installed` is active.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.events: List[FaultEvent] = []
+        self._write_counts: Dict[str, int] = {}
+        self._remaining = plan.max_faults  # None = unbounded
+
+    # ---------------------------------------------------------- decisions --
+
+    def _spend(self) -> bool:
+        if self._remaining is None:
+            return True
+        if self._remaining <= 0:
+            return False
+        self._remaining -= 1
+        return True
+
+    def _fires(self, site: str, token: str, attempt: Optional[int]) -> bool:
+        rate = getattr(self.plan, _RATE_FIELDS[site])
+        if rate <= 0.0:
+            return False
+        return _draw(self.plan.seed, site, token, attempt) < rate
+
+    def worker_directive(self, job, attempt: int) -> Optional[FaultDirective]:
+        """The fault (if any) to inject into this (cell, attempt) worker.
+
+        Checked in fixed priority order — poison (per-cell, so it re-fires
+        every attempt), hang, crash, OOM kill, transient exception — with
+        independent draws per site, so each site's rate is honoured
+        marginally.
+        """
+        token = _job_token(job)
+        directive = None
+        if self._fires("worker.poison", token, None):
+            directive = FaultDirective(
+                site="worker.poison",
+                expect=FailureKind.ERROR.value,
+                message="chaos: deterministic poisoned-cell exception",
+            )
+        elif self._fires("worker.hang", token, attempt):
+            directive = FaultDirective(
+                site="worker.hang", expect=FailureKind.TIMEOUT.value
+            )
+        elif self._fires("worker.crash", token, attempt):
+            # Alternate the crash signal deterministically to cover both
+            # classification rows (SIGSEGV and SIGABRT are both CRASH).
+            import signal as _signal
+
+            segv = _draw(self.plan.seed, "worker.crash.signal", token, attempt) < 0.5
+            directive = FaultDirective(
+                site="worker.crash",
+                expect=FailureKind.CRASH.value,
+                signum=int(_signal.SIGSEGV if segv else _signal.SIGABRT),
+            )
+        elif self._fires("worker.oom", token, attempt):
+            import signal as _signal
+
+            directive = FaultDirective(
+                site="worker.oom",
+                expect=FailureKind.OOM.value,
+                signum=int(_signal.SIGKILL),
+            )
+        elif self._fires("worker.exception", token, attempt):
+            directive = FaultDirective(
+                site="worker.exception",
+                expect=FailureKind.ERROR.value,
+                message="chaos: transient in-cell exception",
+            )
+        if directive is None or not self._spend():
+            return None
+        self.events.append(
+            FaultEvent(
+                site=directive.site,
+                token=token,
+                attempt=attempt,
+                expect=directive.expect,
+            )
+        )
+        return directive
+
+    # -------------------------------------------------------- write faults --
+
+    def on_write(self, path, data: bytes) -> Optional[bytes]:
+        """The :mod:`repro.common.atomicio` hook body.
+
+        Decisions key on ``(path name, nth write to that path)`` so a retry
+        that rewrites the same entry draws fresh — a blocked first write
+        does not doom every rewrite.
+        """
+        token = path.name
+        nth = self._write_counts.get(token, 0)
+        self._write_counts[token] = nth + 1
+        def journal(site: str) -> None:
+            self.events.append(
+                FaultEvent(site=site, token=token, attempt=nth, path=str(path))
+            )
+
+        if self._fires("write.enospc", token, nth) and self._spend():
+            journal("write.enospc")
+            raise OSError(errno.ENOSPC, "chaos: injected disk full", str(path))
+        out = None
+        if self._fires("write.corrupt", token, nth) and self._spend():
+            journal("write.corrupt")
+            draw = _draw(self.plan.seed, "write.corrupt.bit", token, nth)
+            out = _flip_bit(data, draw)
+        if self._fires("write.slow", token, nth) and self._spend():
+            journal("write.slow")
+            time.sleep(self.plan.slow_write_seconds)
+        return out
+
+    @contextlib.contextmanager
+    def installed(self):
+        """Scope the write-fault hook to one campaign (restores the prior)."""
+        previous = set_write_fault_hook(self.on_write)
+        try:
+            yield self
+        finally:
+            set_write_fault_hook(previous)
+
+    # ----------------------------------------------------------- the ledger --
+
+    def observe(self, job, attempt: int, kind: FailureKind) -> None:
+        """Record how the parent classified a failure of (cell, attempt).
+
+        Matches the journal entry for the worker fault injected into that
+        exact attempt, if any; unmatched failures (organic ones) are simply
+        not journal events and are ignored here.
+        """
+        token = _job_token(job)
+        for event in self.events:
+            if (
+                event.site in _WORKER_SITES
+                and event.token == token
+                and event.attempt == attempt
+                and event.observed is None
+            ):
+                event.observed = kind.value
+                return
+
+    def verify(self) -> List[str]:
+        """Mismatches between injected worker faults and their classification.
+
+        Empty means every injected hang surfaced as ``timeout``, every
+        signal crash as ``crash``, every SIGKILL as ``oom``, every injected
+        exception as ``error`` — the soak gate's classification clause.
+        """
+        problems = []
+        for event in self.events:
+            if event.site not in _WORKER_SITES:
+                continue
+            if event.observed is None:
+                problems.append(
+                    f"{event.site} injected into attempt {event.attempt} of "
+                    f"{event.token[:60]}... was never observed as a failure"
+                )
+            elif event.observed != event.expect:
+                problems.append(
+                    f"{event.site} expected kind {event.expect!r}, "
+                    f"classified as {event.observed!r}"
+                )
+        return problems
+
+    def summary(self) -> Dict[str, object]:
+        """Injection counts by site, plus seed/scope — manifest material."""
+        by_site: Dict[str, int] = {}
+        for event in self.events:
+            by_site[event.site] = by_site.get(event.site, 0) + 1
+        return {
+            "seed": self.plan.seed,
+            "total_rate": round(self.plan.total_rate, 6),
+            "injected": len(self.events),
+            "by_site": dict(sorted(by_site.items())),
+        }
+
+
+def _flip_bit(data: bytes, draw: float) -> bytes:
+    """Flip one deterministically chosen bit of ``data`` (bit-rot in a can)."""
+    if not data:
+        return data
+    position = int(draw * len(data) * 8) % (len(data) * 8)
+    byte_index, bit = divmod(position, 8)
+    corrupted = bytearray(data)
+    corrupted[byte_index] ^= 1 << bit
+    return bytes(corrupted)
+
+
+@dataclass(frozen=True)
+class ChaosJob:
+    """The payload a chaos-wrapped worker receives: job + decided fault.
+
+    ``worker`` is the real (module-level, hence picklable) worker the fault
+    preempts; kept so an exception directive can still identify the cell in
+    its message, and so a future partial-fault mode could fall through.
+    """
+
+    job: object
+    directive: FaultDirective
+    worker: object = field(repr=False, default=None)
+
+    def describe(self) -> Dict[str, object]:
+        return self.job.describe()
+
+
+def _chaos_worker(conn, chaos_job: ChaosJob, check_invariants: bool) -> None:
+    """Subprocess entry point that *executes* a decided fault.
+
+    Mirrors the real fault modes at the process level: a hang sleeps
+    through the per-cell timeout so the parent must kill it; a signal fault
+    raises the signal against the worker's own pid (SIGSEGV/SIGABRT for the
+    crash path, SIGKILL for the OOM path); an exception fault reports
+    through the normal in-band ``("error", ...)`` channel.
+    """
+    directive = chaos_job.directive
+    if directive.site == "worker.hang":
+        time.sleep(directive.seconds)
+        os._exit(0)  # killed long before this in any sane configuration
+    if directive.signum:
+        import signal as _signal
+
+        # Restore the default disposition so e.g. SIGABRT really dies.
+        with contextlib.suppress(OSError, ValueError):
+            _signal.signal(directive.signum, _signal.SIG_DFL)
+        os.kill(os.getpid(), directive.signum)
+        time.sleep(60)  # SIGKILL delivery can lag a scheduler tick
+        os._exit(1)
+    conn.send(
+        (
+            "error",
+            {
+                "message": f"ChaosInjectedError: {directive.message}",
+                "detail": {"injected": True, "site": directive.site},
+            },
+        )
+    )
+    conn.close()
+
+
+__all__ = [
+    "ChaosEngine",
+    "ChaosJob",
+    "FaultDirective",
+    "FaultEvent",
+    "FaultPlan",
+]

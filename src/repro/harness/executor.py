@@ -33,6 +33,7 @@ parallel scheduler of its own.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 import traceback
@@ -40,12 +41,16 @@ from dataclasses import dataclass, field
 from multiprocessing import connection, get_context
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.common.env import env_float, env_int
 from repro.core.config import CoreConfig
+from repro.harness.chaos import ChaosEngine, ChaosJob, _chaos_worker
 from repro.harness.failures import (
+    EPHEMERAL_KINDS,
     CellFailure,
     FailureKind,
     backoff_delay,
     classify_exitcode,
+    jitter_fraction,
 )
 from repro.harness.store import CellKey, ResultStore, cell_key
 from repro.sim.metrics import SimResult
@@ -62,15 +67,15 @@ ENV_MP = "REPRO_SWEEP_MP"
 
 
 def default_timeout() -> float:
-    return float(os.environ.get(ENV_TIMEOUT, "300"))
+    return env_float(ENV_TIMEOUT, 300.0, min_value=0.0)
 
 
 def default_retries() -> int:
-    return int(os.environ.get(ENV_RETRIES, "2"))
+    return env_int(ENV_RETRIES, 2, min_value=0)
 
 
 def default_workers() -> int:
-    return int(os.environ.get(ENV_WORKERS, "1"))
+    return env_int(ENV_WORKERS, 1, min_value=1)
 
 
 @dataclass(frozen=True)
@@ -218,6 +223,14 @@ class ProcessCellExecutor:
     simulator. ``mp_context`` defaults to fork where available (cheap on
     Linux; workers inherit nothing mutable they can corrupt — results flow
     back only through the pipe).
+
+    ``jitter_seed``, when set, applies seeded equal-jitter to retry backoff
+    (:func:`~repro.harness.failures.jitter_fraction` — deterministic per
+    (cell, attempt), so colliding retries de-collide reproducibly).
+    ``breaker_threshold`` arms the per-workload circuit breaker: once a
+    workload has that many *final* failures and zero successes, its
+    remaining cells are skipped (kind ``skipped``, never persisted) instead
+    of burning worker slots and retries on a systematically broken row.
     """
 
     def __init__(
@@ -230,6 +243,8 @@ class ProcessCellExecutor:
         check_invariants: bool = False,
         worker: Callable = _cell_worker,
         mp_context=None,
+        jitter_seed: Optional[int] = None,
+        breaker_threshold: Optional[int] = None,
     ) -> None:
         self.timeout = default_timeout() if timeout is None else float(timeout)
         self.retries = default_retries() if retries is None else int(retries)
@@ -238,6 +253,12 @@ class ProcessCellExecutor:
         self.backoff_cap = backoff_cap
         self.check_invariants = check_invariants
         self.worker = worker
+        self.jitter_seed = jitter_seed
+        if breaker_threshold is not None and breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        self.breaker_threshold = breaker_threshold
         if mp_context is None:
             method = os.environ.get(ENV_MP)
             if method:
@@ -251,11 +272,25 @@ class ProcessCellExecutor:
 
     # --------------------------------------------------------- lifecycle --
 
-    def _spawn(self, index: int, spec: CellSpec, attempt: int, now: float) -> _Running:
+    def _spawn(
+        self,
+        index: int,
+        spec: CellSpec,
+        attempt: int,
+        now: float,
+        chaos: Optional[ChaosEngine] = None,
+    ) -> _Running:
+        target: Callable = self.worker
+        payload: object = spec
+        if chaos is not None:
+            directive = chaos.worker_directive(spec, attempt)
+            if directive is not None:
+                target = _chaos_worker
+                payload = ChaosJob(job=spec, directive=directive, worker=self.worker)
         parent_conn, child_conn = self.mp.Pipe(duplex=False)
         proc = self.mp.Process(
-            target=self.worker,
-            args=(child_conn, spec, self.check_invariants),
+            target=target,
+            args=(child_conn, payload, self.check_invariants),
             daemon=True,
         )
         proc.start()
@@ -334,6 +369,21 @@ class ProcessCellExecutor:
             elapsed,
         )
 
+    def _kill_cut(self, entry: _Running, deadline: float) -> CellFailure:
+        """Kill an in-flight worker at the campaign deadline (clean shutdown)."""
+        self._drain(entry)  # salvage heartbeats: the manifest says where it was
+        entry.proc.kill()
+        entry.proc.join(5)
+        entry.conn.close()
+        elapsed = time.monotonic() - entry.started
+        return self._failure(
+            entry,
+            FailureKind.DEADLINE,
+            f"killed at the {deadline:.1f}s campaign deadline",
+            elapsed,
+            detail={"deadline_seconds": deadline, "phase": "running"},
+        )
+
     def _failure(
         self,
         entry: _Running,
@@ -365,6 +415,9 @@ class ProcessCellExecutor:
         store: Optional[ResultStore] = None,
         resume: bool = True,
         progress: Optional[Callable[[CellOutcome], None]] = None,
+        chaos: Optional[ChaosEngine] = None,
+        deadline: Optional[float] = None,
+        quarantine: bool = False,
     ) -> List[CellOutcome]:
         """Run every cell; never raises for a failing cell.
 
@@ -376,9 +429,46 @@ class ProcessCellExecutor:
         ``specs`` may be any picklable jobs (not just :class:`CellSpec`)
         when a matching custom ``worker=`` was given at construction;
         without a ``store`` only ``describe()`` is required of them.
+
+        Campaign-level policies:
+
+        * ``deadline`` — a wall-clock budget (seconds) for this whole call.
+          When it expires, in-flight workers are killed and everything not
+          yet finished settles with kind ``deadline``. Cut cells are *not*
+          persisted as failures: everything completed is in the store, and
+          a resumed run picks the cut cells up as pending.
+        * ``quarantine`` — cells with a durable failure record in the store
+          settle immediately with kind ``quarantined`` (carrying the
+          original failure in ``detail``) instead of re-burning their
+          retries; clear the failure entry (or run without ``quarantine``)
+          to re-judge them.
+        * ``chaos`` — a :class:`~repro.harness.chaos.ChaosEngine` whose
+          fault plan is injected into worker spawns; every failure is also
+          reported back to the engine's journal so injected faults can be
+          checked against their observed classification.
         """
         outcomes: Dict[int, CellOutcome] = {}
-        pending: List[Tuple[int, CellSpec, int, float]] = []  # (idx, spec, attempt, not_before)
+        # Each pending entry is (index, spec, attempt, not-before timestamp).
+        pending: List[Tuple[int, CellSpec, int, float]] = []
+        cutoff = None if deadline is None else time.monotonic() + float(deadline)
+        # Circuit-breaker ledger: final failures / successes per workload.
+        final_failures: Dict[object, int] = {}
+        successes: Dict[object, int] = {}
+
+        def group(spec) -> object:
+            return getattr(spec, "workload", None)
+
+        def breaker_tripped(spec) -> bool:
+            if self.breaker_threshold is None:
+                return False
+            key = group(spec)
+            if key is None:
+                return False
+            return (
+                successes.get(key, 0) == 0
+                and final_failures.get(key, 0) >= self.breaker_threshold
+            )
+
         for index, spec in enumerate(specs):
             if store is not None and resume:
                 cached = store.get(spec.key())
@@ -386,52 +476,114 @@ class ProcessCellExecutor:
                     outcomes[index] = CellOutcome(
                         spec=spec, result=cached, cached=True
                     )
+                    successes[group(spec)] = successes.get(group(spec), 0) + 1
                     if progress:
                         progress(outcomes[index])
                     continue
+                if quarantine:
+                    prior = store.get_failure(spec.key())
+                    if prior is not None:
+                        failure = CellFailure(
+                            kind=FailureKind.QUARANTINED,
+                            message=(
+                                f"quarantined: failed {prior.attempts} attempt(s) "
+                                f"in a previous run ({prior.kind.value}: "
+                                f"{prior.message})"
+                            ),
+                            cell=spec.describe(),
+                            attempts=prior.attempts,
+                            detail={"original": prior.to_dict()},
+                        )
+                        outcomes[index] = CellOutcome(spec=spec, failure=failure)
+                        if progress:
+                            progress(outcomes[index])
+                        continue
             pending.append((index, spec, 0, 0.0))
 
         running: List[_Running] = []
 
         def settle(index: int, spec: CellSpec, attempt: int, result, failure) -> None:
             now = time.monotonic()
+            if failure is not None and chaos is not None:
+                chaos.observe(spec, attempt, failure.kind)
             if result is not None:
                 outcome = CellOutcome(
                     spec=spec, result=result, attempts=attempt + 1
                 )
+                successes[group(spec)] = successes.get(group(spec), 0) + 1
                 if store is not None:
                     store.put(spec.key(), result)
             elif failure.transient and attempt < self.retries:
-                delay = backoff_delay(attempt, self.backoff_base, self.backoff_cap)
+                jitter = None
+                if self.jitter_seed is not None:
+                    jitter = jitter_fraction(
+                        self.jitter_seed,
+                        json.dumps(spec.describe(), sort_keys=True, default=str),
+                        attempt,
+                    )
+                delay = backoff_delay(
+                    attempt, self.backoff_base, self.backoff_cap, jitter
+                )
                 pending.append((index, spec, attempt + 1, now + delay))
                 return
             else:
                 outcome = CellOutcome(
                     spec=spec, failure=failure, attempts=attempt + 1
                 )
-                if store is not None:
-                    store.put_failure(spec.key(), failure)
+                if failure.kind not in EPHEMERAL_KINDS:
+                    final_failures[group(spec)] = (
+                        final_failures.get(group(spec), 0) + 1
+                    )
+                    if store is not None:
+                        store.put_failure(spec.key(), failure)
             outcomes[index] = outcome
             if progress:
                 progress(outcome)
 
+        def settle_skipped(index: int, spec: CellSpec, attempt: int) -> None:
+            key = group(spec)
+            failure = CellFailure(
+                kind=FailureKind.SKIPPED,
+                message=(
+                    f"circuit breaker open for workload {key!r}: "
+                    f"{final_failures.get(key, 0)} failures, 0 successes"
+                ),
+                cell=spec.describe(),
+                attempts=attempt,
+                detail={"breaker_threshold": self.breaker_threshold},
+            )
+            settle(index, spec, attempt, None, failure)
+
         while pending or running:
             now = time.monotonic()
+            if cutoff is not None and now >= cutoff:
+                break
 
-            # Launch every eligible pending cell into a free worker slot.
+            # Launch every eligible pending cell into a free worker slot —
+            # unless its workload's circuit breaker is open, in which case
+            # it settles as skipped without costing a slot.
             launched = []
             for slot, (index, spec, attempt, not_before) in enumerate(pending):
+                if breaker_tripped(spec):
+                    settle_skipped(index, spec, attempt)
+                    launched.append(slot)
+                    continue
                 if len(running) >= self.workers:
                     break
                 if not_before <= now:
-                    running.append(self._spawn(index, spec, attempt, now))
+                    running.append(self._spawn(index, spec, attempt, now, chaos))
                     launched.append(slot)
             for slot in reversed(launched):
                 pending.pop(slot)
 
             if not running:
-                # Only backoff waits remain; sleep until the nearest one.
+                if not pending:
+                    break
+                # Only backoff waits remain; sleep until the nearest one
+                # (or the campaign deadline, whichever comes first).
                 wakeup = min(entry[3] for entry in pending)
+                if cutoff is not None:
+                    wakeup = min(wakeup, cutoff)
                 time.sleep(max(0.0, wakeup - time.monotonic()))
                 continue
 
@@ -441,6 +593,8 @@ class ProcessCellExecutor:
             future_backoffs = [nb for (_, _, _, nb) in pending if nb > now]
             if future_backoffs:
                 horizon = min(horizon, min(future_backoffs))
+            if cutoff is not None:
+                horizon = min(horizon, cutoff)
             wait_for = max(0.0, min(horizon - time.monotonic(), 0.5))
             ready = connection.wait([entry.conn for entry in running], wait_for)
 
@@ -459,5 +613,29 @@ class ProcessCellExecutor:
                 else:
                     still_running.append(entry)
             running = still_running
+
+        # Deadline expiry: clean partial-result shutdown. Kill what is in
+        # flight, settle everything unfinished as cut — nothing is persisted
+        # (the cells stay pending for a resumed run), and every result that
+        # completed before the cut is already durable in the store.
+        if cutoff is not None and (pending or running):
+            for entry in running:
+                failure = self._kill_cut(entry, float(deadline))
+                settle(entry.index, entry.spec, entry.attempt, None, failure)
+            for index, spec, attempt, _ in pending:
+                failure = CellFailure(
+                    kind=FailureKind.DEADLINE,
+                    message=(
+                        f"never started: campaign hit its "
+                        f"{float(deadline):.1f}s deadline"
+                    ),
+                    cell=spec.describe(),
+                    attempts=attempt,
+                    detail={
+                        "deadline_seconds": float(deadline),
+                        "phase": "pending",
+                    },
+                )
+                settle(index, spec, attempt, None, failure)
 
         return [outcomes[index] for index in range(len(specs))]

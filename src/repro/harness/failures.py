@@ -9,6 +9,7 @@ enough context to reproduce the cell from the command line (``repro run
 from __future__ import annotations
 
 import enum
+import hashlib
 import signal
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
@@ -22,6 +23,9 @@ class FailureKind(str, enum.Enum):
     OOM = "oom"  # killed by SIGKILL (the kernel OOM killer) or MemoryError
     INVARIANT = "invariant"  # simulator self-check tripped (SimInvariantError)
     ERROR = "error"  # ordinary Python exception inside the cell
+    DEADLINE = "deadline"  # cut by the campaign-wide wall-clock budget
+    QUARANTINED = "quarantined"  # skipped: a prior run already burned retries
+    SKIPPED = "skipped"  # skipped: the workload's circuit breaker tripped
 
 
 #: Failure kinds worth retrying: the cell might succeed on a quieter machine
@@ -29,6 +33,14 @@ class FailureKind(str, enum.Enum):
 #: and ordinary exceptions are deterministic — retrying cannot help.
 TRANSIENT_KINDS = frozenset(
     {FailureKind.TIMEOUT, FailureKind.CRASH, FailureKind.OOM}
+)
+
+#: Campaign-policy outcomes, not verdicts about the cell itself: a cut,
+#: quarantined or breaker-skipped cell was never (re)judged this run, so its
+#: record is **not** persisted to the failure store — on resume the cell is
+#: still pending (or keeps its original durable failure, for quarantine).
+EPHEMERAL_KINDS = frozenset(
+    {FailureKind.DEADLINE, FailureKind.QUARANTINED, FailureKind.SKIPPED}
 )
 
 
@@ -100,11 +112,38 @@ def classify_exitcode(exitcode: Optional[int]) -> Tuple[FailureKind, str]:
     return FailureKind.CRASH, f"worker exited with status {exitcode}"
 
 
-def backoff_delay(attempt: int, base: float, cap: float) -> float:
+def backoff_delay(
+    attempt: int, base: float, cap: float, jitter: Optional[float] = None
+) -> float:
     """Capped exponential backoff: ``min(cap, base * 2**attempt)``.
 
     ``attempt`` is zero-based (the delay before retry #1 uses attempt=0).
+
+    ``jitter``, when given, is a fraction in ``[0, 1)`` (see
+    :func:`jitter_fraction`) applying *equal jitter*: the capped delay is
+    scaled by ``0.5 + 0.5*jitter``, so two cells whose first attempts
+    collided (same overloaded moment, same OOM spike) retry at different
+    times instead of re-colliding, while every delay stays within ``cap``
+    and at least half the deterministic schedule.
     """
     if base <= 0:
         return 0.0
-    return min(cap, base * (2.0 ** attempt))
+    delay = min(cap, base * (2.0 ** attempt))
+    if jitter is not None:
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        delay *= 0.5 + 0.5 * jitter
+    return delay
+
+
+def jitter_fraction(seed: int, token: str, attempt: int) -> float:
+    """Deterministic jitter draw in ``[0, 1)`` for one (cell, attempt).
+
+    A pure function of ``(seed, token, attempt)`` — *not* of scheduling
+    order — so a re-run of the same campaign with the same seed reproduces
+    every retry delay exactly, which is what makes chaos soaks and flaky
+    retries replayable.
+    """
+    blob = f"{seed}\x00{token}\x00{attempt}".encode("utf-8")
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)

@@ -12,7 +12,17 @@ Entries are single JSON files written via temp-file + atomic rename
 (:mod:`repro.common.atomicio`), so a process killed mid-write can never
 leave a truncated entry: re-running a sweep after a crash resumes from
 exactly the set of complete cells. Unreadable, truncated, or
-version-mismatched entries read as cache *misses*, never as errors.
+version-mismatched entries read as cache *misses*, never as errors. Since
+schema v2 every entry also carries a CRC32 over its record, so even a
+single flipped bit *inside a stored value* — which would still parse as
+valid JSON — reads as a miss instead of silently contaminating a resumed
+sweep with a plausible-but-wrong number.
+
+The store also degrades gracefully under disk exhaustion: a ``put`` that
+hits ``OSError`` (ENOSPC, EIO, a vanished mount) falls back to an
+in-process memory tier and counts a ``degraded_write`` instead of crashing
+the campaign — results stay reachable through ``get`` for the rest of the
+run; only their durability is lost.
 
 Layout under the store root::
 
@@ -27,6 +37,8 @@ import dataclasses
 import enum
 import hashlib
 import json
+import logging
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
@@ -36,8 +48,11 @@ from repro.core.config import CoreConfig
 from repro.harness.failures import CellFailure
 from repro.sim.metrics import SimResult
 
+logger = logging.getLogger(__name__)
+
 #: On-disk entry format version; bump on incompatible layout changes.
-SCHEMA_VERSION = 1
+#: v2: entries carry ``crc32`` over their record payload (bit-rot guard).
+SCHEMA_VERSION = 2
 
 #: Simulator semantics version. Bump whenever a change alters simulation
 #: *results* (timing model, predictor behaviour, trace generation) so stale
@@ -143,11 +158,33 @@ class StoreStatus:
         )
 
 
+def _record_crc(record: object) -> int:
+    """CRC32 over a record's canonical JSON — the entry bit-rot guard."""
+    blob = json.dumps(record, sort_keys=True, default=str)
+    return zlib.crc32(blob.encode("utf-8"))
+
+
 class ResultStore:
     """Content-addressed, crash-safe store of completed sweep cells."""
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
+        # In-process fallback tier for disk-exhaustion degradation: results
+        # and failures that could not be persisted stay reachable here for
+        # the rest of the run (durability is lost, the campaign is not).
+        self._memory_results: Dict[str, SimResult] = {}
+        self._memory_failures: Dict[str, CellFailure] = {}
+        self.degraded_writes = 0
+
+    def _degrade(self, what: str, key: "CellKey", error: OSError) -> None:
+        self.degraded_writes += 1
+        logger.warning(
+            "result store degraded: could not persist %s %s (%s); "
+            "keeping it in memory for this run",
+            what,
+            key.short,
+            error,
+        )
 
     # ------------------------------------------------------------- paths --
 
@@ -175,35 +212,55 @@ class ResultStore:
         """Cached result, or None on miss — including every corruption mode.
 
         A truncated entry (killed writer on a non-atomic filesystem), invalid
-        JSON, a schema or code-version mismatch, or a record that no longer
-        matches the current ``SimResult`` shape all read as misses: the cell
-        is simply re-simulated and the entry rewritten.
+        JSON, a schema or code-version mismatch, a CRC mismatch (a bit flip
+        anywhere in the stored record — even one that still parses as valid
+        JSON), or a record that no longer matches the current ``SimResult``
+        shape all read as misses: the cell is simply re-simulated and the
+        entry rewritten. Results parked in the in-memory degradation tier
+        (a ``put`` that hit a full disk) are served after the disk miss.
         """
         try:
             entry = json.loads(self.result_path(key).read_text())
         except (OSError, ValueError):
-            return None
+            return self._memory_results.get(key.digest)
         try:
             if entry["schema"] != SCHEMA_VERSION:
-                return None
+                return self._memory_results.get(key.digest)
             if entry["code_version"] != CODE_VERSION:
-                return None
+                return self._memory_results.get(key.digest)
             if entry["key"] != key.digest:
-                return None
+                return self._memory_results.get(key.digest)
+            if entry["crc32"] != _record_crc(entry["result"]):
+                return self._memory_results.get(key.digest)
             return SimResult.from_record(entry["result"])
         except (KeyError, TypeError, ValueError):
-            return None
+            return self._memory_results.get(key.digest)
 
-    def put(self, key: CellKey, result: SimResult) -> Path:
-        """Persist one completed cell atomically; clears any stale failure."""
+    def put(self, key: CellKey, result: SimResult) -> Optional[Path]:
+        """Persist one completed cell atomically; clears any stale failure.
+
+        On ``OSError`` (disk full, I/O error) the result is parked in the
+        in-memory tier instead — ``get`` keeps serving it for the rest of
+        this run — and ``None`` is returned; ``degraded_writes`` counts the
+        losses so the sweep manifest can report them.
+        """
+        record = result.to_record()
         entry = {
             "schema": SCHEMA_VERSION,
             "code_version": CODE_VERSION,
             "key": key.digest,
             "cell": dict(key.describe),
-            "result": result.to_record(),
+            "result": record,
+            "crc32": _record_crc(record),
         }
-        path = atomic_write_json(self.result_path(key), entry)
+        try:
+            path = atomic_write_json(self.result_path(key), entry)
+        except OSError as error:
+            self._degrade("result", key, error)
+            self._memory_results[key.digest] = result
+            self._memory_failures.pop(key.digest, None)
+            return None
+        self._memory_results.pop(key.digest, None)
         self.clear_failure(key)
         return path
 
@@ -212,24 +269,36 @@ class ResultStore:
 
     # ----------------------------------------------------------- failures --
 
-    def put_failure(self, key: CellKey, failure: CellFailure) -> Path:
+    def put_failure(self, key: CellKey, failure: CellFailure) -> Optional[Path]:
+        record = failure.to_dict()
         entry = {
             "schema": SCHEMA_VERSION,
             "code_version": CODE_VERSION,
             "key": key.digest,
             "cell": dict(key.describe),
-            "failure": failure.to_dict(),
+            "failure": record,
+            "crc32": _record_crc(record),
         }
-        return atomic_write_json(self.failure_path(key), entry)
+        try:
+            path = atomic_write_json(self.failure_path(key), entry)
+        except OSError as error:
+            self._degrade("failure", key, error)
+            self._memory_failures[key.digest] = failure
+            return None
+        self._memory_failures.pop(key.digest, None)
+        return path
 
     def get_failure(self, key: CellKey) -> Optional[CellFailure]:
         try:
             entry = json.loads(self.failure_path(key).read_text())
+            if entry["crc32"] != _record_crc(entry["failure"]):
+                return self._memory_failures.get(key.digest)
             return CellFailure.from_dict(entry["failure"])
         except (OSError, ValueError, KeyError, TypeError):
-            return None
+            return self._memory_failures.get(key.digest)
 
     def clear_failure(self, key: CellKey) -> None:
+        self._memory_failures.pop(key.digest, None)
         try:
             self.failure_path(key).unlink()
         except OSError:
@@ -250,9 +319,15 @@ class ResultStore:
         return StoreStatus(completed=completed, failed=failed, pending=pending)
 
     def write_manifest(
-        self, failures: Sequence[CellFailure], extra: Optional[Mapping[str, object]] = None
-    ) -> Path:
-        """Write the machine-readable failure manifest for the last sweep."""
+        self,
+        failures: Sequence[CellFailure],
+        extra: Optional[Mapping[str, object]] = None,
+    ) -> Optional[Path]:
+        """Write the machine-readable failure manifest for the last sweep.
+
+        Returns ``None`` (and counts a degraded write) when the disk
+        refuses it — losing the manifest must not abort a finished sweep.
+        """
         payload: Dict[str, object] = {
             "schema": SCHEMA_VERSION,
             "code_version": CODE_VERSION,
@@ -261,7 +336,16 @@ class ResultStore:
         }
         if extra:
             payload.update(extra)
-        return atomic_write_json(self.manifest_path, payload)
+        try:
+            return atomic_write_json(self.manifest_path, payload)
+        except OSError as error:
+            self.degraded_writes += 1
+            logger.warning(
+                "result store degraded: could not write the failure "
+                "manifest (%s)",
+                error,
+            )
+            return None
 
     def read_manifest(self) -> Optional[Dict[str, object]]:
         try:

@@ -18,12 +18,14 @@ precompile pass and the workers disagreed about a trace key.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.config import CoreConfig
+from repro.harness.chaos import ChaosEngine, FaultPlan
 from repro.harness.executor import CellOutcome, CellSpec, ProcessCellExecutor
-from repro.harness.failures import CellFailure
+from repro.harness.failures import CellFailure, FailureKind
 from repro.harness.store import ResultStore, StoreStatus
 from repro.isa.artifacts import TraceStore
 from repro.sim.metrics import SimResult
@@ -61,11 +63,16 @@ class SweepReport:
     during this run despite the artifact store (None when the sweep ran
     without one); ``precompiled`` is the number of traces the precompile
     pass actually built (loads of already-stored artifacts don't count).
+    ``chaos`` is the :class:`~repro.harness.chaos.ChaosEngine` that injected
+    faults into this run (None for a fault-free sweep) — its journal backs
+    the soak gate's classification check.
     """
 
     outcomes: List[CellOutcome]
     trace_rebuilds: Optional[int] = None
     precompiled: int = 0
+    chaos: Optional[ChaosEngine] = None
+    degraded_writes: int = 0
 
     @property
     def results(self) -> Dict[tuple, SimResult]:
@@ -96,6 +103,28 @@ class SweepReport:
     def completed(self) -> int:
         return sum(1 for outcome in self.outcomes if outcome.ok)
 
+    def _kind_count(self, kind: FailureKind) -> int:
+        return sum(
+            1
+            for outcome in self.outcomes
+            if outcome.failure is not None and outcome.failure.kind is kind
+        )
+
+    @property
+    def cut(self) -> int:
+        """Cells cut by the campaign deadline budget (still pending on resume)."""
+        return self._kind_count(FailureKind.DEADLINE)
+
+    @property
+    def quarantined(self) -> int:
+        """Cells skipped because a prior run already burned their retries."""
+        return self._kind_count(FailureKind.QUARANTINED)
+
+    @property
+    def skipped(self) -> int:
+        """Cells skipped by a tripped per-workload circuit breaker."""
+        return self._kind_count(FailureKind.SKIPPED)
+
     def summary(self) -> str:
         total = len(self.outcomes)
         text = (
@@ -103,8 +132,18 @@ class SweepReport:
             f"(cached={self.cached}, simulated={self.simulated}) "
             f"failed={self.failed}"
         )
+        if self.cut:
+            text += f" cut={self.cut}"
+        if self.quarantined:
+            text += f" quarantined={self.quarantined}"
+        if self.skipped:
+            text += f" skipped={self.skipped}"
+        if self.degraded_writes:
+            text += f" degraded-writes={self.degraded_writes}"
         if self.trace_rebuilds is not None:
             text += f" trace-rebuilds={self.trace_rebuilds}"
+        if self.chaos is not None:
+            text += f" chaos-injected={self.chaos.summary()['injected']}"
         return text
 
 
@@ -165,6 +204,9 @@ class SweepRunner:
         cells: Sequence[CellSpec],
         resume: bool = True,
         progress: Optional[Callable[[CellOutcome], None]] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        deadline: Optional[float] = None,
+        quarantine: bool = False,
     ) -> SweepReport:
         """Run the sweep; completes with the surviving cells, never aborts.
 
@@ -173,36 +215,62 @@ class SweepRunner:
         complete entries and a re-run with ``resume=True`` picks up from
         exactly the finished set. The failure manifest is (re)written at the
         end of every run — empty when everything succeeded.
+
+        ``fault_plan`` activates deterministic chaos injection over the
+        whole run — including the precompile pass, so artifact writes face
+        the same ENOSPC/corruption weather as everything else. ``deadline``
+        is the campaign wall-clock budget and ``quarantine`` skips cells
+        with durable failure records; see
+        :meth:`~repro.harness.executor.ProcessCellExecutor.run_many`.
         """
-        precompiled = 0
-        rebuilds = None
-        if self.precompile:
-            precompiled = self._precompile(cells, resume=resume)
-            trace_dir = str(self.trace_store.root)
-            cells = [
-                cell if cell.trace_dir else replace(cell, trace_dir=trace_dir)
-                for cell in cells
-            ]
-            rebuilds_before = self.trace_store.rebuild_count()
-        outcomes = self.executor.run_many(
-            cells, store=self.store, resume=resume, progress=progress
-        )
-        if self.precompile:
-            rebuilds = self.trace_store.rebuild_count() - rebuilds_before
+        chaos = ChaosEngine(fault_plan) if fault_plan is not None else None
+        scope = chaos.installed() if chaos is not None else contextlib.nullcontext()
+        with scope:
+            precompiled = 0
+            rebuilds = None
+            if self.precompile:
+                precompiled = self._precompile(cells, resume=resume)
+                trace_dir = str(self.trace_store.root)
+                cells = [
+                    cell if cell.trace_dir else replace(cell, trace_dir=trace_dir)
+                    for cell in cells
+                ]
+                rebuilds_before = self.trace_store.rebuild_count()
+            outcomes = self.executor.run_many(
+                cells,
+                store=self.store,
+                resume=resume,
+                progress=progress,
+                chaos=chaos,
+                deadline=deadline,
+                quarantine=quarantine,
+            )
+            if self.precompile:
+                rebuilds = self.trace_store.rebuild_count() - rebuilds_before
         report = SweepReport(
-            outcomes=outcomes, trace_rebuilds=rebuilds, precompiled=precompiled
+            outcomes=outcomes,
+            trace_rebuilds=rebuilds,
+            precompiled=precompiled,
+            chaos=chaos,
+            degraded_writes=self.store.degraded_writes,
         )
-        self.store.write_manifest(
-            report.failures,
-            extra={
-                "cells": len(cells),
-                "completed": report.completed,
-                "cached": report.cached,
-                "simulated": report.simulated,
-                "precompiled_traces": precompiled,
-                "trace_rebuilds": rebuilds,
-            },
-        )
+        extra = {
+            "cells": len(cells),
+            "completed": report.completed,
+            "cached": report.cached,
+            "simulated": report.simulated,
+            "precompiled_traces": precompiled,
+            "trace_rebuilds": rebuilds,
+            "cut": report.cut,
+            "quarantined": report.quarantined,
+            "skipped": report.skipped,
+            "degraded_writes": self.store.degraded_writes,
+        }
+        if deadline is not None:
+            extra["deadline_seconds"] = float(deadline)
+        if chaos is not None:
+            extra["chaos"] = chaos.summary()
+        self.store.write_manifest(report.failures, extra=extra)
         return report
 
     def status(self, cells: Sequence[CellSpec]) -> StoreStatus:

@@ -32,11 +32,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+logger = logging.getLogger(__name__)
 
 from repro.common.atomicio import atomic_write_bytes, atomic_write_json
 from repro.isa.serialize import (
@@ -126,18 +129,31 @@ class TraceStore:
             return None
         return trace
 
-    def save(self, key: TraceKey, trace: Trace) -> Path:
-        """Persist one compiled trace atomically, with a metadata sidecar."""
+    def save(self, key: TraceKey, trace: Trace) -> Optional[Path]:
+        """Persist one compiled trace atomically, with a metadata sidecar.
+
+        An artifact is a *cache* — it can always be rebuilt — so a write
+        refused by the disk (ENOSPC, EIO) degrades to ``None`` with a
+        warning instead of crashing the campaign that tried to save it.
+        """
         data = dumps_trace_binary(trace)
-        path = atomic_write_bytes(self.trace_path(key), data)
-        atomic_write_json(
-            self.meta_path(key),
-            {
-                "key": key.digest,
-                **dict(key.describe),
-                "bytes": len(data),
-            },
-        )
+        try:
+            path = atomic_write_bytes(self.trace_path(key), data)
+            atomic_write_json(
+                self.meta_path(key),
+                {
+                    "key": key.digest,
+                    **dict(key.describe),
+                    "bytes": len(data),
+                },
+            )
+        except OSError as error:
+            logger.warning(
+                "trace store degraded: could not persist artifact %s (%s)",
+                key.short,
+                error,
+            )
+            return None
         return path
 
     def contains(self, key: TraceKey) -> bool:
@@ -169,11 +185,17 @@ class TraceStore:
 
         ``mkstemp`` guarantees a distinct file per call, so concurrent
         worker processes never race: the marker count is exactly the number
-        of builds that bypassed the artifact store.
+        of builds that bypassed the artifact store. Markers are telemetry —
+        a disk that refuses one is logged, never fatal.
         """
-        self.rebuilds_dir.mkdir(parents=True, exist_ok=True)
-        fd, _ = tempfile.mkstemp(dir=str(self.rebuilds_dir), prefix=key.short + ".")
-        os.close(fd)
+        try:
+            self.rebuilds_dir.mkdir(parents=True, exist_ok=True)
+            fd, _ = tempfile.mkstemp(
+                dir=str(self.rebuilds_dir), prefix=key.short + "."
+            )
+            os.close(fd)
+        except OSError as error:
+            logger.warning("could not record a rebuild marker (%s)", error)
 
     def rebuild_count(self) -> int:
         try:
@@ -312,17 +334,31 @@ class CheckpointStore:
         except OSError:
             return None
 
-    def save(self, key: TraceKey, data: bytes) -> Path:
-        """Persist one encoded checkpoint atomically, with a sidecar."""
-        path = atomic_write_bytes(self.checkpoint_path(key), data)
-        atomic_write_json(
-            self.meta_path(key),
-            {
-                "key": key.digest,
-                **dict(key.describe),
-                "bytes": len(data),
-            },
-        )
+    def save(self, key: TraceKey, data: bytes) -> Optional[Path]:
+        """Persist one encoded checkpoint atomically, with a sidecar.
+
+        Checkpoints, like traces, are rebuildable caches: a refused write
+        (disk full) degrades to ``None`` with a warning — the sampled run
+        simply re-warms next time — instead of aborting the run that
+        produced the state.
+        """
+        try:
+            path = atomic_write_bytes(self.checkpoint_path(key), data)
+            atomic_write_json(
+                self.meta_path(key),
+                {
+                    "key": key.digest,
+                    **dict(key.describe),
+                    "bytes": len(data),
+                },
+            )
+        except OSError as error:
+            logger.warning(
+                "checkpoint store degraded: could not persist %s (%s)",
+                key.short,
+                error,
+            )
+            return None
         return path
 
     def contains(self, key: TraceKey) -> bool:

@@ -1,0 +1,98 @@
+"""Atomic writes and the fault-injection hook at their single choke point."""
+
+import errno
+import json
+
+import pytest
+
+from repro.common.atomicio import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    set_write_fault_hook,
+    write_fault_hook,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_hook():
+    # Every test starts and ends hook-free, whatever it installs.
+    set_write_fault_hook(None)
+    yield
+    set_write_fault_hook(None)
+
+
+class TestAtomicWrites:
+    def test_bytes_round_trip(self, tmp_path):
+        path = atomic_write_bytes(tmp_path / "blob.bin", b"\x00\x01\xff")
+        assert path.read_bytes() == b"\x00\x01\xff"
+
+    def test_text_round_trip(self, tmp_path):
+        path = atomic_write_text(tmp_path / "note.txt", "héllo\n")
+        assert path.read_text(encoding="utf-8") == "héllo\n"
+
+    def test_json_round_trip(self, tmp_path):
+        path = atomic_write_json(tmp_path / "payload.json", {"a": [1, 2]})
+        assert json.loads(path.read_text()) == {"a": [1, 2]}
+
+    def test_parent_directories_created(self, tmp_path):
+        path = atomic_write_bytes(tmp_path / "a" / "b" / "c.bin", b"x")
+        assert path.read_bytes() == b"x"
+
+    def test_overwrite_replaces_whole_file(self, tmp_path):
+        target = tmp_path / "entry.json"
+        atomic_write_text(target, "long old contents that must fully vanish")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        atomic_write_bytes(tmp_path / "blob.bin", b"data")
+        assert [p.name for p in tmp_path.iterdir()] == ["blob.bin"]
+
+
+class TestWriteFaultHook:
+    def test_no_hook_by_default(self):
+        assert write_fault_hook() is None
+
+    def test_set_returns_the_previous_hook(self):
+        first = lambda path, data: None  # noqa: E731
+        second = lambda path, data: None  # noqa: E731
+        assert set_write_fault_hook(first) is None
+        assert set_write_fault_hook(second) is first
+        assert set_write_fault_hook(None) is second
+        assert write_fault_hook() is None
+
+    def test_none_return_is_a_passthrough(self, tmp_path):
+        seen = []
+
+        def hook(path, data):
+            seen.append((path.name, data))
+            return None
+
+        set_write_fault_hook(hook)
+        path = atomic_write_bytes(tmp_path / "blob.bin", b"payload")
+        assert path.read_bytes() == b"payload"
+        assert seen == [("blob.bin", b"payload")]
+
+    def test_raising_enospc_aborts_the_write(self, tmp_path):
+        def hook(path, data):
+            raise OSError(errno.ENOSPC, "injected disk full", str(path))
+
+        set_write_fault_hook(hook)
+        target = tmp_path / "blob.bin"
+        with pytest.raises(OSError) as excinfo:
+            atomic_write_bytes(target, b"payload")
+        assert excinfo.value.errno == errno.ENOSPC
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []  # no temp-file debris either
+
+    def test_replacement_bytes_are_what_lands_on_disk(self, tmp_path):
+        set_write_fault_hook(lambda path, data: b"corrupted")
+        path = atomic_write_bytes(tmp_path / "blob.bin", b"pristine")
+        assert path.read_bytes() == b"corrupted"
+
+    def test_cleared_hook_stops_firing(self, tmp_path):
+        set_write_fault_hook(lambda path, data: b"corrupted")
+        set_write_fault_hook(None)
+        path = atomic_write_bytes(tmp_path / "blob.bin", b"pristine")
+        assert path.read_bytes() == b"pristine"

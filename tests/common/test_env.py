@@ -1,8 +1,8 @@
-"""Tests for the validated environment-knob helper."""
+"""Tests for the validated environment-knob helpers."""
 
 import pytest
 
-from repro.common.env import EnvVarError, env_int
+from repro.common.env import EnvVarError, env_float, env_int
 
 
 def test_unset_returns_default(monkeypatch):
@@ -47,6 +47,43 @@ def test_default_is_not_range_checked(monkeypatch):
     assert env_int("REPRO_TEST_KNOB", 0, min_value=1) == 0
 
 
+class TestEnvFloat:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert env_float("REPRO_TEST_KNOB", 300.0) == 300.0
+
+    def test_set_value_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "12.5")
+        assert env_float("REPRO_TEST_KNOB", 300.0) == 12.5
+
+    def test_integer_text_accepted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "7")
+        assert env_float("REPRO_TEST_KNOB", 300.0) == 7.0
+
+    def test_non_number_names_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "3oo")
+        with pytest.raises(EnvVarError, match="REPRO_TEST_KNOB"):
+            env_float("REPRO_TEST_KNOB", 300.0)
+
+    def test_nan_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "nan")
+        with pytest.raises(EnvVarError, match="REPRO_TEST_KNOB"):
+            env_float("REPRO_TEST_KNOB", 300.0)
+
+    def test_below_min_names_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "-0.5")
+        with pytest.raises(EnvVarError, match="REPRO_TEST_KNOB.*>= 0"):
+            env_float("REPRO_TEST_KNOB", 300.0, min_value=0.0)
+
+    def test_min_is_inclusive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "0")
+        assert env_float("REPRO_TEST_KNOB", 300.0, min_value=0.0) == 0.0
+
+    def test_default_is_not_range_checked(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert env_float("REPRO_TEST_KNOB", -1.0, min_value=0.0) == -1.0
+
+
 class TestWiredKnobs:
     """The simulator/interval knobs reject malformed values at call time."""
 
@@ -89,3 +126,39 @@ class TestWiredKnobs:
             heartbeat_interval_ops()
         monkeypatch.setenv("REPRO_HEARTBEAT_OPS", "0")
         assert heartbeat_interval_ops() == 0
+
+    def test_sweep_timeout(self, monkeypatch):
+        from repro.harness.executor import default_timeout
+
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "3oo")
+        with pytest.raises(EnvVarError, match="REPRO_SWEEP_TIMEOUT"):
+            default_timeout()
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "-1")
+        with pytest.raises(EnvVarError, match="REPRO_SWEEP_TIMEOUT"):
+            default_timeout()
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "12.5")
+        assert default_timeout() == 12.5
+
+    def test_sweep_retries(self, monkeypatch):
+        from repro.harness.executor import default_retries
+
+        monkeypatch.setenv("REPRO_SWEEP_RETRIES", "two")
+        with pytest.raises(EnvVarError, match="REPRO_SWEEP_RETRIES"):
+            default_retries()
+        monkeypatch.setenv("REPRO_SWEEP_RETRIES", "-1")
+        with pytest.raises(EnvVarError, match="REPRO_SWEEP_RETRIES"):
+            default_retries()
+        monkeypatch.setenv("REPRO_SWEEP_RETRIES", "0")
+        assert default_retries() == 0
+
+    def test_sweep_workers(self, monkeypatch):
+        from repro.harness.executor import default_workers
+
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "many")
+        with pytest.raises(EnvVarError, match="REPRO_SWEEP_WORKERS"):
+            default_workers()
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "0")
+        with pytest.raises(EnvVarError, match="REPRO_SWEEP_WORKERS"):
+            default_workers()
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "4")
+        assert default_workers() == 4

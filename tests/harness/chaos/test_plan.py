@@ -1,0 +1,88 @@
+"""FaultPlan: validation, serialisation, and the transient-split helper."""
+
+import json
+
+import pytest
+
+from repro.harness.chaos import FaultPlan
+
+
+class TestValidation:
+    def test_default_plan_is_silent(self):
+        assert FaultPlan().total_rate == 0.0
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "hang_rate",
+            "crash_rate",
+            "oom_rate",
+            "exception_rate",
+            "poison_rate",
+            "enospc_rate",
+            "slow_write_rate",
+            "corrupt_rate",
+        ],
+    )
+    def test_rates_must_be_probabilities(self, field):
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**{field: 1.5})
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**{field: -0.1})
+
+    def test_negative_slow_write_seconds_rejected(self):
+        with pytest.raises(ValueError, match="slow_write_seconds"):
+            FaultPlan(slow_write_seconds=-1.0)
+
+    def test_negative_max_faults_rejected(self):
+        with pytest.raises(ValueError, match="max_faults"):
+            FaultPlan(max_faults=-1)
+
+    def test_total_rate_sums_every_site(self):
+        plan = FaultPlan(hang_rate=0.1, crash_rate=0.2, corrupt_rate=0.3)
+        assert plan.total_rate == pytest.approx(0.6)
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self):
+        plan = FaultPlan(seed=7, hang_rate=0.05, enospc_rate=0.1, max_faults=3)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="flaky_rate"):
+            FaultPlan.from_dict({"seed": 1, "flaky_rate": 0.5})
+
+    def test_load_json_file(self, tmp_path):
+        plan = FaultPlan(seed=42, crash_rate=0.25)
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        assert FaultPlan.load(str(path)) == plan
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="JSON object"):
+            FaultPlan.load(str(path))
+
+
+class TestTransient:
+    def test_split_totals_the_requested_rate(self):
+        plan = FaultPlan.transient(0.2, seed=9)
+        assert plan.total_rate == pytest.approx(0.2)
+        assert plan.seed == 9
+
+    def test_only_recoverable_sites(self):
+        # Deterministic faults (exceptions, poison) would make the soak's
+        # "everything completes" clause unsatisfiable.
+        plan = FaultPlan.transient(0.4)
+        assert plan.exception_rate == 0.0
+        assert plan.poison_rate == 0.0
+        assert plan.hang_rate > 0.0
+        assert plan.crash_rate > 0.0
+        assert plan.oom_rate > 0.0
+        assert plan.enospc_rate > 0.0
+        assert plan.corrupt_rate > 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultPlan.transient(-0.1)

@@ -1,0 +1,171 @@
+"""The failure taxonomy: exit-code classification, records, backoff jitter."""
+
+import json
+import signal
+
+import pytest
+
+from repro.harness.failures import (
+    EPHEMERAL_KINDS,
+    TRANSIENT_KINDS,
+    CellFailure,
+    FailureKind,
+    backoff_delay,
+    classify_exitcode,
+    jitter_fraction,
+)
+
+
+class TestClassifyExitcode:
+    """The real signal matrix the chaos worker exercises end to end."""
+
+    @pytest.mark.parametrize(
+        "exitcode,kind",
+        [
+            (-int(signal.SIGKILL), FailureKind.OOM),
+            (-int(signal.SIGSEGV), FailureKind.CRASH),
+            (-int(signal.SIGABRT), FailureKind.CRASH),
+            (-int(signal.SIGTERM), FailureKind.CRASH),
+            (1, FailureKind.CRASH),
+            (17, FailureKind.CRASH),
+            (0, FailureKind.CRASH),  # "finished" without a result is a crash
+            (None, FailureKind.CRASH),
+        ],
+    )
+    def test_kind_matrix(self, exitcode, kind):
+        got, reason = classify_exitcode(exitcode)
+        assert got is kind
+        assert reason
+
+    def test_signal_names_surface_in_the_reason(self):
+        assert "SIGKILL" in classify_exitcode(-int(signal.SIGKILL))[1]
+        assert "SIGSEGV" in classify_exitcode(-int(signal.SIGSEGV))[1]
+        assert "SIGABRT" in classify_exitcode(-int(signal.SIGABRT))[1]
+
+    def test_unknown_signal_number_still_classifies(self):
+        kind, reason = classify_exitcode(-250)
+        assert kind is FailureKind.CRASH
+        assert "250" in reason
+
+    def test_vanished_worker_mentions_no_exit_code(self):
+        assert "without an exit code" in classify_exitcode(None)[1]
+
+    def test_only_sigkill_reads_as_oom(self):
+        oom_signals = [
+            signum
+            for signum in range(1, 32)
+            if classify_exitcode(-signum)[0] is FailureKind.OOM
+        ]
+        assert oom_signals == [int(signal.SIGKILL)]
+
+
+class TestCellFailureRecords:
+    def failure(self):
+        return CellFailure(
+            kind=FailureKind.TIMEOUT,
+            message="cell exceeded the 300.0s timeout",
+            cell={"workload": "505.mcf", "predictor": "phast", "num_ops": 500},
+            attempts=3,
+            elapsed_seconds=901.2,
+            detail={"last_interval": {"index": 4, "end_op": 4999}},
+        )
+
+    def test_dict_round_trip(self):
+        failure = self.failure()
+        assert CellFailure.from_dict(failure.to_dict()) == failure
+
+    def test_round_trip_through_manifest_json(self):
+        # The failure manifest is JSON on disk: the record must survive a
+        # full serialise/parse cycle, not just a dict copy.
+        failure = self.failure()
+        payload = json.loads(json.dumps({"failures": [failure.to_dict()]}))
+        assert CellFailure.from_dict(payload["failures"][0]) == failure
+
+    def test_detail_omitted_when_absent(self):
+        failure = CellFailure(kind=FailureKind.ERROR, message="boom")
+        payload = failure.to_dict()
+        assert "detail" not in payload
+        assert CellFailure.from_dict(payload).detail is None
+
+    def test_from_dict_defaults(self):
+        failure = CellFailure.from_dict({"kind": "crash", "message": "died"})
+        assert failure.kind is FailureKind.CRASH
+        assert failure.attempts == 1
+        assert failure.elapsed_seconds == 0.0
+        assert failure.cell == {}
+
+    def test_every_kind_round_trips(self):
+        for kind in FailureKind:
+            failure = CellFailure(kind=kind, message="x")
+            assert CellFailure.from_dict(failure.to_dict()).kind is kind
+
+    def test_transient_property_matches_the_kind_sets(self):
+        for kind in FailureKind:
+            failure = CellFailure(kind=kind, message="x")
+            assert failure.transient == (kind in TRANSIENT_KINDS)
+        assert not any(kind in TRANSIENT_KINDS for kind in EPHEMERAL_KINDS)
+
+    def test_summary_names_the_cell(self):
+        summary = self.failure().summary()
+        assert "505.mcf/phast" in summary
+        assert "timeout" in summary
+        assert "3 attempt(s)" in summary
+
+
+class TestBackoffJitter:
+    def test_no_jitter_keeps_the_deterministic_schedule(self):
+        assert backoff_delay(2, 0.5, 30.0) == 2.0
+        assert backoff_delay(2, 0.5, 30.0, jitter=None) == 2.0
+
+    def test_jitter_scales_within_half_and_full(self):
+        base = backoff_delay(3, 0.5, 30.0)
+        assert backoff_delay(3, 0.5, 30.0, jitter=0.0) == base * 0.5
+        jittered = backoff_delay(3, 0.5, 30.0, jitter=0.8)
+        assert base * 0.5 <= jittered < base
+
+    def test_jitter_never_exceeds_the_cap(self):
+        for attempt in range(12):
+            for jitter in (0.0, 0.25, 0.999):
+                assert backoff_delay(attempt, 0.5, 30.0, jitter=jitter) <= 30.0
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 2.5])
+    def test_out_of_range_jitter_rejected(self, bad):
+        with pytest.raises(ValueError, match="jitter"):
+            backoff_delay(1, 0.5, 30.0, jitter=bad)
+
+    def test_zero_base_short_circuits(self):
+        assert backoff_delay(5, 0.0, 30.0, jitter=0.9) == 0.0
+
+
+class TestJitterFraction:
+    def test_reproducible_under_a_fixed_seed(self):
+        assert jitter_fraction(7, "cell-a", 1) == jitter_fraction(7, "cell-a", 1)
+
+    def test_varies_across_seed_token_and_attempt(self):
+        reference = jitter_fraction(7, "cell-a", 1)
+        assert jitter_fraction(8, "cell-a", 1) != reference
+        assert jitter_fraction(7, "cell-b", 1) != reference
+        assert jitter_fraction(7, "cell-a", 2) != reference
+
+    def test_stays_in_the_half_open_unit_interval(self):
+        draws = [
+            jitter_fraction(seed, f"cell-{i}", attempt)
+            for seed in range(3)
+            for i in range(10)
+            for attempt in range(3)
+        ]
+        assert all(0.0 <= draw < 1.0 for draw in draws)
+        # sha256 output is well spread; a degenerate implementation (e.g.
+        # always 0) would collapse the spread entirely.
+        assert max(draws) - min(draws) > 0.5
+
+    def test_reproduces_the_full_backoff_schedule(self):
+        schedule = [
+            backoff_delay(a, 0.5, 30.0, jitter_fraction(11, "cell", a))
+            for a in range(6)
+        ]
+        replay = [
+            backoff_delay(a, 0.5, 30.0, jitter_fraction(11, "cell", a))
+            for a in range(6)
+        ]
+        assert schedule == replay

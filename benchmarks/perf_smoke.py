@@ -27,6 +27,14 @@ Usage::
     python benchmarks/perf_smoke.py --check         # compare vs baselines
     python benchmarks/perf_smoke.py --update        # rewrite perf_baseline.json
     python benchmarks/perf_smoke.py --record LABEL  # append to BENCH_pipeline.json
+    python benchmarks/perf_smoke.py --check --backend batch   # grouped-backend gate
+
+The ``--backend`` axis runs every cell through an execution backend from
+``repro.sim.backends``. Entries recorded with a non-reference backend carry
+a ``backend`` field and are only ever compared against entries of the same
+backend — except the ``@group15`` headline gate, which pits a ``batch``
+measurement against the latest committed *reference* entry (one grouped
+pass vs N per-op runs, required ``--min-group-speedup``, default 3x).
 """
 
 from __future__ import annotations
@@ -61,6 +69,40 @@ MATRIX_ROUNDS = 5
 #: The cell the tentpole speedup requirement applies to.
 HOT_CELL = f"{WORKLOAD}/{PREDICTOR}"
 
+#: Synthetic grouped cell: every registered predictor simulated on the hot
+#: workload's trace. Under ``reference`` it is the sum of one per-op run per
+#: predictor; under ``batch`` it is one grouped backend run (one decode, one
+#: shared front-end pass, fused cells). ``--check --backend batch`` gates
+#: this cell's throughput at ``--min-group-speedup`` (default 3x) over the
+#: latest committed reference entry.
+GROUP_CELL = f"{WORKLOAD}/@group15"
+
+BACKENDS = ("reference", "batch")
+
+
+def _group_predictors() -> tuple:
+    from repro.sim.simulator import available_predictors
+
+    return available_predictors()
+
+
+def _make_backend(name: str):
+    """A backend instance for measurement, or None for the reference path.
+
+    ``batch`` gets a *fresh* instance (not the registry singleton) so every
+    measured round pays the trace decode/prep honestly instead of reusing a
+    prep cached by a previous round.
+    """
+    if name == "reference":
+        return None
+    if name == "batch":
+        from repro.sim.backends.batch import BatchBackend
+
+        return BatchBackend()
+    from repro.sim.backends import get_backend
+
+    return get_backend(name)
+
 
 def _kernel_once() -> float:
     """One timed run of the fixed pure-Python scheduler-like kernel (~0.1s)."""
@@ -86,16 +128,79 @@ def _calibrate() -> float:
     return min(_kernel_once() for _ in range(5))
 
 
-def _time_run(workload: str, predictor: str, num_ops: int) -> float:
-    """Seconds for one zero-probe pipeline run (trace pre-built and cached)."""
+def _time_run(workload: str, predictor: str, num_ops: int, backend=None) -> float:
+    """Seconds for one zero-probe run (trace pre-built and cached).
+
+    With a ``backend`` instance the cell goes through ``backend.run`` — for
+    ``batch`` the instance is shared across one round, so within-round prep
+    reuse is measured the way a real grouped sweep experiences it. Without,
+    it is the direct ``Pipeline`` path the committed trajectory was seeded
+    with.
+    """
+    from repro.sim.simulator import get_trace
+
+    get_trace(workload, num_ops)  # decode cached outside the timed region
+    if backend is not None:
+        from repro.sim.spec import RunSpec
+
+        spec = RunSpec(workload, predictor, num_ops=num_ops, check_invariants=False)
+        start = time.perf_counter()
+        backend.run(spec)
+        return time.perf_counter() - start
     from repro.core.config import CoreConfig
     from repro.core.pipeline import Pipeline
-    from repro.sim.simulator import get_trace, make_predictor
+    from repro.sim.simulator import make_predictor
 
     trace = get_trace(workload, num_ops)
     pipeline = Pipeline(CoreConfig(), make_predictor(predictor), check_invariants=False)
     start = time.perf_counter()
     pipeline.run(trace)
+    return time.perf_counter() - start
+
+
+def _time_group(backend_name: str) -> float:
+    """Seconds to produce results for every registered predictor on the hot
+    workload — the ``@group15`` cell.
+
+    Unlike the per-predictor matrix cells (which time the bare simulation
+    against a pre-built trace), this cell measures *sweep-equivalent* work:
+    producing one result per predictor from scratch. A per-op sweep worker
+    materialises the trace and constructs its pipeline for every cell, so
+    the ``reference`` measurement charges ``build_trace`` + pipeline
+    construction + run once per predictor. A grouped backend pays one trace
+    build and one fresh-instance ``run_many`` over all the specs — its
+    shared prep is inside the timed region, so the grouped speedup is
+    honest, not a cache artifact.
+    """
+    from repro.sim.simulator import build_trace, get_trace, workload
+    from repro.sim.spec import RunSpec
+
+    names = _group_predictors()
+    profile = workload(WORKLOAD)
+    if backend_name == "reference":
+        from repro.core.config import CoreConfig
+        from repro.core.pipeline import Pipeline
+        from repro.sim.simulator import make_predictor
+
+        total = 0.0
+        for name in names:
+            start = time.perf_counter()
+            trace = build_trace(profile, MATRIX_NUM_OPS)
+            pipeline = Pipeline(
+                CoreConfig(), make_predictor(name), check_invariants=False
+            )
+            pipeline.run(trace)
+            total += time.perf_counter() - start
+        return total
+    backend = _make_backend(backend_name)
+    get_trace(WORKLOAD, MATRIX_NUM_OPS)  # warm the cache run_many resolves from
+    specs = [
+        RunSpec(WORKLOAD, name, num_ops=MATRIX_NUM_OPS, check_invariants=False)
+        for name in names
+    ]
+    start = time.perf_counter()
+    build_trace(profile, MATRIX_NUM_OPS)  # the group's one decode
+    backend.run_many(specs)
     return time.perf_counter() - start
 
 
@@ -128,8 +233,15 @@ def measure() -> dict:
     }
 
 
-def measure_matrix() -> dict:
+def measure_matrix(backend: str = "reference") -> dict:
     """Measure the full workload x predictor matrix, calibration-normalised.
+
+    ``backend`` selects the execution path for every cell (the ``--backend``
+    axis): matrix cells run through a per-round shared backend instance,
+    and the synthetic ``@group15`` cell times all registered predictors on
+    the hot trace — summed per-op runs for ``reference``, one grouped
+    ``run_many`` for ``batch``. Non-reference matrices carry a ``backend``
+    field so trajectory entries are compared like-for-like.
 
     ``normalized_throughput`` is ops per calibration-second — the number the
     trajectory checks compare, because it cancels machine speed to first
@@ -148,28 +260,45 @@ def measure_matrix() -> dict:
     trajectory entries expose to the regression check.
     """
     calib = _calibrate()
-    keys = [
-        (workload, predictor)
+    cell_ops = {
+        f"{workload}/{predictor}": MATRIX_NUM_OPS
         for workload in MATRIX_WORKLOADS
         for predictor in MATRIX_PREDICTORS
-    ]
-    samples: dict = {key: [] for key in keys}
+    }
+    # The grouped cell does one 20k-op simulation per registered predictor;
+    # its throughput unit stays comparable by scaling the op count to match.
+    cell_ops[GROUP_CELL] = MATRIX_NUM_OPS * len(_group_predictors())
+    samples: dict = {key: [] for key in cell_ops}
     for _ in range(MATRIX_ROUNDS):
-        for key in keys:
+        round_backend = _make_backend(backend)
+        for key, ops in cell_ops.items():
             kernel = _kernel_once()
-            seconds = _time_run(key[0], key[1], MATRIX_NUM_OPS)
-            samples[key].append((seconds, (MATRIX_NUM_OPS / seconds) * kernel))
+            if key == GROUP_CELL:
+                seconds = _time_group(backend)
+            else:
+                workload, predictor = key.split("/")
+                seconds = _time_run(
+                    workload, predictor, MATRIX_NUM_OPS, backend=round_backend
+                )
+            samples[key].append((seconds, (ops / seconds) * kernel))
     cells = {}
-    for (workload, predictor), cell_samples in samples.items():
+    for key, cell_samples in samples.items():
         seconds = min(sample[0] for sample in cell_samples)
         ratios = [sample[1] for sample in cell_samples]
-        cells[f"{workload}/{predictor}"] = {
+        cells[key] = {
             "sim_seconds": round(seconds, 4),
-            "ops_per_sec": round(MATRIX_NUM_OPS / seconds, 1),
+            "ops_per_sec": round(cell_ops[key] / seconds, 1),
             "normalized_throughput": round(statistics.median(ratios), 1),
             "normalized_floor": round(min(ratios), 1),
         }
-    return {"calib_seconds": round(calib, 4), "num_ops": MATRIX_NUM_OPS, "cells": cells}
+    matrix = {
+        "calib_seconds": round(calib, 4),
+        "num_ops": MATRIX_NUM_OPS,
+        "cells": cells,
+    }
+    if backend != "reference":
+        matrix["backend"] = backend
+    return matrix
 
 
 def _load_trajectory() -> dict:
@@ -183,7 +312,7 @@ def _load_trajectory() -> dict:
     }
 
 
-def record(label: str) -> dict:
+def record(label: str, backend: str = "reference") -> dict:
     """Measure the matrix and append a trajectory entry under ``label``.
 
     The matrix is measured twice and combined conservatively — per cell,
@@ -191,12 +320,14 @@ def record(label: str) -> dict:
     lucky (quiet-machine) pass cannot commit reference values that later
     honest measurements fail to reach.
     """
-    first, second = measure_matrix(), measure_matrix()
+    first, second = measure_matrix(backend), measure_matrix(backend)
     matrix = {
         "calib_seconds": min(first["calib_seconds"], second["calib_seconds"]),
         "num_ops": first["num_ops"],
         "cells": {},
     }
+    if "backend" in first:
+        matrix["backend"] = first["backend"]
     for cell, a in first["cells"].items():
         b = second["cells"][cell]
         fast = a if a["sim_seconds"] <= b["sim_seconds"] else b
@@ -230,8 +361,35 @@ def _print_matrix(matrix: dict) -> None:
         )
 
 
-def check_trajectory(matrix: dict, min_speedup: float, regression: float) -> int:
-    """Enforce the trajectory ratios; returns a process exit code."""
+def _entry_backend(entry: dict) -> str:
+    """Entries predate the backend axis; an absent field means reference."""
+    return entry.get("backend", "reference")
+
+
+def _latest_entry(entries, backend: str):
+    matches = [entry for entry in entries if _entry_backend(entry) == backend]
+    return matches[-1] if matches else None
+
+
+def check_trajectory(
+    matrix: dict,
+    min_speedup: float,
+    regression: float,
+    backend: str = "reference",
+    min_group_speedup: float = 3.0,
+) -> int:
+    """Enforce the trajectory ratios; returns a process exit code.
+
+    Entries are compared like-for-like per backend: the regression floor
+    for a ``batch`` measurement is the latest committed *batch* entry,
+    never a reference one (and vice versa). The headline gate differs too:
+
+    * ``reference`` — the PHAST hot cell must hold ``--min-speedup`` over
+      the first (seed) entry.
+    * ``batch`` — the grouped ``@group15`` cell must hold
+      ``--min-group-speedup`` over the same cell in the latest committed
+      *reference* entry: one grouped backend pass vs N per-op runs.
+    """
     if not TRAJECTORY_PATH.exists():
         print("no committed BENCH_pipeline.json; run with --record seed", file=sys.stderr)
         return 2
@@ -240,44 +398,76 @@ def check_trajectory(matrix: dict, min_speedup: float, regression: float) -> int
     if not entries:
         print("BENCH_pipeline.json has no entries; run with --record seed", file=sys.stderr)
         return 2
-    seed_entry, latest = entries[0], entries[-1]
     failures = []
 
-    current_hot = matrix["cells"][HOT_CELL]["normalized_throughput"]
-    seed_hot = seed_entry["cells"][HOT_CELL]["normalized_throughput"]
-    speedup = current_hot / seed_hot
-    print(
-        f"hot cell {HOT_CELL}: {speedup:.2f}x vs seed entry "
-        f"'{seed_entry['label']}' (required {min_speedup:.2f}x)"
-    )
-    if speedup < min_speedup:
-        failures.append(
-            f"{HOT_CELL} is only {speedup:.2f}x the seed entry "
-            f"(required {min_speedup:.2f}x)"
+    if backend == "reference":
+        seed_entry = next(
+            (entry for entry in entries if _entry_backend(entry) == "reference"),
+            None,
         )
-
-    for cell, data in matrix["cells"].items():
-        committed = latest["cells"].get(cell)
-        if committed is None:
-            continue  # new cell: no regression reference yet
-        # Compare the fresh median against the committed entry's worst
-        # observed round (its floor): a genuine slowdown drags the whole
-        # ratio distribution below the old floor, while measurement noise
-        # alone leaves the median above it.
-        reference = committed.get(
-            "normalized_floor", committed["normalized_throughput"]
-        )
-        ratio = data["normalized_throughput"] / reference
-        marker = "" if ratio >= 1.0 - regression else "  <-- REGRESSION"
+        if seed_entry is None:
+            print("no committed reference entry; run with --record seed", file=sys.stderr)
+            return 2
+        current_hot = matrix["cells"][HOT_CELL]["normalized_throughput"]
+        seed_hot = seed_entry["cells"][HOT_CELL]["normalized_throughput"]
+        speedup = current_hot / seed_hot
         print(
-            f"  {cell:<28} {ratio:6.2f}x vs latest entry "
-            f"'{latest['label']}'{marker}"
+            f"hot cell {HOT_CELL}: {speedup:.2f}x vs seed entry "
+            f"'{seed_entry['label']}' (required {min_speedup:.2f}x)"
         )
-        if ratio < 1.0 - regression:
+        if speedup < min_speedup:
             failures.append(
-                f"{cell} regressed to {ratio:.2f}x of entry '{latest['label']}' "
-                f"(floor {1.0 - regression:.2f}x)"
+                f"{HOT_CELL} is only {speedup:.2f}x the seed entry "
+                f"(required {min_speedup:.2f}x)"
             )
+    else:
+        per_op = _latest_entry(entries, "reference")
+        if per_op is None or GROUP_CELL not in per_op.get("cells", {}):
+            print(
+                f"no committed reference entry with the {GROUP_CELL} cell; "
+                "record a reference entry first",
+                file=sys.stderr,
+            )
+            return 2
+        current_group = matrix["cells"][GROUP_CELL]["normalized_throughput"]
+        per_op_group = per_op["cells"][GROUP_CELL]["normalized_throughput"]
+        speedup = current_group / per_op_group
+        print(
+            f"group cell {GROUP_CELL}: {speedup:.2f}x vs per-op entry "
+            f"'{per_op['label']}' (required {min_group_speedup:.2f}x)"
+        )
+        if speedup < min_group_speedup:
+            failures.append(
+                f"{GROUP_CELL} is only {speedup:.2f}x the per-op entry "
+                f"'{per_op['label']}' (required {min_group_speedup:.2f}x)"
+            )
+
+    latest = _latest_entry(entries, backend)
+    if latest is None:
+        print(f"no committed {backend} entry yet; skipping the regression check")
+    else:
+        for cell, data in matrix["cells"].items():
+            committed = latest["cells"].get(cell)
+            if committed is None:
+                continue  # new cell: no regression reference yet
+            # Compare the fresh median against the committed entry's worst
+            # observed round (its floor): a genuine slowdown drags the whole
+            # ratio distribution below the old floor, while measurement noise
+            # alone leaves the median above it.
+            reference = committed.get(
+                "normalized_floor", committed["normalized_throughput"]
+            )
+            ratio = data["normalized_throughput"] / reference
+            marker = "" if ratio >= 1.0 - regression else "  <-- REGRESSION"
+            print(
+                f"  {cell:<28} {ratio:6.2f}x vs latest entry "
+                f"'{latest['label']}'{marker}"
+            )
+            if ratio < 1.0 - regression:
+                failures.append(
+                    f"{cell} regressed to {ratio:.2f}x of entry '{latest['label']}' "
+                    f"(floor {1.0 - regression:.2f}x)"
+                )
 
     if failures:
         for failure in failures:
@@ -317,10 +507,23 @@ def main(argv=None) -> int:
         help="maximum allowed per-cell regression vs the latest trajectory "
         "entry (fraction, default 0.05)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="reference",
+        help="execution backend to measure (default reference)",
+    )
+    parser.add_argument(
+        "--min-group-speedup",
+        type=float,
+        default=3.0,
+        help="required @group15 speedup of a batch measurement over the "
+        "latest committed reference entry (default 3.0)",
+    )
     args = parser.parse_args(argv)
 
     if args.record:
-        entry = record(args.record)
+        entry = record(args.record, backend=args.backend)
         print(f"recorded trajectory entry '{args.record}' to {TRAJECTORY_PATH}")
         _print_matrix(entry)
         return 0
@@ -332,17 +535,20 @@ def main(argv=None) -> int:
         return 0
 
     if not args.check:
-        matrix = measure_matrix()
+        matrix = measure_matrix(args.backend)
         _print_matrix(matrix)
         return 0
 
     # --check: one matrix measurement feeds both guards. The legacy single
-    # point is the matrix's hot cell re-expressed as sim/calib seconds.
-    matrix = measure_matrix()
+    # point is the matrix's hot cell re-expressed as sim/calib seconds; it
+    # only applies to the reference backend the baseline was recorded with.
+    matrix = measure_matrix(args.backend)
     _print_matrix(matrix)
 
     status = 0
-    if BASELINE_PATH.exists():
+    if args.backend != "reference":
+        pass  # perf_baseline.json is a reference-backend artifact
+    elif BASELINE_PATH.exists():
         baseline = json.loads(BASELINE_PATH.read_text())
         hot_seconds = matrix["cells"][HOT_CELL]["sim_seconds"]
         scale = NUM_OPS / MATRIX_NUM_OPS  # num_ops drift safety
@@ -364,7 +570,13 @@ def main(argv=None) -> int:
         print("no committed perf_baseline.json; run with --update first", file=sys.stderr)
         status = 2
 
-    trajectory_status = check_trajectory(matrix, args.min_speedup, args.regression)
+    trajectory_status = check_trajectory(
+        matrix,
+        args.min_speedup,
+        args.regression,
+        backend=args.backend,
+        min_group_speedup=args.min_group_speedup,
+    )
     return max(status, trajectory_status)
 
 

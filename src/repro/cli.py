@@ -18,6 +18,8 @@ Commands:
 * ``chaos`` — deterministic fault-injection soak: run a sweep twice (clean,
   then under a seeded :class:`~repro.harness.chaos.FaultPlan`) and gate on
   completion, fault classification, and bit-identical surviving results.
+* ``backends`` — inspect the execution-backend registry
+  (``backends ls``); ``sweep --backend batch`` selects one for a campaign.
 * ``workloads`` — list the synthetic SPEC CPU 2017-like profiles.
 * ``predictors`` — list the predictor registry with storage budgets.
 * ``table2`` — print the reproduced Table II (configurations/storage/energy).
@@ -47,6 +49,7 @@ from repro.sampling import (
     default_sample_warmup_ops,
     run_sampled,
 )
+from repro.sim.backends import available_backends, get_backend
 from repro.sim.experiment import ExperimentGrid
 from repro.sim.intervals import DEFAULT_INTERVAL_OPS
 from repro.sim.spec import RunSpec
@@ -195,6 +198,23 @@ def _cmd_predictors(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends_ls(_: argparse.Namespace) -> int:
+    rows = []
+    for name in available_backends():
+        row = get_backend(name).describe()
+        rows.append(
+            [
+                name,
+                row.get("class", "-"),
+                "yes" if row.get("available", True) else "no",
+                str(row.get("numpy", "-")),
+                str(row.get("kernels", "-")),
+            ]
+        )
+    print(format_table(["backend", "class", "available", "numpy", "kernels"], rows))
+    return 0
+
+
 def _cmd_table2(_: argparse.Namespace) -> int:
     print(format_table2())
     return 0
@@ -316,6 +336,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         config=_core_config(args.core),
         num_ops=args.num_ops,
         seed=args.seed,
+        backend=args.backend,
     )
     store = ResultStore(args.store)
     runner = SweepRunner(
@@ -627,6 +648,14 @@ def build_parser() -> argparse.ArgumentParser:
         "per cell and attempt)",
     )
     sweep.add_argument("--check-invariants", action="store_true")
+    sweep.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="execution backend for the cells (default $REPRO_SIM_BACKEND "
+        "or 'reference'); 'batch' groups cells sharing a trace into one "
+        "worker unit with a single decode",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     chaos = sub.add_parser(
@@ -781,6 +810,16 @@ def build_parser() -> argparse.ArgumentParser:
     verify_cmd.add_argument("--store", default=trace_store_default)
     verify_cmd.add_argument("--deep", action="store_true")
     verify_cmd.set_defaults(func=_cmd_trace_verify)
+
+    backends = sub.add_parser(
+        "backends",
+        help="inspect the execution-backend registry",
+    )
+    backends_sub = backends.add_subparsers(dest="backends_command", required=True)
+    backends_ls = backends_sub.add_parser(
+        "ls", help="list registered execution backends"
+    )
+    backends_ls.set_defaults(func=_cmd_backends_ls)
 
     workloads = sub.add_parser("workloads", help="list workload profiles")
     workloads.set_defaults(func=_cmd_workloads)

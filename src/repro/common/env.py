@@ -20,7 +20,7 @@ starts. Both are resolved at call time, like every other knob here.
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Optional, Sequence
 
 
 class EnvVarError(ValueError):
@@ -48,6 +48,25 @@ def env_int(name: str, default: int, min_value: Optional[int] = None) -> int:
     if min_value is not None and value < min_value:
         raise EnvVarError(f"{name} must be >= {min_value}, got {value}")
     return value
+
+
+def env_choice(name: str, default: str, choices: Sequence[str]) -> str:
+    """Read enumerated knob ``name``, falling back to ``default`` when unset.
+
+    Same contract as :func:`env_int`: a set-but-unknown value is a hard error
+    naming the variable and listing the valid choices — ``REPRO_SIM_BACKEND=
+    bacth`` must not silently run the reference backend. The *default* is not
+    checked against ``choices``; it is the caller's own constant (and the
+    choice list may be extended at runtime, e.g. by backend registration).
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    if raw not in choices:
+        raise EnvVarError(
+            f"{name} must be one of {', '.join(sorted(choices))}; got {raw!r}"
+        )
+    return raw
 
 
 def env_float(

@@ -131,8 +131,11 @@ class LRUState:
 
     def touch(self, way: int) -> None:
         """Mark ``way`` as most recently used."""
-        self._order.remove(way)
-        self._order.insert(0, way)
+        order = self._order
+        if order[0] == way:
+            return
+        order.remove(way)
+        order.insert(0, way)
 
     def victim(self) -> int:
         """Return the least recently used way (does not modify recency)."""

@@ -120,6 +120,14 @@ class HistoryView:
         """Number of view records whose master position precedes ``snapshot``."""
         return bisect.bisect_left(self._positions, snapshot)
 
+    def positions(self) -> Tuple[int, ...]:
+        """Master-log position of every view record, in record order.
+
+        Batch-backend kernels use this to vectorize ``count_before`` over
+        all snapshots of a trace in one ``searchsorted`` pass.
+        """
+        return tuple(self._positions)
+
     def window(self, snapshot: int, length: int) -> Tuple[BranchRecord, ...]:
         """The last ``length`` view records before ``snapshot``, oldest first.
 

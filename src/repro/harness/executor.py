@@ -84,9 +84,12 @@ class CellSpec:
 
     ``trace_dir`` points the worker at a trace artifact store to load its
     input trace from instead of rebuilding it (see
-    :mod:`repro.isa.artifacts`). It affects only *how* the cell executes,
-    so it does not participate in :meth:`key` — existing result stores stay
-    valid.
+    :mod:`repro.isa.artifacts`). ``backend`` selects the execution backend
+    (:mod:`repro.sim.backends`) the worker dispatches through; ``None``
+    defers to ``REPRO_SIM_BACKEND``. Both affect only *how* the cell
+    executes — bit-identical results by the backend contract — so neither
+    participates in :meth:`key`: existing result stores stay valid and
+    batch-produced results interchange with reference ones.
     """
 
     workload: str
@@ -95,6 +98,7 @@ class CellSpec:
     num_ops: int = 0
     seed: Optional[int] = None
     trace_dir: Optional[str] = None
+    backend: Optional[str] = None
 
     def key(self) -> CellKey:
         return cell_key(
@@ -116,12 +120,52 @@ class CellSpec:
             seed=self.seed,
             check_invariants=check_invariants,
             trace_dir=self.trace_dir,
+            backend=self.backend,
         )
+
+
+@dataclass(frozen=True)
+class BatchGroup:
+    """Several cells of one trace, scheduled as a single worker unit.
+
+    The sweep planner groups pending cells that share an input trace and a
+    batch-capable backend; the worker then decodes the trace once and runs
+    every cell against the shared :class:`~repro.sim.backends.engine
+    .TracePrep`. The group occupies one worker slot and one per-group
+    timeout budget (``timeout × len(cells)``), but results stay per-cell:
+    each completed cell is streamed back and persisted individually, so a
+    crash mid-group salvages everything already finished and retries only
+    the rest — as solo cells, never as a whole group.
+    """
+
+    cells: Tuple[CellSpec, ...]
+    backend: str = "batch"
+
+    @property
+    def workload(self) -> str:
+        """Shared workload name (groups never span workloads); lets the
+        per-workload circuit breaker treat groups like their cells."""
+        return self.cells[0].workload
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "batch_group": {
+                "backend": self.backend,
+                "cells": [cell.describe() for cell in self.cells],
+            }
+        }
 
 
 @dataclass
 class CellOutcome:
-    """What one cell produced: a result (fresh or cached) or a failure."""
+    """What one cell produced: a result (fresh or cached) or a failure.
+
+    For a :class:`BatchGroup` job, ``spec`` is the group and ``cells``
+    holds the per-cell outcomes that settled *with* the group (successes,
+    deadline cuts, breaker skips). Cells the group could not finish are
+    absent here — they are re-enqueued as solo cells and settle on their
+    own, so a group shell is bookkeeping, never a per-cell verdict.
+    """
 
     spec: CellSpec
     result: Optional[SimResult] = None
@@ -129,6 +173,7 @@ class CellOutcome:
     attempts: int = 0
     elapsed_seconds: float = 0.0
     cached: bool = False
+    cells: Optional[List["CellOutcome"]] = None
 
     @property
     def ok(self) -> bool:
@@ -188,6 +233,82 @@ def _cell_worker(conn, spec: CellSpec, check_invariants: bool) -> None:
         conn.close()
 
 
+def _batch_group_worker(conn, group: BatchGroup, check_invariants: bool) -> None:
+    """Subprocess entry point for a :class:`BatchGroup`.
+
+    Runs every cell through the group's backend instance (so all cells of
+    the trace share one decode/prep), streaming a ``("cell", i, tag,
+    payload)`` message per finished cell — ``"ok"`` with the result record,
+    or the usual in-band failure tags. Heartbeat windows carry a ``"cell"``
+    index so the parent's last-interval stash stays meaningful. A final
+    ``("ok", ...)`` means every cell was at least attempted; per-cell
+    failures never abort the rest of the group.
+    """
+    from repro.sim.backends import get_backend
+    from repro.sim.intervals import heartbeat_interval_ops
+    from repro.sim.invariants import SimInvariantError
+
+    try:
+        backend = get_backend(group.backend)
+        hb_ops = heartbeat_interval_ops()
+        for index, cell in enumerate(group.cells):
+            spec = cell.run_spec(check_invariants=check_invariants or None)
+
+            def on_result(_j, result, _i=index) -> None:
+                conn.send(("cell", _i, "ok", result.to_record()))
+
+            def on_heartbeat(_j, window, _i=index) -> None:
+                payload = dict(window)
+                payload["cell"] = _i
+                conn.send(("heartbeat", payload))
+
+            try:
+                backend.run_many(
+                    [spec],
+                    on_result=on_result,
+                    on_heartbeat=on_heartbeat,
+                    heartbeat_ops=hb_ops or None,
+                )
+            except SimInvariantError as exc:
+                conn.send(
+                    (
+                        "cell",
+                        index,
+                        "invariant",
+                        {"message": str(exc), "detail": exc.to_dict()},
+                    )
+                )
+            except MemoryError:
+                conn.send(
+                    ("cell", index, "oom", {"message": "MemoryError in worker"})
+                )
+            except BaseException as exc:  # noqa: BLE001 — report, keep going
+                conn.send(
+                    (
+                        "cell",
+                        index,
+                        "error",
+                        {
+                            "message": f"{type(exc).__name__}: {exc}",
+                            "detail": {"traceback": traceback.format_exc()},
+                        },
+                    )
+                )
+        conn.send(("ok", {"cells": len(group.cells)}))
+    except BaseException as exc:  # noqa: BLE001 — setup failed before any cell
+        conn.send(
+            (
+                "error",
+                {
+                    "message": f"{type(exc).__name__}: {exc}",
+                    "detail": {"traceback": traceback.format_exc()},
+                },
+            )
+        )
+    finally:
+        conn.close()
+
+
 #: Message tag -> failure kind for in-band worker reports.
 _TAG_KINDS = {
     "invariant": FailureKind.INVARIANT,
@@ -200,7 +321,7 @@ class _Running:
     """Bookkeeping for one in-flight worker process."""
 
     __slots__ = ("index", "spec", "attempt", "proc", "conn", "deadline",
-                 "started", "last_interval")
+                 "started", "last_interval", "cell_events")
 
     def __init__(self, index, spec, attempt, proc, conn, deadline, started):
         self.index = index
@@ -213,6 +334,10 @@ class _Running:
         # Most recent ("heartbeat", window_dict) payload; lands in the
         # failure manifest if the cell times out or dies.
         self.last_interval = None
+        # Batch groups only: cell index -> (tag, payload) for every
+        # ("cell", ...) message received so far. This is the salvage
+        # ledger — whatever is here when the worker dies is kept.
+        self.cell_events: Dict[int, Tuple[str, object]] = {}
 
 
 class ProcessCellExecutor:
@@ -220,7 +345,8 @@ class ProcessCellExecutor:
 
     ``worker`` is the subprocess entry point — injectable so the tests can
     substitute deliberately hanging/crashing cells without touching the
-    simulator. ``mp_context`` defaults to fork where available (cheap on
+    simulator; ``group_worker`` is the same hook for :class:`BatchGroup`
+    jobs. ``mp_context`` defaults to fork where available (cheap on
     Linux; workers inherit nothing mutable they can corrupt — results flow
     back only through the pipe).
 
@@ -242,6 +368,7 @@ class ProcessCellExecutor:
         backoff_cap: float = 30.0,
         check_invariants: bool = False,
         worker: Callable = _cell_worker,
+        group_worker: Callable = _batch_group_worker,
         mp_context=None,
         jitter_seed: Optional[int] = None,
         breaker_threshold: Optional[int] = None,
@@ -253,6 +380,7 @@ class ProcessCellExecutor:
         self.backoff_cap = backoff_cap
         self.check_invariants = check_invariants
         self.worker = worker
+        self.group_worker = group_worker
         self.jitter_seed = jitter_seed
         if breaker_threshold is not None and breaker_threshold < 1:
             raise ValueError(
@@ -280,13 +408,14 @@ class ProcessCellExecutor:
         now: float,
         chaos: Optional[ChaosEngine] = None,
     ) -> _Running:
-        target: Callable = self.worker
+        is_group = isinstance(spec, BatchGroup)
+        target: Callable = self.group_worker if is_group else self.worker
         payload: object = spec
         if chaos is not None:
             directive = chaos.worker_directive(spec, attempt)
             if directive is not None:
+                payload = ChaosJob(job=spec, directive=directive, worker=target)
                 target = _chaos_worker
-                payload = ChaosJob(job=spec, directive=directive, worker=self.worker)
         parent_conn, child_conn = self.mp.Pipe(duplex=False)
         proc = self.mp.Process(
             target=target,
@@ -295,13 +424,16 @@ class ProcessCellExecutor:
         )
         proc.start()
         child_conn.close()  # parent's copy; lets EOF surface on worker death
+        # A group gets the whole group's worth of timeout budget: it is one
+        # process doing len(cells) cells of work.
+        budget = self.timeout * (len(spec.cells) if is_group else 1)
         return _Running(
             index=index,
             spec=spec,
             attempt=attempt,
             proc=proc,
             conn=parent_conn,
-            deadline=now + self.timeout,
+            deadline=now + budget,
             started=now,
         )
 
@@ -316,6 +448,10 @@ class ProcessCellExecutor:
                 message = entry.conn.recv()
                 if message[0] == "heartbeat":
                     entry.last_interval = message[1]
+                elif message[0] == "cell":
+                    # Batch groups: per-cell completion/failure events are
+                    # stashed, not final — the group keeps running.
+                    entry.cell_events[message[1]] = (message[2], message[3])
                 else:
                     return message
         except (EOFError, OSError):
@@ -356,16 +492,48 @@ class ProcessCellExecutor:
         kind, reason = classify_exitcode(entry.proc.exitcode)
         return None, self._failure(entry, kind, reason, elapsed)
 
+    def _reap_group(
+        self, entry: _Running, message: Optional[Tuple[str, object]] = None
+    ) -> Optional[CellFailure]:
+        """Collect a finished batch-group worker.
+
+        Returns ``None`` when the worker signed off cleanly (every cell was
+        attempted; per-cell verdicts live in ``entry.cell_events``), or the
+        group-level failure when the process died or errored out mid-run —
+        in which case whatever reached ``cell_events`` first is still good.
+        """
+        if message is None:
+            message = self._drain(entry)
+        entry.proc.join(5)
+        entry.conn.close()
+        elapsed = time.monotonic() - entry.started
+
+        if message is not None:
+            tag, payload = message
+            if tag == "ok":
+                return None
+            kind = _TAG_KINDS.get(tag, FailureKind.ERROR)
+            return self._failure(
+                entry,
+                kind,
+                str(payload.get("message", tag)),
+                elapsed,
+                detail=payload.get("detail"),
+            )
+        kind, reason = classify_exitcode(entry.proc.exitcode)
+        return self._failure(entry, kind, reason, elapsed)
+
     def _kill_timed_out(self, entry: _Running) -> CellFailure:
         self._drain(entry)  # salvage any last heartbeats before killing
         entry.proc.kill()
         entry.proc.join(5)
         entry.conn.close()
         elapsed = time.monotonic() - entry.started
+        budget = entry.deadline - entry.started  # timeout × cells for groups
         return self._failure(
             entry,
             FailureKind.TIMEOUT,
-            f"cell exceeded the {self.timeout:.1f}s timeout",
+            f"cell exceeded the {budget:.1f}s timeout",
             elapsed,
         )
 
@@ -430,6 +598,17 @@ class ProcessCellExecutor:
         when a matching custom ``worker=`` was given at construction;
         without a ``store`` only ``describe()`` is required of them.
 
+        ``specs`` may also contain :class:`BatchGroup` jobs (the sweep
+        planner emits them): one worker runs the whole group, streaming
+        per-cell results that are persisted individually as they arrive.
+        A group's outcome carries its settled cells in ``outcome.cells``;
+        cells the group worker did not finish (crash, timeout, in-band
+        per-cell failure) are retried as *solo* cells — their outcomes are
+        **appended after** the per-spec outcomes, so with groups present
+        the returned list can be longer than ``specs``. Group jobs skip
+        the resume/quarantine store checks; the planner only groups cells
+        it already knows are pending.
+
         Campaign-level policies:
 
         * ``deadline`` — a wall-clock budget (seconds) for this whole call.
@@ -470,7 +649,7 @@ class ProcessCellExecutor:
             )
 
         for index, spec in enumerate(specs):
-            if store is not None and resume:
+            if store is not None and resume and not isinstance(spec, BatchGroup):
                 cached = store.get(spec.key())
                 if cached is not None:
                     outcomes[index] = CellOutcome(
@@ -501,6 +680,14 @@ class ProcessCellExecutor:
             pending.append((index, spec, 0, 0.0))
 
         running: List[_Running] = []
+        # Solo retries salvaged out of failed batch groups get fresh outcome
+        # indices past the end of ``specs``.
+        extra_index = len(specs)
+
+        def next_index() -> int:
+            nonlocal extra_index
+            extra_index += 1
+            return extra_index - 1
 
         def settle(index: int, spec: CellSpec, attempt: int, result, failure) -> None:
             now = time.monotonic()
@@ -540,19 +727,103 @@ class ProcessCellExecutor:
             if progress:
                 progress(outcome)
 
+        def settle_batch(
+            index: int,
+            batch: BatchGroup,
+            attempt: int,
+            cell_events: Dict[int, Tuple[str, object]],
+            failure: Optional[CellFailure],
+            cut: bool = False,
+            cut_phase: str = "running",
+        ) -> None:
+            """Settle a batch group from whatever its worker got done.
+
+            Every cell with a salvaged ``"ok"`` event settles as a success
+            (persisted individually). The rest either settle as per-cell
+            ``deadline`` cuts (``cut=True`` — the campaign is over) or are
+            re-enqueued as *solo* cells: one bad cell — or one injected
+            fault — must never poison the verdict of its groupmates, so
+            retries always drop back to full per-cell isolation, where the
+            normal failure taxonomy applies.
+            """
+            now = time.monotonic()
+            if failure is not None and chaos is not None:
+                chaos.observe(batch, attempt, failure.kind)
+            settled: List[CellOutcome] = []
+            for cell_pos, cell in enumerate(batch.cells):
+                event = cell_events.get(cell_pos)
+                result = None
+                if event is not None and event[0] == "ok":
+                    try:
+                        result = SimResult.from_record(event[1])
+                    except (KeyError, TypeError, ValueError):
+                        result = None  # undecodable: retry solo
+                if result is not None:
+                    sub = CellOutcome(
+                        spec=cell, result=result, attempts=attempt + 1
+                    )
+                    successes[group(cell)] = successes.get(group(cell), 0) + 1
+                    if store is not None:
+                        store.put(cell.key(), result)
+                    settled.append(sub)
+                    if progress:
+                        progress(sub)
+                elif cut:
+                    tries = attempt + (1 if cut_phase == "running" else 0)
+                    cell_failure = CellFailure(
+                        kind=FailureKind.DEADLINE,
+                        message=(
+                            f"batch group cut at the "
+                            f"{float(deadline):.1f}s campaign deadline"
+                        ),
+                        cell=cell.describe(),
+                        attempts=tries,
+                        detail={
+                            "deadline_seconds": float(deadline),
+                            "phase": cut_phase,
+                        },
+                    )
+                    sub = CellOutcome(
+                        spec=cell, failure=cell_failure, attempts=tries
+                    )
+                    settled.append(sub)
+                    if progress:
+                        progress(sub)
+                else:
+                    pending.append((next_index(), cell, attempt + 1, now))
+            outcomes[index] = CellOutcome(
+                spec=batch, failure=failure, attempts=attempt + 1, cells=settled
+            )
+
         def settle_skipped(index: int, spec: CellSpec, attempt: int) -> None:
             key = group(spec)
-            failure = CellFailure(
-                kind=FailureKind.SKIPPED,
-                message=(
-                    f"circuit breaker open for workload {key!r}: "
-                    f"{final_failures.get(key, 0)} failures, 0 successes"
-                ),
-                cell=spec.describe(),
-                attempts=attempt,
-                detail={"breaker_threshold": self.breaker_threshold},
-            )
-            settle(index, spec, attempt, None, failure)
+
+            def skipped_failure(job) -> CellFailure:
+                return CellFailure(
+                    kind=FailureKind.SKIPPED,
+                    message=(
+                        f"circuit breaker open for workload {key!r}: "
+                        f"{final_failures.get(key, 0)} failures, 0 successes"
+                    ),
+                    cell=job.describe(),
+                    attempts=attempt,
+                    detail={"breaker_threshold": self.breaker_threshold},
+                )
+
+            if isinstance(spec, BatchGroup):
+                settled = []
+                for cell in spec.cells:
+                    sub = CellOutcome(
+                        spec=cell, failure=skipped_failure(cell), attempts=attempt
+                    )
+                    settled.append(sub)
+                    if progress:
+                        progress(sub)
+                outcomes[index] = CellOutcome(
+                    spec=spec, attempts=attempt, cells=settled
+                )
+                return
+            settle(index, spec, attempt, None, skipped_failure(spec))
 
         while pending or running:
             now = time.monotonic()
@@ -604,12 +875,34 @@ class ProcessCellExecutor:
                 # A readable pipe may only carry heartbeats; drain first and
                 # reap only on a final message or a dead worker.
                 final = self._drain(entry) if entry.conn in ready else None
+                is_group = isinstance(entry.spec, BatchGroup)
                 if final is not None or not entry.proc.is_alive():
-                    result, failure = self._reap(entry, final)
-                    settle(entry.index, entry.spec, entry.attempt, result, failure)
+                    if is_group:
+                        failure = self._reap_group(entry, final)
+                        settle_batch(
+                            entry.index,
+                            entry.spec,
+                            entry.attempt,
+                            entry.cell_events,
+                            failure,
+                        )
+                    else:
+                        result, failure = self._reap(entry, final)
+                        settle(
+                            entry.index, entry.spec, entry.attempt, result, failure
+                        )
                 elif now >= entry.deadline:
                     failure = self._kill_timed_out(entry)
-                    settle(entry.index, entry.spec, entry.attempt, None, failure)
+                    if is_group:
+                        settle_batch(
+                            entry.index,
+                            entry.spec,
+                            entry.attempt,
+                            entry.cell_events,
+                            failure,
+                        )
+                    else:
+                        settle(entry.index, entry.spec, entry.attempt, None, failure)
                 else:
                     still_running.append(entry)
             running = still_running
@@ -621,8 +914,31 @@ class ProcessCellExecutor:
         if cutoff is not None and (pending or running):
             for entry in running:
                 failure = self._kill_cut(entry, float(deadline))
-                settle(entry.index, entry.spec, entry.attempt, None, failure)
+                if isinstance(entry.spec, BatchGroup):
+                    # Completed cells were streamed before the cut: keep
+                    # them; the rest settle as per-cell deadline cuts.
+                    settle_batch(
+                        entry.index,
+                        entry.spec,
+                        entry.attempt,
+                        entry.cell_events,
+                        failure,
+                        cut=True,
+                    )
+                else:
+                    settle(entry.index, entry.spec, entry.attempt, None, failure)
             for index, spec, attempt, _ in pending:
+                if isinstance(spec, BatchGroup):
+                    settle_batch(
+                        index,
+                        spec,
+                        attempt,
+                        {},
+                        None,
+                        cut=True,
+                        cut_phase="pending",
+                    )
+                    continue
                 failure = CellFailure(
                     kind=FailureKind.DEADLINE,
                     message=(
@@ -638,4 +954,6 @@ class ProcessCellExecutor:
                 )
                 settle(index, spec, attempt, None, failure)
 
-        return [outcomes[index] for index in range(len(specs))]
+        # Groups append solo-retry outcomes past ``len(specs)``; the sorted
+        # index walk keeps the per-spec prefix in order and the extras after.
+        return [outcomes[index] for index in sorted(outcomes)]

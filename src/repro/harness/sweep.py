@@ -24,7 +24,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.config import CoreConfig
 from repro.harness.chaos import ChaosEngine, FaultPlan
-from repro.harness.executor import CellOutcome, CellSpec, ProcessCellExecutor
+from repro.harness.executor import (
+    BatchGroup,
+    CellOutcome,
+    CellSpec,
+    ProcessCellExecutor,
+)
 from repro.harness.failures import CellFailure, FailureKind
 from repro.harness.store import ResultStore, StoreStatus
 from repro.isa.artifacts import TraceStore
@@ -38,6 +43,7 @@ def build_cells(
     num_ops: int = 0,
     seed: Optional[int] = None,
     trace_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> List[CellSpec]:
     """Expand a (workload × predictor) grid into sweep cells."""
     core = config or CoreConfig()
@@ -49,6 +55,7 @@ def build_cells(
             num_ops=num_ops,
             seed=seed,
             trace_dir=trace_dir,
+            backend=backend,
         )
         for workload in workloads
         for predictor in predictors
@@ -199,6 +206,94 @@ class SweepRunner:
             get_trace(profile, ops, store=self.trace_store)
         return built
 
+    def _plan_jobs(
+        self, cells: Sequence[CellSpec], resume: bool, quarantine: bool
+    ) -> List[object]:
+        """Group pending batch-covered cells by trace into worker units.
+
+        Cells whose backend batches (anything but ``reference``) and whose
+        spec the backend covers natively are grouped by input trace —
+        (workload, seed, num_ops) — into :class:`BatchGroup` jobs, so one
+        worker decodes the trace once for the whole group. Everything else
+        (reference cells, uncovered specs, cached or quarantined cells,
+        singleton groups) stays a solo cell: the executor's resume and
+        quarantine logic only sees solo jobs, and per-cell store entries
+        are preserved either way.
+        """
+        from repro.sim.backends import default_backend_name, get_backend
+
+        jobs: List[object] = []
+        groupable: Dict[tuple, List[CellSpec]] = {}
+        for cell in cells:
+            backend_name = cell.backend or default_backend_name()
+            grouped = False
+            if backend_name != "reference":
+                pending = not (resume and self.store.contains(cell.key()))
+                if pending and quarantine:
+                    pending = self.store.get_failure(cell.key()) is None
+                if pending:
+                    try:
+                        backend = get_backend(backend_name)
+                        spec = cell.run_spec(
+                            check_invariants=self.executor.check_invariants
+                            or None
+                        )
+                        grouped = backend.covers(spec)
+                    except Exception:
+                        grouped = False  # unknown backend: fail solo, clearly
+            if grouped:
+                key = (
+                    backend_name,
+                    cell.workload,
+                    cell.seed,
+                    cell.num_ops,
+                    cell.trace_dir,
+                )
+                groupable.setdefault(key, []).append(cell)
+            else:
+                jobs.append(cell)
+        for (backend_name, *_), members in groupable.items():
+            if len(members) >= 2:
+                jobs.append(BatchGroup(cells=tuple(members), backend=backend_name))
+            else:
+                jobs.extend(members)
+        return jobs
+
+    def _flatten(
+        self, cells: Sequence[CellSpec], outcomes: Sequence[CellOutcome]
+    ) -> List[CellOutcome]:
+        """Map executor outcomes (groups + solo retries) back to cell order.
+
+        Group shells are discarded after their per-cell outcomes are
+        extracted; solo retries appended past the job list land in the same
+        per-cell buckets. The result is exactly one outcome per input cell,
+        in input order — the shape every report consumer expects.
+        """
+        by_digest: Dict[str, List[CellOutcome]] = {}
+        for outcome in outcomes:
+            if isinstance(outcome.spec, BatchGroup):
+                for sub in outcome.cells or []:
+                    by_digest.setdefault(sub.spec.key().digest, []).append(sub)
+            else:
+                by_digest.setdefault(outcome.spec.key().digest, []).append(outcome)
+        flat: List[CellOutcome] = []
+        for cell in cells:
+            bucket = by_digest.get(cell.key().digest)
+            if bucket:
+                flat.append(bucket.pop(0))
+            else:
+                flat.append(
+                    CellOutcome(
+                        spec=cell,
+                        failure=CellFailure(
+                            kind=FailureKind.ERROR,
+                            message="cell settled without an outcome",
+                            cell=cell.describe(),
+                        ),
+                    )
+                )
+        return flat
+
     def run(
         self,
         cells: Sequence[CellSpec],
@@ -236,8 +331,9 @@ class SweepRunner:
                     for cell in cells
                 ]
                 rebuilds_before = self.trace_store.rebuild_count()
+            jobs = self._plan_jobs(cells, resume=resume, quarantine=quarantine)
             outcomes = self.executor.run_many(
-                cells,
+                jobs,
                 store=self.store,
                 resume=resume,
                 progress=progress,
@@ -245,6 +341,7 @@ class SweepRunner:
                 deadline=deadline,
                 quarantine=quarantine,
             )
+            outcomes = self._flatten(cells, outcomes)
             if self.precompile:
                 rebuilds = self.trace_store.rebuild_count() - rebuilds_before
         report = SweepReport(

@@ -78,6 +78,12 @@ class Cache:
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self.stats = CacheStats()
+        # Address-decomposition constants hoisted out of the config
+        # properties: lookup() runs hundreds of thousands of times per
+        # simulation and re-deriving log2/set-count per access is measurable.
+        self._offset_bits = config.offset_bits
+        self._num_sets = config.num_sets
+        self._hit_latency = config.hit_latency
         # Sets materialise on first touch: a short simulation visits a small
         # fraction of e.g. an L2's 16K sets, and eager allocation dominated
         # process start-up (it was the single largest cost of spawning a
@@ -98,10 +104,10 @@ class Cache:
     # -- address decomposition ------------------------------------------------
 
     def line_address(self, address: int) -> int:
-        return address >> self.config.offset_bits
+        return address >> self._offset_bits
 
     def _set_index(self, line: int) -> int:
-        return line % self.config.num_sets
+        return line % self._num_sets
 
     # -- tag array -------------------------------------------------------------
 
@@ -202,9 +208,16 @@ class Cache:
         :meth:`register_fill` and :meth:`fill`.
         """
         self.stats.accesses += 1
-        line = self.line_address(address)
-        if self._touch(line):
-            self.stats.hits += 1
-            return True, cycle + self.config.hit_latency
+        line = address >> self._offset_bits
+        cache_set = self._sets.get(line % self._num_sets)
+        if cache_set is not None:
+            try:
+                way = cache_set.tags.index(line)
+            except ValueError:
+                way = -1
+            if way >= 0:
+                cache_set.lru.touch(way)
+                self.stats.hits += 1
+                return True, cycle + self._hit_latency
         self.stats.misses += 1
         return False, cycle

@@ -75,6 +75,7 @@ class MemoryHierarchy:
         self.l3 = Cache(self.config.l3)
         self.prefetcher = IPStridePrefetcher(degree=self.config.prefetch_degree)
         self.stats = HierarchyStats()
+        self._levels = (self.l1d, self.l2, self.l3)
 
     @property
     def levels(self) -> List[Cache]:
@@ -121,7 +122,7 @@ class MemoryHierarchy:
             if level_hit:
                 ready = level_ready
                 break
-            ready += cache.config.hit_latency
+            ready += cache._hit_latency
             cache.fill(pc)
         else:
             ready += self.config.memory_latency
@@ -131,10 +132,10 @@ class MemoryHierarchy:
 
     def _access(self, address: int, cycle: int) -> int:
         """Walk the hierarchy; return data-ready cycle, filling on the way back."""
-        levels = self.levels
+        levels = self._levels
         missed: List[Cache] = []
         ready = cycle
-        for depth, cache in enumerate(levels):
+        for cache in levels:
             hit, hit_ready = cache.lookup(address, ready)
             if hit:
                 ready = hit_ready
@@ -143,10 +144,10 @@ class MemoryHierarchy:
             start, merged_ready = cache.miss_start_cycle(line, ready)
             if merged_ready is not None:
                 # Another request already fetching this line: ride along.
-                ready = max(merged_ready, ready + cache.config.hit_latency)
+                ready = max(merged_ready, ready + cache._hit_latency)
                 break
             missed.append(cache)
-            ready = start + cache.config.hit_latency  # tag-check before descending
+            ready = start + cache._hit_latency  # tag-check before descending
         else:
             ready += self.config.memory_latency
 

@@ -69,10 +69,10 @@ class IPStridePrefetcher:
 
         if entry.confidence < self._threshold or entry.stride == 0:
             return []
-        prefetches = [
-            address + entry.stride * distance
-            for distance in range(1, self.degree + 1)
-            if address + entry.stride * distance >= 0
-        ]
+        prefetches = []
+        for distance in range(1, self.degree + 1):
+            target = address + stride * distance
+            if target >= 0:
+                prefetches.append(target)
         self.stats.issued += len(prefetches)
         return prefetches

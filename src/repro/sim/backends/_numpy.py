@@ -1,0 +1,42 @@
+"""Guarded NumPy import for the batch backend.
+
+``numpy`` is a declared dependency (``pyproject.toml``), but the reference
+backend — and therefore every default code path — must stay importable
+without it: minimal environments that only ever run the interpreter should
+not pay for (or break on) the array stack. Everything batch-related
+therefore imports NumPy through :func:`require_numpy`, which converts an
+``ImportError`` into a :class:`~repro.sim.backends.base.BackendError`
+naming the fix, and :func:`have_numpy` lets the registry report
+availability without raising.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.backends.base import BackendError
+
+try:  # pragma: no cover - exercised implicitly by every batch import
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _numpy = None
+
+
+def have_numpy() -> bool:
+    """True when NumPy imported cleanly."""
+    return _numpy is not None
+
+
+def numpy_version() -> Optional[str]:
+    return _numpy.__version__ if _numpy is not None else None
+
+
+def require_numpy():
+    """Return the ``numpy`` module or raise a clear :class:`BackendError`."""
+    if _numpy is None:
+        raise BackendError(
+            "the 'batch' backend requires numpy, which failed to import; "
+            "install it (pip install numpy) or run with the 'reference' "
+            "backend (--backend reference / REPRO_SIM_BACKEND=reference)"
+        )
+    return _numpy

@@ -1,0 +1,87 @@
+"""The execution-backend contract.
+
+A *backend* is a strategy for turning :class:`~repro.sim.spec.RunSpec`s
+into :class:`~repro.sim.metrics.SimResult`s. The contract is semantic
+bit-identity: for any spec a backend claims to cover, its result — every
+``PipelineStats`` counter, every ``MDPStats`` counter, every interval
+window — must equal the ``reference`` backend's to the bit (the golden
+fixture in ``tests/core/test_hot_path_identity.py`` enforces this for every
+registered predictor). Backends differ only in *how fast* they get there:
+
+* ``reference`` — the per-op interpreted pipeline (:mod:`repro.core`), one
+  cell at a time. Always available, covers every spec; the semantic truth.
+* ``batch`` — decodes a trace once into NumPy structured arrays, runs one
+  shared front-end pass, then simulates many cells against the shared
+  decode through a fused scheduling loop (:mod:`repro.sim.backends.batch`).
+  Falls back to ``reference`` per cell for specs it cannot cover.
+
+``docs/backends.md`` documents the contract and how to register a third
+backend.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Optional, Sequence
+
+from repro.sim.metrics import SimResult
+from repro.sim.spec import RunSpec
+
+
+class BackendError(RuntimeError):
+    """A backend cannot run (missing dependency, bad configuration)."""
+
+
+#: Callback signatures for batch execution: ``on_result(index, result)``
+#: fires the moment a cell completes (the harness streams these over the
+#: worker pipe), ``on_heartbeat(index, window_dict)`` forwards progress
+#: windows for in-flight cells.
+OnResult = Callable[[int, SimResult], None]
+OnHeartbeat = Callable[[int, dict], None]
+
+
+class Backend(abc.ABC):
+    """One execution strategy for simulation runs."""
+
+    #: Registry name (``repro backends ls``, ``RunSpec.backend``).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(self, spec: RunSpec) -> SimResult:
+        """Execute one spec and return its result."""
+
+    def covers(self, spec: RunSpec) -> bool:
+        """Can this backend execute ``spec`` natively (no fallback)?
+
+        The default claims everything; backends with partial coverage (like
+        ``batch``) override this, and ``run`` must still *accept* uncovered
+        specs by delegating to the reference backend — coverage gaps slow a
+        sweep down, they never block it.
+        """
+        return True
+
+    def run_many(
+        self,
+        specs: Sequence[RunSpec],
+        on_result: Optional[OnResult] = None,
+        on_heartbeat: Optional[OnHeartbeat] = None,
+        heartbeat_ops: Optional[int] = None,
+    ) -> List[SimResult]:
+        """Execute many specs; returns results in spec order.
+
+        The default is a sequential loop of :meth:`run`; batch backends
+        override it to share per-trace work across the group. ``on_result``
+        fires after each cell so a crash mid-group loses only the unfinished
+        cells (the harness's per-cell salvage contract).
+        """
+        results: List[SimResult] = []
+        for index, spec in enumerate(specs):
+            result = self.run(spec)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
+
+    def describe(self) -> dict:
+        """Human-oriented registry row (``repro backends ls``)."""
+        return {"name": self.name, "class": type(self).__name__}

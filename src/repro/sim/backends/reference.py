@@ -1,0 +1,52 @@
+"""The ``reference`` backend: the per-op interpreted pipeline.
+
+This is the pre-existing execution path — :func:`~repro.sim.simulator
+.build_pipeline` plus ``Pipeline.run`` — behind the :class:`Backend`
+protocol. It covers every spec, needs no optional dependencies, and defines
+the semantics every other backend must reproduce bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from repro.sim.backends.base import Backend
+from repro.sim.metrics import SimResult
+from repro.sim.spec import RunSpec
+
+
+def execute_reference(spec: RunSpec) -> SimResult:
+    """Run one spec on the interpreted pipeline (shared with fallbacks)."""
+    # Imported late: repro.sim.simulator imports the backend registry for
+    # dispatch, so a top-level import here would cycle.
+    from repro.isa.artifacts import TraceStore
+    from repro.sim.simulator import build_pipeline, get_trace
+
+    store = TraceStore(spec.trace_dir) if spec.trace_dir else None
+    trace = get_trace(spec.resolved_profile(), spec.resolved_num_ops(), store=store)
+    pipeline, interval_probe = build_pipeline(spec)
+    stats = pipeline.run(trace, warmup_ops=spec.resolved_warmup_ops())
+    predictor = pipeline.predictor
+    paths = getattr(predictor, "paths_tracked", None)
+    return SimResult(
+        workload=trace.name,
+        predictor=predictor.name,
+        core=pipeline.config.name,
+        pipeline=stats,
+        mdp=predictor.stats,
+        paths_tracked=paths,
+        intervals=tuple(interval_probe.windows) if interval_probe else None,
+    )
+
+
+class ReferenceBackend(Backend):
+    """Per-op interpreter; always available, covers everything."""
+
+    name = "reference"
+
+    def run(self, spec: RunSpec) -> SimResult:
+        return execute_reference(spec)
+
+    def describe(self) -> dict:
+        row = super().describe()
+        row["available"] = True
+        row["coverage"] = "all specs (semantic reference)"
+        return row

@@ -287,21 +287,53 @@ def build_pipeline(
 
 
 def run_spec(spec: RunSpec) -> SimResult:
-    """Execute one :class:`~repro.sim.spec.RunSpec` and return its result."""
-    store = TraceStore(spec.trace_dir) if spec.trace_dir else None
-    trace = get_trace(spec.resolved_profile(), spec.resolved_num_ops(), store=store)
-    pipeline, interval_probe = build_pipeline(spec)
-    stats = pipeline.run(trace, warmup_ops=spec.resolved_warmup_ops())
-    predictor = pipeline.predictor
-    paths = getattr(predictor, "paths_tracked", None)
-    return SimResult(
-        workload=trace.name,
-        predictor=predictor.name,
-        core=pipeline.config.name,
-        pipeline=stats,
-        mdp=predictor.stats,
-        paths_tracked=paths,
-        intervals=tuple(interval_probe.windows) if interval_probe else None,
+    """Execute one :class:`~repro.sim.spec.RunSpec` and return its result.
+
+    Dispatches through the backend registry (:mod:`repro.sim.backends`):
+    ``spec.backend``, else ``REPRO_SIM_BACKEND`` (validated at call time),
+    else the ``reference`` interpreter. Backends are bit-identical by
+    contract, so the choice affects wall-clock only, never the result.
+    """
+    from repro.sim.backends import get_backend
+
+    return get_backend(spec.resolved_backend()).run(spec)
+
+
+def simulate_batch(
+    specs: Iterable[RunSpec],
+    on_result=None,
+    on_heartbeat=None,
+    heartbeat_ops: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> Tuple[SimResult, ...]:
+    """Execute many specs on one backend; results come back in spec order.
+
+    The backend (``backend`` argument, else the first spec's
+    ``resolved_backend()``, else the environment default) receives the whole
+    sequence at once so it can share per-trace work — the ``batch`` backend
+    decodes each distinct trace once and runs its shared front-end pass once
+    for all cells of that trace. ``on_result(index, result)`` fires as each
+    cell completes; ``on_heartbeat(index, window_dict)`` streams progress
+    windows every ``heartbeat_ops`` committed ops for backends that support
+    it.
+    """
+    from repro.sim.backends import get_backend
+
+    spec_list = tuple(specs)
+    if backend is None:
+        backend = (
+            spec_list[0].resolved_backend()
+            if spec_list
+            else RunSpec("511.povray", "ideal").resolved_backend()
+        )
+    chosen = get_backend(backend)
+    return tuple(
+        chosen.run_many(
+            spec_list,
+            on_result=on_result,
+            on_heartbeat=on_heartbeat,
+            heartbeat_ops=heartbeat_ops,
+        )
     )
 
 

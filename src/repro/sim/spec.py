@@ -52,6 +52,12 @@ class RunSpec:
         branch_predictor: front-end override (None = a fresh TAGE).
         trace_dir: directory of a trace artifact store to consult before
             building the trace (None = ``REPRO_TRACE_STORE`` or no store).
+        backend: execution backend name (``"reference"``, ``"batch"``, or a
+            registered third backend); None defers to ``REPRO_SIM_BACKEND``
+            at run time. Like ``trace_dir``, the backend is *execution*
+            strategy, not identity — backends are bit-identical by contract
+            (the golden fixture enforces it), so results from different
+            backends share one result-store key and interchange freely.
     """
 
     workload: Union[str, WorkloadProfile]
@@ -65,6 +71,7 @@ class RunSpec:
     interval_ops: Optional[int] = None
     branch_predictor: Optional[BranchPredictor] = None
     trace_dir: Optional[str] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.probes, tuple):
@@ -119,6 +126,20 @@ class RunSpec:
         return (
             default_warmup_ops() if self.warmup_ops is None else self.warmup_ops
         )
+
+    def resolved_backend(self) -> str:
+        """The backend name this run executes on (``REPRO_SIM_BACKEND`` aware).
+
+        Resolved at call time like every other knob, and validated against
+        the backend registry — an unknown name (in the spec or the
+        environment) is an error naming the bad value, never a silent
+        fallback to the reference interpreter.
+        """
+        from repro.sim.backends import default_backend_name, validate_backend_name
+
+        if self.backend is None:
+            return default_backend_name()
+        return validate_backend_name(self.backend)
 
     # --------------------------------------------------------------- keys --
 

@@ -13,6 +13,12 @@ only legitimate for *intentional* semantic changes (a modelling fix, a new
 counter), via::
 
     PYTHONPATH=src python tests/core/test_hot_path_identity.py --regen
+
+The same fixture gates the ``batch`` execution backend: for every predictor
+it covers, the fused shared-decode engine must reproduce the reference
+results to the bit — pipeline counters, predictor counters, and every
+interval window. Uncovered or shadowed predictors must route to the
+reference fallback and still match.
 """
 
 from __future__ import annotations
@@ -23,6 +29,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.sim.backends import get_backend
+from repro.sim.backends._numpy import have_numpy
 from repro.sim.simulator import available_predictors, simulate
 from repro.sim.spec import RunSpec
 
@@ -34,17 +42,20 @@ WARMUP_OPS = 500
 INTERVAL_OPS = 1000
 
 
-def _run_cell(workload: str, predictor: str) -> dict:
-    result = simulate(
-        RunSpec(
-            workload=workload,
-            predictor=predictor,
-            num_ops=NUM_OPS,
-            warmup_ops=WARMUP_OPS,
-            interval_ops=INTERVAL_OPS,
-            check_invariants=False,
-        )
+def _cell_spec(workload: str, predictor: str, backend: str = None) -> RunSpec:
+    return RunSpec(
+        workload=workload,
+        predictor=predictor,
+        num_ops=NUM_OPS,
+        warmup_ops=WARMUP_OPS,
+        interval_ops=INTERVAL_OPS,
+        check_invariants=False,
+        backend=backend,
     )
+
+
+def _run_cell(workload: str, predictor: str, backend: str = None) -> dict:
+    result = simulate(_cell_spec(workload, predictor, backend))
     return {
         "pipeline": asdict(result.pipeline),
         "mdp": asdict(result.mdp),
@@ -96,6 +107,66 @@ def test_bit_identical_to_golden(golden, workload, predictor):
     assert actual["pipeline"] == expected["pipeline"], cell_key
     assert actual["mdp"] == expected["mdp"], cell_key
     assert actual["intervals"] == expected["intervals"], cell_key
+
+
+@pytest.mark.skipif(not have_numpy(), reason="batch backend needs numpy")
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("predictor", sorted(available_predictors()))
+def test_batch_backend_bit_identical_to_golden(golden, workload, predictor):
+    """The backend contract: batch == reference, to the bit, per predictor.
+
+    Every built-in predictor must be *covered* (run through the fused
+    engine, not the fallback) and must reproduce the committed golden
+    results exactly — full ``PipelineStats``, full ``MDPStats`` and every
+    interval window.
+    """
+    cell_key = f"{workload}/{predictor}"
+    expected = golden["cells"].get(cell_key)
+    if expected is None:
+        pytest.fail(f"golden fixture has no cell {cell_key}; regenerate it")
+    spec = _cell_spec(workload, predictor, backend="batch")
+    assert get_backend("batch").covers(spec), (
+        f"batch backend no longer covers built-in predictor {predictor!r}; "
+        "the identity gate would silently test the fallback"
+    )
+    actual = _run_cell(workload, predictor, backend="batch")
+    assert actual["pipeline"] == expected["pipeline"], cell_key
+    assert actual["mdp"] == expected["mdp"], cell_key
+    assert actual["intervals"] == expected["intervals"], cell_key
+
+
+@pytest.mark.skipif(not have_numpy(), reason="batch backend needs numpy")
+def test_batch_backend_routes_unclaimed_predictors_to_reference():
+    """Predictors the batch engine was never validated against fall back.
+
+    A freshly registered (or shadowed) predictor name is outside the fused
+    engine's validated envelope: ``covers`` must say so, and ``run`` must
+    still produce the reference result rather than erroring.
+    """
+    from repro.mdp.store_sets import StoreSetsPredictor
+    from repro.sim.simulator import register_predictor, unregister_predictor
+
+    backend = get_backend("batch")
+    register_predictor("hot-path-test-custom", StoreSetsPredictor)
+    try:
+        spec = _cell_spec(WORKLOADS[0], "hot-path-test-custom", backend="batch")
+        assert not backend.covers(spec)
+        via_batch = _run_cell(WORKLOADS[0], "hot-path-test-custom", backend="batch")
+        via_reference = _run_cell(WORKLOADS[0], "hot-path-test-custom")
+        assert via_batch == via_reference
+    finally:
+        unregister_predictor("hot-path-test-custom")
+
+    # Shadowing a covered name must also disqualify it: the engine's fast
+    # paths were validated against the built-in factory, not the override.
+    try:
+        register_predictor(
+            "store-sets", lambda: StoreSetsPredictor(), replace=True
+        )
+        spec = _cell_spec(WORKLOADS[0], "store-sets", backend="batch")
+        assert not backend.covers(spec)
+    finally:
+        register_predictor("store-sets", StoreSetsPredictor, replace=True)
 
 
 def _regen() -> None:

@@ -1,0 +1,196 @@
+"""The execution-backend registry and its environment plumbing.
+
+The contract under test here is the *dispatch* layer, not simulation
+semantics (the golden fixture in ``tests/core/test_hot_path_identity.py``
+owns bit-identity): registration and lookup, ``REPRO_SIM_BACKEND``
+validation by name, call-time resolution of environment knobs, and the
+numpy guard that keeps the reference backend importable without the array
+stack.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.env import EnvVarError
+from repro.sim.backends import (
+    ENV_BACKEND,
+    Backend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    unregister_backend,
+    validate_backend_name,
+)
+from repro.sim.backends._numpy import have_numpy, require_numpy
+from repro.sim.metrics import SimResult
+from repro.sim.spec import RunSpec
+
+
+class _NullBackend(Backend):
+    name = "null-test"
+
+    def run(self, spec: RunSpec) -> SimResult:  # pragma: no cover - not run
+        raise NotImplementedError
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert "reference" in available_backends()
+        assert "batch" in available_backends()
+
+    def test_register_and_unregister(self):
+        register_backend("null-test", _NullBackend)
+        try:
+            assert "null-test" in available_backends()
+            assert isinstance(get_backend("null-test"), _NullBackend)
+            # instances are cached per name
+            assert get_backend("null-test") is get_backend("null-test")
+        finally:
+            unregister_backend("null-test")
+        assert "null-test" not in available_backends()
+
+    def test_duplicate_registration_requires_replace(self):
+        register_backend("null-test", _NullBackend)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend("null-test", _NullBackend)
+            register_backend("null-test", _NullBackend, replace=True)
+        finally:
+            unregister_backend("null-test")
+
+    def test_validate_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown backend 'bogus'"):
+            validate_backend_name("bogus")
+
+    def test_bad_registrations_rejected(self):
+        with pytest.raises(ValueError):
+            register_backend("", _NullBackend)
+        with pytest.raises(TypeError):
+            register_backend("not-callable", object())
+
+
+class TestEnvironmentKnob:
+    def test_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv(ENV_BACKEND, raising=False)
+        assert default_backend_name() == "reference"
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "batch")
+        assert default_backend_name() == "batch"
+        spec = RunSpec("511.povray", "phast")
+        assert spec.resolved_backend() == "batch"
+
+    def test_unknown_env_value_rejected_by_name(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "bogus")
+        with pytest.raises(EnvVarError, match="REPRO_SIM_BACKEND") as excinfo:
+            default_backend_name()
+        # The error names the knob, the bad value, and the valid choices.
+        message = str(excinfo.value)
+        assert "bogus" in message
+        assert "reference" in message
+
+    def test_env_resolved_at_call_time(self, monkeypatch):
+        """The knob is read per call, not captured at import or spec build."""
+        spec = RunSpec("511.povray", "phast")
+        monkeypatch.delenv(ENV_BACKEND, raising=False)
+        assert spec.resolved_backend() == "reference"
+        monkeypatch.setenv(ENV_BACKEND, "batch")
+        assert spec.resolved_backend() == "batch"
+
+    def test_spec_field_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "batch")
+        spec = RunSpec("511.povray", "phast", backend="reference")
+        assert spec.resolved_backend() == "reference"
+
+    def test_spec_backend_excluded_from_key(self):
+        """Backend choice must not fragment result stores."""
+        plain = RunSpec("511.povray", "phast")
+        batch = RunSpec("511.povray", "phast", backend="batch")
+        assert plain.key() == batch.key()
+
+
+class TestNumpyGuard:
+    def test_require_numpy_error_is_actionable(self, monkeypatch):
+        import repro.sim.backends._numpy as np_guard
+
+        monkeypatch.setattr(np_guard, "_numpy", None)
+        assert not np_guard.have_numpy()
+        with pytest.raises(Exception) as excinfo:
+            np_guard.require_numpy()
+        assert "numpy" in str(excinfo.value).lower()
+
+    def test_reference_backend_runs_without_numpy(self, monkeypatch):
+        """The reference path must not depend on the array stack."""
+        import repro.sim.backends._numpy as np_guard
+
+        monkeypatch.setattr(np_guard, "_numpy", None)
+        result = get_backend("reference").run(
+            RunSpec("511.povray", "store-sets", num_ops=1500, warmup_ops=200)
+        )
+        assert result.pipeline.committed_uops > 0
+
+    @pytest.mark.skipif(not have_numpy(), reason="needs numpy installed")
+    def test_batch_covers_nothing_without_numpy(self, monkeypatch):
+        import repro.sim.backends._numpy as np_guard
+
+        batch = get_backend("batch")
+        spec = RunSpec("511.povray", "phast", check_invariants=False)
+        assert batch.covers(spec)
+        monkeypatch.setattr(np_guard, "_numpy", None)
+        assert not batch.covers(spec)
+
+    @pytest.mark.skipif(not have_numpy(), reason="needs numpy installed")
+    def test_require_numpy_returns_module(self):
+        module = require_numpy()
+        assert hasattr(module, "searchsorted")
+
+
+@pytest.mark.skipif(not have_numpy(), reason="batch backend needs numpy")
+class TestBatchCoverage:
+    def test_probes_disqualify(self):
+        from repro.sim.intervals import IntervalMetricsProbe
+
+        batch = get_backend("batch")
+        spec = RunSpec(
+            "511.povray",
+            "phast",
+            check_invariants=False,
+            probes=(IntervalMetricsProbe(1000),),
+        )
+        assert not batch.covers(spec)
+
+    def test_invariant_checking_disqualifies(self):
+        batch = get_backend("batch")
+        assert not batch.covers(
+            RunSpec("511.povray", "phast", check_invariants=True)
+        )
+
+    def test_predictor_instances_disqualify(self):
+        from repro.mdp.phast import PHASTPredictor
+
+        batch = get_backend("batch")
+        spec = RunSpec("511.povray", PHASTPredictor(), check_invariants=False)
+        assert not batch.covers(spec)
+
+    def test_uncovered_run_falls_back_not_raises(self):
+        batch = get_backend("batch")
+        spec = RunSpec(
+            "511.povray",
+            "store-sets",
+            num_ops=1500,
+            warmup_ops=200,
+            check_invariants=True,
+        )
+        assert not batch.covers(spec)
+        result = batch.run(spec)
+        assert result.pipeline.committed_uops > 0
+
+    def test_describe_reports_kernels(self):
+        from repro.mdp.kernels import KERNEL_NAMES
+
+        row = get_backend("batch").describe()
+        assert row["available"] is True
+        for name in KERNEL_NAMES:
+            assert name in row["kernels"]

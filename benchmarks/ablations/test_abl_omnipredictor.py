@@ -12,6 +12,7 @@ from repro.analysis.report import format_table
 from repro.common.stats import geometric_mean
 from repro.mdp.omnipredictor import OmniPredictor
 from repro.sim.simulator import simulate
+from repro.sim.spec import RunSpec
 
 
 def test_omnipredictor_ablation(grid, emit, benchmark):
@@ -22,7 +23,10 @@ def test_omnipredictor_ablation(grid, emit, benchmark):
         for name in SUBSET:
             omni = OmniPredictor()
             result = simulate(
-                name, omni, num_ops=grid.num_ops, branch_predictor=omni.branch_view
+                RunSpec(
+                    workload=name, predictor=omni, num_ops=grid.num_ops,
+                    branch_predictor=omni.branch_view,
+                )
             )
             omni_ipc.append(result.ipc / ideal[name].ipc)
             evictions += omni.branch_evicted_by_mdp + omni.mdp_evicted_by_branch

@@ -16,7 +16,7 @@ Usage:
     python examples/custom_workload.py
 """
 
-from repro import simulate
+from repro.api import RunSpec, simulate
 from repro.analysis.report import format_table
 from repro.workloads.generator import MotifSpec, WorkloadProfile
 
@@ -46,7 +46,10 @@ PREDICTORS = ["ideal", "phast", "nosq", "store-sets", "mdp-tage"]
 
 
 def main() -> None:
-    results = {name: simulate(PROFILE, name, num_ops=40_000) for name in PREDICTORS}
+    results = {
+        name: simulate(RunSpec(workload=PROFILE, predictor=name, num_ops=40_000))
+        for name in PREDICTORS
+    }
     ideal_ipc = results["ideal"].ipc
     print(
         format_table(

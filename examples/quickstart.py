@@ -11,7 +11,7 @@ Usage:
 
 import sys
 
-from repro import simulate
+from repro.api import RunSpec, simulate
 from repro.analysis.report import format_table
 
 PREDICTORS = [
@@ -29,7 +29,10 @@ def main() -> None:
     workload = sys.argv[1] if len(sys.argv) > 1 else "511.povray"
     num_ops = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000
 
-    results = {name: simulate(workload, name, num_ops=num_ops) for name in PREDICTORS}
+    results = {
+        name: simulate(RunSpec(workload=workload, predictor=name, num_ops=num_ops))
+        for name in PREDICTORS
+    }
     ideal_ipc = results["ideal"].ipc
 
     rows = []

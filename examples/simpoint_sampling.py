@@ -12,7 +12,7 @@ Usage:
 import sys
 import time
 
-from repro import simulate
+from repro.api import RunSpec, simulate
 from repro.analysis.simpoints import choose_simpoints, simulate_simpoints
 from repro.sim.simulator import get_trace
 
@@ -34,12 +34,13 @@ def main() -> None:
         )
 
     started = time.time()
-    full = simulate(workload, "phast", num_ops=total_ops)
+    full = simulate(RunSpec(workload=workload, predictor="phast", num_ops=total_ops))
     full_seconds = time.time() - started
 
     started = time.time()
     sampled = simulate_simpoints(
-        workload, "phast", total_ops=total_ops, interval_ops=interval_ops,
+        RunSpec(workload=workload, predictor="phast", num_ops=total_ops),
+        interval_ops=interval_ops,
         max_clusters=4,
     )
     sampled_seconds = time.time() - started

@@ -1,14 +1,16 @@
 """repro — reproduction of "Effective Context-Sensitive Memory Dependence
 Prediction" (PHAST, Kim & Ros, HPCA 2024).
 
-Public API tour:
+Public API tour (the supported surface is re-exported by :mod:`repro.api`):
 
->>> from repro import simulate
->>> result = simulate("511.povray", "phast")
+>>> from repro.api import RunSpec, simulate
+>>> result = simulate(RunSpec("511.povray", "phast"))
 >>> result.ipc > 0
 True
 
-* :func:`repro.simulate` — run one (workload, predictor) simulation.
+* :func:`repro.simulate` — run one :class:`~repro.sim.spec.RunSpec`.
+* :class:`repro.api.SweepClient` — submit specs/grids to a ``repro serve``
+  instance over the versioned v1 wire API.
 * :mod:`repro.mdp` — PHAST, Store Sets, Store Vectors, CHT, NoSQ, MDP-TAGE,
   the unlimited study predictors and the ideal/blind oracles.
 * :mod:`repro.workloads` — the synthetic SPEC CPU 2017-like suite.

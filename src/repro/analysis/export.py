@@ -85,14 +85,15 @@ def intervals_to_records(result: SimResult) -> List[Dict[str, object]]:
     """One flat record per interval window, tagged with the run's identity.
 
     Requires a result produced with interval metrics enabled
-    (``simulate(..., interval_ops=N)`` or ``repro probe``); raises
+    (``simulate(RunSpec(..., interval_ops=N))`` or ``repro probe``); raises
     ``ValueError`` otherwise so a missing probe doesn't silently export
     nothing.
     """
     if result.intervals is None:
         raise ValueError(
             f"{result.workload}/{result.predictor} carries no interval metrics; "
-            "run with interval_ops set (e.g. simulate(..., interval_ops=2000))"
+            "run with interval_ops set "
+            "(e.g. simulate(RunSpec(..., interval_ops=2000)))"
         )
     records = []
     for window in result.intervals:

@@ -304,11 +304,12 @@ def fig10_conflict_length_histogram(
     before clamping) and merges the per-application histograms.
     """
     from repro.sim.simulator import simulate
+    from repro.sim.spec import RunSpec
 
     merged = Histogram()
     for name in workloads:
         predictor = UnlimitedPHASTPredictor()
-        simulate(name, predictor, num_ops=num_ops)
+        simulate(RunSpec(workload=name, predictor=predictor, num_ops=num_ops))
         merged.merge(predictor.conflict_length_histogram)
     return merged
 

@@ -20,6 +20,7 @@ simulation time for a small, quantified phase-sampling error.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -160,7 +161,8 @@ def simulate_simpoints(
 
     The legacy form ``simulate_simpoints(profile, predictor, total_ops,
     interval_ops, ...)`` packs its arguments into a spec and behaves
-    identically. ``seed`` seeds the k-means clustering in both forms.
+    identically, but it is deprecated and warns with the exact replacement
+    call. ``seed`` seeds the k-means clustering in both forms.
 
     Each representative interval is simulated with a leading warm-up region
     (the previous ``warmup_fraction`` of an interval, when available) whose
@@ -190,6 +192,17 @@ def simulate_simpoints(
                 "simulate_simpoints() requires predictor, total_ops and "
                 "interval_ops (or a RunSpec)"
             )
+        name = profile if isinstance(profile, str) else profile.name
+        predictor_repr = predictor if isinstance(predictor, str) else "<predictor>"
+        warnings.warn(
+            "simulate_simpoints(profile, predictor, total_ops, ...) is "
+            "deprecated; call simulate_simpoints(RunSpec("
+            f"{name!r}, {predictor_repr!r}, num_ops={total_ops}), "
+            f"interval_ops={interval_ops}) instead (from repro.api import "
+            "RunSpec)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         spec = RunSpec(
             workload=profile, predictor=predictor, config=config, num_ops=total_ops
         )

@@ -1,0 +1,79 @@
+"""repro.api — the supported public surface, in one place.
+
+Import from here instead of deep modules: this facade re-exports the
+stable names (:class:`RunSpec`, :func:`simulate`, the predictor registry,
+:class:`SweepClient`) plus the v1 wire codec that the server, the client
+and the CLI all share. Deep-module paths keep working, but only the names
+listed in ``__all__`` here are covered by the deprecation policy.
+
+>>> from repro.api import RunSpec, simulate
+>>> result = simulate(RunSpec(workload="511.povray", predictor="phast"))
+
+Remote submission uses the same spec and the same store keys:
+
+>>> from repro.api import SweepClient          # doctest: +SKIP
+>>> client = SweepClient("http://127.0.0.1:8321")  # doctest: +SKIP
+>>> job = client.submit_spec(RunSpec("511.povray", "phast"))  # doctest: +SKIP
+"""
+
+from repro.api.wire import (
+    WIRE_VERSION,
+    WireError,
+    WireGrid,
+    config_from_wire,
+    config_to_wire,
+    grid_from_wire,
+    grid_to_wire,
+    spec_from_wire,
+    spec_to_wire,
+)
+from repro.sim.metrics import SimResult
+from repro.sim.simulator import (
+    available_predictors,
+    make_predictor,
+    register_predictor,
+    run_spec,
+    simulate,
+    unregister_predictor,
+)
+from repro.sim.spec import RunSpec
+
+__all__ = [
+    # core simulation surface
+    "RunSpec",
+    "SimResult",
+    "simulate",
+    "run_spec",
+    "register_predictor",
+    "unregister_predictor",
+    "available_predictors",
+    "make_predictor",
+    # remote submission
+    "SweepClient",
+    "ServerError",
+    # wire schema v1
+    "WIRE_VERSION",
+    "WireError",
+    "WireGrid",
+    "spec_to_wire",
+    "spec_from_wire",
+    "grid_to_wire",
+    "grid_from_wire",
+    "config_to_wire",
+    "config_from_wire",
+]
+
+
+def __getattr__(name):
+    # SweepClient lives in repro.client; importing it eagerly would pull the
+    # HTTP machinery into every `import repro.api`, so resolve it on demand
+    # (PEP 562).
+    if name == "SweepClient":
+        from repro.client import SweepClient
+
+        return SweepClient
+    if name == "ServerError":
+        from repro.client import ServerError
+
+        return ServerError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -18,6 +18,11 @@ Commands:
 * ``chaos`` — deterministic fault-injection soak: run a sweep twice (clean,
   then under a seeded :class:`~repro.harness.chaos.FaultPlan`) and gate on
   completion, fault classification, and bit-identical surviving results.
+* ``serve`` — simulation-as-a-service: the asyncio HTTP front door
+  (wire schema v1, store dedupe before scheduling, SSE progress; see
+  docs/server.md).
+* ``submit`` — submit a grid to a running ``repro serve`` via
+  :class:`repro.client.SweepClient` and (by default) wait for it.
 * ``backends`` — inspect the execution-backend registry
   (``backends ls``); ``sweep --backend batch`` selects one for a campaign.
 * ``workloads`` — list the synthetic SPEC CPU 2017-like profiles.
@@ -85,11 +90,14 @@ def _core_config(name: str) -> CoreConfig:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     result = simulate(
-        workload(args.workload, seed=args.seed),
-        args.predictor,
-        config=_core_config(args.core),
-        num_ops=args.num_ops,
-        check_invariants=True if args.check_invariants else None,
+        RunSpec(
+            workload=args.workload,
+            predictor=args.predictor,
+            config=_core_config(args.core),
+            num_ops=args.num_ops,
+            seed=args.seed,
+            check_invariants=True if args.check_invariants else None,
+        )
     )
     print(result.summary())
     stats = result.pipeline
@@ -108,11 +116,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_probe(args: argparse.Namespace) -> int:
     result = simulate(
-        workload(args.workload, seed=args.seed),
-        args.predictor,
-        config=_core_config(args.core),
-        num_ops=args.num_ops,
-        interval_ops=args.interval_ops,
+        RunSpec(
+            workload=args.workload,
+            predictor=args.predictor,
+            config=_core_config(args.core),
+            num_ops=args.num_ops,
+            seed=args.seed,
+            interval_ops=args.interval_ops,
+        )
     )
     rows = []
     for window in result.intervals:
@@ -375,6 +386,58 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(report.summary())
     print(f"failure manifest: {store.manifest_path}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server.http import serve
+
+    try:
+        asyncio.run(
+            serve(
+                args.store,
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                timeout=args.timeout,
+                retries=args.retries,
+            )
+        )
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.client import ServerError, SweepClient
+
+    client = SweepClient(args.server)
+    workloads = (
+        args.workloads.split(",") if args.workloads else spec_suite(args.subset)
+    )
+    try:
+        receipt = client.submit_grid(
+            workloads,
+            args.predictors.split(","),
+            config=_core_config(args.core),
+            num_ops=args.num_ops,
+            seed=args.seed,
+            check_invariants=args.check_invariants,
+            backend=args.backend,
+        )
+    except ServerError as exc:
+        raise SystemExit(f"submit rejected: {exc}") from exc
+    print(
+        f"submitted {receipt['id']}: {receipt['cells']} cells "
+        f"(cached={receipt['cached']}, scheduled={receipt['scheduled']})"
+    )
+    if args.no_wait:
+        return 0
+    status = client.wait(receipt["id"], timeout=args.wait_timeout)
+    summary = status.get("summary") or ""
+    print(f"{receipt['id']}: {status['state']} — {summary}".rstrip(" —"))
+    return 0 if status["state"] == "completed" else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -657,6 +720,74 @@ def build_parser() -> argparse.ArgumentParser:
         "worker unit with a single decode",
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="simulation-as-a-service HTTP server (wire schema v1, store "
+        "dedupe before scheduling, polling + SSE progress)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="TCP port to bind (0 = an ephemeral port, printed at startup)",
+    )
+    serve.add_argument(
+        "--store",
+        default=os.environ.get(ENV_STORE, DEFAULT_STORE),
+        help=f"shared result store directory (default ${ENV_STORE} or "
+        f"{DEFAULT_STORE}) — the same store 'repro sweep' writes, so local "
+        "and remote results dedupe against each other",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes per job ($REPRO_SWEEP_WORKERS)",
+    )
+    serve.add_argument("--timeout", type=float, default=None)
+    serve.add_argument("--retries", type=int, default=None)
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a (workloads x predictors) grid to a repro serve "
+        "instance and wait for it",
+    )
+    submit.add_argument(
+        "--server",
+        default="http://127.0.0.1:8321",
+        help="base URL of the repro serve instance",
+    )
+    submit.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workload names (default: the whole suite)",
+    )
+    submit.add_argument(
+        "--predictors", default="store-sets,nosq,mdp-tage,mdp-tage-s,phast,ideal"
+    )
+    submit.add_argument("--subset", type=int, default=None)
+    submit.add_argument("--num-ops", type=int, default=num_ops_default)
+    submit.add_argument("--core", default="alderlake", choices=sorted(GENERATIONS))
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--check-invariants", action="store_true")
+    submit.add_argument(
+        "--backend", default=None, choices=available_backends()
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the submission receipt and return without polling",
+    )
+    submit.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=None,
+        help="give up polling after this many seconds (exit nonzero)",
+    )
+    submit.set_defaults(func=_cmd_submit)
 
     chaos = sub.add_parser(
         "chaos",

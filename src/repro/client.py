@@ -1,0 +1,196 @@
+"""SweepClient: submit simulations to a ``repro serve`` instance.
+
+A thin stdlib (``http.client``) wrapper over the v1 wire API — the same
+schema module the server decodes with, so a spec that round-trips locally
+is exactly what the server keys its store on. Typical use:
+
+>>> from repro.api import RunSpec, SweepClient          # doctest: +SKIP
+>>> client = SweepClient("http://127.0.0.1:8321")       # doctest: +SKIP
+>>> receipt = client.submit_grid(                       # doctest: +SKIP
+...     workloads=["511.povray"], predictors=["phast", "store-sets"],
+...     num_ops=5000)
+>>> status = client.wait(receipt["id"])                 # doctest: +SKIP
+>>> results = client.results(receipt["id"])             # doctest: +SKIP
+
+Every non-2xx response raises :class:`ServerError` carrying the decoded
+error payload — for a 422 that includes the offending ``field`` and, when
+enumerable, the valid ``choices``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+from repro.api.wire import WIRE_VERSION, WireGrid, grid_to_wire, spec_to_wire
+from repro.sim.metrics import SimResult
+from repro.sim.spec import RunSpec
+
+
+class ServerError(Exception):
+    """A non-2xx server response; ``payload`` is the decoded error body."""
+
+    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+        message = str(payload.get("message", payload))
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+        self.field = payload.get("field")
+        self.choices = payload.get("choices")
+
+
+class SweepClient:
+    """Talks the v1 wire API to one server; one connection per call."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if split.scheme not in ("http", ""):
+            raise ValueError(f"only http:// servers are supported, got {base_url!r}")
+        if not split.hostname:
+            raise ValueError(f"no host in server url {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 8321
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ plumbing --
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw) if raw else {}
+        finally:
+            conn.close()
+        if response.status >= 400:
+            error = decoded.get("error", decoded) if isinstance(decoded, dict) else {}
+            raise ServerError(response.status, error)
+        return response.status, decoded
+
+    # ------------------------------------------------------------- surface --
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")[1]
+
+    def submit_spec(self, spec: RunSpec) -> dict:
+        """Submit one :class:`RunSpec`; returns the submission receipt.
+
+        The receipt's ``cached``/``scheduled`` counts report the server-side
+        store dedupe: an already-answered cell is never scheduled.
+        """
+        return self._request("POST", "/v1/jobs", spec_to_wire(spec))[1]
+
+    def submit_grid(
+        self,
+        workloads: Sequence[str],
+        predictors: Sequence[str],
+        config=None,
+        num_ops: int = 0,
+        seed: Optional[int] = None,
+        check_invariants: bool = False,
+        backend: Optional[str] = None,
+    ) -> dict:
+        """Submit a (workloads × predictors) grid; returns the receipt."""
+        grid = WireGrid(
+            workloads=tuple(workloads),
+            predictors=tuple(predictors),
+            config=config,
+            num_ops=num_ops,
+            seed=seed,
+            check_invariants=check_invariants,
+            backend=backend,
+        )
+        return self._request("POST", "/v1/jobs", grid_to_wire(grid))[1]
+
+    def jobs(self) -> List[dict]:
+        return self._request("GET", "/v1/jobs")[1]["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")[1]
+
+    def events(self, job_id: str, since: int = 0) -> dict:
+        """Non-blocking poll of the job's event log past ``since``."""
+        return self._request("GET", f"/v1/jobs/{job_id}/events?since={since}")[1]
+
+    def results(self, job_id: str) -> Dict[Tuple[str, str], SimResult]:
+        """Durable results keyed by (workload, predictor); missing cells absent."""
+        payload = self._request("GET", f"/v1/jobs/{job_id}/results")[1]
+        out: Dict[Tuple[str, str], SimResult] = {}
+        for cell in payload["cells"]:
+            if cell.get("result") is not None:
+                out[(cell["workload"], cell["predictor"])] = SimResult.from_record(
+                    cell["result"]
+                )
+        return out
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")[1]
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_seconds: float = 0.25,
+    ) -> dict:
+        """Poll until the job is terminal; returns its final status payload."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("completed", "cancelled", "failed"):
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']!r} after {timeout}s"
+                )
+            time.sleep(poll_seconds)
+
+    def stream(self, job_id: str, since: int = 0) -> Iterator[dict]:
+        """Follow the job's SSE feed; yields event dicts until ``done``.
+
+        A long-lived GET on ``/stream``; each yielded dict is one event from
+        the job log (``seq``/``event`` plus the event's own fields). Returns
+        when the server sends the terminal ``done`` frame.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=max(self.timeout, 60.0)
+        )
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/stream?since={since}")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                decoded = json.loads(raw) if raw else {}
+                raise ServerError(response.status, decoded.get("error", {}))
+            event_name, data_lines = None, []
+            while True:
+                line = response.fp.readline()
+                if not line:
+                    return  # connection closed without a done frame
+                text = line.decode("utf-8").rstrip("\n")
+                if text.startswith(":"):
+                    continue  # keep-alive comment
+                if text.startswith("event:"):
+                    event_name = text[len("event:"):].strip()
+                elif text.startswith("data:"):
+                    data_lines.append(text[len("data:"):].strip())
+                elif text == "":
+                    if event_name == "done":
+                        return
+                    if data_lines:
+                        yield json.loads("\n".join(data_lines))
+                    event_name, data_lines = None, []
+        finally:
+            conn.close()
+
+
+__all__ = ["SweepClient", "ServerError", "WIRE_VERSION"]

@@ -321,9 +321,12 @@ class _Running:
     """Bookkeeping for one in-flight worker process."""
 
     __slots__ = ("index", "spec", "attempt", "proc", "conn", "deadline",
-                 "started", "last_interval", "cell_events")
+                 "started", "last_interval", "cell_events", "on_heartbeat")
 
-    def __init__(self, index, spec, attempt, proc, conn, deadline, started):
+    def __init__(
+        self, index, spec, attempt, proc, conn, deadline, started,
+        on_heartbeat=None,
+    ):
         self.index = index
         self.spec = spec
         self.attempt = attempt
@@ -331,6 +334,9 @@ class _Running:
         self.conn = conn
         self.deadline = deadline
         self.started = started
+        # Live-progress callback for streamed heartbeat windows (must not
+        # raise; it runs inside the scheduler loop).
+        self.on_heartbeat = on_heartbeat
         # Most recent ("heartbeat", window_dict) payload; lands in the
         # failure manifest if the cell times out or dies.
         self.last_interval = None
@@ -407,6 +413,7 @@ class ProcessCellExecutor:
         attempt: int,
         now: float,
         chaos: Optional[ChaosEngine] = None,
+        heartbeat: Optional[Callable] = None,
     ) -> _Running:
         is_group = isinstance(spec, BatchGroup)
         target: Callable = self.group_worker if is_group else self.worker
@@ -435,6 +442,7 @@ class ProcessCellExecutor:
             conn=parent_conn,
             deadline=now + budget,
             started=now,
+            on_heartbeat=heartbeat,
         )
 
     def _drain(self, entry: _Running) -> Optional[Tuple[str, object]]:
@@ -448,6 +456,8 @@ class ProcessCellExecutor:
                 message = entry.conn.recv()
                 if message[0] == "heartbeat":
                     entry.last_interval = message[1]
+                    if entry.on_heartbeat is not None:
+                        entry.on_heartbeat(entry.spec, message[1])
                 elif message[0] == "cell":
                     # Batch groups: per-cell completion/failure events are
                     # stashed, not final — the group keeps running.
@@ -552,6 +562,26 @@ class ProcessCellExecutor:
             detail={"deadline_seconds": deadline, "phase": "running"},
         )
 
+    def _kill_cancelled(self, entry: _Running) -> CellFailure:
+        """Kill an in-flight worker after a stop request (cancellation).
+
+        Same clean-shutdown semantics as a deadline cut: kind ``deadline``
+        (ephemeral — never persisted), last heartbeats salvaged into the
+        manifest, and the cell stays pending for a resumed run.
+        """
+        self._drain(entry)
+        entry.proc.kill()
+        entry.proc.join(5)
+        entry.conn.close()
+        elapsed = time.monotonic() - entry.started
+        return self._failure(
+            entry,
+            FailureKind.DEADLINE,
+            "cancelled: killed by a stop request",
+            elapsed,
+            detail={"cancelled": True, "phase": "running"},
+        )
+
     def _failure(
         self,
         entry: _Running,
@@ -586,6 +616,8 @@ class ProcessCellExecutor:
         chaos: Optional[ChaosEngine] = None,
         deadline: Optional[float] = None,
         quarantine: bool = False,
+        heartbeat: Optional[Callable] = None,
+        stop=None,
     ) -> List[CellOutcome]:
         """Run every cell; never raises for a failing cell.
 
@@ -625,6 +657,19 @@ class ProcessCellExecutor:
           fault plan is injected into worker spawns; every failure is also
           reported back to the engine's journal so injected faults can be
           checked against their observed classification.
+
+        Live progress:
+
+        * ``heartbeat`` — called as ``heartbeat(job, window_dict)`` for every
+          streamed interval window, from the scheduler loop (so it must be
+          fast and must not raise). For batch groups the window carries a
+          ``"cell"`` index. The server's SSE feed rides on this.
+        * ``stop`` — a ``threading.Event``; once set, in-flight workers are
+          killed and everything unfinished settles with kind ``deadline``
+          ("cancelled" in the message, ``{"cancelled": True}`` in the
+          detail). Like a deadline cut, cancelled cells are never persisted
+          as failures, so a resumed run picks them up as pending. Checked
+          within ~0.5s.
         """
         outcomes: Dict[int, CellOutcome] = {}
         # Each pending entry is (index, spec, attempt, not-before timestamp).
@@ -735,6 +780,8 @@ class ProcessCellExecutor:
             failure: Optional[CellFailure],
             cut: bool = False,
             cut_phase: str = "running",
+            cut_message: Optional[str] = None,
+            cut_detail: Optional[Dict[str, object]] = None,
         ) -> None:
             """Settle a batch group from whatever its worker got done.
 
@@ -770,18 +817,20 @@ class ProcessCellExecutor:
                         progress(sub)
                 elif cut:
                     tries = attempt + (1 if cut_phase == "running" else 0)
+                    detail = dict(cut_detail) if cut_detail is not None else {
+                        "deadline_seconds": float(deadline)
+                    }
+                    detail["phase"] = cut_phase
                     cell_failure = CellFailure(
                         kind=FailureKind.DEADLINE,
-                        message=(
+                        message=cut_message
+                        or (
                             f"batch group cut at the "
                             f"{float(deadline):.1f}s campaign deadline"
                         ),
                         cell=cell.describe(),
                         attempts=tries,
-                        detail={
-                            "deadline_seconds": float(deadline),
-                            "phase": cut_phase,
-                        },
+                        detail=detail,
                     )
                     sub = CellOutcome(
                         spec=cell, failure=cell_failure, attempts=tries
@@ -825,9 +874,13 @@ class ProcessCellExecutor:
                 return
             settle(index, spec, attempt, None, skipped_failure(spec))
 
+        stopped = False
         while pending or running:
             now = time.monotonic()
             if cutoff is not None and now >= cutoff:
+                break
+            if stop is not None and stop.is_set():
+                stopped = True
                 break
 
             # Launch every eligible pending cell into a free worker slot —
@@ -842,7 +895,9 @@ class ProcessCellExecutor:
                 if len(running) >= self.workers:
                     break
                 if not_before <= now:
-                    running.append(self._spawn(index, spec, attempt, now, chaos))
+                    running.append(
+                        self._spawn(index, spec, attempt, now, chaos, heartbeat)
+                    )
                     launched.append(slot)
             for slot in reversed(launched):
                 pending.pop(slot)
@@ -855,7 +910,11 @@ class ProcessCellExecutor:
                 wakeup = min(entry[3] for entry in pending)
                 if cutoff is not None:
                     wakeup = min(wakeup, cutoff)
-                time.sleep(max(0.0, wakeup - time.monotonic()))
+                sleep_for = max(0.0, wakeup - time.monotonic())
+                if stop is not None:
+                    # Stay responsive to cancellation during backoff waits.
+                    sleep_for = min(sleep_for, 0.5)
+                time.sleep(sleep_for)
                 continue
 
             # Sleep until a worker speaks/dies, a deadline passes, or a
@@ -906,6 +965,49 @@ class ProcessCellExecutor:
                 else:
                     still_running.append(entry)
             running = still_running
+
+        # Cancellation: same clean partial-result shutdown as a deadline cut,
+        # with "cancelled" bookkeeping so the status surface can tell the two
+        # apart. Nothing is persisted; the cells stay pending for a resume.
+        if stopped and (pending or running):
+            for entry in running:
+                failure = self._kill_cancelled(entry)
+                if isinstance(entry.spec, BatchGroup):
+                    settle_batch(
+                        entry.index,
+                        entry.spec,
+                        entry.attempt,
+                        entry.cell_events,
+                        failure,
+                        cut=True,
+                        cut_message="batch group cancelled by a stop request",
+                        cut_detail={"cancelled": True},
+                    )
+                else:
+                    settle(entry.index, entry.spec, entry.attempt, None, failure)
+            for index, spec, attempt, _ in pending:
+                if isinstance(spec, BatchGroup):
+                    settle_batch(
+                        index,
+                        spec,
+                        attempt,
+                        {},
+                        None,
+                        cut=True,
+                        cut_phase="pending",
+                        cut_message="batch group cancelled by a stop request",
+                        cut_detail={"cancelled": True},
+                    )
+                    continue
+                failure = CellFailure(
+                    kind=FailureKind.DEADLINE,
+                    message="never started: cancelled by a stop request",
+                    cell=spec.describe(),
+                    attempts=attempt,
+                    detail={"cancelled": True, "phase": "pending"},
+                )
+                settle(index, spec, attempt, None, failure)
+            pending, running = [], []
 
         # Deadline expiry: clean partial-result shutdown. Kill what is in
         # flight, settle everything unfinished as cut — nothing is persisted

@@ -302,6 +302,8 @@ class SweepRunner:
         fault_plan: Optional[FaultPlan] = None,
         deadline: Optional[float] = None,
         quarantine: bool = False,
+        heartbeat: Optional[Callable] = None,
+        stop=None,
     ) -> SweepReport:
         """Run the sweep; completes with the surviving cells, never aborts.
 
@@ -316,7 +318,10 @@ class SweepRunner:
         the same ENOSPC/corruption weather as everything else. ``deadline``
         is the campaign wall-clock budget and ``quarantine`` skips cells
         with durable failure records; see
-        :meth:`~repro.harness.executor.ProcessCellExecutor.run_many`.
+        :meth:`~repro.harness.executor.ProcessCellExecutor.run_many` —
+        which also documents ``heartbeat`` (live interval-window callback)
+        and ``stop`` (a ``threading.Event`` requesting cancellation; the
+        server's cancel endpoint sets it).
         """
         chaos = ChaosEngine(fault_plan) if fault_plan is not None else None
         scope = chaos.installed() if chaos is not None else contextlib.nullcontext()
@@ -340,6 +345,8 @@ class SweepRunner:
                 chaos=chaos,
                 deadline=deadline,
                 quarantine=quarantine,
+                heartbeat=heartbeat,
+                stop=stop,
             )
             outcomes = self._flatten(cells, outcomes)
             if self.precompile:

@@ -15,7 +15,8 @@ standalone MDP-TAGE of the same total budget, and against PHAST.
 Usage::
 
     omni = OmniPredictor()
-    result = simulate(workload, omni, branch_predictor=omni.branch_view)
+    result = simulate(RunSpec(workload=workload, predictor=omni,
+                              branch_predictor=omni.branch_view))
 """
 
 from __future__ import annotations

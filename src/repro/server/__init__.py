@@ -1,0 +1,13 @@
+"""Simulation-as-a-service: the ``repro serve`` HTTP front door.
+
+:mod:`repro.server.jobs` owns job lifecycle (validation, store dedupe,
+dispatch through the sweep harness, event logs); :mod:`repro.server.http`
+is the stdlib asyncio HTTP/SSE layer over it. The wire contract both sides
+of the socket share lives in :mod:`repro.api.wire`; the matching client is
+:class:`repro.client.SweepClient`. See docs/server.md.
+"""
+
+from repro.server.http import SweepServer, serve
+from repro.server.jobs import Job, JobManager, QuotaError
+
+__all__ = ["SweepServer", "serve", "Job", "JobManager", "QuotaError"]

@@ -1,0 +1,509 @@
+"""Job lifecycle for the sweep server: validate, dedupe, dispatch, observe.
+
+:class:`JobManager` is the server's engine room, deliberately independent
+of HTTP so it can be driven directly in tests. A submission (one
+:class:`~repro.sim.spec.RunSpec` or a :class:`~repro.api.wire.WireGrid`)
+becomes a :class:`Job`:
+
+1. **Validate** — every workload/predictor/backend name is checked against
+   its registry *at the submission boundary* (:func:`validate_names`), so a
+   typo is a structured 422 naming the offending field, never a worker
+   crash ten seconds later.
+2. **Dedupe** — each cell's content-addressed store key is checked against
+   the shared :class:`~repro.harness.store.ResultStore` *before*
+   scheduling. Cells already answered are marked ``cached`` in the
+   submission receipt and never occupy a worker; resubmitting an answered
+   grid schedules zero new cells.
+3. **Dispatch** — a single FIFO dispatcher thread runs each job through the
+   existing :class:`~repro.harness.sweep.SweepRunner` (batch-group
+   planning, retry/backoff, quarantine, the whole failure taxonomy), so a
+   remote job and a local ``repro sweep`` are the same machinery and the
+   same store keys.
+4. **Observe** — per-cell state transitions and streamed heartbeat windows
+   land in a monotonically-sequenced per-job event log; pollers read
+   ``events(since=...)``, the SSE endpoint blocks on :meth:`Job.wait_events`.
+
+Cancellation sets the job's stop event; the executor kills in-flight
+workers and settles the rest as cancelled (ephemeral — a resubmission
+picks them back up as pending).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.wire import WireError
+from repro.common.env import env_int
+from repro.harness.executor import ProcessCellExecutor
+from repro.harness.store import ResultStore
+from repro.harness.sweep import SweepRunner, build_cells
+from repro.sim.spec import RunSpec
+
+#: Quota/backpressure knobs (documented in docs/server.md).
+ENV_MAX_CELLS = "REPRO_SERVE_MAX_CELLS"
+ENV_MAX_QUEUED = "REPRO_SERVE_MAX_QUEUED"
+
+
+def default_max_cells() -> int:
+    return env_int(ENV_MAX_CELLS, 1024, min_value=1)
+
+
+def default_max_queued() -> int:
+    return env_int(ENV_MAX_QUEUED, 32, min_value=1)
+
+
+class QuotaError(Exception):
+    """A submission rejected by a quota; ``status`` is the HTTP code."""
+
+    def __init__(self, message: str, status: int) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def validate_names(specs: Sequence[RunSpec]) -> None:
+    """Reject unknown workload/predictor/backend names with a WireError.
+
+    Reuses the registries the simulator itself resolves against, so the
+    server can never accept a name a worker would later choke on. Raises
+    :class:`~repro.api.wire.WireError` (→ structured 422) naming the field.
+    """
+    from repro.sim.backends import available_backends
+    from repro.sim.simulator import available_predictors
+    from repro.workloads.spec2017 import SPEC_PROFILES
+
+    predictors = set(available_predictors())
+    backends = set(available_backends())
+    for spec in specs:
+        if spec.workload_name not in SPEC_PROFILES:
+            raise WireError(
+                f"unknown workload {spec.workload_name!r}",
+                field="workload",
+                value=spec.workload_name,
+                choices=sorted(SPEC_PROFILES),
+            )
+        if spec.predictor_label not in predictors:
+            raise WireError(
+                f"unknown predictor {spec.predictor_label!r}",
+                field="predictor",
+                value=spec.predictor_label,
+                choices=sorted(predictors),
+            )
+        if spec.backend is not None and spec.backend not in backends:
+            raise WireError(
+                f"unknown backend {spec.backend!r}",
+                field="backend",
+                value=spec.backend,
+                choices=sorted(backends),
+            )
+        # The shared store keys cells on (workload, predictor, config,
+        # num_ops, seed) only — a per-run warmup/interval override would
+        # produce results other clients could mistake for default-warmup
+        # ones, so v1 refuses rather than silently mis-filing them.
+        if spec.warmup_ops is not None:
+            raise WireError(
+                "warmup_ops overrides are not accepted by the server "
+                "(results are keyed without them); submit with "
+                "warmup_ops=None",
+                field="warmup_ops",
+                value=spec.warmup_ops,
+            )
+        if spec.interval_ops is not None:
+            raise WireError(
+                "interval_ops overrides are not accepted by the server; "
+                "heartbeat windows are streamed automatically",
+                field="interval_ops",
+                value=spec.interval_ops,
+            )
+
+
+@dataclass
+class CellState:
+    """One cell of a job, as the status endpoint reports it."""
+
+    index: int
+    workload: str
+    predictor: str
+    digest: str
+    state: str = "pending"  # pending | cached | ok | <failure kind>
+    message: Optional[str] = None
+    attempts: int = 0
+
+    def to_payload(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "index": self.index,
+            "workload": self.workload,
+            "predictor": self.predictor,
+            "digest": self.digest,
+            "state": self.state,
+        }
+        if self.message is not None:
+            payload["message"] = self.message
+        if self.attempts:
+            payload["attempts"] = self.attempts
+        return payload
+
+
+@dataclass
+class Job:
+    """One submission and everything observable about it.
+
+    ``events`` is an append-only log of ``{"seq": n, "event": kind, ...}``
+    dicts; ``seq`` is dense and monotonic per job, so a client that saw
+    ``seq=k`` asks for ``since=k`` and misses nothing. All mutation happens
+    under ``cond`` and notifies it, which is what SSE bridges block on.
+    """
+
+    id: str
+    specs: List[RunSpec]
+    cells: List[CellState]
+    state: str = "queued"  # queued | running | completed | cancelled | failed
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    events: List[Dict[str, object]] = field(default_factory=list)
+    cond: threading.Condition = field(default_factory=threading.Condition)
+    stop: threading.Event = field(default_factory=threading.Event)
+    summary: Optional[str] = None
+    _by_digest: Dict[str, int] = field(default_factory=dict)
+
+    TERMINAL = ("completed", "cancelled", "failed")
+
+    @property
+    def done(self) -> bool:
+        return self.state in self.TERMINAL
+
+    def emit(self, kind: str, **data) -> None:
+        with self.cond:
+            event = {"seq": len(self.events), "event": kind}
+            event.update(data)
+            self.events.append(event)
+            self.cond.notify_all()
+
+    def set_state(self, state: str, **data) -> None:
+        with self.cond:
+            self.state = state
+            if state == "running":
+                self.started_at = time.time()
+            elif state in self.TERMINAL:
+                self.finished_at = time.time()
+        self.emit("job", state=state, **data)
+
+    def cell_for(self, digest: str) -> Optional[CellState]:
+        index = self._by_digest.get(digest)
+        return None if index is None else self.cells[index]
+
+    def wait_events(
+        self, since: int, timeout: Optional[float] = None
+    ) -> Tuple[List[Dict[str, object]], bool]:
+        """Block until there are events past ``since`` (or the job is done).
+
+        Returns ``(new_events, done)``. A ``([], done)`` return means the
+        timeout elapsed (or the job finished with nothing new to say).
+        """
+        with self.cond:
+            self.cond.wait_for(
+                lambda: len(self.events) > since or self.done, timeout
+            )
+            return list(self.events[since:]), self.done
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for cell in self.cells:
+            counts[cell.state] = counts.get(cell.state, 0) + 1
+        return counts
+
+    def to_payload(self, cells: bool = True) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "id": self.id,
+            "state": self.state,
+            "cells_total": len(self.cells),
+            "counts": self.counts(),
+            "events": len(self.events),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.summary is not None:
+            payload["summary"] = self.summary
+        if cells:
+            payload["cells"] = [cell.to_payload() for cell in self.cells]
+        return payload
+
+
+class JobManager:
+    """Owns the job table, the dispatcher thread, and the shared stores.
+
+    One instance per server process. ``executor_factory`` is injectable for
+    tests (e.g. to substitute crashing workers); it is called once per job
+    with the job's ``check_invariants`` flag and must return a
+    :class:`~repro.harness.executor.ProcessCellExecutor`-compatible object.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        max_cells: Optional[int] = None,
+        max_queued: Optional[int] = None,
+        executor_factory=None,
+    ) -> None:
+        self.store = store
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.max_cells = default_max_cells() if max_cells is None else max_cells
+        self.max_queued = default_max_queued() if max_queued is None else max_queued
+        self._executor_factory = executor_factory or self._default_executor
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._ids = itertools.count(1)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    def _default_executor(self, check_invariants: bool) -> ProcessCellExecutor:
+        return ProcessCellExecutor(
+            workers=self.workers,
+            timeout=self.timeout,
+            retries=self.retries,
+            check_invariants=check_invariants,
+        )
+
+    # ---------------------------------------------------------- submission --
+
+    def submit(
+        self, specs: Sequence[RunSpec], check_invariants: bool = False
+    ) -> Tuple[Job, Dict[str, object]]:
+        """Validate, dedupe against the store, and enqueue a job.
+
+        Returns ``(job, receipt)``; the receipt reports how many cells were
+        already answered (``cached``) versus actually ``scheduled`` — the
+        client-visible proof that a resubmission costs nothing.
+        """
+        specs = list(specs)
+        if not specs:
+            raise WireError("a job needs at least one cell")
+        if len(specs) > self.max_cells:
+            raise QuotaError(
+                f"job has {len(specs)} cells; this server accepts at most "
+                f"{self.max_cells} per job ({ENV_MAX_CELLS})",
+                status=413,
+            )
+        validate_names(specs)
+
+        with self._lock:
+            queued = sum(1 for job in self._jobs.values() if not job.done)
+            if queued >= self.max_queued:
+                raise QuotaError(
+                    f"{queued} jobs already queued or running; this server "
+                    f"accepts at most {self.max_queued} ({ENV_MAX_QUEUED})",
+                    status=429,
+                )
+            job_id = f"job-{next(self._ids):04d}"
+
+        cells: List[CellState] = []
+        by_digest: Dict[str, int] = {}
+        cached = 0
+        for index, spec in enumerate(specs):
+            key = spec.key()
+            cell = CellState(
+                index=index,
+                workload=spec.workload_name,
+                predictor=spec.predictor_label,
+                digest=key.digest,
+            )
+            # Dedupe *before* scheduling: an answered cell never reaches
+            # the queue, let alone a worker.
+            if self.store.contains(key):
+                cell.state = "cached"
+                cached += 1
+            by_digest.setdefault(key.digest, index)
+            cells.append(cell)
+
+        job = Job(id=job_id, specs=specs, cells=cells)
+        job._by_digest = by_digest
+        job.check_invariants = check_invariants  # type: ignore[attr-defined]
+        with self._lock:
+            self._jobs[job_id] = job
+        job.emit(
+            "job",
+            state="queued",
+            cells=len(cells),
+            cached=cached,
+            scheduled=len(cells) - cached,
+        )
+
+        scheduled = len(cells) - cached
+        if scheduled == 0:
+            # Fully deduped: nothing to dispatch; complete on the spot.
+            job.summary = (
+                f"sweep: {len(cells)} cells — ok={len(cells)} "
+                f"(cached={cached}, simulated=0) failed=0"
+            )
+            job.set_state("completed", cached=cached, scheduled=0)
+        else:
+            self._queue.put(job)
+        receipt = {
+            "id": job.id,
+            "state": job.state,
+            "cells": len(cells),
+            "cached": cached,
+            "scheduled": scheduled,
+        }
+        return job, receipt
+
+    # ------------------------------------------------------------ queries --
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        job = self.get(job_id)
+        if job is None:
+            return None
+        if not job.done:
+            job.stop.set()
+            with job.cond:
+                job.cond.notify_all()
+        return job
+
+    def results(self, job: Job) -> List[Dict[str, object]]:
+        """Durable results for a job's cells, straight from the store."""
+        out: List[Dict[str, object]] = []
+        for spec, cell in zip(job.specs, job.cells):
+            result = self.store.get(spec.key())
+            out.append(
+                {
+                    "workload": cell.workload,
+                    "predictor": cell.predictor,
+                    "digest": cell.digest,
+                    "result": None if result is None else result.to_record(),
+                }
+            )
+        return out
+
+    # ----------------------------------------------------------- dispatch --
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            try:
+                self._run_job(job)
+            except BaseException as exc:  # noqa: BLE001 — job fails, server lives
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.set_state("failed", error=job.error)
+
+    def _run_job(self, job: Job) -> None:
+        if job.stop.is_set():
+            job.set_state("cancelled")
+            return
+        job.set_state("running")
+
+        pending = [
+            spec
+            for spec, cell in zip(job.specs, job.cells)
+            if cell.state != "cached"
+        ]
+        runner = SweepRunner(
+            self.store,
+            executor=self._executor_factory(
+                getattr(job, "check_invariants", False)
+            ),
+        )
+        cells = [
+            build_cells(
+                [spec.workload_name],
+                [spec.predictor_label],
+                config=spec.config,
+                num_ops=spec.num_ops or 0,
+                seed=spec.seed,
+                backend=spec.backend,
+            )[0]
+            for spec in pending
+        ]
+
+        def progress(outcome) -> None:
+            cell = job.cell_for(outcome.spec.key().digest)
+            if cell is None:
+                return
+            if outcome.ok:
+                cell.state = "cached" if outcome.cached else "ok"
+                cell.message = None
+            else:
+                cell.state = outcome.failure.kind.value
+                cell.message = outcome.failure.message
+            cell.attempts = max(cell.attempts, outcome.attempts)
+            job.emit(
+                "cell",
+                index=cell.index,
+                workload=cell.workload,
+                predictor=cell.predictor,
+                state=cell.state,
+                message=cell.message,
+                attempts=cell.attempts,
+            )
+
+        def heartbeat(worker_job, window) -> None:
+            digest = None
+            if hasattr(worker_job, "cells"):  # a BatchGroup: window names the cell
+                index = window.get("cell")
+                if index is not None and 0 <= index < len(worker_job.cells):
+                    digest = worker_job.cells[index].key().digest
+            elif hasattr(worker_job, "key"):
+                digest = worker_job.key().digest
+            cell = None if digest is None else job.cell_for(digest)
+            if cell is None:
+                return
+            if cell.state == "pending":
+                cell.state = "running"
+            job.emit(
+                "heartbeat",
+                index=cell.index,
+                workload=cell.workload,
+                predictor=cell.predictor,
+                end_op=window.get("end_op"),
+                ipc=window.get("ipc"),
+            )
+
+        report = runner.run(
+            cells, progress=progress, heartbeat=heartbeat, stop=job.stop
+        )
+        job.summary = report.summary()
+        if job.stop.is_set():
+            job.set_state("cancelled", summary=job.summary)
+        else:
+            job.set_state(
+                "completed",
+                summary=job.summary,
+                ok=report.completed,
+                failed=report.failed,
+            )
+
+    # ----------------------------------------------------------- shutdown --
+
+    def close(self) -> None:
+        """Cancel everything in flight and stop the dispatcher thread."""
+        for job in self.jobs():
+            if not job.done:
+                job.stop.set()
+        self._queue.put(None)
+        self._dispatcher.join(timeout=30)

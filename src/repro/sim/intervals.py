@@ -9,7 +9,8 @@ violation MPKI, branch MPKI and mean ROB occupancy.
 
 The windows surface in three places:
 
-* ``simulate(..., interval_ops=N)`` returns them on ``SimResult.intervals``
+* ``simulate(RunSpec(..., interval_ops=N))`` returns them on
+  ``SimResult.intervals``
   (and they survive the JSON record round trip);
 * the ``repro probe`` CLI subcommand renders them as a table;
 * the harness executor attaches a probe with an ``on_window`` callback and

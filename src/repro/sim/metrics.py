@@ -65,7 +65,7 @@ class SimResult:
     mdp: MDPStats
     paths_tracked: Optional[int] = None  # unlimited predictors only
     #: Windowed metrics, present when the run attached an interval probe
-    #: (``simulate(..., interval_ops=N)``); None otherwise.
+    #: (``simulate(RunSpec(..., interval_ops=N))``); None otherwise.
     intervals: Optional[Tuple[IntervalWindow, ...]] = None
     #: Sampling provenance + error bounds when this result is a sampled
     #: estimate (``repro.sampling.run_sampled``); None for exact runs.

@@ -19,6 +19,7 @@ from repro.harness.store import ResultStore, cell_key
 from repro.mdp.base import MDPredictor
 from repro.sim.metrics import SimResult
 from repro.sim.simulator import default_num_ops, make_predictor, simulate
+from repro.sim.spec import RunSpec
 from repro.workloads.generator import WorkloadProfile
 from repro.workloads.spec2017 import workload
 
@@ -161,15 +162,18 @@ def _replica_result(
     same profile occupy distinct cells and a replication campaign resumes
     from its completed replicas after a crash.
     """
+    spec = RunSpec(
+        workload=replica, predictor=predictor, config=config, num_ops=num_ops
+    )
     if store is None:
-        return simulate(replica, predictor, config=config, num_ops=num_ops)
+        return simulate(spec)
     key = cell_key(
         replica.name, predictor.name, config or CoreConfig(), num_ops, replica.seed
     )
     cached = store.get(key)
     if cached is not None:
         return cached
-    result = simulate(replica, predictor, config=config, num_ops=num_ops)
+    result = simulate(spec)
     store.put(key, result)
     return result
 

@@ -1,8 +1,9 @@
 """One-call simulation entry point.
 
-``simulate("511.povray", "phast")`` builds the workload trace (cached), the
-Alder Lake-like core, the TAGE front end and the named predictor, runs the
-pipeline and returns a :class:`~repro.sim.metrics.SimResult`.
+``simulate(RunSpec("511.povray", "phast"))`` builds the workload trace
+(cached), the Alder Lake-like core, the TAGE front end and the named
+predictor, runs the pipeline and returns a
+:class:`~repro.sim.metrics.SimResult`.
 
 Trace length defaults to :func:`default_num_ops` and can be raised globally
 with the ``REPRO_TRACE_OPS`` environment variable for higher-fidelity runs
@@ -356,9 +357,9 @@ def simulate(
         simulate(RunSpec("511.povray", "phast", num_ops=50_000))
 
     The legacy kwargs form (``simulate("511.povray", "phast", ...)``) is a
-    thin shim that packs its arguments into a ``RunSpec`` — it produces
-    bit-identical results and is kept for convenience, but new code (and
-    anything that needs a cache key) should build the spec directly.
+    deprecated shim that packs its arguments into a ``RunSpec`` — it
+    produces bit-identical results, but it emits a ``DeprecationWarning``
+    naming the exact replacement call; build the spec directly.
 
     ``warmup_ops`` micro-ops execute (training predictors and warming caches)
     but are excluded from every statistic — the steady-state methodology.
@@ -380,6 +381,15 @@ def simulate(
         return run_spec(workload)
     if predictor is None:
         raise TypeError("simulate() missing required argument: 'predictor'")
+    workload_repr = workload if isinstance(workload, str) else workload.name
+    predictor_repr = predictor if isinstance(predictor, str) else "<predictor>"
+    warnings.warn(
+        "simulate(workload, predictor, ...) kwargs are deprecated; call "
+        f"simulate(RunSpec({workload_repr!r}, {predictor_repr!r}, ...)) "
+        "instead (from repro.api import RunSpec)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return run_spec(
         RunSpec(
             workload=workload,

@@ -173,6 +173,32 @@ class RunSpec:
 
         return trace_key(self.resolved_profile(), self.resolved_num_ops())
 
+    # -------------------------------------------------------------- wire --
+
+    def to_wire(self) -> dict:
+        """Encode this spec as a versioned wire payload (schema v1).
+
+        The payload is a sparse JSON-safe dict carrying ``"v": 1``; decoding
+        it with :meth:`from_wire` on any host reproduces a spec with the
+        identical :meth:`key`. Raises :class:`repro.api.wire.WireError` for
+        specs that cannot cross a process boundary by name (predictor or
+        probe instances, customised profiles). See ``docs/server.md``.
+        """
+        from repro.api.wire import spec_to_wire
+
+        return spec_to_wire(self)
+
+    @classmethod
+    def from_wire(cls, payload) -> "RunSpec":
+        """Decode a v1 wire payload (see :meth:`to_wire`) into a spec.
+
+        Rejects missing/mismatched versions and unknown keys with a
+        :class:`repro.api.wire.WireError` naming the offending field.
+        """
+        from repro.api.wire import spec_from_wire
+
+        return spec_from_wire(payload)
+
     # -------------------------------------------------------------- misc --
 
     def with_overrides(self, **changes) -> "RunSpec":

@@ -13,13 +13,16 @@ from repro.analysis.export import (
     results_to_records,
 )
 from repro.sim.simulator import simulate
+from repro.sim.spec import RunSpec
 
 
 @pytest.fixture(scope="module")
 def results():
     return [
-        simulate("511.povray", "phast", num_ops=2000),
-        simulate("511.povray", "unlimited-phast", num_ops=2000),
+        simulate(RunSpec(workload="511.povray", predictor="phast", num_ops=2000)),
+        simulate(
+            RunSpec(workload="511.povray", predictor="unlimited-phast", num_ops=2000)
+        ),
     ]
 
 

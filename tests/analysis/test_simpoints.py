@@ -12,6 +12,7 @@ from repro.analysis.simpoints import (
 )
 from repro.isa.trace import Trace
 from repro.sim.simulator import simulate
+from repro.sim.spec import RunSpec
 from repro.workloads.motifs import alu, fp_op
 
 
@@ -86,15 +87,19 @@ class TestChooseSimpoints:
 
 class TestSimulateSimpoints:
     def test_estimate_close_to_full_run(self):
-        full = simulate("511.povray", "phast", num_ops=16000)
+        full = simulate(RunSpec(workload="511.povray", predictor="phast", num_ops=16000))
         sampled = simulate_simpoints(
-            "511.povray", "phast", total_ops=16000, interval_ops=2000, max_clusters=4
+            RunSpec(workload="511.povray", predictor="phast", num_ops=16000),
+            interval_ops=2000,
+            max_clusters=4,
         )
         assert sampled.weighted_ipc == pytest.approx(full.ipc, rel=0.25)
 
     def test_saves_simulation_time(self):
         sampled = simulate_simpoints(
-            "511.povray", "phast", total_ops=16000, interval_ops=2000, max_clusters=2
+            RunSpec(workload="511.povray", predictor="phast", num_ops=16000),
+            interval_ops=2000,
+            max_clusters=2,
         )
         assert sampled.simulated_ops < sampled.total_ops
         assert sampled.speedup_factor > 1.5
@@ -102,13 +107,33 @@ class TestSimulateSimpoints:
     def test_warmup_fraction_validation(self):
         with pytest.raises(ValueError):
             simulate_simpoints(
-                "511.povray", "phast", total_ops=8000, interval_ops=2000,
+                RunSpec(workload="511.povray", predictor="phast", num_ops=8000),
+                interval_ops=2000,
                 warmup_fraction=1.0,
             )
 
     def test_point_detail_consistent(self):
         sampled = simulate_simpoints(
-            "511.povray", "phast", total_ops=12000, interval_ops=3000, max_clusters=3
+            RunSpec(workload="511.povray", predictor="phast", num_ops=12000),
+            interval_ops=3000,
+            max_clusters=3,
         )
         assert len(sampled.points) == len(sampled.point_ipcs)
         assert all(ipc > 0 for ipc in sampled.point_ipcs)
+
+    def test_legacy_positional_form_warns_and_matches_spec_form(self):
+        with pytest.warns(
+            DeprecationWarning,
+            match=r"simulate_simpoints\(RunSpec\('511\.povray', 'phast', "
+            r"num_ops=12000\), interval_ops=3000\)",
+        ):
+            legacy = simulate_simpoints(
+                "511.povray", "phast", total_ops=12000, interval_ops=3000,
+                max_clusters=3,
+            )
+        via_spec = simulate_simpoints(
+            RunSpec(workload="511.povray", predictor="phast", num_ops=12000),
+            interval_ops=3000,
+            max_clusters=3,
+        )
+        assert legacy == via_spec

@@ -1,0 +1,347 @@
+"""Wire schema v1: round trips, versioning, unknown-key policy, identity."""
+
+import dataclasses
+
+import pytest
+
+from repro.api.wire import (
+    GRID_WIRE_KEYS,
+    SPEC_WIRE_KEYS,
+    WIRE_VERSION,
+    WireError,
+    WireGrid,
+    config_from_wire,
+    config_to_wire,
+    grid_from_wire,
+    grid_to_wire,
+    is_grid_payload,
+    spec_from_wire,
+    spec_to_wire,
+)
+from repro.core.config import GENERATIONS, CoreConfig
+from repro.core.probes import Probe
+from repro.frontend.branch_predictors import AlwaysTakenPredictor
+from repro.isa.microop import OpKind
+from repro.mdp.phast import PHASTPredictor
+from repro.sim.spec import RunSpec
+from repro.workloads.spec2017 import workload
+
+
+def full_spec() -> RunSpec:
+    """A spec exercising every wire-encodable RunSpec field at once."""
+    return RunSpec(
+        workload="511.povray",
+        predictor="phast",
+        config=GENERATIONS["nehalem"],
+        num_ops=5000,
+        warmup_ops=1000,
+        seed=7,
+        check_invariants=True,
+        interval_ops=500,
+        backend="batch",
+    )
+
+
+class TestSpecRoundTrip:
+    def test_minimal_spec(self):
+        spec = RunSpec(workload="511.povray", predictor="phast")
+        assert spec_from_wire(spec_to_wire(spec)) == spec
+
+    def test_every_field_survives(self):
+        spec = full_spec()
+        restored = spec_from_wire(spec_to_wire(spec))
+        for spec_field in dataclasses.fields(RunSpec):
+            assert getattr(restored, spec_field.name) == getattr(
+                spec, spec_field.name
+            ), spec_field.name
+
+    def test_sparse_emission_omits_defaults(self):
+        wire = spec_to_wire(RunSpec(workload="511.povray", predictor="phast"))
+        assert wire == {"v": 1, "workload": "511.povray", "predictor": "phast"}
+
+    def test_key_identity_survives_round_trip(self):
+        spec = full_spec()
+        assert spec_from_wire(spec_to_wire(spec)).key() == spec.key()
+
+    def test_methods_on_runspec_delegate_to_codec(self):
+        spec = RunSpec(workload="511.povray", predictor="phast", num_ops=100)
+        assert spec.to_wire() == spec_to_wire(spec)
+        assert RunSpec.from_wire(spec.to_wire()) == spec
+
+    def test_trace_dir_is_dropped(self):
+        spec = RunSpec(
+            workload="511.povray", predictor="phast", trace_dir="/tmp/traces"
+        )
+        restored = spec_from_wire(spec_to_wire(spec))
+        assert restored.trace_dir is None
+        assert restored.key() == spec.key()  # trace_dir is not identity
+
+    def test_registered_profile_instance_travels_as_its_name(self):
+        spec = RunSpec(workload=workload("502.gcc_2"), predictor="ideal")
+        wire = spec_to_wire(spec)
+        assert wire["workload"] == "502.gcc_2"
+        assert spec_from_wire(wire).key() == spec.key()
+
+    def test_reseeded_profile_requires_spec_seed(self):
+        reseeded = workload("502.gcc_2", seed=9)
+        ok = RunSpec(workload=reseeded, predictor="ideal", seed=9)
+        assert spec_from_wire(spec_to_wire(ok)).key() == ok.key()
+        with pytest.raises(WireError, match="RunSpec.seed") as excinfo:
+            spec_to_wire(RunSpec(workload=reseeded, predictor="ideal"))
+        assert excinfo.value.field == "seed"
+
+    def test_customised_profile_rejected(self):
+        custom = dataclasses.replace(workload("502.gcc_2"), run_length_mean=99.0)
+        with pytest.raises(WireError, match="customised") as excinfo:
+            spec_to_wire(RunSpec(workload=custom, predictor="ideal"))
+        assert excinfo.value.field == "workload"
+
+    def test_predictor_instance_rejected(self):
+        spec = RunSpec(workload="511.povray", predictor=PHASTPredictor())
+        with pytest.raises(WireError, match="register_predictor") as excinfo:
+            spec_to_wire(spec)
+        assert excinfo.value.field == "predictor"
+
+    def test_probes_rejected(self):
+        spec = RunSpec(workload="511.povray", predictor="phast", probes=[Probe()])
+        with pytest.raises(WireError) as excinfo:
+            spec_to_wire(spec)
+        assert excinfo.value.field == "probes"
+
+    def test_branch_predictor_rejected(self):
+        spec = RunSpec(
+            workload="511.povray",
+            predictor="phast",
+            branch_predictor=AlwaysTakenPredictor(),
+        )
+        with pytest.raises(WireError) as excinfo:
+            spec_to_wire(spec)
+        assert excinfo.value.field == "branch_predictor"
+
+
+class TestSchemaPolicy:
+    def test_missing_version_rejected(self):
+        with pytest.raises(WireError, match="version") as excinfo:
+            spec_from_wire({"workload": "511.povray", "predictor": "phast"})
+        assert excinfo.value.field == "v"
+
+    def test_version_mismatch_rejected(self):
+        payload = {"v": 2, "workload": "511.povray", "predictor": "phast"}
+        with pytest.raises(WireError, match=r"speaks v1") as excinfo:
+            spec_from_wire(payload)
+        assert excinfo.value.field == "v"
+        assert excinfo.value.value == 2
+
+    def test_unknown_key_rejected_with_spelling_hint(self):
+        payload = {
+            "v": 1, "workload": "511.povray", "predictor": "phast",
+            "num_opss": 100,
+        }
+        with pytest.raises(WireError, match="did you mean 'num_ops'") as excinfo:
+            spec_from_wire(payload)
+        assert excinfo.value.field == "num_opss"
+
+    def test_ext_is_carried_and_ignored(self):
+        spec = RunSpec(workload="511.povray", predictor="phast", num_ops=100)
+        wire = spec_to_wire(spec)
+        wire["ext"] = {"future-field": [1, 2, 3]}
+        assert spec_from_wire(wire) == spec
+
+    def test_ext_must_be_an_object(self):
+        wire = spec_to_wire(RunSpec(workload="511.povray", predictor="phast"))
+        wire["ext"] = "not-a-dict"
+        with pytest.raises(WireError) as excinfo:
+            spec_from_wire(wire)
+        assert excinfo.value.field == "ext"
+
+    def test_missing_required_fields(self):
+        with pytest.raises(WireError) as excinfo:
+            spec_from_wire({"v": 1, "predictor": "phast"})
+        assert excinfo.value.field == "workload"
+        with pytest.raises(WireError) as excinfo:
+            spec_from_wire({"v": 1, "workload": "511.povray"})
+        assert excinfo.value.field == "predictor"
+
+    def test_bool_rejected_in_integer_slot(self):
+        payload = {
+            "v": 1, "workload": "511.povray", "predictor": "phast",
+            "num_ops": True,
+        }
+        with pytest.raises(WireError) as excinfo:
+            spec_from_wire(payload)
+        assert excinfo.value.field == "num_ops"
+
+    def test_int_rejected_in_boolean_slot(self):
+        payload = {
+            "v": 1, "workload": "511.povray", "predictor": "phast",
+            "check_invariants": 1,
+        }
+        with pytest.raises(WireError) as excinfo:
+            spec_from_wire(payload)
+        assert excinfo.value.field == "check_invariants"
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(WireError, match="must be an object"):
+            spec_from_wire([1, 2, 3])
+
+    def test_invalid_spec_values_surface_as_wire_errors(self):
+        payload = {
+            "v": 1, "workload": "511.povray", "predictor": "phast",
+            "num_ops": -5,
+        }
+        with pytest.raises(WireError, match="num_ops"):
+            spec_from_wire(payload)
+
+    def test_wire_key_tuples_are_the_schema(self):
+        # The frozen key sets ARE the v1 contract; a drive-by edit here is
+        # a wire-format change and must be deliberate.
+        assert SPEC_WIRE_KEYS == (
+            "v", "workload", "predictor", "config", "num_ops", "warmup_ops",
+            "seed", "check_invariants", "interval_ops", "backend", "ext",
+        )
+        assert GRID_WIRE_KEYS == (
+            "v", "workloads", "predictors", "config", "num_ops", "seed",
+            "check_invariants", "backend", "ext",
+        )
+        assert WIRE_VERSION == 1
+
+
+class TestConfigCodec:
+    def test_none_passes_through(self):
+        assert config_to_wire(None) is None
+        assert config_from_wire(None) is None
+
+    def test_preset_travels_as_its_name(self):
+        assert config_to_wire(GENERATIONS["nehalem"]) == "nehalem"
+        assert config_from_wire("nehalem") == GENERATIONS["nehalem"]
+
+    def test_unknown_generation_name_rejected(self):
+        with pytest.raises(WireError) as excinfo:
+            config_from_wire("pentium-pro")
+        assert excinfo.value.field == "config"
+        assert "alderlake" in excinfo.value.choices
+
+    def test_custom_config_full_dict_round_trip(self):
+        from repro.harness.store import config_fingerprint
+
+        config = CoreConfig().with_forwarding_filter(False)
+        wire = config_to_wire(config)
+        assert isinstance(wire, dict)  # not preset-equal → full field dict
+        restored = config_from_wire(wire)
+        assert restored == config
+        assert config_fingerprint(restored) == config_fingerprint(config)
+
+    def test_custom_latencies_round_trip(self):
+        base = CoreConfig()
+        latencies = dict(base.latencies)
+        latencies[OpKind.FP] = 11
+        config = dataclasses.replace(base, name="tweaked", latencies=latencies)
+        restored = config_from_wire(config_to_wire(config))
+        assert restored.latencies[OpKind.FP] == 11
+        assert restored == config
+
+    def test_unknown_op_kind_rejected(self):
+        wire = config_to_wire(
+            dataclasses.replace(CoreConfig(), name="tweaked")
+        )
+        wire["latencies"]["warp-drive"] = 1
+        with pytest.raises(WireError) as excinfo:
+            config_from_wire(wire)
+        assert excinfo.value.field == "config.latencies.warp-drive"
+
+    def test_unknown_hierarchy_key_rejected(self):
+        wire = config_to_wire(dataclasses.replace(CoreConfig(), name="tweaked"))
+        wire["hierarchy"]["l9"] = {}
+        with pytest.raises(WireError, match="config.hierarchy"):
+            config_from_wire(wire)
+
+    def test_invalid_cache_geometry_rejected(self):
+        wire = config_to_wire(dataclasses.replace(CoreConfig(), name="tweaked"))
+        wire["hierarchy"]["l1d"]["size_bytes"] = 12345  # not ways*line aligned
+        with pytest.raises(WireError, match="hierarchy"):
+            config_from_wire(wire)
+
+
+class TestGridCodec:
+    def test_round_trip(self):
+        grid = WireGrid(
+            workloads=("511.povray", "541.leela"),
+            predictors=("phast", "store-sets"),
+            config=GENERATIONS["nehalem"],
+            num_ops=4000,
+            seed=3,
+            check_invariants=True,
+            backend="batch",
+        )
+        assert grid_from_wire(grid_to_wire(grid)) == grid
+
+    def test_specs_expand_the_cross_product(self):
+        grid = WireGrid(
+            workloads=("a", "b"), predictors=("x", "y"), num_ops=100, seed=2
+        )
+        specs = grid.specs()
+        assert [(s.workload, s.predictor_label) for s in specs] == [
+            ("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")
+        ]
+        assert all(s.num_ops == 100 and s.seed == 2 for s in specs)
+
+    def test_zero_num_ops_means_runtime_default(self):
+        specs = WireGrid(workloads=("a",), predictors=("x",)).specs()
+        assert specs[0].num_ops is None
+
+    def test_grid_cells_key_identically_to_local_specs(self):
+        grid = WireGrid(
+            workloads=("511.povray",), predictors=("phast",), num_ops=900, seed=1
+        )
+        remote = grid_from_wire(grid_to_wire(grid)).specs()[0]
+        local = RunSpec(
+            workload="511.povray", predictor="phast", num_ops=900, seed=1
+        )
+        assert remote.key() == local.key()
+
+    def test_empty_name_lists_rejected(self):
+        with pytest.raises(WireError) as excinfo:
+            grid_from_wire({"v": 1, "workloads": [], "predictors": ["x"]})
+        assert excinfo.value.field == "workloads"
+        with pytest.raises(WireError) as excinfo:
+            grid_from_wire({"v": 1, "workloads": ["a"], "predictors": "phast"})
+        assert excinfo.value.field == "predictors"
+
+    def test_negative_num_ops_rejected(self):
+        payload = {"v": 1, "workloads": ["a"], "predictors": ["x"], "num_ops": -1}
+        with pytest.raises(WireError) as excinfo:
+            grid_from_wire(payload)
+        assert excinfo.value.field == "num_ops"
+
+    def test_unknown_key_and_version_policy_match_spec(self):
+        with pytest.raises(WireError, match="did you mean"):
+            grid_from_wire(
+                {"v": 1, "workloads": ["a"], "predictors": ["x"], "sede": 1}
+            )
+        with pytest.raises(WireError, match="speaks v1"):
+            grid_from_wire({"v": 0, "workloads": ["a"], "predictors": ["x"]})
+
+    def test_discriminator(self):
+        assert is_grid_payload({"workloads": ["a"]})
+        assert is_grid_payload({"predictors": ["x"]})
+        assert not is_grid_payload({"workload": "a", "predictor": "x"})
+
+
+class TestWireErrorPayload:
+    def test_payload_carries_field_value_choices(self):
+        error = WireError(
+            "unknown predictor 'nope'",
+            field="predictor",
+            value="nope",
+            choices=["phast", "ideal"],
+        )
+        payload = error.to_payload()
+        assert payload == {
+            "message": "unknown predictor 'nope'",
+            "field": "predictor",
+            "value": "'nope'",
+            "choices": ["phast", "ideal"],
+        }
+
+    def test_minimal_payload(self):
+        assert WireError("boom").to_payload() == {"message": "boom"}

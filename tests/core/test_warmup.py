@@ -8,6 +8,7 @@ from repro.isa.trace import Trace
 from repro.mdp.ideal import AlwaysSpeculatePredictor
 from repro.mdp.phast import PHASTPredictor
 from repro.sim.simulator import get_trace, simulate
+from repro.sim.spec import RunSpec
 from tests.core.test_pipeline import alu_block, overtaking_conflict_ops
 
 
@@ -148,14 +149,24 @@ class TestSteadyState:
         assert warm.violations <= cold.violations
 
     def test_simulate_exposes_warmup(self):
-        cold = simulate("511.povray", "phast", num_ops=8000)
-        warm = simulate("511.povray", "phast", num_ops=8000, warmup_ops=4000)
+        cold = simulate(RunSpec(workload="511.povray", predictor="phast", num_ops=8000))
+        warm = simulate(
+            RunSpec(
+                workload="511.povray", predictor="phast", num_ops=8000,
+                warmup_ops=4000,
+            )
+        )
         assert warm.pipeline.committed_uops == 4000
         assert warm.violation_mpki <= cold.violation_mpki + 0.5
 
     def test_warmup_keeps_predictor_trained(self):
         """Caches and tables stay warm across the boundary: steady-state IPC
         with warm-up is at least the cold-start IPC."""
-        warm = simulate("511.povray", "phast", num_ops=10000, warmup_ops=5000)
-        cold = simulate("511.povray", "phast", num_ops=10000)
+        warm = simulate(
+            RunSpec(
+                workload="511.povray", predictor="phast", num_ops=10000,
+                warmup_ops=5000,
+            )
+        )
+        cold = simulate(RunSpec(workload="511.povray", predictor="phast", num_ops=10000))
         assert warm.ipc >= cold.ipc * 0.95

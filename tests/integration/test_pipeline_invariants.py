@@ -9,6 +9,7 @@ from repro.core.pipeline import Pipeline
 from repro.mdp.ideal import AlwaysSpeculatePredictor, IdealPredictor
 from repro.mdp.phast import PHASTPredictor
 from repro.sim.simulator import simulate
+from repro.sim.spec import RunSpec
 from repro.workloads.generator import MotifSpec, WorkloadProfile, build_trace
 
 CONFLICT_KINDS = ["stable", "path", "data_dependent", "spill_churn", "store_set_stress"]
@@ -35,14 +36,18 @@ def random_profiles(draw):
 @settings(max_examples=12)
 @given(random_profiles())
 def test_every_op_commits_exactly_once(profile):
-    result = simulate(profile, AlwaysSpeculatePredictor(), num_ops=2000)
+    result = simulate(
+        RunSpec(workload=profile, predictor=AlwaysSpeculatePredictor(), num_ops=2000)
+    )
     assert result.pipeline.committed_uops == 2000
 
 
 @settings(max_examples=12)
 @given(random_profiles())
 def test_ideal_never_squashes_or_stalls_falsely(profile):
-    result = simulate(profile, IdealPredictor(), num_ops=2000)
+    result = simulate(
+        RunSpec(workload=profile, predictor=IdealPredictor(), num_ops=2000)
+    )
     assert result.pipeline.violations == 0
     assert result.pipeline.false_positives == 0
 
@@ -50,15 +55,19 @@ def test_ideal_never_squashes_or_stalls_falsely(profile):
 @settings(max_examples=10)
 @given(random_profiles())
 def test_ideal_dominates_blind_speculation(profile):
-    ideal = simulate(profile, IdealPredictor(), num_ops=2500)
-    speculate = simulate(profile, AlwaysSpeculatePredictor(), num_ops=2500)
+    ideal = simulate(RunSpec(workload=profile, predictor=IdealPredictor(), num_ops=2500))
+    speculate = simulate(
+        RunSpec(workload=profile, predictor=AlwaysSpeculatePredictor(), num_ops=2500)
+    )
     assert ideal.pipeline.cycles <= speculate.pipeline.cycles
 
 
 @settings(max_examples=10)
 @given(random_profiles())
 def test_phast_commits_everything_despite_replay(profile):
-    result = simulate(profile, PHASTPredictor(), num_ops=2000)
+    result = simulate(
+        RunSpec(workload=profile, predictor=PHASTPredictor(), num_ops=2000)
+    )
     assert result.pipeline.committed_uops == 2000
     assert result.pipeline.cycles > 0
 
@@ -80,7 +89,9 @@ def test_wider_dispatch_never_slower(profile, narrow_width):
 @settings(max_examples=8)
 @given(random_profiles())
 def test_mpki_accounting_consistent(profile):
-    result = simulate(profile, PHASTPredictor(), num_ops=2000)
+    result = simulate(
+        RunSpec(workload=profile, predictor=PHASTPredictor(), num_ops=2000)
+    )
     stats = result.pipeline
     # Outcome classes never exceed the number of committed loads (with
     # replays, a load commits once, so classes are per committed load).

@@ -93,10 +93,14 @@ class TestCapacityInterference:
 class TestIntegration:
     def test_runs_in_pipeline(self):
         from repro.sim.simulator import simulate
+        from repro.sim.spec import RunSpec
 
         omni = OmniPredictor()
         result = simulate(
-            "511.povray", omni, num_ops=4000, branch_predictor=omni.branch_view
+            RunSpec(
+                workload="511.povray", predictor=omni, num_ops=4000,
+                branch_predictor=omni.branch_view,
+            )
         )
         assert result.pipeline.committed_uops == 4000
         assert result.mdp.load_predictions > 0
@@ -104,10 +108,16 @@ class TestIntegration:
     def test_mdp_not_better_than_phast(self):
         """Sec. IV-B: the shared design cannot match a tuned MDP."""
         from repro.sim.simulator import simulate
+        from repro.sim.spec import RunSpec
 
         omni = OmniPredictor()
         omni_result = simulate(
-            "511.povray", omni, num_ops=10000, branch_predictor=omni.branch_view
+            RunSpec(
+                workload="511.povray", predictor=omni, num_ops=10000,
+                branch_predictor=omni.branch_view,
+            )
         )
-        phast_result = simulate("511.povray", "phast", num_ops=10000)
+        phast_result = simulate(
+            RunSpec(workload="511.povray", predictor="phast", num_ops=10000)
+        )
         assert phast_result.ipc >= omni_result.ipc - 0.02

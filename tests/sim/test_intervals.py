@@ -14,15 +14,18 @@ from repro.sim.intervals import (
 )
 from repro.sim.metrics import SimResult
 from repro.sim.simulator import simulate
+from repro.sim.spec import RunSpec
 
 
 def probe_run(num_ops=12000, interval_ops=2000, warmup_ops=0, predictor="phast"):
     return simulate(
-        "511.povray",
-        predictor,
-        num_ops=num_ops,
-        warmup_ops=warmup_ops,
-        interval_ops=interval_ops,
+        RunSpec(
+            workload="511.povray",
+            predictor=predictor,
+            num_ops=num_ops,
+            warmup_ops=warmup_ops,
+            interval_ops=interval_ops,
+        )
     )
 
 
@@ -88,14 +91,14 @@ class TestReconciliation:
         assert sum(w.cycles for w in windows) == result.pipeline.cycles
 
     def test_observing_intervals_leaves_results_bit_identical(self):
-        bare = simulate("511.povray", "phast", num_ops=12000)
+        bare = simulate(RunSpec(workload="511.povray", predictor="phast", num_ops=12000))
         probed = probe_run()
         assert bare.pipeline == probed.pipeline
 
 
 class TestSimResultPlumbing:
     def test_intervals_default_to_none(self):
-        result = simulate("511.povray", "phast", num_ops=6000)
+        result = simulate(RunSpec(workload="511.povray", predictor="phast", num_ops=6000))
         assert result.intervals is None
         assert "intervals" not in result.to_record()
 
@@ -117,7 +120,7 @@ class TestSimResultPlumbing:
         assert len(csv.splitlines()) == len(records) + 1
 
     def test_export_rejects_results_without_intervals(self):
-        result = simulate("511.povray", "phast", num_ops=6000)
+        result = simulate(RunSpec(workload="511.povray", predictor="phast", num_ops=6000))
         with pytest.raises(ValueError):
             intervals_to_records(result)
 

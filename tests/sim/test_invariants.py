@@ -19,6 +19,7 @@ from repro.sim.invariants import (
     invariants_enabled,
 )
 from repro.sim.simulator import simulate
+from repro.sim.spec import RunSpec
 
 
 def make_store(
@@ -297,24 +298,37 @@ class TestFinalize:
 
 class TestEndToEnd:
     def test_checked_simulation_is_clean_and_identical(self):
-        checked = simulate("511.povray", "phast", num_ops=2500, check_invariants=True)
-        unchecked = simulate("511.povray", "phast", num_ops=2500)
+        checked = simulate(
+            RunSpec(
+                workload="511.povray", predictor="phast", num_ops=2500,
+                check_invariants=True,
+            )
+        )
+        unchecked = simulate(RunSpec(workload="511.povray", predictor="phast", num_ops=2500))
         assert checked.pipeline == unchecked.pipeline
         assert checked.mdp == unchecked.mdp
 
     def test_env_flag_enables_checking(self, monkeypatch):
         monkeypatch.setenv(ENV_FLAG, "1")
-        result = simulate("541.leela", "store-sets", num_ops=2000)
+        result = simulate(RunSpec(workload="541.leela", predictor="store-sets", num_ops=2000))
         assert result.pipeline.committed_uops > 0
 
     @pytest.mark.parametrize("predictor", ["ideal", "nosq", "always-speculate"])
     def test_every_predictor_family_passes(self, predictor):
-        result = simulate("505.mcf", predictor, num_ops=2000, check_invariants=True)
+        result = simulate(
+            RunSpec(
+                workload="505.mcf", predictor=predictor, num_ops=2000,
+                check_invariants=True,
+            )
+        )
         assert result.pipeline.cycles > 0
 
     def test_checked_run_with_nondefault_core(self):
         config = CoreConfig().with_forwarding_filter(False)
         result = simulate(
-            "511.povray", "phast", config=config, num_ops=2000, check_invariants=True
+            RunSpec(
+                workload="511.povray", predictor="phast", config=config,
+                num_ops=2000, check_invariants=True,
+            )
         )
         assert result.pipeline.cycles > 0

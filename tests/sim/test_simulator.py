@@ -190,7 +190,10 @@ class TestTraceStoreTier:
         """Regression: a run whose trace came off disk must equal a fresh run."""
         clear_trace_cache()
         fresh = simulate(
-            "502.gcc_2", "phast", num_ops=2000, warmup_ops=0, seed=5
+            RunSpec(
+                workload="502.gcc_2", predictor="phast", num_ops=2000,
+                warmup_ops=0, seed=5,
+            )
         )
         store = TraceStore(tmp_path / "traces")
         store.compile(workload("502.gcc_2", seed=5), 2000)
@@ -207,7 +210,7 @@ class TestTraceStoreTier:
 
 class TestSimulate:
     def test_result_fields(self):
-        result = simulate("511.povray", "phast", num_ops=3000)
+        result = simulate(RunSpec(workload="511.povray", predictor="phast", num_ops=3000))
         assert result.workload == "511.povray"
         assert result.predictor == "phast"
         assert result.core == "alderlake"
@@ -216,28 +219,33 @@ class TestSimulate:
 
     def test_predictor_instance_accepted(self):
         predictor = PHASTPredictor()
-        result = simulate("511.povray", predictor, num_ops=2000)
+        result = simulate(RunSpec(workload="511.povray", predictor=predictor, num_ops=2000))
         assert result.mdp is predictor.stats
 
     def test_custom_config(self):
         result = simulate(
-            "511.povray", "phast", config=GENERATIONS["nehalem"], num_ops=2000
+            RunSpec(
+                workload="511.povray", predictor="phast",
+                config=GENERATIONS["nehalem"], num_ops=2000,
+            )
         )
         assert result.core == "nehalem"
 
     def test_paths_tracked_only_for_unlimited(self):
-        limited = simulate("511.povray", "phast", num_ops=2000)
-        unlimited = simulate("511.povray", "unlimited-phast", num_ops=2000)
+        limited = simulate(RunSpec(workload="511.povray", predictor="phast", num_ops=2000))
+        unlimited = simulate(
+            RunSpec(workload="511.povray", predictor="unlimited-phast", num_ops=2000)
+        )
         assert limited.paths_tracked is None
         assert unlimited.paths_tracked is not None
 
     def test_deterministic(self):
-        a = simulate("541.leela", "nosq", num_ops=3000)
-        b = simulate("541.leela", "nosq", num_ops=3000)
+        a = simulate(RunSpec(workload="541.leela", predictor="nosq", num_ops=3000))
+        b = simulate(RunSpec(workload="541.leela", predictor="nosq", num_ops=3000))
         assert a.ipc == b.ipc
         assert a.pipeline.violations == b.pipeline.violations
 
     def test_summary_format(self):
-        result = simulate("511.povray", "phast", num_ops=2000)
+        result = simulate(RunSpec(workload="511.povray", predictor="phast", num_ops=2000))
         text = result.summary()
         assert "511.povray" in text and "phast" in text and "IPC=" in text

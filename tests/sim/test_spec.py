@@ -94,10 +94,11 @@ class TestWithOverrides:
 
 class TestLegacyShim:
     def test_legacy_kwargs_and_spec_give_identical_results(self):
-        legacy = simulate(
-            "511.povray", "store-sets",
-            num_ops=OPS, warmup_ops=0, seed=2, check_invariants=True,
-        )
+        with pytest.warns(DeprecationWarning, match=r"simulate\(RunSpec\("):
+            legacy = simulate(
+                "511.povray", "store-sets",
+                num_ops=OPS, warmup_ops=0, seed=2, check_invariants=True,
+            )
         spec = RunSpec(
             workload="511.povray", predictor="store-sets",
             num_ops=OPS, warmup_ops=0, seed=2, check_invariants=True,
@@ -106,6 +107,13 @@ class TestLegacyShim:
         via_run_spec = run_spec(spec)
         assert legacy.to_record() == via_spec.to_record()
         assert legacy.to_record() == via_run_spec.to_record()
+
+    def test_legacy_kwargs_warning_names_exact_replacement(self):
+        with pytest.warns(
+            DeprecationWarning,
+            match=r"simulate\(RunSpec\('511\.povray', 'ideal', \.\.\.\)\)",
+        ):
+            simulate("511.povray", "ideal", num_ops=OPS)
 
     def test_spec_plus_predictor_kwarg_rejected(self):
         spec = RunSpec(workload="511.povray", predictor="ideal")

@@ -20,12 +20,14 @@ from repro.api.wire import (
     WIRE_VERSION,
     WireError,
     WireGrid,
+    attach_tenant,
     config_from_wire,
     config_to_wire,
     grid_from_wire,
     grid_to_wire,
     spec_from_wire,
     spec_to_wire,
+    tenant_from_payload,
 )
 from repro.sim.metrics import SimResult
 from repro.sim.simulator import (
@@ -61,6 +63,8 @@ __all__ = [
     "grid_from_wire",
     "config_to_wire",
     "config_from_wire",
+    "attach_tenant",
+    "tenant_from_payload",
 ]
 
 

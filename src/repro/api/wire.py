@@ -540,3 +540,59 @@ def grid_from_wire(payload: object) -> WireGrid:
 def is_grid_payload(payload: Mapping[str, object]) -> bool:
     """Discriminate the two submission shapes (grids carry ``workloads``)."""
     return "workloads" in payload or "predictors" in payload
+
+
+# ------------------------------------------------------------------ tenant --
+
+#: The ``ext`` key the tenant convention rides under (see docs/api.md).
+#: Carrying the tenant id in ``ext`` keeps it out of cell identity — two
+#: tenants submitting the same grid share store keys — and needs no v2:
+#: v1 readers that don't speak tenancy carry it along untouched.
+EXT_TENANT_KEY = "tenant"
+
+
+def attach_tenant(wire: Dict[str, object], tenant: str) -> Dict[str, object]:
+    """Attach a tenant id to an encoded payload via the ``ext`` escape hatch.
+
+    Mutates and returns ``wire``. An existing ``ext`` dict is preserved;
+    only its ``tenant`` key is written.
+    """
+    if not isinstance(tenant, str) or not tenant:
+        raise WireError(
+            "tenant must be a non-empty string",
+            field=f"ext.{EXT_TENANT_KEY}",
+            value=tenant,
+        )
+    ext = wire.get("ext")
+    if ext is None:
+        ext = {}
+        wire["ext"] = ext
+    elif not isinstance(ext, dict):
+        raise WireError("ext must be an object", field="ext", value=ext)
+    ext[EXT_TENANT_KEY] = tenant
+    return wire
+
+
+def tenant_from_payload(payload: Mapping[str, object]) -> Optional[str]:
+    """The tenant id riding in a payload's ``ext``, validated, or ``None``.
+
+    Malformed shapes (``ext`` not an object, a non-string or empty tenant)
+    raise :class:`WireError` rather than silently dropping attribution —
+    a submission that *tries* to name a tenant must not sneak past that
+    tenant's quota because of a type slip.
+    """
+    ext = payload.get("ext")
+    if ext is None:
+        return None
+    if not isinstance(ext, Mapping):
+        raise WireError("ext must be an object", field="ext", value=ext)
+    tenant = ext.get(EXT_TENANT_KEY)
+    if tenant is None:
+        return None
+    if not isinstance(tenant, str) or not tenant:
+        raise WireError(
+            "ext.tenant must be a non-empty string",
+            field=f"ext.{EXT_TENANT_KEY}",
+            value=tenant,
+        )
+    return tenant

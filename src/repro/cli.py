@@ -402,6 +402,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 timeout=args.timeout,
                 retries=args.retries,
+                dispatchers=args.dispatchers,
+                lease_ttl=args.lease_ttl,
             )
         )
     except KeyboardInterrupt:
@@ -412,7 +414,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.client import ServerError, SweepClient
 
-    client = SweepClient(args.server)
+    client = SweepClient(args.server, tenant=args.tenant)
     workloads = (
         args.workloads.split(",") if args.workloads else spec_suite(args.subset)
     )
@@ -748,6 +750,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--timeout", type=float, default=None)
     serve.add_argument("--retries", type=int, default=None)
+    serve.add_argument(
+        "--dispatchers",
+        type=int,
+        default=None,
+        help="concurrent dispatch threads — jobs run at once "
+        "($REPRO_SERVE_DISPATCHERS, default 2)",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        help="seconds before a crashed peer's cell claims become "
+        "reclaimable when several servers share one store "
+        "($REPRO_SERVE_LEASE_TTL, default 300)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -786,6 +803,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="give up polling after this many seconds (exit nonzero)",
+    )
+    submit.add_argument(
+        "--tenant",
+        default=None,
+        help="tenant id to attribute the submission to (sent as a bearer "
+        "token and in the wire 'ext' escape hatch; the server applies "
+        "that tenant's quota policy)",
     )
     submit.set_defaults(func=_cmd_submit)
 

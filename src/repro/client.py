@@ -25,7 +25,13 @@ import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from urllib.parse import urlsplit
 
-from repro.api.wire import WIRE_VERSION, WireGrid, grid_to_wire, spec_to_wire
+from repro.api.wire import (
+    WIRE_VERSION,
+    WireGrid,
+    attach_tenant,
+    grid_to_wire,
+    spec_to_wire,
+)
 from repro.sim.metrics import SimResult
 from repro.sim.spec import RunSpec
 
@@ -43,9 +49,20 @@ class ServerError(Exception):
 
 
 class SweepClient:
-    """Talks the v1 wire API to one server; one connection per call."""
+    """Talks the v1 wire API to one server; one connection per call.
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    ``tenant`` attributes every submission this client makes: it travels as
+    an ``Authorization: Bearer`` header *and* in the payload's ``ext``
+    escape hatch (the two carriers the server accepts — see docs/api.md),
+    and the server enforces that tenant's quota policy against it.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        tenant: Optional[str] = None,
+    ) -> None:
         split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
         if split.scheme not in ("http", ""):
             raise ValueError(f"only http:// servers are supported, got {base_url!r}")
@@ -54,6 +71,7 @@ class SweepClient:
         self.host = split.hostname
         self.port = split.port or 8321
         self.timeout = timeout
+        self.tenant = tenant
 
     # ------------------------------------------------------------ plumbing --
 
@@ -66,6 +84,8 @@ class SweepClient:
         try:
             payload = None if body is None else json.dumps(body)
             headers = {"Content-Type": "application/json"} if payload else {}
+            if self.tenant is not None:
+                headers["Authorization"] = f"Bearer {self.tenant}"
             conn.request(method, path, body=payload, headers=headers)
             response = conn.getresponse()
             raw = response.read()
@@ -88,7 +108,14 @@ class SweepClient:
         The receipt's ``cached``/``scheduled`` counts report the server-side
         store dedupe: an already-answered cell is never scheduled.
         """
-        return self._request("POST", "/v1/jobs", spec_to_wire(spec))[1]
+        return self._request("POST", "/v1/jobs", self._with_tenant(spec_to_wire(spec)))[
+            1
+        ]
+
+    def _with_tenant(self, wire: dict) -> dict:
+        if self.tenant is not None:
+            attach_tenant(wire, self.tenant)
+        return wire
 
     def submit_grid(
         self,
@@ -110,7 +137,9 @@ class SweepClient:
             check_invariants=check_invariants,
             backend=backend,
         )
-        return self._request("POST", "/v1/jobs", grid_to_wire(grid))[1]
+        return self._request("POST", "/v1/jobs", self._with_tenant(grid_to_wire(grid)))[
+            1
+        ]
 
     def jobs(self) -> List[dict]:
         return self._request("GET", "/v1/jobs")[1]["jobs"]

@@ -1,0 +1,248 @@
+"""Lease-based work claiming over a shared result-store directory.
+
+Two or more harness processes (``repro serve`` instances, sharded
+``repro sweep`` runs) pointed at the same :class:`~repro.harness.store.
+ResultStore` coordinate through *claim markers*: one small JSON file per
+cell digest under ``<store>/leases/``, published by an atomic
+exclusive-create (full payload staged, then hard-linked into place) so
+exactly one process wins each cell and no peer ever observes a
+half-written marker. A lease carries its owner id and an
+expiry timestamp; an owner that crashes simply stops renewing, and any
+peer may *reclaim* the cell once the TTL has lapsed.
+
+The protocol is deliberately minimal — no lock server, no fencing tokens:
+
+* **acquire** — exclusive-create the marker. An existing marker means the
+  cell is someone else's (unless it is ours already, or it has expired, in
+  which case we attempt a reclaim).
+* **renew** — rewrite the marker (atomic replace) with a fresh expiry;
+  the executor's heartbeat stream drives this, so a lease outlives any
+  cell that is still making progress.
+* **release** — unlink the marker once the cell has settled (its result —
+  or durable failure — is in the store by then, so peers re-checking the
+  dedupe boundary move on without ever claiming it).
+* **reclaim** — atomically ``rename`` an *expired* marker aside (only one
+  renamer can win), verify it really was expired, then exclusive-create a
+  fresh lease. A marker that turns out to have been renewed under us is
+  restored and the reclaim abandoned.
+
+Correctness note: the store itself is content-addressed and idempotent, so
+a duplicated execution is wasted work, never a wrong answer. Leases make
+duplicates *zero* under crash-expiry semantics provided hosts sharing a
+store have loosely synchronised clocks (the TTL — minutes — dwarfs any
+realistic skew; ``REPRO_SERVE_LEASE_TTL`` tunes it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.common.env import env_float
+
+#: Lease time-to-live in seconds; a crashed owner's cells become
+#: reclaimable this long after its last renewal.
+ENV_LEASE_TTL = "REPRO_SERVE_LEASE_TTL"
+
+
+def default_lease_ttl() -> float:
+    return env_float(ENV_LEASE_TTL, 300.0, min_value=1.0)
+
+
+def default_owner_id() -> str:
+    """A process-unique owner id: host, pid, and a random suffix."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+class LeaseStore:
+    """Claim markers for one shared store; one instance per owning process.
+
+    ``root`` is the marker directory (conventionally
+    ``ResultStore.leases_dir``); every marker file is named by the cell
+    digest it claims. All methods take the digest string — the same
+    content-hash identity the result store keys on.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        owner: Optional[str] = None,
+        ttl: Optional[float] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.owner = owner or default_owner_id()
+        self.ttl = default_lease_ttl() if ttl is None else float(ttl)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, digest: str) -> Path:
+        return self.root / f"{digest}.json"
+
+    # ------------------------------------------------------------ records --
+
+    def _record(self, digest: str) -> Dict[str, object]:
+        now = time.time()
+        return {
+            "digest": digest,
+            "owner": self.owner,
+            "acquired_at": now,
+            "ttl": self.ttl,
+            "expires_at": now + self.ttl,
+        }
+
+    def peek(self, digest: str) -> Optional[Dict[str, object]]:
+        """The current lease record, or None when the cell is unclaimed.
+
+        Unreadable or malformed markers read as *expired* leases owned by
+        nobody (``owner=None, expires_at=0``): they block nothing and any
+        peer may reclaim them.
+        """
+        try:
+            record = json.loads(self.path(digest).read_text())
+        except OSError:
+            return None
+        except ValueError:
+            return {"digest": digest, "owner": None, "expires_at": 0.0}
+        if not isinstance(record, dict):
+            return {"digest": digest, "owner": None, "expires_at": 0.0}
+        return record
+
+    @staticmethod
+    def expired(record: Optional[Dict[str, object]]) -> bool:
+        if record is None:
+            return True
+        expires = record.get("expires_at")
+        if not isinstance(expires, (int, float)):
+            return True
+        return time.time() > float(expires)
+
+    def is_mine(self, digest: str) -> bool:
+        record = self.peek(digest)
+        return (
+            record is not None
+            and record.get("owner") == self.owner
+            and not self.expired(record)
+        )
+
+    # ----------------------------------------------------------- protocol --
+
+    def _create_exclusive(self, digest: str) -> bool:
+        # The marker must never be observable partially written: a peer
+        # peeking a transiently-empty file would read it as a malformed
+        # (and therefore reclaimable) lease. Stage the full payload in a
+        # per-owner temp file and hard-link it into place — the link either
+        # fails (someone else holds the cell) or atomically publishes a
+        # complete record.
+        tmp = self.root / f".claim-{self.owner}-{digest}"
+        try:
+            tmp.write_text(json.dumps(self._record(digest)))
+            os.link(tmp, self.path(digest))
+        except FileExistsError:
+            return False
+        except OSError:
+            return False  # unwritable share: claim nothing, block nobody
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        return True
+
+    def acquire(self, digest: str) -> bool:
+        """Claim ``digest``; True iff this process now holds its lease.
+
+        Re-acquiring a lease we already hold renews it. An expired lease
+        (crashed owner) is reclaimed through the rename-aside dance — at
+        most one contender wins it.
+        """
+        if self._create_exclusive(digest):
+            return True
+        record = self.peek(digest)
+        if record is None:
+            # Marker vanished between create and peek (owner released it);
+            # one retry of the fast path settles it either way.
+            return self._create_exclusive(digest)
+        if record.get("owner") == self.owner and not self.expired(record):
+            self.renew(digest)
+            return True
+        if not self.expired(record):
+            return False
+        return self._reclaim(digest)
+
+    def _reclaim(self, digest: str) -> bool:
+        """Take over an expired lease; atomic via rename-aside.
+
+        ``os.rename`` of the marker into a per-owner tombstone can succeed
+        for exactly one contender; the losers see ``ENOENT`` and back off.
+        If the stolen marker turns out to have been renewed between our
+        expiry check and the rename, it is restored untouched.
+        """
+        tomb = self.root / f".reclaim-{self.owner}-{digest}"
+        try:
+            os.rename(self.path(digest), tomb)
+        except OSError:
+            return False  # lost the race (or the owner released meanwhile)
+        try:
+            stolen = json.loads(tomb.read_text())
+        except (OSError, ValueError):
+            stolen = None
+        if (
+            isinstance(stolen, dict)
+            and stolen.get("owner") not in (None, self.owner)
+            and not self.expired(stolen)
+        ):
+            # Renewed under us: put it back exactly as taken.
+            try:
+                os.rename(tomb, self.path(digest))
+            except OSError:
+                pass
+            return False
+        try:
+            tomb.unlink()
+        except OSError:
+            pass
+        return self._create_exclusive(digest)
+
+    def renew(self, digest: str) -> bool:
+        """Push our lease's expiry forward; True iff we still hold it."""
+        record = self.peek(digest)
+        if record is None or record.get("owner") != self.owner:
+            return False
+        fresh = self._record(digest)
+        tmp = self.root / f".renew-{self.owner}-{digest}"
+        try:
+            tmp.write_text(json.dumps(fresh))
+            os.replace(tmp, self.path(digest))
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        return True
+
+    def release(self, digest: str) -> None:
+        """Drop our claim. A lease held by someone else is left alone."""
+        record = self.peek(digest)
+        if record is None or record.get("owner") != self.owner:
+            return
+        try:
+            self.path(digest).unlink()
+        except OSError:
+            pass
+
+    def release_all(self) -> None:
+        """Drop every lease this owner still holds (shutdown hygiene)."""
+        try:
+            markers = list(self.root.glob("*.json"))
+        except OSError:
+            return
+        for marker in markers:
+            self.release(marker.stem)
+
+    def __repr__(self) -> str:
+        return f"LeaseStore({str(self.root)!r}, owner={self.owner!r})"

@@ -197,6 +197,11 @@ class ResultStore:
         return self.root / "failures"
 
     @property
+    def leases_dir(self) -> Path:
+        """Claim markers for multi-process sharding (see harness.leases)."""
+        return self.root / "leases"
+
+    @property
     def manifest_path(self) -> Path:
         return self.root / "failure_manifest.json"
 

@@ -19,8 +19,9 @@ precompile pass and the workers disagreed about a trace key.
 from __future__ import annotations
 
 import contextlib
+import time
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import CoreConfig
 from repro.harness.chaos import ChaosEngine, FaultPlan
@@ -31,6 +32,7 @@ from repro.harness.executor import (
     ProcessCellExecutor,
 )
 from repro.harness.failures import CellFailure, FailureKind
+from repro.harness.leases import LeaseStore
 from repro.harness.store import ResultStore, StoreStatus
 from repro.isa.artifacts import TraceStore
 from repro.sim.metrics import SimResult
@@ -80,6 +82,7 @@ class SweepReport:
     precompiled: int = 0
     chaos: Optional[ChaosEngine] = None
     degraded_writes: int = 0
+    peer_completed: int = 0
 
     @property
     def results(self) -> Dict[tuple, SimResult]:
@@ -147,6 +150,8 @@ class SweepReport:
             text += f" skipped={self.skipped}"
         if self.degraded_writes:
             text += f" degraded-writes={self.degraded_writes}"
+        if self.peer_completed:
+            text += f" peer={self.peer_completed}"
         if self.trace_rebuilds is not None:
             text += f" trace-rebuilds={self.trace_rebuilds}"
         if self.chaos is not None:
@@ -294,6 +299,160 @@ class SweepRunner:
                 )
         return flat
 
+    #: Poll interval while waiting on cells leased to a peer process.
+    peer_poll_seconds = 0.25
+
+    def _claim_cells(
+        self, cells: Sequence[CellSpec], leases: LeaseStore, resume: bool
+    ) -> Tuple[List[CellSpec], List[CellSpec], "set[str]"]:
+        """Split cells into (runnable, peer-leased, claimed digests).
+
+        The store dedupe boundary is re-checked immediately before each
+        claim: a cell a peer already answered is never leased at all — it
+        flows through ``run_many``'s resume path as a plain cache hit.
+        """
+        runnable: List[CellSpec] = []
+        foreign: List[CellSpec] = []
+        claimed: "set[str]" = set()
+        for cell in cells:
+            key = cell.key()
+            if resume and self.store.contains(key):
+                runnable.append(cell)  # settles as cached, no claim needed
+                continue
+            if key.digest in claimed or leases.acquire(key.digest):
+                claimed.add(key.digest)
+                runnable.append(cell)
+            else:
+                foreign.append(cell)
+        return runnable, foreign, claimed
+
+    def _renewing_heartbeat(
+        self,
+        heartbeat: Optional[Callable],
+        leases: LeaseStore,
+        claimed: "set[str]",
+    ) -> Callable:
+        """Wrap ``heartbeat`` so streamed windows renew the cell's lease.
+
+        Renewal rides the existing heartbeat stream (every
+        ``REPRO_HEARTBEAT_OPS`` committed ops), so any cell still making
+        progress holds its lease indefinitely while a crashed owner's
+        leases expire after one TTL.
+        """
+        held = claimed  # the live set: reclaimed digests renew too
+        digest_cache: Dict[int, str] = {}
+
+        def digest_of(spec) -> Optional[str]:
+            cached = digest_cache.get(id(spec))
+            if cached is None and hasattr(spec, "key"):
+                cached = spec.key().digest
+                digest_cache[id(spec)] = cached
+            return cached
+
+        def renewing(job, window) -> None:
+            spec = job
+            if isinstance(job, BatchGroup):
+                index = window.get("cell")
+                spec = (
+                    job.cells[index]
+                    if index is not None and 0 <= index < len(job.cells)
+                    else None
+                )
+            digest = None if spec is None else digest_of(spec)
+            if digest in held:
+                leases.renew(digest)
+            if heartbeat is not None:
+                heartbeat(job, window)
+
+        return renewing
+
+    def _await_peers(
+        self,
+        foreign: Sequence[CellSpec],
+        leases: LeaseStore,
+        progress: Optional[Callable[[CellOutcome], None]] = None,
+        heartbeat: Optional[Callable] = None,
+        quarantine: bool = False,
+        stop=None,
+        cutoff: Optional[float] = None,
+        held: Optional["set[str]"] = None,
+    ) -> List[CellOutcome]:
+        """Resolve cells leased to peer processes.
+
+        Each waiting cell settles one of three ways: its result appears in
+        the shared store (the peer finished it — a ``cached`` outcome
+        here), its lease lapses or is released without a result (the peer
+        crashed or failed the cell — we reclaim and run it ourselves), or
+        a stop/deadline cut settles it ephemerally (kind ``deadline``,
+        never persisted, pending again on resume).
+        """
+        outcomes: List[CellOutcome] = []
+        waiting: Dict[str, CellSpec] = {
+            cell.key().digest: cell for cell in foreign
+        }
+        while waiting:
+            cut = (stop is not None and stop.is_set()) or (
+                cutoff is not None and time.monotonic() >= cutoff
+            )
+            if cut:
+                reason = (
+                    "cancelled by a stop request"
+                    if stop is not None and stop.is_set()
+                    else "campaign deadline expired"
+                )
+                for cell in waiting.values():
+                    outcome = CellOutcome(
+                        spec=cell,
+                        failure=CellFailure(
+                            kind=FailureKind.DEADLINE,
+                            message=(
+                                f"{reason} while a peer held the cell's lease"
+                            ),
+                            cell=cell.describe(),
+                            detail={"cancelled": True, "leased_to_peer": True},
+                        ),
+                    )
+                    outcomes.append(outcome)
+                    if progress:
+                        progress(outcome)
+                break
+            reclaimed: List[CellSpec] = []
+            for digest, cell in list(waiting.items()):
+                result = self.store.get(cell.key())
+                if result is not None:
+                    outcome = CellOutcome(spec=cell, result=result, cached=True)
+                    outcomes.append(outcome)
+                    del waiting[digest]
+                    if progress:
+                        progress(outcome)
+                    continue
+                if leases.expired(leases.peek(digest)) and leases.acquire(digest):
+                    reclaimed.append(cell)
+                    if held is not None:
+                        held.add(digest)
+                    del waiting[digest]
+            if reclaimed:
+                try:
+                    outcomes.extend(
+                        self.executor.run_many(
+                            reclaimed,
+                            store=self.store,
+                            resume=True,
+                            progress=progress,
+                            quarantine=quarantine,
+                            heartbeat=heartbeat,
+                            stop=stop,
+                        )
+                    )
+                finally:
+                    for cell in reclaimed:
+                        leases.release(cell.key().digest)
+                        if held is not None:
+                            held.discard(cell.key().digest)
+            elif waiting:
+                time.sleep(self.peer_poll_seconds)
+        return outcomes
+
     def run(
         self,
         cells: Sequence[CellSpec],
@@ -304,6 +463,7 @@ class SweepRunner:
         quarantine: bool = False,
         heartbeat: Optional[Callable] = None,
         stop=None,
+        leases: Optional[LeaseStore] = None,
     ) -> SweepReport:
         """Run the sweep; completes with the surviving cells, never aborts.
 
@@ -322,9 +482,22 @@ class SweepRunner:
         which also documents ``heartbeat`` (live interval-window callback)
         and ``stop`` (a ``threading.Event`` requesting cancellation; the
         server's cancel endpoint sets it).
+
+        ``leases`` activates multi-process sharding over a shared store
+        (:class:`~repro.harness.leases.LeaseStore`): pending cells are
+        claimed through exclusive markers before dispatch — re-checking the
+        store dedupe boundary first — so concurrent runners split the
+        population with zero duplicated executions. Cells claimed by a
+        *peer* are not executed here; the runner waits for their results
+        to appear in the shared store (they settle as ``cached`` outcomes,
+        counted in ``SweepReport.peer_completed``) and reclaims any lease
+        whose owner crashed (TTL expiry). Heartbeats renew the leases of
+        in-flight cells, so a lease outlives any cell still making
+        progress.
         """
         chaos = ChaosEngine(fault_plan) if fault_plan is not None else None
         scope = chaos.installed() if chaos is not None else contextlib.nullcontext()
+        cutoff = None if deadline is None else time.monotonic() + float(deadline)
         with scope:
             precompiled = 0
             rebuilds = None
@@ -336,18 +509,50 @@ class SweepRunner:
                     for cell in cells
                 ]
                 rebuilds_before = self.trace_store.rebuild_count()
-            jobs = self._plan_jobs(cells, resume=resume, quarantine=quarantine)
-            outcomes = self.executor.run_many(
-                jobs,
-                store=self.store,
-                resume=resume,
-                progress=progress,
-                chaos=chaos,
-                deadline=deadline,
-                quarantine=quarantine,
-                heartbeat=heartbeat,
-                stop=stop,
-            )
+            foreign: List[CellSpec] = []
+            claimed: "set[str]" = set()
+            run_cells: Sequence[CellSpec] = cells
+            if leases is not None:
+                run_cells, foreign, claimed = self._claim_cells(
+                    cells, leases, resume=resume
+                )
+                heartbeat = self._renewing_heartbeat(heartbeat, leases, claimed)
+            jobs = self._plan_jobs(run_cells, resume=resume, quarantine=quarantine)
+            peer_completed = 0
+            try:
+                outcomes = self.executor.run_many(
+                    jobs,
+                    store=self.store,
+                    resume=resume,
+                    progress=progress,
+                    chaos=chaos,
+                    deadline=deadline,
+                    quarantine=quarantine,
+                    heartbeat=heartbeat,
+                    stop=stop,
+                )
+            finally:
+                if leases is not None:
+                    # Settled either way: results (and durable failures) are
+                    # in the shared store, so peers re-checking the dedupe
+                    # boundary — or re-claiming a failed cell — move on.
+                    for digest in claimed:
+                        leases.release(digest)
+            if foreign:
+                peer_outcomes = self._await_peers(
+                    foreign,
+                    leases,
+                    progress=progress,
+                    heartbeat=heartbeat,
+                    quarantine=quarantine,
+                    stop=stop,
+                    cutoff=cutoff,
+                    held=claimed,
+                )
+                peer_completed = sum(
+                    1 for outcome in peer_outcomes if outcome.ok and outcome.cached
+                )
+                outcomes = list(outcomes) + peer_outcomes
             outcomes = self._flatten(cells, outcomes)
             if self.precompile:
                 rebuilds = self.trace_store.rebuild_count() - rebuilds_before
@@ -357,6 +562,7 @@ class SweepRunner:
             precompiled=precompiled,
             chaos=chaos,
             degraded_writes=self.store.degraded_writes,
+            peer_completed=peer_completed,
         )
         extra = {
             "cells": len(cells),
@@ -369,6 +575,7 @@ class SweepRunner:
             "quarantined": report.quarantined,
             "skipped": report.skipped,
             "degraded_writes": self.store.degraded_writes,
+            "peer_completed": report.peer_completed,
         }
         if deadline is not None:
             extra["deadline_seconds"] = float(deadline)

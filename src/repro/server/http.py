@@ -43,6 +43,7 @@ from repro.api.wire import (
     grid_from_wire,
     is_grid_payload,
     spec_from_wire,
+    tenant_from_payload,
 )
 from repro.server.jobs import JobManager, QuotaError
 
@@ -139,7 +140,13 @@ class SweepServer:
     ) -> None:
         try:
             try:
-                method, path, query, body = await self._read_request(reader)
+                (
+                    method,
+                    path,
+                    query,
+                    body,
+                    headers,
+                ) = await self._read_request(reader)
             except _HttpError as exc:
                 writer.write(_error_response(exc.status, exc.payload))
                 await writer.drain()
@@ -148,7 +155,7 @@ class SweepServer:
                 return  # malformed or vanished client; nothing to say
 
             try:
-                await self._route(method, path, query, body, writer)
+                await self._route(method, path, query, body, headers, writer)
             except _HttpError as exc:
                 writer.write(_error_response(exc.status, exc.payload))
                 await writer.drain()
@@ -176,7 +183,7 @@ class SweepServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, Dict[str, str], Optional[dict]]:
+    ) -> Tuple[str, str, Dict[str, str], Optional[dict], Dict[str, str]]:
         request_line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
         if not request_line:
             raise ValueError("empty request")
@@ -218,7 +225,7 @@ class SweepServer:
                 raise _HttpError(
                     400, {"message": f"request body is not valid JSON: {exc}"}
                 ) from exc
-        return method, path, query, body
+        return method, path, query, body, headers
 
     # -------------------------------------------------------------- routes --
 
@@ -228,6 +235,7 @@ class SweepServer:
         path: str,
         query: Dict[str, str],
         body: Optional[dict],
+        headers: Dict[str, str],
         writer: asyncio.StreamWriter,
     ) -> None:
         segments = [segment for segment in path.split("/") if segment]
@@ -243,7 +251,7 @@ class SweepServer:
 
         if segments == ["jobs"]:
             if method == "POST":
-                writer.write(_json_response(202, self._submit(body)))
+                writer.write(_json_response(202, self._submit(body, headers)))
             else:
                 self._require(method, "GET")
                 writer.write(
@@ -328,7 +336,7 @@ class SweepServer:
         from repro.sim.simulator import available_predictors
         from repro.workloads.spec2017 import SPEC_PROFILES
 
-        return {
+        payload: Dict[str, object] = {
             "ok": True,
             "wire_version": WIRE_VERSION,
             "store": str(self.manager.store.root),
@@ -337,13 +345,54 @@ class SweepServer:
             "backends": sorted(available_backends()),
             "max_cells_per_job": self.manager.max_cells,
             "max_queued_jobs": self.manager.max_queued,
+            "dispatchers": self.manager.dispatchers,
+            "sharding": self.manager.leases is not None,
         }
+        if self.manager.leases is not None:
+            payload["lease_owner"] = self.manager.leases.owner
+            payload["lease_ttl"] = self.manager.leases.ttl
+        return payload
 
-    def _submit(self, body: Optional[dict]) -> Dict[str, object]:
+    @staticmethod
+    def _tenant(body: dict, headers: Dict[str, str]) -> Optional[str]:
+        """Resolve the submission's tenant id, if any.
+
+        Two equivalent carriers (docs/api.md): a ``Bearer`` token in the
+        ``Authorization`` header, or ``ext.tenant`` in the payload. When
+        both are present they must agree — a submission must not pass one
+        tenant's quota check while being attributed to another.
+        """
+        from_ext = tenant_from_payload(body)
+        from_header: Optional[str] = None
+        auth = headers.get("authorization", "")
+        if auth:
+            scheme, _, token = auth.partition(" ")
+            if scheme.lower() != "bearer" or not token.strip():
+                raise _HttpError(
+                    400,
+                    {
+                        "message": "Authorization must be 'Bearer <tenant>'",
+                    },
+                )
+            from_header = token.strip()
+        if from_ext is not None and from_header is not None:
+            if from_ext != from_header:
+                raise WireError(
+                    "ext.tenant and the Authorization bearer token disagree",
+                    field="ext.tenant",
+                    value=from_ext,
+                )
+            return from_ext
+        return from_header if from_header is not None else from_ext
+
+    def _submit(
+        self, body: Optional[dict], headers: Optional[Dict[str, str]] = None
+    ) -> Dict[str, object]:
         if body is None:
             raise _HttpError(400, {"message": "a JSON body is required"})
         if not isinstance(body, dict):
             raise WireError("submission payload must be an object")
+        tenant = self._tenant(body, headers or {})
         check_invariants = False
         if is_grid_payload(body):
             grid = grid_from_wire(body)
@@ -354,7 +403,7 @@ class SweepServer:
             if specs[0].check_invariants:
                 check_invariants = True
         _job, receipt = self.manager.submit(
-            specs, check_invariants=check_invariants
+            specs, check_invariants=check_invariants, tenant=tenant
         )
         return receipt
 
@@ -410,19 +459,28 @@ async def serve(
     workers: Optional[int] = None,
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
+    dispatchers: Optional[int] = None,
+    lease_ttl: Optional[float] = None,
     announce=print,
 ) -> None:
     """Run the sweep server until cancelled (the ``repro serve`` body)."""
     from repro.harness.store import ResultStore
 
     manager = JobManager(
-        ResultStore(store_path), workers=workers, timeout=timeout, retries=retries
+        ResultStore(store_path),
+        workers=workers,
+        timeout=timeout,
+        retries=retries,
+        dispatchers=dispatchers,
+        lease_ttl=lease_ttl,
     )
     server = SweepServer(manager, host=host, port=port)
     bound_host, bound_port = await server.start()
+    assert manager.leases is not None
     announce(
         f"repro serve: listening on http://{bound_host}:{bound_port} "
-        f"(wire v{WIRE_VERSION}, store {store_path})"
+        f"(wire v{WIRE_VERSION}, store {store_path}, "
+        f"{manager.dispatchers} dispatchers, owner {manager.leases.owner})"
     )
     try:
         await server.serve_forever()

@@ -14,39 +14,66 @@ becomes a :class:`Job`:
    scheduling. Cells already answered are marked ``cached`` in the
    submission receipt and never occupy a worker; resubmitting an answered
    grid schedules zero new cells.
-3. **Dispatch** — a single FIFO dispatcher thread runs each job through the
-   existing :class:`~repro.harness.sweep.SweepRunner` (batch-group
+3. **Dispatch** — a pool of dispatcher threads (``REPRO_SERVE_DISPATCHERS``)
+   pulls jobs off a shared FIFO queue; each dispatcher runs its job through
+   its *own* :class:`~repro.harness.sweep.SweepRunner` (batch-group
    planning, retry/backoff, quarantine, the whole failure taxonomy), so a
    remote job and a local ``repro sweep`` are the same machinery and the
-   same store keys.
-4. **Observe** — per-cell state transitions and streamed heartbeat windows
+   same store keys — and independent jobs run concurrently while every
+   per-job event log stays dense and monotonic (each job's log has its own
+   lock and sequence).
+4. **Shard** — pending cells are claimed through the shared store's lease
+   directory (:class:`~repro.harness.leases.LeaseStore`): two or more
+   ``repro serve`` processes pointed at the same store split a grid's
+   pending cells with zero duplicated executions, each re-checking the
+   store dedupe boundary before claiming; a crashed peer's leases expire
+   after a TTL and are reclaimed.
+5. **Observe** — per-cell state transitions and streamed heartbeat windows
    land in a monotonically-sequenced per-job event log; pollers read
    ``events(since=...)``, the SSE endpoint blocks on :meth:`Job.wait_events`.
 
-Cancellation sets the job's stop event; the executor kills in-flight
-workers and settles the rest as cancelled (ephemeral — a resubmission
-picks them back up as pending).
+Cancellation of a *queued* job settles it to ``cancelled`` immediately —
+the terminal event is visible the moment the cancel returns, not when a
+dispatcher eventually dequeues it. Cancelling a *running* job sets its
+stop event; the executor kills in-flight workers and settles the rest as
+cancelled (ephemeral — a resubmission picks them back up as pending).
+
+Per-tenant policy layers above the global quotas: a submission may carry a
+tenant id (the wire ``ext`` escape hatch, or an HTTP bearer token — see
+docs/server.md), and tenants can be given their own ``max_queued`` /
+``max_cells`` limits; the tenant is attributed on the job payload, the
+receipt, and every ``job`` event.
 """
 
 from __future__ import annotations
 
 import itertools
+import logging
 import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.api.wire import WireError
 from repro.common.env import env_int
 from repro.harness.executor import ProcessCellExecutor
+from repro.harness.leases import LeaseStore
 from repro.harness.store import ResultStore
 from repro.harness.sweep import SweepRunner, build_cells
 from repro.sim.spec import RunSpec
 
+logger = logging.getLogger(__name__)
+
 #: Quota/backpressure knobs (documented in docs/server.md).
 ENV_MAX_CELLS = "REPRO_SERVE_MAX_CELLS"
 ENV_MAX_QUEUED = "REPRO_SERVE_MAX_QUEUED"
+#: Size of the concurrent dispatch pool (jobs in flight at once).
+ENV_DISPATCHERS = "REPRO_SERVE_DISPATCHERS"
+#: Per-tenant quota defaults (0 = no per-tenant default; explicit
+#: ``tenant_limits`` entries always win).
+ENV_TENANT_MAX_CELLS = "REPRO_SERVE_TENANT_MAX_CELLS"
+ENV_TENANT_MAX_QUEUED = "REPRO_SERVE_TENANT_MAX_QUEUED"
 
 
 def default_max_cells() -> int:
@@ -55,6 +82,23 @@ def default_max_cells() -> int:
 
 def default_max_queued() -> int:
     return env_int(ENV_MAX_QUEUED, 32, min_value=1)
+
+
+def default_dispatchers() -> int:
+    return env_int(ENV_DISPATCHERS, 2, min_value=1)
+
+
+def _default_tenant_limit(name: str) -> Optional[int]:
+    value = env_int(name, 0, min_value=0)
+    return value or None
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant quota overrides; ``None`` defers to the global quota."""
+
+    max_cells: Optional[int] = None
+    max_queued: Optional[int] = None
 
 
 class QuotaError(Exception):
@@ -162,6 +206,7 @@ class Job:
     specs: List[RunSpec]
     cells: List[CellState]
     state: str = "queued"  # queued | running | completed | cancelled | failed
+    tenant: Optional[str] = None
     error: Optional[str] = None
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
@@ -170,6 +215,7 @@ class Job:
     cond: threading.Condition = field(default_factory=threading.Condition)
     stop: threading.Event = field(default_factory=threading.Event)
     summary: Optional[str] = None
+    claimed: bool = False  # taken by a dispatcher (or settled at cancel)
     _by_digest: Dict[str, int] = field(default_factory=dict)
 
     TERMINAL = ("completed", "cancelled", "failed")
@@ -177,6 +223,19 @@ class Job:
     @property
     def done(self) -> bool:
         return self.state in self.TERMINAL
+
+    def try_claim(self) -> bool:
+        """Atomically take ownership of running (or settling) this job.
+
+        Exactly one caller wins: the dispatcher that will run the job, or
+        a cancel/shutdown path that settles it while still queued. Losers
+        must leave the job alone.
+        """
+        with self.cond:
+            if self.claimed or self.done:
+                return False
+            self.claimed = True
+            return True
 
     def emit(self, kind: str, **data) -> None:
         with self.cond:
@@ -229,6 +288,8 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
         }
+        if self.tenant is not None:
+            payload["tenant"] = self.tenant
         if self.error is not None:
             payload["error"] = self.error
         if self.summary is not None:
@@ -239,12 +300,20 @@ class Job:
 
 
 class JobManager:
-    """Owns the job table, the dispatcher thread, and the shared stores.
+    """Owns the job table, the dispatcher pool, and the shared stores.
 
     One instance per server process. ``executor_factory`` is injectable for
     tests (e.g. to substitute crashing workers); it is called once per job
     with the job's ``check_invariants`` flag and must return a
     :class:`~repro.harness.executor.ProcessCellExecutor`-compatible object.
+
+    ``dispatchers`` sizes the concurrent dispatch pool (default
+    ``REPRO_SERVE_DISPATCHERS``): that many jobs run at once, each through
+    its own runner and executor. ``lease_ttl``/``owner`` shape the
+    shared-store lease protocol (``sharding=False`` disables it for
+    single-process deployments that want zero marker I/O).
+    ``tenant_limits`` maps tenant ids to :class:`TenantPolicy` overrides;
+    tenants without an entry get the ``REPRO_SERVE_TENANT_MAX_*`` defaults.
     """
 
     def __init__(
@@ -256,6 +325,11 @@ class JobManager:
         max_cells: Optional[int] = None,
         max_queued: Optional[int] = None,
         executor_factory=None,
+        dispatchers: Optional[int] = None,
+        lease_ttl: Optional[float] = None,
+        owner: Optional[str] = None,
+        sharding: bool = True,
+        tenant_limits: Optional[Mapping[str, TenantPolicy]] = None,
     ) -> None:
         self.store = store
         self.workers = workers
@@ -263,15 +337,30 @@ class JobManager:
         self.retries = retries
         self.max_cells = default_max_cells() if max_cells is None else max_cells
         self.max_queued = default_max_queued() if max_queued is None else max_queued
+        self.dispatchers = (
+            default_dispatchers() if dispatchers is None else max(1, dispatchers)
+        )
+        self.leases: Optional[LeaseStore] = (
+            LeaseStore(store.leases_dir, owner=owner, ttl=lease_ttl)
+            if sharding
+            else None
+        )
+        self.tenant_limits: Dict[str, TenantPolicy] = dict(tenant_limits or {})
         self._executor_factory = executor_factory or self._default_executor
         self._jobs: Dict[str, Job] = {}
         self._lock = threading.Lock()
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
         self._ids = itertools.count(1)
-        self._dispatcher = threading.Thread(
-            target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
-        )
-        self._dispatcher.start()
+        self._pool = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                name=f"repro-serve-dispatch-{index}",
+                daemon=True,
+            )
+            for index in range(1, self.dispatchers + 1)
+        ]
+        for thread in self._pool:
+            thread.start()
 
     def _default_executor(self, check_invariants: bool) -> ProcessCellExecutor:
         return ProcessCellExecutor(
@@ -283,14 +372,34 @@ class JobManager:
 
     # ---------------------------------------------------------- submission --
 
+    def tenant_policy(self, tenant: str) -> TenantPolicy:
+        """The effective quota policy for one tenant.
+
+        An explicit ``tenant_limits`` entry wins; otherwise the
+        ``REPRO_SERVE_TENANT_MAX_*`` environment defaults apply (0 / unset
+        means the tenant only faces the global quotas).
+        """
+        policy = self.tenant_limits.get(tenant)
+        if policy is not None:
+            return policy
+        return TenantPolicy(
+            max_cells=_default_tenant_limit(ENV_TENANT_MAX_CELLS),
+            max_queued=_default_tenant_limit(ENV_TENANT_MAX_QUEUED),
+        )
+
     def submit(
-        self, specs: Sequence[RunSpec], check_invariants: bool = False
+        self,
+        specs: Sequence[RunSpec],
+        check_invariants: bool = False,
+        tenant: Optional[str] = None,
     ) -> Tuple[Job, Dict[str, object]]:
         """Validate, dedupe against the store, and enqueue a job.
 
         Returns ``(job, receipt)``; the receipt reports how many cells were
         already answered (``cached``) versus actually ``scheduled`` — the
-        client-visible proof that a resubmission costs nothing.
+        client-visible proof that a resubmission costs nothing. ``tenant``
+        attributes the job and is checked against that tenant's policy
+        *in addition to* the global quotas.
         """
         specs = list(specs)
         if not specs:
@@ -299,6 +408,17 @@ class JobManager:
             raise QuotaError(
                 f"job has {len(specs)} cells; this server accepts at most "
                 f"{self.max_cells} per job ({ENV_MAX_CELLS})",
+                status=413,
+            )
+        policy = None if tenant is None else self.tenant_policy(tenant)
+        if (
+            policy is not None
+            and policy.max_cells is not None
+            and len(specs) > policy.max_cells
+        ):
+            raise QuotaError(
+                f"job has {len(specs)} cells; tenant {tenant!r} may submit "
+                f"at most {policy.max_cells} per job",
                 status=413,
             )
         validate_names(specs)
@@ -311,6 +431,18 @@ class JobManager:
                     f"accepts at most {self.max_queued} ({ENV_MAX_QUEUED})",
                     status=429,
                 )
+            if policy is not None and policy.max_queued is not None:
+                mine = sum(
+                    1
+                    for job in self._jobs.values()
+                    if not job.done and job.tenant == tenant
+                )
+                if mine >= policy.max_queued:
+                    raise QuotaError(
+                        f"tenant {tenant!r} already has {mine} jobs queued "
+                        f"or running; its limit is {policy.max_queued}",
+                        status=429,
+                    )
             job_id = f"job-{next(self._ids):04d}"
 
         cells: List[CellState] = []
@@ -332,18 +464,19 @@ class JobManager:
             by_digest.setdefault(key.digest, index)
             cells.append(cell)
 
-        job = Job(id=job_id, specs=specs, cells=cells)
+        job = Job(id=job_id, specs=specs, cells=cells, tenant=tenant)
         job._by_digest = by_digest
         job.check_invariants = check_invariants  # type: ignore[attr-defined]
         with self._lock:
             self._jobs[job_id] = job
-        job.emit(
-            "job",
-            state="queued",
-            cells=len(cells),
-            cached=cached,
-            scheduled=len(cells) - cached,
-        )
+        queued_event: Dict[str, object] = {
+            "cells": len(cells),
+            "cached": cached,
+            "scheduled": len(cells) - cached,
+        }
+        if tenant is not None:
+            queued_event["tenant"] = tenant
+        job.emit("job", state="queued", **queued_event)
 
         scheduled = len(cells) - cached
         if scheduled == 0:
@@ -362,6 +495,8 @@ class JobManager:
             "cached": cached,
             "scheduled": scheduled,
         }
+        if tenant is not None:
+            receipt["tenant"] = tenant
         return job, receipt
 
     # ------------------------------------------------------------ queries --
@@ -375,13 +510,26 @@ class JobManager:
             return list(self._jobs.values())
 
     def cancel(self, job_id: str) -> Optional[Job]:
+        """Cancel a job; a still-queued one settles immediately.
+
+        Claiming the job races the dispatcher pool: if the cancel path wins
+        the claim, no dispatcher will ever run the job, so it is safe (and
+        required — clients are waiting on the terminal event) to settle it
+        to ``cancelled`` on the spot instead of leaving it ``queued`` until
+        a dispatcher happens to dequeue it. If a dispatcher already owns
+        it, the stop event makes the executor wind the job down and the
+        dispatcher emits the terminal state.
+        """
         job = self.get(job_id)
         if job is None:
             return None
         if not job.done:
             job.stop.set()
-            with job.cond:
-                job.cond.notify_all()
+            if job.try_claim():
+                job.set_state("cancelled", reason="cancelled while queued")
+            else:
+                with job.cond:
+                    job.cond.notify_all()
         return job
 
     def results(self, job: Job) -> List[Dict[str, object]]:
@@ -406,6 +554,8 @@ class JobManager:
             job = self._queue.get()
             if job is None:
                 return
+            if not job.try_claim():
+                continue  # cancelled (or settled at shutdown) while queued
             try:
                 self._run_job(job)
             except BaseException as exc:  # noqa: BLE001 — job fails, server lives
@@ -474,7 +624,18 @@ class JobManager:
             if cell is None:
                 return
             if cell.state == "pending":
+                # The first heartbeat is how we learn the cell started; emit
+                # the transition so replaying the event log agrees with a
+                # poll of the cell table (clients must never see a cell jump
+                # straight from pending to settled).
                 cell.state = "running"
+                job.emit(
+                    "cell",
+                    index=cell.index,
+                    workload=cell.workload,
+                    predictor=cell.predictor,
+                    state="running",
+                )
             job.emit(
                 "heartbeat",
                 index=cell.index,
@@ -485,7 +646,11 @@ class JobManager:
             )
 
         report = runner.run(
-            cells, progress=progress, heartbeat=heartbeat, stop=job.stop
+            cells,
+            progress=progress,
+            heartbeat=heartbeat,
+            stop=job.stop,
+            leases=self.leases,
         )
         job.summary = report.summary()
         if job.stop.is_set():
@@ -500,10 +665,33 @@ class JobManager:
 
     # ----------------------------------------------------------- shutdown --
 
-    def close(self) -> None:
-        """Cancel everything in flight and stop the dispatcher thread."""
+    def close(self, timeout: float = 30.0) -> List[str]:
+        """Cancel everything in flight and stop the dispatcher pool.
+
+        Still-queued jobs are claimed and fast-settled to ``cancelled``
+        without ever constructing a runner, so shutdown is not serialized
+        behind work nobody wants anymore. Each dispatcher gets a stop
+        sentinel and is joined for ``timeout`` seconds; a thread that fails
+        to join (a wedged worker pool, a hung filesystem) is *reported* —
+        logged and returned by name — rather than silently abandoned.
+        """
         for job in self.jobs():
             if not job.done:
                 job.stop.set()
-        self._queue.put(None)
-        self._dispatcher.join(timeout=30)
+                if job.try_claim():
+                    job.set_state("cancelled", reason="server shutting down")
+        for _ in self._pool:
+            self._queue.put(None)
+        wedged: List[str] = []
+        for thread in self._pool:
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                wedged.append(thread.name)
+                logger.warning(
+                    "dispatcher %s did not stop within %.0fs; abandoning it",
+                    thread.name,
+                    timeout,
+                )
+        if self.leases is not None:
+            self.leases.release_all()
+        return wedged

@@ -12,7 +12,7 @@ import threading
 
 import pytest
 
-from repro.api.wire import WireError
+from repro.api.wire import WireError, WireGrid, attach_tenant, grid_to_wire
 from repro.client import ServerError, SweepClient
 from repro.core.pipeline import PipelineStats
 from repro.harness.executor import ProcessCellExecutor
@@ -132,6 +132,10 @@ class TestHealth:
         assert "phast" in health["predictors"]
         assert "511.povray" in health["workloads"]
         assert health["max_cells_per_job"] >= 1
+        assert health["dispatchers"] >= 1
+        assert health["sharding"] is True
+        assert health["lease_owner"]
+        assert health["lease_ttl"] > 0
 
 
 class TestEndToEnd:
@@ -321,6 +325,88 @@ class TestQuotas:
                 )
         finally:
             harness.close()
+
+
+class TestTenancy:
+    def test_bearer_tenant_is_attributed_end_to_end(self, fake_harness):
+        client = SweepClient(
+            f"http://127.0.0.1:{fake_harness.server.port}",
+            timeout=30,
+            tenant="team-a",
+        )
+        receipt = client.submit_grid(WORKLOADS, PREDICTORS, num_ops=OPS)
+        assert receipt["tenant"] == "team-a"
+        status = client.wait(receipt["id"], timeout=60)
+        assert status["tenant"] == "team-a"
+        # The queued event carries the attribution too (replay shows who).
+        first = client.events(receipt["id"])["events"][0]
+        assert first["tenant"] == "team-a"
+
+    def test_ext_tenant_alone_is_accepted(self, fake_harness):
+        body = attach_tenant(
+            grid_to_wire(
+                WireGrid(
+                    workloads=tuple(WORKLOADS),
+                    predictors=tuple(PREDICTORS),
+                    num_ops=OPS,
+                )
+            ),
+            "ext-only",
+        )
+        _, receipt = fake_harness.client._request("POST", "/v1/jobs", body)
+        assert receipt["tenant"] == "ext-only"
+
+    def test_bearer_and_ext_must_agree(self, fake_harness):
+        client = SweepClient(
+            f"http://127.0.0.1:{fake_harness.server.port}",
+            timeout=30,
+            tenant="team-a",
+        )
+        body = attach_tenant(
+            grid_to_wire(
+                WireGrid(
+                    workloads=tuple(WORKLOADS),
+                    predictors=tuple(PREDICTORS),
+                    num_ops=OPS,
+                )
+            ),
+            "team-b",
+        )
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/v1/jobs", body)
+        assert excinfo.value.status == 422
+        assert excinfo.value.field == "ext.tenant"
+
+    def test_malformed_authorization_is_400(self, fake_harness):
+        client = fake_harness.client
+        import http.client as http_client
+        import json as json_module
+
+        conn = http_client.HTTPConnection(
+            client.host, client.port, timeout=30
+        )
+        try:
+            conn.request(
+                "POST",
+                "/v1/jobs",
+                body=json_module.dumps(
+                    grid_to_wire(
+                        WireGrid(
+                            workloads=tuple(WORKLOADS),
+                            predictors=tuple(PREDICTORS),
+                            num_ops=OPS,
+                        )
+                    )
+                ),
+                headers={
+                    "Content-Type": "application/json",
+                    "Authorization": "Basic dXNlcjpwYXNz",
+                },
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+        finally:
+            conn.close()
 
 
 class TestFailureSurfacing:

@@ -1,0 +1,169 @@
+"""Multi-process sharding over one shared store: leases end to end.
+
+Two job managers (standing in for two ``repro serve`` processes, possibly
+on different hosts) point at the same :class:`ResultStore` directory and
+must split work with zero duplicated cell executions — including when a
+peer crashes and its leases expire.
+"""
+
+import threading
+import time
+
+from repro.harness.leases import LeaseStore
+from repro.harness.store import ResultStore
+from repro.harness.sweep import SweepRunner, build_cells
+from repro.server.jobs import JobManager
+from repro.sim.spec import RunSpec
+
+from tests.server.stubs import FabricatingExecutor, fabricate_result
+
+OPS = 600
+
+
+def _grid_specs(seed=11):
+    return [
+        RunSpec(workload="511.povray", predictor=p, num_ops=OPS, seed=seed)
+        for p in ("phast", "ideal")
+    ]
+
+
+def _wait_done(job, timeout=30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not job.done:
+        assert time.monotonic() < deadline, f"job stuck in {job.state!r}"
+        time.sleep(0.02)
+
+
+class TestTwoManagers:
+    def test_shared_store_splits_work_with_zero_duplicates(self, tmp_path):
+        """The same grid submitted to both servers executes each cell once."""
+        store_root = tmp_path / "shared-store"
+        gate = threading.Event()
+        executed_a, executed_b = [], []
+        stubs_a = []
+
+        def factory_a(check_invariants):
+            stub = FabricatingExecutor(gate=gate, executed=executed_a)
+            stubs_a.append(stub)
+            return stub
+
+        manager_a = JobManager(
+            ResultStore(store_root),
+            executor_factory=factory_a,
+            owner="server-a",
+        )
+        manager_b = JobManager(
+            ResultStore(store_root),
+            executor_factory=lambda check: FabricatingExecutor(
+                executed=executed_b
+            ),
+            owner="server-b",
+        )
+        try:
+            job_a, _ = manager_a.submit(_grid_specs())
+            # By the time run_many is entered, server A holds every lease.
+            deadline = time.monotonic() + 10
+            while not stubs_a:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            assert stubs_a[0].started.wait(timeout=10)
+            job_b, _ = manager_b.submit(_grid_specs())
+            gate.set()
+            _wait_done(job_a)
+            _wait_done(job_b)
+
+            assert job_a.state == "completed"
+            assert job_b.state == "completed"
+            # Zero duplicated executions across the two processes.
+            assert set(executed_a) & set(executed_b) == set()
+            expected = {spec.key().digest for spec in _grid_specs()}
+            assert set(executed_a) | set(executed_b) == expected
+            # Server B's cells settled from the shared store (peer results
+            # or the dedupe boundary), all of them answered.
+            assert all(
+                cell.state in ("ok", "cached") for cell in job_b.cells
+            )
+            # Nobody leaked a claim marker.
+            assert list(ResultStore(store_root).leases_dir.glob("*.json")) == []
+        finally:
+            gate.set()
+            manager_a.close()
+            manager_b.close()
+
+
+class TestLeaseLifecycles:
+    def test_expired_peer_lease_is_reclaimed_and_run(self, tmp_path):
+        """A crashed peer's cells are picked up after its TTL lapses."""
+        store = ResultStore(tmp_path / "shared-store")
+        cells = build_cells(
+            ["511.povray"], ["phast", "ideal"], num_ops=OPS, seed=7
+        )
+        crashed = LeaseStore(store.leases_dir, owner="dead-peer", ttl=0.6)
+        for cell in cells:
+            assert crashed.acquire(cell.key().digest)
+
+        executed = []
+        runner = SweepRunner(
+            store, executor=FabricatingExecutor(executed=executed)
+        )
+        runner.peer_poll_seconds = 0.05
+        survivor = LeaseStore(store.leases_dir, owner="survivor", ttl=30.0)
+        report = runner.run(cells, leases=survivor)
+
+        assert report.completed == len(cells)
+        assert sorted(executed) == sorted(
+            cell.key().digest for cell in cells
+        )
+        assert list(store.leases_dir.glob("*.json")) == []
+
+    def test_store_dedupe_rechecked_before_claiming(self, tmp_path):
+        """An answered cell is never leased, even if a peer still holds it."""
+        store = ResultStore(tmp_path / "shared-store")
+        (cell,) = build_cells(["511.povray"], ["phast"], num_ops=OPS, seed=9)
+        digest = cell.key().digest
+        store.put(cell.key(), fabricate_result(cell))
+        peer = LeaseStore(store.leases_dir, owner="peer", ttl=300.0)
+        assert peer.acquire(digest)
+
+        executed = []
+        runner = SweepRunner(
+            store, executor=FabricatingExecutor(executed=executed)
+        )
+        report = runner.run(
+            [cell],
+            leases=LeaseStore(store.leases_dir, owner="me", ttl=300.0),
+        )
+        assert report.cached == 1
+        assert executed == []  # pure cache hit, no execution, no wait
+        assert peer.is_mine(digest)  # and the peer's lease was untouched
+
+    def test_peer_completed_cells_are_counted(self, tmp_path):
+        """Cells a live peer finishes settle here as peer-cached outcomes."""
+        store = ResultStore(tmp_path / "shared-store")
+        (cell,) = build_cells(["511.povray"], ["phast"], num_ops=OPS, seed=13)
+        digest = cell.key().digest
+        peer = LeaseStore(store.leases_dir, owner="peer", ttl=300.0)
+        assert peer.acquire(digest)
+
+        # The "peer" finishes the cell shortly after our sweep starts.
+        def finish():
+            time.sleep(0.2)
+            store.put(cell.key(), fabricate_result(cell))
+            peer.release(digest)
+
+        thread = threading.Thread(target=finish)
+        thread.start()
+        executed = []
+        runner = SweepRunner(
+            store, executor=FabricatingExecutor(executed=executed)
+        )
+        runner.peer_poll_seconds = 0.05
+        report = runner.run(
+            [cell],
+            leases=LeaseStore(store.leases_dir, owner="me", ttl=300.0),
+        )
+        thread.join(timeout=10)
+        assert executed == []
+        assert report.completed == 1
+        assert report.peer_completed == 1
+        assert "peer=1" in report.summary()

@@ -18,12 +18,14 @@ from pathlib import Path
 
 import pytest
 
+from repro.common.env import env_int
 from repro.harness.store import ResultStore
 from repro.sim.experiment import ExperimentGrid
 from repro.workloads.spec2017 import spec_suite
 
-#: Simulated micro-ops per (workload, predictor) cell.
-BENCH_OPS = int(os.environ.get("REPRO_BENCH_OPS", "25000"))
+#: Simulated micro-ops per (workload, predictor) cell. Validated like every
+#: other knob: ``REPRO_BENCH_OPS=100k`` fails fast naming the variable.
+BENCH_OPS = env_int("REPRO_BENCH_OPS", 25000, min_value=1)
 
 #: Optional durable result store: point REPRO_RESULT_STORE at a directory
 #: and a killed/crashed benchmark session resumes from its completed cells

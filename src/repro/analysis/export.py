@@ -113,3 +113,65 @@ def intervals_to_csv(results: Iterable[SimResult]) -> str:
     for result in results:
         records.extend(intervals_to_records(result))
     return records_to_csv(records)
+
+
+#: Schema of one provenance record (see :func:`provenance_record`).
+PROVENANCE_SCHEMA = 1
+
+
+def provenance_record(spec, result: SimResult) -> Dict[str, object]:
+    """One result with everything the surrogate dataset builder needs.
+
+    Carries the cell's content digest, the full RunSpec wire dict (exact
+    CoreConfig included — store entries only keep its fingerprint), the
+    workload generator version, and the complete result record with any
+    interval windows. A dataset built from these records featurizes
+    identically to one built from the originating store, which is what
+    makes exported JSON a faithful substitute for store access.
+    """
+    from repro.api.wire import spec_to_wire
+    from repro.workloads.generator import GENERATOR_VERSION
+
+    key = spec.key()
+    return {
+        "schema": PROVENANCE_SCHEMA,
+        "digest": key.digest,
+        "cell": dict(key.describe),
+        "spec": spec_to_wire(spec),
+        "generator_version": GENERATOR_VERSION,
+        "result": result.to_record(),
+    }
+
+
+def dump_provenance(
+    pairs: Iterable[tuple],
+    destination: Union[str, Path, IO[str]],
+    indent: Optional[int] = 2,
+) -> None:
+    """Write (spec, result) pairs as a provenance JSON array.
+
+    Same atomic-write guarantee as :func:`dump_results`; the output feeds
+    ``repro surrogate build --provenance`` and
+    :func:`repro.surrogate.dataset.records_from_provenance`.
+    """
+    records = [provenance_record(spec, result) for spec, result in pairs]
+    if isinstance(destination, (str, Path)):
+        atomic_write_text(destination, json.dumps(records, indent=indent) + "\n")
+        return
+    json.dump(records, destination, indent=indent)
+    destination.write("\n")
+
+
+def load_provenance(
+    source: Union[str, Path, IO[str]],
+) -> List[Dict[str, object]]:
+    """Read back a provenance array written by :func:`dump_provenance`."""
+    records = load_records(source)
+    for record in records:
+        if not isinstance(record, dict) or record.get("schema") != PROVENANCE_SCHEMA:
+            raise ValueError(
+                "not a provenance export (expected records with "
+                f"schema={PROVENANCE_SCHEMA}); did you mean a plain "
+                "results export?"
+            )
+    return records

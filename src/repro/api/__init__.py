@@ -53,6 +53,14 @@ __all__ = [
     # remote submission
     "SweepClient",
     "ServerError",
+    # surrogate subsystem (lazy; the model layer needs numpy)
+    "SurrogateEstimate",
+    "SurrogateTier",
+    "build_store_dataset",
+    "load_dataset",
+    "load_model",
+    "load_tier",
+    "train_model",
     # wire schema v1
     "WIRE_VERSION",
     "WireError",
@@ -68,6 +76,22 @@ __all__ = [
 ]
 
 
+#: Surrogate names resolved lazily: the model layer imports numpy, and the
+#: triage/dataset layers pull in the harness — neither belongs in every
+#: `import repro.api`.
+_SURROGATE_NAMES = frozenset(
+    {
+        "SurrogateEstimate",
+        "SurrogateTier",
+        "build_store_dataset",
+        "load_dataset",
+        "load_model",
+        "load_tier",
+        "train_model",
+    }
+)
+
+
 def __getattr__(name):
     # SweepClient lives in repro.client; importing it eagerly would pull the
     # HTTP machinery into every `import repro.api`, so resolve it on demand
@@ -80,4 +104,8 @@ def __getattr__(name):
         from repro.client import ServerError
 
         return ServerError
+    if name in _SURROGATE_NAMES:
+        import repro.surrogate as surrogate
+
+        return getattr(surrogate, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -25,6 +25,13 @@ Commands:
   :class:`repro.client.SweepClient` and (by default) wait for it.
 * ``backends`` — inspect the execution-backend registry
   (``backends ls``); ``sweep --backend batch`` selects one for a campaign.
+* ``export`` — run a sweep and write JSON records (``--provenance`` for the
+  self-contained format the surrogate dataset builder consumes).
+* ``surrogate`` — the learned IPC/MPKI surrogate (docs/surrogate.md):
+  ``build`` a dataset from a store or provenance export, ``train`` the
+  bagged-ridge ensemble, ``eval`` held-out error/coverage with CI gates,
+  ``predict`` a grid without simulating; ``sweep --surrogate triage``
+  settles tight-CI cells from the model.
 * ``workloads`` — list the synthetic SPEC CPU 2017-like profiles.
 * ``predictors`` — list the predictor registry with storage budgets.
 * ``table2`` — print the reproduced Table II (configurations/storage/energy).
@@ -237,10 +244,32 @@ def _cmd_export(args: argparse.Namespace) -> int:
     for name in predictors:
         if name not in available_predictors():
             raise SystemExit(f"unknown predictor {name!r}")
-    grid = ExperimentGrid(num_ops=args.num_ops)
     config = _core_config(args.core)
+    if args.provenance:
+        # Provenance export: full RunSpec wire dicts plus interval records,
+        # so a surrogate dataset built from this file featurizes exactly
+        # like one built from the originating store (docs/surrogate.md).
+        from repro.analysis.export import dump_provenance
+        from repro.sim.simulator import run_spec
+
+        pairs = []
+        for name in workloads:
+            for predictor in predictors:
+                spec = RunSpec(
+                    workload=name,
+                    predictor=predictor,
+                    config=config,
+                    num_ops=args.num_ops,
+                    seed=args.seed,
+                    interval_ops=args.interval_ops or None,
+                )
+                pairs.append((spec, run_spec(spec)))
+        dump_provenance(pairs, args.output)
+        print(f"wrote {len(pairs)} provenance records to {args.output}")
+        return 0
+    grid = ExperimentGrid(num_ops=args.num_ops)
     results = [
-        grid.run(workload, predictor, config)
+        grid.run(workload, predictor, config, seed=args.seed)
         for workload in workloads
         for predictor in predictors
     ]
@@ -335,6 +364,214 @@ def _cmd_trace_verify(args: argparse.Namespace) -> int:
     return 1 if problems else 0
 
 
+def _surrogate_tier(mode: Optional[str], model_path: Optional[str], store):
+    """Resolve the sweep's surrogate tier from flags/env, or None when off.
+
+    A non-``off`` mode without a model path is an operator error: the sweep
+    must not silently run full-detail when triage was asked for.
+    """
+    from repro.surrogate.triage import (
+        SurrogateStore,
+        default_mode,
+        default_model_path,
+        load_tier,
+    )
+
+    resolved_mode = mode if mode is not None else default_mode()
+    if resolved_mode == "off":
+        return None
+    resolved_path = (
+        model_path if model_path is not None else default_model_path()
+    )
+    if not resolved_path:
+        raise SystemExit(
+            f"--surrogate {resolved_mode} needs a model: pass "
+            "--surrogate-model or set REPRO_SURROGATE_MODEL "
+            "(train one with 'repro surrogate train')"
+        )
+    from repro.surrogate.model import SurrogateError
+
+    try:
+        return load_tier(
+            resolved_path,
+            mode=resolved_mode,
+            store=SurrogateStore(store.root),
+        )
+    except SurrogateError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def _cmd_surrogate_build(args: argparse.Namespace) -> int:
+    from repro.analysis.export import load_provenance
+    from repro.surrogate.dataset import (
+        build_dataset,
+        extract_store_records,
+        records_from_provenance,
+    )
+
+    if args.provenance:
+        records, skipped = records_from_provenance(
+            load_provenance(args.provenance)
+        )
+        source = args.provenance
+    else:
+        records, skipped = extract_store_records(args.store)
+        source = args.store
+    if not records:
+        raise SystemExit(
+            f"no usable completed cells in {source} "
+            f"({skipped} skipped); run a sweep first"
+        )
+    dataset = build_dataset(records, skipped=skipped)
+    destination = args.output or os.path.join(args.store, "datasets")
+    path = dataset.save(destination)
+    print(dataset.summary())
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_surrogate_train(args: argparse.Namespace) -> int:
+    from repro.surrogate.dataset import load_dataset
+    from repro.surrogate.model import SurrogateError, train_model
+
+    dataset = load_dataset(args.dataset)
+    if dataset is None:
+        raise SystemExit(
+            f"dataset at {args.dataset} is missing or corrupt; "
+            "rebuild it with 'repro surrogate build'"
+        )
+    try:
+        model = train_model(
+            dataset,
+            members=args.members,
+            ridge=args.ridge,
+            seed=args.train_seed,
+            level=args.level,
+        )
+    except SurrogateError as exc:
+        raise SystemExit(str(exc)) from exc
+    destination = args.output or os.path.dirname(args.dataset) or "."
+    path = model.save(destination)
+    print(model.summary())
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_surrogate_eval(args: argparse.Namespace) -> int:
+    from repro.surrogate.dataset import load_dataset
+    from repro.surrogate.model import SurrogateError, load_model
+
+    dataset = load_dataset(args.dataset)
+    if dataset is None:
+        raise SystemExit(f"dataset at {args.dataset} is missing or corrupt")
+    model = load_model(args.model)
+    if model is None:
+        raise SystemExit(f"model at {args.model} is missing or corrupt")
+    try:
+        metrics = model.evaluate(dataset, split=args.split)
+    except SurrogateError as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.json:
+        print(json.dumps(metrics, indent=2, sort_keys=True))
+    else:
+        rows = [
+            [
+                target,
+                stats["rows"],
+                f"{stats['mae']:.4f}",
+                f"{stats['mape']:.4f}",
+                f"{stats['coverage']:.3f}",
+                f"{stats['mean_halfwidth']:.4f}",
+            ]
+            for target, stats in metrics.items()
+        ]
+        print(
+            format_table(
+                ["target", "rows", "mae", "mape", "coverage", "halfwidth"],
+                rows,
+                title=f"{args.split} split, nominal level {model.level:g}",
+            )
+        )
+    failed = []
+    if args.max_ipc_mape is not None:
+        if metrics["ipc"]["mape"] > args.max_ipc_mape:
+            failed.append(
+                f"ipc MAPE {metrics['ipc']['mape']:.4f} > "
+                f"bound {args.max_ipc_mape}"
+            )
+    if args.max_mpki_mae is not None:
+        if metrics["violation_mpki"]["mae"] > args.max_mpki_mae:
+            failed.append(
+                f"violation-MPKI MAE {metrics['violation_mpki']['mae']:.4f} "
+                f"> bound {args.max_mpki_mae}"
+            )
+    if args.min_coverage is not None:
+        for target in ("ipc", "violation_mpki"):
+            if metrics[target]["coverage"] < args.min_coverage:
+                failed.append(
+                    f"{target} coverage {metrics[target]['coverage']:.3f} < "
+                    f"required {args.min_coverage}"
+                )
+    for problem in failed:
+        print(f"GATE FAILED: {problem}")
+    if not failed and (
+        args.max_ipc_mape is not None
+        or args.max_mpki_mae is not None
+        or args.min_coverage is not None
+    ):
+        print("OK: all calibration gates passed")
+    return 1 if failed else 0
+
+
+def _cmd_surrogate_predict(args: argparse.Namespace) -> int:
+    from repro.surrogate.model import SurrogateError, load_model
+
+    model = load_model(args.model)
+    if model is None:
+        raise SystemExit(f"model at {args.model} is missing or corrupt")
+    workloads = (
+        args.workloads.split(",") if args.workloads else spec_suite(args.subset)
+    )
+    predictors = args.predictors.split(",")
+    config = _core_config(args.core)
+    estimates = []
+    try:
+        for name in workloads:
+            for predictor in predictors:
+                predicted = model.predict_cell(
+                    name, predictor, config, args.num_ops, args.seed
+                )
+                predicted["workload"] = name
+                predicted["predictor"] = predictor
+                estimates.append(predicted)
+    except SurrogateError as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.json:
+        print(json.dumps(estimates, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [
+            est["workload"],
+            est["predictor"],
+            f"{est['ipc']:.3f}±{est['ipc_ci']:.3f}",
+            f"{est['violation_mpki']:.3f}±{est['violation_mpki_ci']:.3f}",
+            "yes" if est["novel"] else "",
+        ]
+        for est in estimates
+    ]
+    print(
+        format_table(
+            ["workload", "predictor", "ipc", "violation_mpki", "novel"],
+            rows,
+            title=(
+                f"surrogate estimates @{model.level:g} "
+                f"(model {model.content_sha256[:12]})"
+            ),
+        )
+    )
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     workloads = spec_suite(subset=args.subset)
     predictors = args.predictors.split(",")
@@ -368,11 +605,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(status.summary())
         return 0
 
+    surrogate_tier = _surrogate_tier(
+        args.surrogate, args.surrogate_model, store
+    )
+
     def progress(outcome) -> None:
         spec = outcome.spec
         if outcome.ok:
             tag = "cached" if outcome.cached else "ok"
             print(f"  [{tag}] {spec.workload}/{spec.predictor}")
+        elif outcome.estimate is not None:
+            print(
+                f"  [surrogate] {spec.workload}/{spec.predictor} "
+                f"{outcome.estimate.summary()}"
+            )
         else:
             print(f"  {outcome.failure.summary()}")
 
@@ -382,6 +628,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         progress=progress,
         deadline=args.deadline,
         quarantine=args.quarantine,
+        surrogate=surrogate_tier,
     )
     print(report.summary())
     print(f"failure manifest: {store.manifest_path}")
@@ -404,6 +651,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 retries=args.retries,
                 dispatchers=args.dispatchers,
                 lease_ttl=args.lease_ttl,
+                surrogate_model=args.surrogate_model,
+                surrogate_mode=args.surrogate,
             )
         )
     except KeyboardInterrupt:
@@ -584,6 +833,17 @@ def build_parser() -> argparse.ArgumentParser:
     # Resolved at parser-build time (not import time) so REPRO_TRACE_OPS set
     # by a wrapper script before main() is honoured.
     num_ops_default = default_num_ops()
+    from repro.surrogate.triage import (
+        default_level as _default_level,
+        default_members as _default_members,
+        default_ridge as _default_ridge,
+        default_seed as _default_seed,
+    )
+
+    surrogate_members_default = _default_members()
+    surrogate_ridge_default = _default_ridge()
+    surrogate_level_default = _default_level()
+    surrogate_seed_default = _default_seed()
 
     run = sub.add_parser("run", help="simulate one workload/predictor pair")
     run.add_argument("workload")
@@ -721,6 +981,20 @@ def build_parser() -> argparse.ArgumentParser:
         "or 'reference'); 'batch' groups cells sharing a trace into one "
         "worker unit with a single decode",
     )
+    sweep.add_argument(
+        "--surrogate",
+        default=None,
+        choices=["off", "triage", "only"],
+        help="surrogate tier: 'triage' settles tight-CI cells from the "
+        "model and simulates the rest; 'only' settles everything "
+        "(default $REPRO_SURROGATE or off)",
+    )
+    sweep.add_argument(
+        "--surrogate-model",
+        default=None,
+        help="trained model artifact for the surrogate tier "
+        "(default $REPRO_SURROGATE_MODEL)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     serve = sub.add_parser(
@@ -764,6 +1038,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds before a crashed peer's cell claims become "
         "reclaimable when several servers share one store "
         "($REPRO_SERVE_LEASE_TTL, default 300)",
+    )
+    serve.add_argument(
+        "--surrogate-model",
+        default=None,
+        help="trained surrogate model artifact: enables /v1/predict "
+        "(default $REPRO_SURROGATE_MODEL)",
+    )
+    serve.add_argument(
+        "--surrogate",
+        default=None,
+        choices=["off", "triage", "only"],
+        help="let submitted sweeps settle cells from the surrogate "
+        "(default $REPRO_SURROGATE or off; /v1/predict works either way)",
     )
     serve.set_defaults(func=_cmd_serve)
 
@@ -993,7 +1280,141 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--num-ops", type=int, default=num_ops_default)
     export.add_argument("--subset", type=int, default=None)
     export.add_argument("--core", default="alderlake", choices=sorted(GENERATIONS))
+    export.add_argument(
+        "--seed", type=int, default=None, help="override every workload's trace seed"
+    )
+    export.add_argument(
+        "--provenance",
+        action="store_true",
+        help="write full provenance records (RunSpec wire dict, generator "
+        "version, interval windows) instead of bare results — the format "
+        "'repro surrogate build --provenance' consumes",
+    )
+    export.add_argument(
+        "--interval-ops",
+        type=int,
+        default=0,
+        help="with --provenance: also record per-window interval metrics "
+        "every N committed ops (0 = none)",
+    )
     export.set_defaults(func=_cmd_export)
+
+    surrogate = sub.add_parser(
+        "surrogate",
+        help="learned IPC/MPKI surrogate: build datasets, train, evaluate, "
+        "predict (see docs/surrogate.md)",
+    )
+    surrogate_sub = surrogate.add_subparsers(dest="surrogate_cmd", required=True)
+
+    surrogate_build = surrogate_sub.add_parser(
+        "build",
+        help="featurize completed cells into a content-addressed dataset",
+    )
+    surrogate_build.add_argument(
+        "--store",
+        default=os.environ.get(ENV_STORE, DEFAULT_STORE),
+        help=f"result store to read (default ${ENV_STORE} or {DEFAULT_STORE})",
+    )
+    surrogate_build.add_argument(
+        "--provenance",
+        default=None,
+        help="build from a 'repro export --provenance' file instead of "
+        "the store",
+    )
+    surrogate_build.add_argument(
+        "--output",
+        default=None,
+        help="destination path or directory (default <store>/datasets/)",
+    )
+    surrogate_build.set_defaults(func=_cmd_surrogate_build)
+
+    surrogate_train = surrogate_sub.add_parser(
+        "train", help="fit the bagged-ridge ensemble and calibrate intervals"
+    )
+    surrogate_train.add_argument("--dataset", required=True)
+    surrogate_train.add_argument(
+        "--output",
+        default=None,
+        help="destination path or directory (default: next to the dataset)",
+    )
+    surrogate_train.add_argument(
+        "--members",
+        type=int,
+        default=surrogate_members_default,
+        help="ensemble size ($REPRO_SURROGATE_MEMBERS, default 8)",
+    )
+    surrogate_train.add_argument(
+        "--ridge",
+        type=float,
+        default=surrogate_ridge_default,
+        help="ridge regularisation strength ($REPRO_SURROGATE_RIDGE)",
+    )
+    surrogate_train.add_argument(
+        "--level",
+        type=float,
+        default=surrogate_level_default,
+        help="nominal CI coverage in [0.5, 1) ($REPRO_SURROGATE_LEVEL)",
+    )
+    surrogate_train.add_argument(
+        "--train-seed",
+        type=int,
+        default=surrogate_seed_default,
+        help="bootstrap RNG seed ($REPRO_SURROGATE_SEED)",
+    )
+    surrogate_train.set_defaults(func=_cmd_surrogate_train)
+
+    surrogate_eval = surrogate_sub.add_parser(
+        "eval",
+        help="honest error + CI coverage on a held-out split, with "
+        "optional CI gates (exit 1 when a gate fails)",
+    )
+    surrogate_eval.add_argument("--dataset", required=True)
+    surrogate_eval.add_argument("--model", required=True)
+    surrogate_eval.add_argument(
+        "--split", default="heldout", choices=["heldout", "calib", "train"]
+    )
+    surrogate_eval.add_argument("--json", action="store_true")
+    surrogate_eval.add_argument(
+        "--max-ipc-mape",
+        type=float,
+        default=None,
+        help="gate: fail when held-out IPC MAPE exceeds this",
+    )
+    surrogate_eval.add_argument(
+        "--max-mpki-mae",
+        type=float,
+        default=None,
+        help="gate: fail when held-out violation-MPKI MAE exceeds this",
+    )
+    surrogate_eval.add_argument(
+        "--min-coverage",
+        type=float,
+        default=None,
+        help="gate: fail when empirical CI coverage of either target "
+        "falls below this (use the nominal level)",
+    )
+    surrogate_eval.set_defaults(func=_cmd_surrogate_eval)
+
+    surrogate_predict = surrogate_sub.add_parser(
+        "predict", help="score a grid from the model alone (no simulation)"
+    )
+    surrogate_predict.add_argument("--model", required=True)
+    surrogate_predict.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workload names (default: the whole suite)",
+    )
+    surrogate_predict.add_argument(
+        "--predictors", default="store-sets,nosq,mdp-tage,mdp-tage-s,phast"
+    )
+    surrogate_predict.add_argument("--subset", type=int, default=None)
+    surrogate_predict.add_argument("--num-ops", type=int, default=num_ops_default)
+    surrogate_predict.add_argument(
+        "--core", default="alderlake", choices=sorted(GENERATIONS)
+    )
+    surrogate_predict.add_argument("--seed", type=int, default=None)
+    surrogate_predict.add_argument("--json", action="store_true")
+    surrogate_predict.set_defaults(func=_cmd_surrogate_predict)
 
     return parser
 

@@ -141,6 +141,45 @@ class SweepClient:
             1
         ]
 
+    def predict_spec(self, spec: RunSpec) -> dict:
+        """Score one spec with the server's surrogate model.
+
+        Returns the full predict payload (``predictions`` holds one tagged
+        estimate with ``ipc``/``ipc_ci``/``violation_mpki``/… fields). No
+        job is created and no simulator work is scheduled; a server without
+        a loaded model answers 503.
+        """
+        return self._request(
+            "POST", "/v1/predict", self._with_tenant(spec_to_wire(spec))
+        )[1]
+
+    def predict(
+        self,
+        workloads: Sequence[str],
+        predictors: Sequence[str],
+        config=None,
+        num_ops: int = 0,
+        seed: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> dict:
+        """Score a (workloads × predictors) grid with the surrogate model.
+
+        Answers in milliseconds from the model alone — estimates carry
+        confidence intervals and are tagged ``"surrogate": true``, so they
+        can never be mistaken for detailed results.
+        """
+        grid = WireGrid(
+            workloads=tuple(workloads),
+            predictors=tuple(predictors),
+            config=config,
+            num_ops=num_ops,
+            seed=seed,
+            backend=backend,
+        )
+        return self._request(
+            "POST", "/v1/predict", self._with_tenant(grid_to_wire(grid))
+        )[1]
+
     def jobs(self) -> List[dict]:
         return self._request("GET", "/v1/jobs")[1]["jobs"]
 

@@ -1,7 +1,7 @@
 """Validated environment-variable parsing for the repro knobs.
 
 Every integer knob in the package (``REPRO_TRACE_OPS``, ``REPRO_WARMUP_OPS``,
-``REPRO_TRACE_CACHE_SIZE``, ``REPRO_HEARTBEAT_OPS``,
+``REPRO_TRACE_CACHE_SIZE``, ``REPRO_HEARTBEAT_OPS``, ``REPRO_BENCH_OPS``,
 ``REPRO_SAMPLE_INTERVAL_OPS``, ``REPRO_SAMPLE_WARMUP_OPS``, and the sweep
 knobs ``REPRO_SWEEP_RETRIES``/``REPRO_SWEEP_WORKERS``) is read through
 :func:`env_int` — and the float knob ``REPRO_SWEEP_TIMEOUT`` through
@@ -9,6 +9,15 @@ knobs ``REPRO_SWEEP_RETRIES``/``REPRO_SWEEP_WORKERS``) is read through
 with the variable name in the message instead of surfacing as a bare
 ``ValueError`` deep inside a sweep worker (or, worse, being silently replaced
 by a default).
+
+The surrogate subsystem (:mod:`repro.surrogate`, docs/surrogate.md) reads
+its whole knob family here too: ``REPRO_SURROGATE`` through
+:func:`env_choice` (off/triage/only), the triage thresholds
+``REPRO_SURROGATE_MAX_CI_IPC``/``REPRO_SURROGATE_MAX_CI_MPKI`` and the
+training knobs ``REPRO_SURROGATE_LEVEL``/``REPRO_SURROGATE_RIDGE`` through
+:func:`env_float`, and ``REPRO_SURROGATE_MEMBERS``/``REPRO_SURROGATE_SEED``
+through :func:`env_int` (``REPRO_SURROGATE_MODEL`` is a plain path and needs
+no parsing).
 
 The sampling pair shapes checkpointed sampled runs (``repro sample``,
 :mod:`repro.sampling`): ``REPRO_SAMPLE_INTERVAL_OPS`` is the measured

@@ -165,6 +165,11 @@ class CellOutcome:
     deadline cuts, breaker skips). Cells the group could not finish are
     absent here — they are re-enqueued as solo cells and settle on their
     own, so a group shell is bookkeeping, never a per-cell verdict.
+
+    A cell settled by the surrogate triage tier carries an ``estimate``
+    (a :class:`~repro.surrogate.triage.SurrogateEstimate`) and neither a
+    result nor a failure: it was predicted, not simulated, and never
+    reaches the detailed-result namespace.
     """
 
     spec: CellSpec
@@ -174,6 +179,7 @@ class CellOutcome:
     elapsed_seconds: float = 0.0
     cached: bool = False
     cells: Optional[List["CellOutcome"]] = None
+    estimate: Optional[object] = None
 
     @property
     def ok(self) -> bool:

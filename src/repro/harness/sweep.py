@@ -75,6 +75,11 @@ class SweepReport:
     ``chaos`` is the :class:`~repro.harness.chaos.ChaosEngine` that injected
     faults into this run (None for a fault-free sweep) — its journal backs
     the soak gate's classification check.
+
+    Cells settled by the surrogate triage tier carry an ``estimate``
+    instead of a result or failure; they count in ``surrogate``, never in
+    ``completed``/``failed``, and their predictions live in ``estimates``,
+    never in ``results``.
     """
 
     outcomes: List[CellOutcome]
@@ -94,8 +99,21 @@ class SweepReport:
         }
 
     @property
+    def estimates(self) -> Dict[tuple, object]:
+        """(workload, predictor) -> surrogate estimate, for settled cells."""
+        return {
+            (outcome.spec.workload, outcome.spec.predictor): outcome.estimate
+            for outcome in self.outcomes
+            if outcome.estimate is not None
+        }
+
+    @property
     def failures(self) -> List[CellFailure]:
-        return [outcome.failure for outcome in self.outcomes if not outcome.ok]
+        return [
+            outcome.failure
+            for outcome in self.outcomes
+            if outcome.failure is not None
+        ]
 
     @property
     def cached(self) -> int:
@@ -107,7 +125,16 @@ class SweepReport:
 
     @property
     def failed(self) -> int:
-        return sum(1 for outcome in self.outcomes if not outcome.ok)
+        return sum(
+            1 for outcome in self.outcomes if outcome.failure is not None
+        )
+
+    @property
+    def surrogate(self) -> int:
+        """Cells settled by the surrogate tier (predicted, not simulated)."""
+        return sum(
+            1 for outcome in self.outcomes if outcome.estimate is not None
+        )
 
     @property
     def completed(self) -> int:
@@ -142,6 +169,8 @@ class SweepReport:
             f"(cached={self.cached}, simulated={self.simulated}) "
             f"failed={self.failed}"
         )
+        if self.surrogate:
+            text += f" surrogate={self.surrogate}"
         if self.cut:
             text += f" cut={self.cut}"
         if self.quarantined:
@@ -464,6 +493,7 @@ class SweepRunner:
         heartbeat: Optional[Callable] = None,
         stop=None,
         leases: Optional[LeaseStore] = None,
+        surrogate=None,
     ) -> SweepReport:
         """Run the sweep; completes with the surviving cells, never aborts.
 
@@ -494,10 +524,41 @@ class SweepRunner:
         whose owner crashed (TTL expiry). Heartbeats renew the leases of
         in-flight cells, so a lease outlives any cell still making
         progress.
+
+        ``surrogate`` is an optional
+        :class:`~repro.surrogate.triage.SurrogateTier`: pending cells it
+        settles (tight confidence interval, inside the training support)
+        become ``estimate`` outcomes up front — before traces are
+        precompiled or leases claimed — and never reach the executor.
+        Cached cells bypass triage entirely: a durable detailed result
+        always beats a prediction.
         """
         chaos = ChaosEngine(fault_plan) if fault_plan is not None else None
         scope = chaos.installed() if chaos is not None else contextlib.nullcontext()
         cutoff = None if deadline is None else time.monotonic() + float(deadline)
+        all_cells: Sequence[CellSpec] = cells
+        surrogate_outcomes: Dict[str, CellOutcome] = {}
+        if surrogate is not None and surrogate.mode != "off":
+            pending = [
+                cell
+                for cell in cells
+                if not (resume and self.store.contains(cell.key()))
+            ]
+            settled = surrogate.triage(pending)
+            for cell in pending:
+                digest = cell.key().digest
+                estimate = settled.get(digest)
+                if estimate is not None and digest not in surrogate_outcomes:
+                    outcome = CellOutcome(spec=cell, estimate=estimate)
+                    surrogate_outcomes[digest] = outcome
+                    if progress:
+                        progress(outcome)
+            if surrogate_outcomes:
+                cells = [
+                    cell
+                    for cell in cells
+                    if cell.key().digest not in surrogate_outcomes
+                ]
         with scope:
             precompiled = 0
             rebuilds = None
@@ -556,6 +617,25 @@ class SweepRunner:
             outcomes = self._flatten(cells, outcomes)
             if self.precompile:
                 rebuilds = self.trace_store.rebuild_count() - rebuilds_before
+        if surrogate_outcomes:
+            # Re-interleave settled estimates into input cell order, the
+            # shape report consumers expect from _flatten.
+            by_digest: Dict[str, List[CellOutcome]] = {}
+            for outcome in outcomes:
+                by_digest.setdefault(
+                    outcome.spec.key().digest, []
+                ).append(outcome)
+            merged: List[CellOutcome] = []
+            for cell in all_cells:
+                digest = cell.key().digest
+                settled_outcome = surrogate_outcomes.pop(digest, None)
+                if settled_outcome is not None:
+                    merged.append(settled_outcome)
+                    continue
+                bucket = by_digest.get(digest)
+                if bucket:
+                    merged.append(bucket.pop(0))
+            outcomes = merged
         report = SweepReport(
             outcomes=outcomes,
             trace_rebuilds=rebuilds,
@@ -565,7 +645,7 @@ class SweepRunner:
             peer_completed=peer_completed,
         )
         extra = {
-            "cells": len(cells),
+            "cells": len(all_cells),
             "completed": report.completed,
             "cached": report.cached,
             "simulated": report.simulated,
@@ -577,6 +657,12 @@ class SweepRunner:
             "degraded_writes": self.store.degraded_writes,
             "peer_completed": report.peer_completed,
         }
+        if surrogate is not None:
+            extra["surrogate"] = {
+                "mode": surrogate.mode,
+                "settled": report.surrogate,
+                "model_sha256": surrogate.model.content_sha256,
+            }
         if deadline is not None:
             extra["deadline_seconds"] = float(deadline)
         if chaos is not None:

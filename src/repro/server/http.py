@@ -19,6 +19,7 @@ GET       /v1/jobs/{id}/events?since=N  events past N (non-blocking poll)
 GET       /v1/jobs/{id}/stream?since=N  same log as Server-Sent Events
 GET       /v1/jobs/{id}/results         durable results for every cell
 POST      /v1/jobs/{id}/cancel          request cancellation
+POST      /v1/predict                   spec or grid → surrogate estimates
 ========  ============================  =========================================
 
 Error shape: every non-2xx response is ``{"error": {"message": ...}}``;
@@ -45,7 +46,7 @@ from repro.api.wire import (
     spec_from_wire,
     tenant_from_payload,
 )
-from repro.server.jobs import JobManager, QuotaError
+from repro.server.jobs import JobManager, QuotaError, SurrogateUnavailable
 
 #: Largest request body we read; submissions are small JSON documents.
 MAX_BODY_BYTES = 1 << 20
@@ -71,6 +72,7 @@ _REASONS = {
     422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -165,6 +167,9 @@ class SweepServer:
             except QuotaError as exc:
                 writer.write(_error_response(exc.status, {"message": str(exc)}))
                 await writer.drain()
+            except SurrogateUnavailable as exc:
+                writer.write(_error_response(503, {"message": str(exc)}))
+                await writer.drain()
             except ConnectionError:
                 pass  # client went away mid-response (SSE disconnect)
             except Exception as exc:  # noqa: BLE001 — one request, not the server
@@ -246,6 +251,12 @@ class SweepServer:
         if segments == ["health"]:
             self._require(method, "GET")
             writer.write(_json_response(200, self._health()))
+            await writer.drain()
+            return
+
+        if segments == ["predict"]:
+            self._require(method, "POST")
+            writer.write(_json_response(200, self._predict(body, headers)))
             await writer.drain()
             return
 
@@ -351,6 +362,15 @@ class SweepServer:
         if self.manager.leases is not None:
             payload["lease_owner"] = self.manager.leases.owner
             payload["lease_ttl"] = self.manager.leases.ttl
+        tier = self.manager.surrogate
+        if tier is not None:
+            payload["surrogate"] = {
+                "mode": tier.mode,
+                "model_sha256": tier.model.content_sha256,
+                "level": tier.model.level,
+            }
+        else:
+            payload["surrogate"] = None
         return payload
 
     @staticmethod
@@ -407,6 +427,32 @@ class SweepServer:
         )
         return receipt
 
+    def _predict(
+        self, body: Optional[dict], headers: Optional[Dict[str, str]] = None
+    ) -> Dict[str, object]:
+        """Answer a grid from the surrogate model — no job, no executor."""
+        if body is None:
+            raise _HttpError(400, {"message": "a JSON body is required"})
+        if not isinstance(body, dict):
+            raise WireError("predict payload must be an object")
+        tenant = self._tenant(body, headers or {})
+        if is_grid_payload(body):
+            specs = grid_from_wire(body).specs()
+        else:
+            specs = [spec_from_wire(body)]
+        predictions = self.manager.predict(specs, tenant=tenant)
+        tier = self.manager.surrogate
+        payload: Dict[str, object] = {
+            "wire_version": WIRE_VERSION,
+            "count": len(predictions),
+            "model_sha256": tier.model.content_sha256,
+            "level": tier.model.level,
+            "predictions": predictions,
+        }
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return payload
+
     # ----------------------------------------------------------------- SSE --
 
     async def _stream_events(self, job, since: int, writer) -> None:
@@ -461,26 +507,58 @@ async def serve(
     retries: Optional[int] = None,
     dispatchers: Optional[int] = None,
     lease_ttl: Optional[float] = None,
+    surrogate_model: Optional[str] = None,
+    surrogate_mode: Optional[str] = None,
     announce=print,
 ) -> None:
-    """Run the sweep server until cancelled (the ``repro serve`` body)."""
-    from repro.harness.store import ResultStore
+    """Run the sweep server until cancelled (the ``repro serve`` body).
 
+    ``surrogate_model`` (default ``REPRO_SURROGATE_MODEL``) loads a trained
+    model artifact and enables ``/v1/predict``; ``surrogate_mode`` (default
+    ``REPRO_SURROGATE``) additionally lets submitted sweeps settle
+    tight-interval cells without simulating them. A missing or corrupt
+    model path fails startup loudly rather than serving without it.
+    """
+    from repro.harness.store import ResultStore
+    from repro.surrogate.triage import (
+        SurrogateStore,
+        default_mode,
+        default_model_path,
+        load_tier,
+    )
+
+    store = ResultStore(store_path)
+    model_path = (
+        surrogate_model if surrogate_model is not None else default_model_path()
+    )
+    tier = None
+    if model_path:
+        tier = load_tier(
+            model_path,
+            mode=surrogate_mode if surrogate_mode is not None else default_mode(),
+            store=SurrogateStore(store.root),
+        )
     manager = JobManager(
-        ResultStore(store_path),
+        store,
         workers=workers,
         timeout=timeout,
         retries=retries,
         dispatchers=dispatchers,
         lease_ttl=lease_ttl,
+        surrogate=tier,
     )
     server = SweepServer(manager, host=host, port=port)
     bound_host, bound_port = await server.start()
     assert manager.leases is not None
+    surrogate_note = (
+        "" if tier is None else f", surrogate {tier.mode} "
+        f"({tier.model.content_sha256[:12]})"
+    )
     announce(
         f"repro serve: listening on http://{bound_host}:{bound_port} "
         f"(wire v{WIRE_VERSION}, store {store_path}, "
-        f"{manager.dispatchers} dispatchers, owner {manager.leases.owner})"
+        f"{manager.dispatchers} dispatchers, owner {manager.leases.owner}"
+        f"{surrogate_note})"
     )
     try:
         await server.serve_forever()

@@ -109,6 +109,10 @@ class QuotaError(Exception):
         self.status = status
 
 
+class SurrogateUnavailable(Exception):
+    """A predict call on a server with no surrogate model loaded (→ 503)."""
+
+
 def validate_names(specs: Sequence[RunSpec]) -> None:
     """Reject unknown workload/predictor/backend names with a WireError.
 
@@ -173,7 +177,7 @@ class CellState:
     workload: str
     predictor: str
     digest: str
-    state: str = "pending"  # pending | cached | ok | <failure kind>
+    state: str = "pending"  # pending | cached | ok | surrogate | <failure kind>
     message: Optional[str] = None
     attempts: int = 0
 
@@ -314,6 +318,11 @@ class JobManager:
     single-process deployments that want zero marker I/O).
     ``tenant_limits`` maps tenant ids to :class:`TenantPolicy` overrides;
     tenants without an entry get the ``REPRO_SERVE_TENANT_MAX_*`` defaults.
+
+    ``surrogate`` is an optional
+    :class:`~repro.surrogate.triage.SurrogateTier`: submitted jobs run
+    their sweeps through it (cells it settles appear as ``surrogate`` cell
+    states), and :meth:`predict` answers grids from the model alone.
     """
 
     def __init__(
@@ -330,8 +339,10 @@ class JobManager:
         owner: Optional[str] = None,
         sharding: bool = True,
         tenant_limits: Optional[Mapping[str, TenantPolicy]] = None,
+        surrogate=None,
     ) -> None:
         self.store = store
+        self.surrogate = surrogate
         self.workers = workers
         self.timeout = timeout
         self.retries = retries
@@ -533,19 +544,84 @@ class JobManager:
         return job
 
     def results(self, job: Job) -> List[Dict[str, object]]:
-        """Durable results for a job's cells, straight from the store."""
+        """Durable results for a job's cells, straight from the store.
+
+        Cells the surrogate tier settled have no detailed result; their
+        tagged estimate is returned under the separate ``surrogate`` key —
+        never under ``result`` — read from the surrogate store namespace.
+        """
         out: List[Dict[str, object]] = []
         for spec, cell in zip(job.specs, job.cells):
             result = self.store.get(spec.key())
-            out.append(
-                {
-                    "workload": cell.workload,
-                    "predictor": cell.predictor,
-                    "digest": cell.digest,
-                    "result": None if result is None else result.to_record(),
-                }
-            )
+            entry: Dict[str, object] = {
+                "workload": cell.workload,
+                "predictor": cell.predictor,
+                "digest": cell.digest,
+                "result": None if result is None else result.to_record(),
+            }
+            if (
+                result is None
+                and self.surrogate is not None
+                and self.surrogate.store is not None
+            ):
+                estimate = self.surrogate.store.get(cell.digest)
+                if estimate is not None:
+                    entry["surrogate"] = estimate.to_dict()
+            out.append(entry)
         return out
+
+    def predict(
+        self,
+        specs: Sequence[RunSpec],
+        tenant: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """Score a grid with the surrogate model — no executor work at all.
+
+        Covered by the same per-job cell quotas as :meth:`submit` (a
+        predict call is still a grid-sized request), but never by the
+        queue quotas: nothing is enqueued. Raises
+        :class:`SurrogateUnavailable` when the server has no model.
+        """
+        if self.surrogate is None:
+            raise SurrogateUnavailable(
+                "this server has no surrogate model loaded; start it with "
+                "--surrogate-model (or set REPRO_SURROGATE_MODEL)"
+            )
+        specs = list(specs)
+        if not specs:
+            raise WireError("a predict call needs at least one cell")
+        if len(specs) > self.max_cells:
+            raise QuotaError(
+                f"predict call has {len(specs)} cells; this server accepts "
+                f"at most {self.max_cells} per request ({ENV_MAX_CELLS})",
+                status=413,
+            )
+        policy = None if tenant is None else self.tenant_policy(tenant)
+        if (
+            policy is not None
+            and policy.max_cells is not None
+            and len(specs) > policy.max_cells
+        ):
+            raise QuotaError(
+                f"predict call has {len(specs)} cells; tenant {tenant!r} "
+                f"may request at most {policy.max_cells} per call",
+                status=413,
+            )
+        validate_names(specs)
+        cells = [
+            build_cells(
+                [spec.workload_name],
+                [spec.predictor_label],
+                config=spec.config,
+                num_ops=spec.num_ops or 0,
+                seed=spec.seed,
+            )[0]
+            for spec in specs
+        ]
+        return [
+            estimate.to_dict()
+            for estimate in self.surrogate.predict_all(cells)
+        ]
 
     # ----------------------------------------------------------- dispatch --
 
@@ -598,6 +674,9 @@ class JobManager:
             if outcome.ok:
                 cell.state = "cached" if outcome.cached else "ok"
                 cell.message = None
+            elif outcome.estimate is not None:
+                cell.state = "surrogate"
+                cell.message = outcome.estimate.summary()
             else:
                 cell.state = outcome.failure.kind.value
                 cell.message = outcome.failure.message
@@ -651,6 +730,7 @@ class JobManager:
             heartbeat=heartbeat,
             stop=job.stop,
             leases=self.leases,
+            surrogate=self.surrogate,
         )
         job.summary = report.summary()
         if job.stop.is_set():

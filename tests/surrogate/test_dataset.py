@@ -1,0 +1,186 @@
+"""Dataset determinism, split stability, and corruption handling."""
+
+import json
+
+from repro.analysis.export import provenance_record
+from repro.core.config import CoreConfig
+from repro.harness.store import ResultStore
+from repro.sim.spec import RunSpec
+from repro.surrogate.dataset import (
+    build_dataset,
+    build_store_dataset,
+    extract_store_records,
+    load_dataset,
+    records_from_provenance,
+    split_for_digest,
+)
+from repro.surrogate.features import feature_names
+
+from tests.surrogate.conftest import (
+    NUM_OPS,
+    PREDICTORS,
+    WORKLOADS,
+    fabricate_result,
+    grid_cells,
+    populate,
+)
+
+
+class TestDeterminism:
+    def test_rebuild_is_byte_identical(self, seeded_store, tmp_path):
+        first = build_store_dataset(seeded_store.root)
+        second = build_store_dataset(seeded_store.root)
+        assert first.payload == second.payload
+        assert first.content_sha256 == second.content_sha256
+        path_a = first.save(tmp_path / "a.json")
+        path_b = second.save(tmp_path / "b.json")
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_sharded_writers_build_identical_dataset(self, tmp_path):
+        """A store written by interleaved peers (the sharded multi-server
+        layout) featurizes byte-identically to a sequential one."""
+        sequential = ResultStore(tmp_path / "sequential")
+        populate(sequential)
+
+        shared_root = tmp_path / "sharded"
+        peer_a = ResultStore(shared_root)
+        peer_b = ResultStore(shared_root)
+        cells = [
+            (wi, pi, workload, predictor)
+            for wi, workload in enumerate(WORKLOADS)
+            for pi, predictor in enumerate(PREDICTORS)
+        ]
+        # Reverse order, alternating writers: nothing about arrival order
+        # or writer identity may leak into the artifact.
+        for index, (wi, pi, workload, predictor) in enumerate(reversed(cells)):
+            writer = peer_a if index % 2 == 0 else peer_b
+            from repro.harness.store import cell_key
+
+            writer.put(
+                cell_key(workload, predictor, CoreConfig(), NUM_OPS, None),
+                fabricate_result(workload, predictor, wi, pi),
+            )
+
+        a = build_store_dataset(sequential.root).save(tmp_path / "seq.json")
+        b = build_store_dataset(shared_root).save(tmp_path / "shard.json")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_split_assignment_survives_new_rows(self, seeded_store):
+        """Digest-bucket splits: adding cells never reshuffles old ones."""
+        records, _ = extract_store_records(seeded_store.root)
+        subset = build_dataset(records[: len(records) // 2])
+        full = build_dataset(records)
+        subset_splits = {row["digest"]: row["split"] for row in subset.rows}
+        full_splits = {row["digest"]: row["split"] for row in full.rows}
+        for digest, split in subset_splits.items():
+            assert full_splits[digest] == split
+            assert split == split_for_digest(digest)
+
+    def test_every_split_is_populated(self, seeded_store):
+        dataset = build_store_dataset(seeded_store.root)
+        counts = dataset.payload["splits"]
+        assert counts["train"] >= 2
+        assert counts["calib"] >= 1
+        assert counts["heldout"] >= 1
+        assert sum(counts.values()) == len(WORKLOADS) * len(PREDICTORS)
+
+
+class TestSourceValidation:
+    def test_corrupted_store_entries_are_skipped(self, seeded_store):
+        clean, _ = extract_store_records(seeded_store.root)
+        paths = sorted(seeded_store.results_dir.glob("*.json"))
+        # Truncation, a bit flip inside a stored value, and a schema
+        # mismatch: each must read as a skip, never as a row.
+        paths[0].write_text(paths[0].read_text()[:40])
+        flipped = json.loads(paths[1].read_text())
+        flipped["result"]["ipc"] = 99.0
+        paths[1].write_text(json.dumps(flipped))
+        stale = json.loads(paths[2].read_text())
+        stale["schema"] = 1
+        paths[2].write_text(json.dumps(stale, sort_keys=True))
+
+        records, skipped = extract_store_records(seeded_store.root)
+        assert skipped == 3
+        assert len(records) == len(clean) - 3
+
+    def test_provenance_rows_match_store_rows(self, seeded_store):
+        """The two dataset sources must featurize a cell identically."""
+        store_records, _ = extract_store_records(seeded_store.root)
+        provenance = []
+        for wi, workload in enumerate(WORKLOADS):
+            for pi, predictor in enumerate(PREDICTORS):
+                spec = RunSpec(
+                    workload=workload,
+                    predictor=predictor,
+                    config=CoreConfig(),
+                    num_ops=NUM_OPS,
+                )
+                provenance.append(
+                    provenance_record(
+                        spec, fabricate_result(workload, predictor, wi, pi)
+                    )
+                )
+        prov_records, skipped = records_from_provenance(provenance)
+        assert skipped == 0
+        from_store = build_dataset(store_records)
+        from_prov = build_dataset(prov_records)
+        assert from_store.payload == from_prov.payload
+
+    def test_provenance_digest_tamper_is_skipped(self, seeded_store):
+        spec = RunSpec(
+            workload=WORKLOADS[0],
+            predictor=PREDICTORS[0],
+            config=CoreConfig(),
+            num_ops=NUM_OPS,
+        )
+        record = provenance_record(
+            spec, fabricate_result(WORKLOADS[0], PREDICTORS[0], 0, 0)
+        )
+        record["digest"] = "0" * 64
+        records, skipped = records_from_provenance([record])
+        assert records == [] and skipped == 1
+
+
+class TestArtifact:
+    def test_round_trip(self, seeded_store, tmp_path):
+        dataset = build_store_dataset(seeded_store.root)
+        path = dataset.save(tmp_path)
+        assert path.name == f"dataset-{dataset.content_sha256[:12]}.json"
+        loaded = load_dataset(path)
+        assert loaded is not None
+        assert loaded.payload == dict(dataset.payload)
+        assert loaded.feature_names == feature_names()
+
+    def test_corruption_loads_as_miss(self, seeded_store, tmp_path):
+        dataset = build_store_dataset(seeded_store.root)
+        path = dataset.save(tmp_path / "ds.json")
+        clean = path.read_text()
+
+        assert load_dataset(tmp_path / "absent.json") is None
+
+        path.write_text(clean[: len(clean) // 2])
+        assert load_dataset(path) is None
+
+        tampered = json.loads(clean)
+        tampered["rows"][0]["targets"]["ipc"] = 123.0
+        path.write_text(json.dumps(tampered, sort_keys=True))
+        assert load_dataset(path) is None
+
+        stale = json.loads(clean)
+        stale["feature_schema"] = 999
+        path.write_text(json.dumps(stale, sort_keys=True))
+        assert load_dataset(path) is None
+
+    def test_duplicate_digests_keep_one_row(self, seeded_store):
+        records, _ = extract_store_records(seeded_store.root)
+        dataset = build_dataset(records + records)
+        assert len(dataset.rows) == len(records)
+
+    def test_rows_are_digest_sorted_with_frozen_features(self, seeded_store):
+        dataset = build_store_dataset(seeded_store.root)
+        digests = [row["digest"] for row in dataset.rows]
+        assert digests == sorted(digests)
+        expected = {workload for workload, _, _ in grid_cells()}
+        assert {row["workload"] for row in dataset.rows} == expected
+        for row in dataset.rows:
+            assert len(row["features"]) == len(feature_names())
